@@ -1,0 +1,75 @@
+// Command bmc bounded-model-checks a sequential .bench netlist
+// (paper §3 [Biere et al.]): the first declared output is the bad
+// signal, latches reset to 0. It searches for a counterexample up to
+// the given depth and can attempt a k-induction proof.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bmc"
+)
+
+func main() {
+	var (
+		depth    = flag.Int("depth", 20, "maximum unrolling depth")
+		induct   = flag.Int("induction", 0, "attempt k-induction proof with this k (0 = off)")
+		maxConfl = flag.Int64("max-conflicts", 0, "conflict budget per depth")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bmc [flags] design.bench")
+		os.Exit(1)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmc:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	seq, err := bmc.FromBench(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmc:", err)
+		os.Exit(1)
+	}
+	opts := bmc.Options{MaxConflicts: *maxConfl}
+
+	if *induct > 0 {
+		proved, decided := bmc.Induction(seq, *induct, opts)
+		switch {
+		case proved:
+			fmt.Printf("PROVED by %d-induction\n", *induct)
+			return
+		case decided:
+			fmt.Printf("induction at k=%d inconclusive; falling back to BMC\n", *induct)
+		default:
+			fmt.Println("induction undecided (budget)")
+		}
+	}
+
+	res := bmc.Check(seq, *depth, opts)
+	if !res.Decided {
+		fmt.Println("UNDECIDED (budget exhausted)")
+		os.Exit(30)
+	}
+	if !res.Violated {
+		fmt.Printf("SAFE up to depth %d (sat calls %d, conflicts %d)\n", *depth, res.SATCalls, res.Conflicts)
+		return
+	}
+	fmt.Printf("VIOLATED at depth %d\n", res.Depth)
+	free := seq.FreeInputs()
+	for t, in := range res.Trace.Inputs {
+		fmt.Printf("frame %d:", t)
+		for i, v := range in {
+			bit := 0
+			if v {
+				bit = 1
+			}
+			fmt.Printf(" %s=%d", seq.Comb.Name(free[i]), bit)
+		}
+		fmt.Println()
+	}
+	os.Exit(20)
+}

@@ -1,0 +1,82 @@
+// Command cnfgen emits benchmark workloads: random k-SAT, pigeonhole,
+// XOR chains, graph colouring and queens in DIMACS, or circuit families
+// (adders, multipliers, parity trees, muxes, random DAGs, c17) in .bench
+// format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "ksat", "ksat|php|xor|color|queens|adder|skipadder|mult|parity|mux|dag|c17")
+		n      = flag.Int("n", 20, "size parameter (variables / bits / inputs)")
+		m      = flag.Int("m", 0, "clause/edge/gate count (family-dependent; 0 = derived)")
+		k      = flag.Int("k", 3, "clause width / colours / block size")
+		seed   = flag.Int64("seed", 1, "random seed")
+		unsat  = flag.Bool("unsat", false, "xor: generate the unsatisfiable variant")
+	)
+	flag.Parse()
+
+	emitCNF := func(f *cnf.Formula) {
+		if err := cnf.WriteDIMACS(os.Stdout, f); err != nil {
+			fmt.Fprintln(os.Stderr, "cnfgen:", err)
+			os.Exit(1)
+		}
+	}
+	emitBench := func(c *circuit.Circuit) {
+		if err := circuit.WriteBench(os.Stdout, c, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "cnfgen:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch *family {
+	case "ksat":
+		mm := *m
+		if mm == 0 {
+			mm = int(4.26 * float64(*n))
+		}
+		emitCNF(gen.RandomKSAT(*n, mm, *k, *seed))
+	case "php":
+		emitCNF(gen.Pigeonhole(*n))
+	case "xor":
+		emitCNF(gen.XorChain(*n, *unsat, *seed))
+	case "color":
+		mm := *m
+		if mm == 0 {
+			mm = 2 * *n
+		}
+		emitCNF(gen.GraphColoring(*n, mm, *k, *seed))
+	case "queens":
+		emitCNF(gen.Queens(*n))
+	case "adder":
+		emitBench(circuit.RippleCarryAdder(*n))
+	case "skipadder":
+		emitBench(circuit.CarrySkipAdder(*n, *k))
+	case "mult":
+		emitBench(circuit.ArrayMultiplier(*n))
+	case "parity":
+		emitBench(circuit.ParityTree(*n))
+	case "mux":
+		emitBench(circuit.MuxTree(*n))
+	case "dag":
+		mm := *m
+		if mm == 0 {
+			mm = 4 * *n
+		}
+		emitBench(circuit.RandomDAG(*n, mm, 3, *seed))
+	case "c17":
+		emitBench(circuit.C17())
+	default:
+		fmt.Fprintf(os.Stderr, "cnfgen: unknown family %q\n", *family)
+		os.Exit(1)
+	}
+}

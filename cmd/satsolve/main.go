@@ -1,0 +1,145 @@
+// Command satsolve is a DIMACS CNF SAT solver exposing the paper's
+// solver configurations: chronological vs non-chronological
+// backtracking, clause recording policies, restarts, decision
+// heuristics, preprocessing, equivalency reasoning and recursive
+// learning.
+//
+// Usage:
+//
+//	satsolve [flags] file.cnf     (or stdin with no file)
+//
+// Output follows the SAT-competition convention: a solution line
+// "s SATISFIABLE" / "s UNSATISFIABLE" and, when satisfiable, "v" lines
+// with the model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+func main() {
+	var (
+		chrono    = flag.Bool("chronological", false, "disable non-chronological backtracking")
+		nolearn   = flag.Bool("no-learning", false, "disable clause recording")
+		relevance = flag.Int("relevance", 0, "relevance-based deletion bound (0 = activity-based)")
+		restarts  = flag.String("restarts", "luby", "restart policy: none|luby|geometric|fixed")
+		decide    = flag.String("decide", "vsids", "decision heuristic: vsids|dlis|ordered|random")
+		rnd       = flag.Float64("random-freq", 0, "random decision probability")
+		seed      = flag.Int64("seed", 0, "random seed")
+		pre       = flag.Bool("preprocess", false, "run the preprocessing pipeline")
+		equiv     = flag.Bool("equiv", false, "equivalency reasoning (implies -preprocess)")
+		reclearn  = flag.Int("reclearn", 0, "recursive learning depth (0 = off)")
+		local     = flag.Bool("local-search", false, "use WalkSAT (incomplete)")
+		maxConfl  = flag.Int64("max-conflicts", 0, "conflict budget (0 = unlimited)")
+		stats     = flag.Bool("stats", false, "print search statistics")
+		quiet     = flag.Bool("q", false, "suppress model output")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "satsolve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	formula, err := cnf.ParseDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satsolve:", err)
+		os.Exit(1)
+	}
+
+	opts := core.Options{
+		Preprocess:           *pre,
+		EquivalencyReasoning: *equiv,
+		RecursiveLearning:    *reclearn,
+		Solver: solver.Options{
+			Chronological: *chrono,
+			NoLearning:    *nolearn,
+			RandomFreq:    *rnd,
+			Seed:          *seed,
+			MaxConflicts:  *maxConfl,
+		},
+	}
+	if *relevance > 0 {
+		opts.Solver.Deletion = solver.DeleteByRelevance
+		opts.Solver.RelevanceBound = *relevance
+	}
+	switch *restarts {
+	case "none":
+		opts.Solver.Restart = solver.RestartNone
+	case "luby":
+		opts.Solver.Restart = solver.RestartLuby
+	case "geometric":
+		opts.Solver.Restart = solver.RestartGeometric
+	case "fixed":
+		opts.Solver.Restart = solver.RestartFixed
+	default:
+		fmt.Fprintf(os.Stderr, "satsolve: unknown restart policy %q\n", *restarts)
+		os.Exit(1)
+	}
+	switch *decide {
+	case "vsids":
+		opts.Solver.Decide = solver.DecideVSIDS
+	case "dlis":
+		opts.Solver.Decide = solver.DecideDLIS
+	case "ordered":
+		opts.Solver.Decide = solver.DecideOrdered
+	case "random":
+		opts.Solver.Decide = solver.DecideRandom
+	default:
+		fmt.Fprintf(os.Stderr, "satsolve: unknown heuristic %q\n", *decide)
+		os.Exit(1)
+	}
+	if *local {
+		opts.Engine = core.EngineLocalSearch
+		opts.LocalSearch.Seed = *seed
+	}
+
+	ans := core.Solve(formula, opts)
+	if *stats {
+		if ans.Pre != nil {
+			fmt.Printf("c preprocess: %+v\n", *ans.Pre)
+		}
+		if ans.Learn != nil {
+			fmt.Printf("c reclearn: %+v\n", *ans.Learn)
+		}
+		if ans.SolverStats != nil {
+			s := ans.SolverStats
+			fmt.Printf("c decisions %d conflicts %d propagations %d learned %d deleted %d restarts %d maxjump %d\n",
+				s.Decisions, s.Conflicts, s.Propagations, s.Learned, s.Deleted, s.Restarts, s.MaxJump)
+		}
+	}
+	switch ans.Status {
+	case solver.Sat:
+		fmt.Println("s SATISFIABLE")
+		if !*quiet {
+			fmt.Print("v ")
+			for v := cnf.Var(1); int(v) <= formula.NumVars(); v++ {
+				lit := int(v)
+				if ans.Model.Value(v) != cnf.True {
+					lit = -lit
+				}
+				fmt.Printf("%d ", lit)
+			}
+			fmt.Println("0")
+		}
+	case solver.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+		os.Exit(30)
+	}
+	os.Exit(10)
+}

@@ -1,0 +1,59 @@
+// Covering and prime implicants: solve a unate covering problem with
+// both the SAT-based optimizer (linear SAT/UNSAT search on a totalizer
+// bound) and classic branch and bound, then compute a minimum-size prime
+// implicant of a CNF function, and generate constrained functional
+// vectors from a word-level model.
+package main
+
+import (
+	"fmt"
+
+	sateda "repro"
+	"repro/internal/cover"
+	"repro/internal/funcvec"
+)
+
+func main() {
+	// A classic covering matrix (rows must be covered by chosen columns).
+	p := cover.NewUnate(6, [][]int{
+		{0, 1},
+		{1, 2},
+		{2, 3},
+		{3, 4},
+		{4, 5},
+		{0, 5},
+	})
+	satRes := sateda.SolveCoverSAT(p, cover.Options{})
+	bbRes := sateda.SolveCoverBB(p, cover.Options{})
+	fmt.Printf("covering: SAT optimum=%d (satcalls %d), B&B optimum=%d (nodes %d)\n",
+		satRes.Cost, satRes.SATCalls, bbRes.Cost, bbRes.Nodes)
+	fmt.Printf("SAT selection: %v\n", satRes.Select)
+
+	// Weighted variant: making the "hub" columns expensive changes the
+	// optimum structure.
+	p.Weights = []int{5, 1, 5, 1, 5, 1}
+	w := sateda.SolveCoverSAT(p, cover.Options{})
+	fmt.Printf("weighted optimum=%d selection=%v\n", w.Cost, w.Select)
+
+	// Minimum-size prime implicant of f = (x1∨x2)(¬x1∨x3)(x2∨¬x3).
+	f := sateda.NewFormula(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(-1, 3)
+	f.AddDIMACS(2, -3)
+	res := sateda.MinPrimeImplicant(f, cover.Options{})
+	fmt.Printf("min prime implicant of %v: %v (optimal=%v)\n", f, res.Implicant, res.Optimal)
+	fmt.Printf("  is prime: %v\n", res.Implicant.IsPrime(f))
+
+	// Functional vector generation: 8 distinct vectors with
+	// a + b == 12 and a < b over 4-bit words.
+	m := sateda.NewFuncVecModel()
+	a := m.Word("a", 4)
+	b := m.Word("b", 4)
+	m.RequireEqual(m.Add(a, b), m.Const(12, 5))
+	m.RequireLess(a, b)
+	vecs := m.Generate(8, funcvec.Options{Seed: 42})
+	fmt.Printf("functional vectors (a+b=12, a<b): %d found\n", len(vecs))
+	for _, v := range vecs {
+		fmt.Printf("  a=%2d b=%2d\n", v["a"], v["b"])
+	}
+}

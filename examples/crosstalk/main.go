@@ -1,0 +1,63 @@
+// Crosstalk noise analysis (paper §3, "crosstalk noise analysis"): an
+// electrical estimator assumes every coupled aggressor can switch
+// against a quiet victim simultaneously; SAT over a two-vector circuit
+// model finds how many REALLY can, given the logic feeding the nets.
+package main
+
+import (
+	"fmt"
+
+	sateda "repro"
+	"repro/internal/xtalk"
+)
+
+func main() {
+	// A decoded bus: y_i = AND(en, d_i) with one-hot data generated from
+	// two select bits — at most one y_i can be 1, so at most one can
+	// rise at a time even though four are coupled to the victim.
+	c := sateda.NewCircuit()
+	vin := c.AddInput("vin")
+	s0 := c.AddInput("s0")
+	s1 := c.AddInput("s1")
+	n0 := c.AddGate(sateda.Not, "n0", s0)
+	n1 := c.AddGate(sateda.Not, "n1", s1)
+	y := []sateda.NodeID{
+		c.AddGate(sateda.And, "y0", n0, n1),
+		c.AddGate(sateda.And, "y1", s0, n1),
+		c.AddGate(sateda.And, "y2", n0, s1),
+		c.AddGate(sateda.And, "y3", s0, s1),
+	}
+	victim := c.AddGate(sateda.Buf, "victim", vin)
+	for _, g := range y {
+		c.MarkOutput(g)
+	}
+	c.MarkOutput(victim)
+
+	cp := sateda.Coupling{Victim: victim, Aggressors: y}
+	res := sateda.MaxAlignedNoise(c, cp, xtalk.Options{})
+	fmt.Printf("one-hot decoded aggressors:\n")
+	fmt.Printf("  pessimistic (no logic):   %d aligned aggressors\n", res.Pessimistic)
+	fmt.Printf("  true (SAT, logic-aware):  %d aligned aggressors (optimal=%v)\n",
+		res.MaxNoise, res.Optimal)
+	fmt.Printf("  witness verified by simulation: %v\n", xtalk.VerifyWitness(c, cp, res))
+
+	// Same neighbourhood but driven by independent inputs: all four can
+	// align, so the pessimistic bound is tight.
+	d := sateda.NewCircuit()
+	dvin := d.AddInput("vin")
+	var ag []sateda.NodeID
+	for i := 0; i < 4; i++ {
+		in := d.AddInput(fmt.Sprintf("x%d", i))
+		ag = append(ag, d.AddGate(sateda.Buf, fmt.Sprintf("a%d", i), in))
+	}
+	dv := d.AddGate(sateda.Buf, "victim", dvin)
+	for _, g := range ag {
+		d.MarkOutput(g)
+	}
+	d.MarkOutput(dv)
+	cp2 := sateda.Coupling{Victim: dv, Aggressors: ag}
+	res2 := sateda.MaxAlignedNoise(d, cp2, xtalk.Options{})
+	fmt.Printf("\nindependent aggressors:\n")
+	fmt.Printf("  pessimistic: %d   true: %d (bound is tight here)\n",
+		res2.Pessimistic, res2.MaxNoise)
+}

@@ -1,0 +1,82 @@
+// Equivalence checking: verify a ripple-carry adder against a NAND-NAND
+// "optimized" implementation (plain miter vs the simulation-guided
+// internal-equivalence engine), then catch an injected bug and print the
+// distinguishing counterexample.
+package main
+
+import (
+	"fmt"
+
+	sateda "repro"
+)
+
+// nandAdder builds the same adder function from NAND-style carry logic.
+func nandAdder(n int) *sateda.Circuit {
+	c := sateda.NewCircuit()
+	as := make([]sateda.NodeID, n)
+	bs := make([]sateda.NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	carry := c.AddInput("cin")
+	for i := 0; i < n; i++ {
+		axb := c.AddGate(sateda.Xor, fmt.Sprintf("x%d", i), as[i], bs[i])
+		s := c.AddGate(sateda.Xor, fmt.Sprintf("s%d", i), axb, carry)
+		c.MarkOutput(s)
+		n1 := c.AddGate(sateda.Nand, fmt.Sprintf("n1_%d", i), as[i], bs[i])
+		n2 := c.AddGate(sateda.Nand, fmt.Sprintf("n2_%d", i), axb, carry)
+		carry = c.AddGate(sateda.Nand, fmt.Sprintf("c%d", i), n1, n2)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+func main() {
+	const bits = 6
+	golden := sateda.RippleAdder(bits)
+	revised := nandAdder(bits)
+	fmt.Printf("golden: %d gates; revised: %d gates\n", golden.NumGates(), revised.NumGates())
+
+	plain, err := sateda.CheckEquivalence(golden, revised, sateda.CECOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("plain miter:    equivalent=%v  conflicts=%d  satcalls=%d\n",
+		plain.Equivalent, plain.Conflicts, plain.SATCalls)
+
+	internal, err := sateda.CheckEquivalence(golden, revised, sateda.CECOptions{Internal: true, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("internal-equiv: equivalent=%v  conflicts=%d  satcalls=%d  candidates=%d proven=%d\n",
+		internal.Equivalent, internal.Conflicts, internal.SATCalls,
+		internal.Candidates, internal.Proven)
+
+	// Inject a bug: flip one XOR to XNOR.
+	buggy := revised.Clone()
+	for i := range buggy.Nodes {
+		if buggy.Nodes[i].Type == sateda.Xor {
+			buggy.Nodes[i].Type = sateda.Xnor
+			break
+		}
+	}
+	res, err := sateda.CheckEquivalence(golden, buggy, sateda.CECOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("buggy revision: equivalent=%v\n", res.Equivalent)
+	if res.Counterexample != nil {
+		fmt.Print("counterexample:")
+		for i, v := range res.Counterexample {
+			bit := 0
+			if v {
+				bit = 1
+			}
+			fmt.Printf(" %s=%d", golden.Name(golden.Inputs[i]), bit)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,59 @@
+// Processor verification via equality with uninterpreted functions
+// (paper §3, [Velev & Bryant]): abstract the ALU as an uninterpreted
+// function, model the pipeline's forwarding multiplexer with term-level
+// ITE, and check implementation = specification as an EUF validity
+// query reduced to SAT.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/euf"
+)
+
+func main() {
+	b := euf.NewBuilder()
+
+	// Architectural state and instruction fields.
+	op := b.Var("op")
+	rs1 := b.Var("rs1")
+	rdWB := b.Var("rdWB")     // destination register of the instr in WB
+	regVal := b.Var("regVal") // register-file value of rs1
+	wbVal := b.Var("wbVal")   // result sitting in the write-back stage
+	src2 := b.Var("src2")
+
+	// Hazard detection: the source register matches the WB destination.
+	hazard := euf.Eq(rs1, rdWB)
+
+	// Implementation: operand comes through the forwarding mux.
+	operand := b.Ite(hazard, wbVal, regVal)
+	resultImpl := b.Apply("alu", op, operand, src2)
+
+	// Specification: ISA-level semantics read the architectural value.
+	resultSpec := b.Apply("alu", op, regVal, src2)
+
+	// Forwarding correctness side condition: when forwarding fires, the
+	// forwarded value is the one the register file is about to hold.
+	side := euf.Implies(hazard, euf.Eq(wbVal, regVal))
+
+	ok, res := b.Valid(euf.Implies(side, euf.Eq(resultImpl, resultSpec)), euf.Options{})
+	fmt.Printf("pipeline = spec (with forwarding invariant): %v\n", ok)
+	fmt.Printf("  encoding: %d terms, %d SAT variables, %d clauses\n",
+		b.NumTerms(), res.Vars, res.Clauses)
+
+	// Drop the invariant: the check must fail — SAT finds an
+	// interpretation where the forwarded value is wrong.
+	ok2, res2 := b.Valid(euf.Eq(resultImpl, resultSpec), euf.Options{})
+	fmt.Printf("pipeline = spec (no invariant):              %v\n", ok2)
+	fmt.Printf("  counterexample interpretation equates %d term pairs\n", len(res2.EqualPairs))
+
+	// A classic EUF lemma along the way: f(f(a))=a ∧ f(f(f(a)))=a ⇒ f(a)=a.
+	b2 := euf.NewBuilder()
+	a := b2.Var("a")
+	fa := b2.Apply("f", a)
+	ffa := b2.Apply("f", fa)
+	fffa := b2.Apply("f", ffa)
+	lemma := euf.Implies(euf.And(euf.Eq(ffa, a), euf.Eq(fffa, a)), euf.Eq(fa, a))
+	ok3, _ := b2.Valid(lemma, euf.Options{})
+	fmt.Printf("f²(a)=a ∧ f³(a)=a ⇒ f(a)=a:                 %v\n", ok3)
+}

@@ -1,0 +1,224 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/csat"
+	"repro/internal/solver"
+)
+
+// Status classifies the outcome for one fault.
+type Status int
+
+// Fault outcomes.
+const (
+	// Aborted means the effort budget was exhausted.
+	Aborted Status = iota
+	// Detected means a test pattern was generated (or fault simulation
+	// caught the fault with an earlier pattern).
+	Detected
+	// Redundant means the SAT instance is unsatisfiable: no input can
+	// distinguish the faulty circuit, so the fault is untestable and the
+	// corresponding logic is redundant (§3, [RID-GRASP]).
+	Redundant
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Redundant:
+		return "redundant"
+	}
+	return "aborted"
+}
+
+// Options configures test generation.
+type Options struct {
+	// Structural enables the §5 circuit-SAT layer: decisions by
+	// backtracing and early termination on an empty justification
+	// frontier, producing partially-specified patterns.
+	Structural bool
+	// Incremental shares a single solver across all faults using
+	// activation literals (§6 iterative/incremental SAT).
+	Incremental bool
+	// FaultSim enables parallel-pattern fault simulation with fault
+	// dropping: each generated test is simulated against the remaining
+	// fault list and detected faults are dropped without SAT calls.
+	FaultSim bool
+	// NoCollapse disables fault collapsing.
+	NoCollapse bool
+	// Compact applies reverse-order static test compaction to the final
+	// test set (coverage-preserving).
+	Compact bool
+	// MaxConflicts bounds the per-fault SAT effort (0 = 20000).
+	MaxConflicts int64
+	// Solver carries base solver options.
+	Solver solver.Options
+	// Seed drives the random completion of partial patterns.
+	Seed int64
+}
+
+// FaultResult is the per-fault outcome.
+type FaultResult struct {
+	Fault   Fault
+	Status  Status
+	Pattern []cnf.LBool // primary-input pattern (nil unless SAT-generated)
+	BySim   bool        // detected by fault simulation, not SAT
+
+	satStats *solver.Stats
+}
+
+// Report aggregates a run over a fault list.
+type Report struct {
+	Total, Detected, Redundant, Aborted int
+	BySimulation                        int // detected via fault dropping
+	SATCalls                            int
+	Tests                               [][]cnf.LBool // generated patterns
+	UncompactedTests                    int           // test count before compaction (Compact only)
+	Results                             []FaultResult
+	SpecifiedBits                       int // sum over patterns of non-X inputs
+	PatternBits                         int // sum over patterns of total inputs
+	Conflicts                           int64
+	Decisions                           int64
+}
+
+// Coverage returns detected / (total - redundant), the standard fault
+// coverage metric over testable faults.
+func (r *Report) Coverage() float64 {
+	testable := r.Total - r.Redundant
+	if testable == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(testable)
+}
+
+// GenerateTests runs ATPG over the full (collapsed) fault universe.
+func GenerateTests(c *circuit.Circuit, opts Options) *Report {
+	faults := FaultUniverse(c)
+	if !opts.NoCollapse {
+		faults = Collapse(c, faults)
+	}
+	return GenerateTestsFor(c, faults, opts)
+}
+
+// GenerateTestsFor runs ATPG over an explicit fault list.
+func GenerateTestsFor(c *circuit.Circuit, faults []Fault, opts Options) *Report {
+	if opts.MaxConflicts == 0 {
+		opts.MaxConflicts = 20000
+	}
+	rep := &Report{Total: len(faults)}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	dropped := make([]bool, len(faults))
+	var inc *incrementalATPG
+	if opts.Incremental {
+		inc = newIncremental(c, opts)
+	}
+
+	for i, flt := range faults {
+		if dropped[i] {
+			continue
+		}
+		var fr FaultResult
+		if inc != nil {
+			fr = inc.testFault(flt)
+		} else {
+			fr = TestFault(c, flt, opts)
+		}
+		if s := fr.satStats; s != nil {
+			rep.Conflicts += s.Conflicts
+			rep.Decisions += s.Decisions
+		}
+		rep.SATCalls++
+		rep.Results = append(rep.Results, fr)
+		switch fr.Status {
+		case Detected:
+			rep.Detected++
+			rep.Tests = append(rep.Tests, fr.Pattern)
+			rep.SpecifiedBits += csat.CountSpecified(fr.Pattern)
+			rep.PatternBits += len(fr.Pattern)
+			if opts.FaultSim {
+				rep.dropWithPattern(c, fr.Pattern, faults, dropped, i+1, rng)
+			}
+		case Redundant:
+			rep.Redundant++
+		default:
+			rep.Aborted++
+		}
+	}
+	if opts.Compact && len(rep.Tests) > 0 {
+		rep.UncompactedTests = len(rep.Tests)
+		rep.Tests = CompactTests(c, faults, rep.Tests, opts.Seed)
+	}
+	return rep
+}
+
+// dropWithPattern completes the pattern (X bits randomized across 64
+// lanes) and fault-simulates the remaining faults, dropping detections.
+func (r *Report) dropWithPattern(c *circuit.Circuit, pat []cnf.LBool, faults []Fault, dropped []bool, from int, rng *rand.Rand) {
+	words := make([]uint64, len(pat))
+	for i, v := range pat {
+		switch v {
+		case cnf.True:
+			words[i] = ^uint64(0)
+		case cnf.False:
+			words[i] = 0
+		default:
+			words[i] = rng.Uint64() // 64 random completions of the X
+		}
+	}
+	for j := from; j < len(faults); j++ {
+		if dropped[j] {
+			continue
+		}
+		if Detects(c, faults[j], words) != 0 {
+			dropped[j] = true
+			r.Detected++
+			r.BySimulation++
+			r.Results = append(r.Results, FaultResult{Fault: faults[j], Status: Detected, BySim: true})
+		}
+	}
+}
+
+// TestFault generates a test for one fault with a fresh solver.
+func TestFault(c *circuit.Circuit, flt Fault, opts Options) FaultResult {
+	if opts.MaxConflicts == 0 {
+		opts.MaxConflicts = 20000
+	}
+	fr := FaultResult{Fault: flt}
+	m := BuildMiter(c, flt)
+	if !m.Detectable {
+		fr.Status = Redundant
+		return fr
+	}
+	f, enc := circuit.EncodeProperty(m.C, m.Diff, true)
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(f, sopts)
+	var layer *csat.Layer
+	if opts.Structural {
+		layer = csat.Attach(m.C, enc, s, csat.Options{Backtrace: true})
+	}
+	switch s.Solve() {
+	case solver.Sat:
+		fr.Status = Detected
+		model := s.Model()
+		pat := make([]cnf.LBool, len(c.Inputs))
+		for i, id := range c.Inputs {
+			pat[i] = model.Value(enc.VarOf[m.GoodOf[id]])
+		}
+		_ = layer
+		fr.Pattern = pat
+	case solver.Unsat:
+		fr.Status = Redundant
+	default:
+		fr.Status = Aborted
+	}
+	st := s.Stats
+	fr.satStats = &st
+	return fr
+}

@@ -1,0 +1,71 @@
+package atpg
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+)
+
+// CompactTests performs classical static test-set compaction by
+// reverse-order fault simulation: tests are replayed newest-first
+// against the full fault list with fault dropping, and a test is kept
+// only if it detects at least one fault not covered by the tests kept
+// after it. ATPG flows emit tests in discovery order, so late tests
+// (generated for hard faults) tend to cover many earlier easy faults,
+// making reverse order effective. X bits are randomized across 64
+// simulation lanes with the given seed.
+func CompactTests(c *circuit.Circuit, faults []Fault, tests [][]cnf.LBool, seed int64) [][]cnf.LBool {
+	rng := rand.New(rand.NewSource(seed))
+	words := make([][]uint64, len(tests))
+	for i, pat := range tests {
+		w := make([]uint64, len(pat))
+		for j, v := range pat {
+			switch v {
+			case cnf.True:
+				w[j] = ^uint64(0)
+			case cnf.False:
+				w[j] = 0
+			default:
+				w[j] = rng.Uint64()
+			}
+		}
+		words[i] = w
+	}
+	detected := make([]bool, len(faults))
+	// Faults no test detects can never be covered; mark them up front so
+	// they do not force tests to be kept.
+	for fi, f := range faults {
+		any := false
+		for _, w := range words {
+			if Detects(c, f, w) != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			detected[fi] = true // unreachable by this set: ignore
+		}
+	}
+	keep := make([]bool, len(tests))
+	for i := len(tests) - 1; i >= 0; i-- {
+		fresh := false
+		for fi, f := range faults {
+			if detected[fi] {
+				continue
+			}
+			if Detects(c, f, words[i]) != 0 {
+				detected[fi] = true
+				fresh = true
+			}
+		}
+		keep[i] = fresh
+	}
+	var out [][]cnf.LBool
+	for i, k := range keep {
+		if k {
+			out = append(out, tests[i])
+		}
+	}
+	return out
+}

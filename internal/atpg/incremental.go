@@ -1,0 +1,141 @@
+package atpg
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// incrementalATPG shares one solver instance across the whole fault list
+// (§6: "in many applications SAT solvers tend to be used iteratively
+// and/or incrementally" [Kim et al.]). The good circuit's CNF is loaded
+// once; each fault's cone is added with a fresh activation literal a_i
+// appended (as ¬a_i) to every cone clause, and the query is solved under
+// the assumption a_i. Learned clauses over the good circuit survive
+// between faults; retired cones are switched off permanently with a
+// top-level unit ¬a_i.
+type incrementalATPG struct {
+	c    *circuit.Circuit
+	enc  *circuit.Encoding
+	s    *solver.Solver
+	opts Options
+	prev solver.Stats // snapshot for per-fault deltas
+}
+
+func newIncremental(c *circuit.Circuit, opts Options) *incrementalATPG {
+	enc := circuit.Encode(c)
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(enc.F, sopts)
+	return &incrementalATPG{c: c, enc: enc, s: s, opts: opts}
+}
+
+func (ia *incrementalATPG) testFault(flt Fault) FaultResult {
+	fr := FaultResult{Fault: flt}
+	cone := ia.c.TransitiveFanoutOf(flt.Node)
+	inCone := make(map[circuit.NodeID]bool, len(cone))
+	for _, n := range cone {
+		inCone[n] = true
+	}
+	var affected []circuit.NodeID
+	for _, o := range ia.c.Outputs {
+		if inCone[o] {
+			affected = append(affected, o)
+		}
+	}
+	if len(affected) == 0 {
+		fr.Status = Redundant
+		return fr
+	}
+
+	// Scratch formula aligned with the solver's variable space: fresh
+	// variables allocated here are mirrored into the solver afterwards.
+	scratch := cnf.New(ia.s.NumVars())
+	base := scratch.NumClauses()
+	act := scratch.NewVar()
+
+	valueLit := func(v cnf.Var, val bool) cnf.Lit { return cnf.NewLit(v, !val) }
+
+	fv := make(map[circuit.NodeID]cnf.Var, len(cone))
+	for _, id := range cone {
+		n := &ia.c.Nodes[id]
+		if id == flt.Node && flt.Pin < 0 {
+			v := scratch.NewVar()
+			fv[id] = v
+			scratch.Add(valueLit(v, flt.StuckAt))                 // stem stuck value
+			scratch.Add(valueLit(ia.enc.VarOf[id], !flt.StuckAt)) // activation: good site opposes
+			continue
+		}
+		var pinVar cnf.Var
+		if id == flt.Node && flt.Pin >= 0 {
+			pinVar = scratch.NewVar()
+			scratch.Add(valueLit(pinVar, flt.StuckAt))
+			w := n.Fanin[flt.Pin]
+			scratch.Add(valueLit(ia.enc.VarOf[w], !flt.StuckAt)) // branch activation
+		}
+		ins := make([]cnf.Var, len(n.Fanin))
+		for pin, fn := range n.Fanin {
+			switch {
+			case id == flt.Node && pin == flt.Pin:
+				ins[pin] = pinVar
+			case hasKey(fv, fn):
+				ins[pin] = fv[fn]
+			default:
+				ins[pin] = ia.enc.VarOf[fn]
+			}
+		}
+		out := scratch.NewVar()
+		fv[id] = out
+		circuit.AppendGateCNF(scratch, n.Type, out, ins)
+	}
+	objective := make(cnf.Clause, 0, len(affected)+1)
+	for _, o := range affected {
+		d := scratch.NewVar()
+		circuit.AppendGateCNF(scratch, circuit.Xor, d, []cnf.Var{ia.enc.VarOf[o], fv[o]})
+		objective = append(objective, cnf.PosLit(d))
+	}
+	scratch.AddClause(objective)
+
+	// Mirror fresh variables into the solver, then add every scratch
+	// clause guarded by ¬act.
+	for ia.s.NumVars() < scratch.NumVars() {
+		ia.s.NewVar()
+	}
+	for _, cl := range scratch.Clauses[base:] {
+		guarded := append(cl.Clone(), cnf.NegLit(act))
+		ia.s.AddClause(guarded)
+	}
+
+	switch ia.s.Solve(cnf.PosLit(act)) {
+	case solver.Sat:
+		fr.Status = Detected
+		model := ia.s.Model()
+		pat := make([]cnf.LBool, len(ia.c.Inputs))
+		for i, id := range ia.c.Inputs {
+			pat[i] = model.Value(ia.enc.VarOf[id])
+		}
+		fr.Pattern = pat
+	case solver.Unsat:
+		fr.Status = Redundant
+	default:
+		fr.Status = Aborted
+	}
+	st := ia.s.Stats
+	delta := solver.Stats{
+		Conflicts: st.Conflicts - ia.prev.Conflicts,
+		Decisions: st.Decisions - ia.prev.Decisions,
+	}
+	ia.prev = st
+	fr.satStats = &delta
+	// Retire this fault's cone permanently.
+	ia.s.AddClause(cnf.Clause{cnf.NegLit(act)})
+	if fr.Status == Detected && fr.Pattern == nil {
+		fr.Status = Aborted
+	}
+	return fr
+}
+
+func hasKey(m map[circuit.NodeID]cnf.Var, k circuit.NodeID) bool {
+	_, ok := m[k]
+	return ok
+}

@@ -1,0 +1,97 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Miter is a good/faulty miter built as a plain circuit, so that both the
+// plain CNF flow and the structural layer of §5 can run on it unchanged.
+type Miter struct {
+	// C is the miter circuit: the good circuit's nodes (same ids),
+	// followed by the faulty cone and the output comparators.
+	C *circuit.Circuit
+	// Diff is the single output node that is 1 iff some primary output
+	// differs — the ATPG objective.
+	Diff circuit.NodeID
+	// GoodOf maps original node ids to miter ids (identity prefix).
+	// Inputs of the miter are exactly the original primary inputs.
+	GoodOf []circuit.NodeID
+	// Detectable is false when the fault has no path to any output, in
+	// which case the fault is trivially redundant and C is nil.
+	Detectable bool
+}
+
+// BuildMiter constructs the Larrabee-style miter for the fault: the good
+// circuit, a copy of the fault's transitive fanout cone with the stuck
+// value injected, and XOR comparators on the affected outputs feeding a
+// single OR (the Diff objective).
+func BuildMiter(c *circuit.Circuit, f Fault) *Miter {
+	m := &Miter{GoodOf: make([]circuit.NodeID, len(c.Nodes))}
+	mc := c.Clone()
+	for i := range c.Nodes {
+		m.GoodOf[i] = circuit.NodeID(i)
+	}
+
+	// The faulty cone starts at the fault's gate (branch faults affect
+	// the gate whose input is stuck; stem faults the node itself).
+	cone := c.TransitiveFanoutOf(f.Node)
+	inCone := make(map[circuit.NodeID]bool, len(cone))
+	for _, n := range cone {
+		inCone[n] = true
+	}
+
+	// Which outputs can observe the fault?
+	var affected []circuit.NodeID
+	for _, o := range c.Outputs {
+		if inCone[o] {
+			affected = append(affected, o)
+		}
+	}
+	if len(affected) == 0 {
+		return m // Detectable stays false
+	}
+
+	stuck := mc.AddConst(f.StuckAt, fmt.Sprintf("flt_const_%v", f.StuckAt))
+
+	faultyOf := make(map[circuit.NodeID]circuit.NodeID, len(cone))
+	for _, id := range cone {
+		n := &c.Nodes[id]
+		if id == f.Node && f.Pin < 0 {
+			// Stem fault: the faulty copy of the node is the constant.
+			faultyOf[id] = stuck
+			continue
+		}
+		fanin := make([]circuit.NodeID, len(n.Fanin))
+		for pin, fn := range n.Fanin {
+			if id == f.Node && pin == f.Pin {
+				fanin[pin] = stuck // branch fault: this connection is stuck
+			} else if fv, ok := faultyOf[fn]; ok {
+				fanin[pin] = fv // cone-internal signal, already copied
+			} else {
+				fanin[pin] = fn // shared good node
+			}
+		}
+		faultyOf[id] = mc.AddGate(n.Type, fmt.Sprintf("%s~f", n.Name), fanin...)
+	}
+
+	diffs := make([]circuit.NodeID, 0, len(affected))
+	for _, o := range affected {
+		d := mc.AddGate(circuit.Xor, fmt.Sprintf("xdiff_%s", c.Name(o)), circuit.NodeID(o), faultyOf[o])
+		diffs = append(diffs, d)
+	}
+	var diff circuit.NodeID
+	if len(diffs) == 1 {
+		diff = mc.AddGate(circuit.Buf, "miter_diff", diffs[0])
+	} else {
+		diff = mc.AddGate(circuit.Or, "miter_diff", diffs...)
+	}
+	mc.Outputs = nil
+	mc.MarkOutput(diff)
+
+	m.C = mc
+	m.Diff = diff
+	m.Detectable = true
+	return m
+}

@@ -1,0 +1,108 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/bmc"
+	"repro/internal/circuit"
+)
+
+func TestSequentialFaultOnCounter(t *testing.T) {
+	// 3-bit counter, bad = (q == 2). A stuck-at-0 on d1 (next-state bit
+	// 1) keeps the faulty machine from ever reaching 2, so good and
+	// faulty "bad" outputs differ exactly when the good machine hits 2.
+	q := bmc.NewCounter(3, 2)
+	d1 := q.Comb.NodeByName("d1")
+	if d1 == circuit.NoNode {
+		t.Fatal("d1 not found")
+	}
+	flt := Fault{Node: d1, Pin: -1, StuckAt: false}
+	res := TestSequentialFault(q, flt, SeqOptions{MaxDepth: 10})
+	if res.Status != Detected {
+		t.Fatalf("expected detection, got %+v", res)
+	}
+	if res.Depth != 2 {
+		t.Fatalf("depth %d, want 2 (good machine reaches 2 at frame 2)", res.Depth)
+	}
+	if !VerifySequence(q, flt, res.Sequence) {
+		t.Fatal("sequence fails replay verification")
+	}
+}
+
+func TestSequentialFaultOnRing(t *testing.T) {
+	// One-hot ring: a stuck-at-0 on the d0 buffer kills the circulating
+	// token, making the faulty machine violate one-hotness (bad=1) while
+	// the good machine never does.
+	q := bmc.NewRingOneHot(4)
+	d0 := q.Comb.NodeByName("d0")
+	flt := Fault{Node: d0, Pin: -1, StuckAt: false}
+	res := TestSequentialFault(q, flt, SeqOptions{MaxDepth: 10})
+	if res.Status != Detected {
+		t.Fatalf("expected detection: %+v", res)
+	}
+	if !VerifySequence(q, flt, res.Sequence) {
+		t.Fatal("sequence fails replay")
+	}
+}
+
+func TestSequentialUndetectableWithinBound(t *testing.T) {
+	// Counter with target 7 needs 7 frames; within 3 frames a fault on
+	// the bad-comparator is invisible (bad stays 0 for both machines).
+	q := bmc.NewCounter(3, 7)
+	bad := q.Comb.NodeByName("bad")
+	flt := Fault{Node: bad, Pin: -1, StuckAt: false}
+	res := TestSequentialFault(q, flt, SeqOptions{MaxDepth: 3})
+	if res.Status == Detected {
+		t.Fatalf("bad s-a-0 cannot be seen before frame 7: %+v", res)
+	}
+	if !res.Undetectable {
+		t.Fatal("should be flagged bounded-undetectable")
+	}
+	// With a big enough bound it IS detected (good machine raises bad at
+	// frame 7, faulty never does).
+	res = TestSequentialFault(q, flt, SeqOptions{MaxDepth: 10})
+	if res.Status != Detected || res.Depth != 7 {
+		t.Fatalf("expected detection at depth 7: %+v", res)
+	}
+	if !VerifySequence(q, flt, res.Sequence) {
+		t.Fatal("sequence fails replay")
+	}
+}
+
+func TestSequentialFaultWithFreeInputs(t *testing.T) {
+	// Loadable counter: detecting a fault on the load-mux requires
+	// driving the free inputs correctly; the sequence must exist and
+	// replay.
+	q := bmc.NewLoadableCounter(3, 5)
+	sel := q.Comb.NodeByName("seldat1")
+	if sel == circuit.NoNode {
+		t.Fatal("seldat1 missing")
+	}
+	flt := Fault{Node: sel, Pin: -1, StuckAt: false}
+	res := TestSequentialFault(q, flt, SeqOptions{MaxDepth: 8})
+	if res.Status != Detected {
+		t.Fatalf("expected detection: %+v", res)
+	}
+	if len(res.Sequence) != res.Depth+1 {
+		t.Fatalf("sequence length %d vs depth %d", len(res.Sequence), res.Depth)
+	}
+	if !VerifySequence(q, flt, res.Sequence) {
+		t.Fatal("sequence fails replay")
+	}
+}
+
+func TestSequentialBranchFault(t *testing.T) {
+	// Branch fault on one input of the ring's bad-comparator OR gate.
+	q := bmc.NewRingOneHot(3)
+	badGate := q.Comb.NodeByName("bad")
+	flt := Fault{Node: badGate, Pin: 0, StuckAt: true}
+	res := TestSequentialFault(q, flt, SeqOptions{MaxDepth: 6})
+	// bad = OR(none, anypair); pin0 (none) s-a-1 forces faulty bad=1
+	// always, good bad=0 always → detected at frame 0.
+	if res.Status != Detected || res.Depth != 0 {
+		t.Fatalf("expected immediate detection: %+v", res)
+	}
+	if !VerifySequence(q, flt, res.Sequence) {
+		t.Fatal("replay failed")
+	}
+}

@@ -1,0 +1,242 @@
+package bmc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+func TestCounterExactDepth(t *testing.T) {
+	for _, target := range []uint64{0, 1, 5, 11} {
+		q := NewCounter(4, target)
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res := Check(q, 16, Options{})
+		if !res.Decided || !res.Violated {
+			t.Fatalf("target %d: expected violation", target)
+		}
+		if res.Depth != int(target) {
+			t.Fatalf("target %d: depth %d, want %d", target, res.Depth, target)
+		}
+		if !ReplayTrace(q, res.Trace) {
+			t.Fatalf("target %d: trace replay does not hit bad", target)
+		}
+	}
+}
+
+func TestCounterSafeWithinBound(t *testing.T) {
+	q := NewCounter(4, 12)
+	res := Check(q, 11, Options{})
+	if !res.Decided {
+		t.Fatal("expected decided")
+	}
+	if res.Violated {
+		t.Fatal("target 12 not reachable within 11 steps")
+	}
+}
+
+func TestStepSimulator(t *testing.T) {
+	q := NewCounter(3, 7)
+	state := q.InitialState()
+	for step := 0; step < 7; step++ {
+		var bad bool
+		state, bad = q.Step(state, nil)
+		if bad {
+			t.Fatalf("bad fired early at step %d", step)
+		}
+	}
+	// After 7 increments the state is 7 → bad must fire now.
+	_, bad := q.Step(state, nil)
+	if !bad {
+		t.Fatal("bad should fire at count 7")
+	}
+}
+
+func TestLoadableCounterTrace(t *testing.T) {
+	q := NewLoadableCounter(4, 9)
+	res := Check(q, 5, Options{})
+	if !res.Violated {
+		t.Fatal("loadable counter can reach any value quickly")
+	}
+	if res.Depth > 2 {
+		t.Fatalf("depth %d; loading should reach target in <= 2 steps", res.Depth)
+	}
+	if !ReplayTrace(q, res.Trace) {
+		t.Fatal("trace replay failed")
+	}
+	if len(res.Trace.Inputs[0]) != len(q.FreeInputs()) {
+		t.Fatalf("trace input arity wrong: %d vs %d", len(res.Trace.Inputs[0]), len(q.FreeInputs()))
+	}
+}
+
+func TestRingInvariantNoViolation(t *testing.T) {
+	q := NewRingOneHot(5)
+	res := Check(q, 12, Options{})
+	if !res.Decided {
+		t.Fatal("expected decided")
+	}
+	if res.Violated {
+		t.Fatal("one-hot invariant must hold under rotation")
+	}
+}
+
+func TestInductionProvesRing(t *testing.T) {
+	q := NewRingOneHot(4)
+	proved, decided := Induction(q, 1, Options{})
+	if !decided {
+		t.Fatal("induction ran out of budget")
+	}
+	if !proved {
+		t.Fatal("1-induction should prove the rotation invariant")
+	}
+}
+
+func TestInductionRejectsReachableBad(t *testing.T) {
+	q := NewCounter(3, 5)
+	proved, decided := Induction(q, 2, Options{})
+	if !decided {
+		t.Fatal("undecided")
+	}
+	if proved {
+		t.Fatal("induction must not prove a violated property")
+	}
+}
+
+func TestInductionEventuallyProvesCounterSafety(t *testing.T) {
+	// 2-bit counter with unreachable target? All 4 values are reachable,
+	// so use the ring instead with larger k to exercise simple-path
+	// constraints: at k too small the step case may fail, at larger k it
+	// must prove.
+	q := NewRingOneHot(3)
+	for k := 1; k <= 3; k++ {
+		proved, decided := Induction(q, k, Options{})
+		if decided && proved {
+			return
+		}
+	}
+	t.Fatal("induction failed up to k=3 on a true invariant")
+}
+
+func TestFromBench(t *testing.T) {
+	src := `
+# toggling latch: q' = NOT q, bad = q
+INPUT(en)
+OUTPUT(bad)
+q = DFF(d)
+d = NOT(q)
+bad = AND(q, en)
+`
+	q, err := FromBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Latches) != 1 || len(q.FreeInputs()) != 1 {
+		t.Fatalf("shape wrong: %d latches, %d free inputs", len(q.Latches), len(q.FreeInputs()))
+	}
+	res := Check(q, 4, Options{})
+	if !res.Violated {
+		t.Fatal("bad reachable: q toggles to 1 at step 1 with en=1")
+	}
+	if res.Depth != 1 {
+		t.Fatalf("depth %d, want 1", res.Depth)
+	}
+	if !ReplayTrace(q, res.Trace) {
+		t.Fatal("replay failed")
+	}
+}
+
+func TestUnconstrainedInitialState(t *testing.T) {
+	// With a free initial state the counter can start AT the target.
+	q := NewCounter(3, 6)
+	for i := range q.Init {
+		q.Init[i] = cnf.Undef
+	}
+	res := Check(q, 0, Options{})
+	if !res.Violated || res.Depth != 0 {
+		t.Fatalf("free init should violate at depth 0: %+v", res)
+	}
+}
+
+func TestBudgetReturnsUndecided(t *testing.T) {
+	// A deterministic counter is decided by propagation alone, so budget
+	// exhaustion needs free inputs that force decisions.
+	q := NewLoadableCounter(4, 9)
+	res := Check(q, 5, Options{Solver: solver.Options{MaxDecisions: 1}})
+	if res.Decided {
+		t.Fatal("tiny decision budget should leave the check undecided")
+	}
+}
+
+func TestLFSRDepthMatchesSimulation(t *testing.T) {
+	// 4-bit maximal LFSR (taps 3,2): simulate to find when state 9 is
+	// reached, then confirm BMC reports exactly that depth.
+	q := NewLFSR(4, []int{3, 2}, 9)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	state := q.InitialState()
+	wantDepth := -1
+	for step := 0; step < 20; step++ {
+		// Check bad at current state via Step's bad output: Step returns
+		// bad computed from the CURRENT state.
+		_, bad := q.Step(state, nil)
+		if bad {
+			wantDepth = step
+			break
+		}
+		state, _ = q.Step(state, nil)
+	}
+	if wantDepth < 0 {
+		t.Skip("state 9 not reached within 20 steps for this tap choice")
+	}
+	res := Check(q, 20, Options{})
+	if !res.Violated || res.Depth != wantDepth {
+		t.Fatalf("BMC depth %d (violated=%v), simulation says %d", res.Depth, res.Violated, wantDepth)
+	}
+	if !ReplayTrace(q, res.Trace) {
+		t.Fatal("trace replay failed")
+	}
+}
+
+func TestSequentialBenchRoundTrip(t *testing.T) {
+	// The counter model contains a constant node, which .bench cannot
+	// express: serialization must fail loudly rather than corrupt.
+	q := NewCounter(3, 5)
+	if _, err := circuit.BenchString(q.Comb, q.Latches); err == nil {
+		t.Fatal("serializing a constant node should error")
+	}
+	// A latch design without constants round-trips.
+	src := `
+INPUT(en)
+OUTPUT(bad)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = XOR(q0, en)
+d1 = XOR(q1, q0)
+bad = AND(q0, q1)
+`
+	q2, err := FromBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := circuit.BenchString(q2.Comb, q2.Latches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := FromBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, out)
+	}
+	r2 := Check(q2, 8, Options{})
+	r3 := Check(q3, 8, Options{})
+	if r2.Violated != r3.Violated || r2.Depth != r3.Depth {
+		t.Fatalf("round trip changed behaviour: %+v vs %+v", r2, r3)
+	}
+}

@@ -1,0 +1,196 @@
+package bmc
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+)
+
+// NewCounter builds an n-bit binary counter starting at 0 and
+// incrementing every cycle, with the bad signal asserted when the count
+// equals target. The shortest counterexample has exactly `target` steps,
+// giving BMC benches a known ground truth.
+func NewCounter(n int, target uint64) *Sequential {
+	if target >= 1<<uint(n) {
+		panic("bmc: target out of range")
+	}
+	c := circuit.New()
+	qs := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		qs[i] = c.AddInput(fmt.Sprintf("q%d", i))
+	}
+	// next = q + 1 (ripple increment): sum_i = q_i XOR carry_i,
+	// carry_0 = 1, carry_{i+1} = q_i AND carry_i.
+	ds := make([]circuit.NodeID, n)
+	carry := c.AddConst(true, "c0")
+	for i := 0; i < n; i++ {
+		ds[i] = c.AddGate(circuit.Xor, fmt.Sprintf("d%d", i), qs[i], carry)
+		if i < n-1 {
+			carry = c.AddGate(circuit.And, fmt.Sprintf("c%d", i+1), qs[i], carry)
+		}
+	}
+	// bad = (q == target).
+	bits := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		if target&(1<<uint(i)) != 0 {
+			bits[i] = qs[i]
+		} else {
+			bits[i] = c.AddGate(circuit.Not, fmt.Sprintf("nq%d", i), qs[i])
+		}
+	}
+	var bad circuit.NodeID
+	if n == 1 {
+		bad = c.AddGate(circuit.Buf, "bad", bits[0])
+	} else {
+		bad = c.AddGate(circuit.And, "bad", bits...)
+	}
+	c.MarkOutput(bad)
+
+	latches := make([]circuit.Latch, n)
+	init := make([]cnf.LBool, n)
+	for i := 0; i < n; i++ {
+		latches[i] = circuit.Latch{Output: qs[i], Input: ds[i]}
+		init[i] = cnf.False
+	}
+	return &Sequential{Comb: c, Latches: latches, Init: init, Bad: bad}
+}
+
+// NewRingOneHot builds an n-bit one-hot ring counter initialized to
+// 10…0 whose bad signal fires when the state is NOT one-hot. The
+// property is a true invariant (rotation preserves one-hotness), so BMC
+// never finds a violation and 1-induction with simple-path constraints
+// proves it.
+func NewRingOneHot(n int) *Sequential {
+	c := circuit.New()
+	qs := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		qs[i] = c.AddInput(fmt.Sprintf("q%d", i))
+	}
+	// next_i = q_{i-1 mod n} (rotate left by one).
+	ds := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		ds[i] = c.AddGate(circuit.Buf, fmt.Sprintf("d%d", i), qs[(i+n-1)%n])
+	}
+	// one-hot check: exactly one bit set. atLeastOne = OR(q); no pair
+	// set = NOR over pairwise ANDs.
+	atLeast := c.AddGate(circuit.Or, "atleast1", qs...)
+	var pairs []circuit.NodeID
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, c.AddGate(circuit.And, fmt.Sprintf("p%d_%d", i, j), qs[i], qs[j]))
+		}
+	}
+	var anyPair circuit.NodeID
+	if len(pairs) == 1 {
+		anyPair = pairs[0]
+	} else {
+		anyPair = c.AddGate(circuit.Or, "anypair", pairs...)
+	}
+	notAtLeast := c.AddGate(circuit.Not, "none", atLeast)
+	bad := c.AddGate(circuit.Or, "bad", notAtLeast, anyPair)
+	c.MarkOutput(bad)
+
+	latches := make([]circuit.Latch, n)
+	init := make([]cnf.LBool, n)
+	for i := 0; i < n; i++ {
+		latches[i] = circuit.Latch{Output: qs[i], Input: ds[i]}
+		init[i] = cnf.False
+	}
+	init[0] = cnf.True
+	return &Sequential{Comb: c, Latches: latches, Init: init, Bad: bad}
+}
+
+// NewLoadableCounter builds an n-bit counter with a free `load` input
+// that, when 1, loads the value from n free data inputs instead of
+// incrementing. Reaching the target then takes 2 steps (load then
+// compare) regardless of target — exercising input extraction in traces.
+func NewLoadableCounter(n int, target uint64) *Sequential {
+	c := circuit.New()
+	qs := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		qs[i] = c.AddInput(fmt.Sprintf("q%d", i))
+	}
+	load := c.AddInput("load")
+	data := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		data[i] = c.AddInput(fmt.Sprintf("in%d", i))
+	}
+	nload := c.AddGate(circuit.Not, "nload", load)
+	carry := c.AddConst(true, "c0")
+	ds := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		inc := c.AddGate(circuit.Xor, fmt.Sprintf("inc%d", i), qs[i], carry)
+		if i < n-1 {
+			carry = c.AddGate(circuit.And, fmt.Sprintf("c%d", i+1), qs[i], carry)
+		}
+		a := c.AddGate(circuit.And, fmt.Sprintf("selinc%d", i), inc, nload)
+		b := c.AddGate(circuit.And, fmt.Sprintf("seldat%d", i), data[i], load)
+		ds[i] = c.AddGate(circuit.Or, fmt.Sprintf("d%d", i), a, b)
+	}
+	bits := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		if target&(1<<uint(i)) != 0 {
+			bits[i] = qs[i]
+		} else {
+			bits[i] = c.AddGate(circuit.Not, fmt.Sprintf("nq%d", i), qs[i])
+		}
+	}
+	bad := c.AddGate(circuit.And, "bad", bits...)
+	c.MarkOutput(bad)
+
+	latches := make([]circuit.Latch, n)
+	init := make([]cnf.LBool, n)
+	for i := 0; i < n; i++ {
+		latches[i] = circuit.Latch{Output: qs[i], Input: ds[i]}
+		init[i] = cnf.False
+	}
+	return &Sequential{Comb: c, Latches: latches, Init: init, Bad: bad}
+}
+
+// NewLFSR builds an n-bit Fibonacci linear feedback shift register with
+// the given tap positions (bit indices XORed into the new bit, which
+// shifts in at position 0). Seeded with 1, a maximal-length LFSR walks
+// 2^n - 1 states; the bad signal fires when the state equals `target`,
+// giving BMC workloads with depths determined by the LFSR sequence.
+func NewLFSR(n int, taps []int, target uint64) *Sequential {
+	c := circuit.New()
+	qs := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		qs[i] = c.AddInput(fmt.Sprintf("q%d", i))
+	}
+	tapNodes := make([]circuit.NodeID, len(taps))
+	for i, tp := range taps {
+		tapNodes[i] = qs[tp]
+	}
+	var fb circuit.NodeID
+	if len(tapNodes) == 1 {
+		fb = c.AddGate(circuit.Buf, "fb", tapNodes[0])
+	} else {
+		fb = c.AddGate(circuit.Xor, "fb", tapNodes...)
+	}
+	ds := make([]circuit.NodeID, n)
+	ds[0] = fb
+	for i := 1; i < n; i++ {
+		ds[i] = c.AddGate(circuit.Buf, fmt.Sprintf("d%d", i), qs[i-1])
+	}
+	bits := make([]circuit.NodeID, n)
+	for i := 0; i < n; i++ {
+		if target&(1<<uint(i)) != 0 {
+			bits[i] = qs[i]
+		} else {
+			bits[i] = c.AddGate(circuit.Not, fmt.Sprintf("nq%d", i), qs[i])
+		}
+	}
+	bad := c.AddGate(circuit.And, "bad", bits...)
+	c.MarkOutput(bad)
+
+	latches := make([]circuit.Latch, n)
+	init := make([]cnf.LBool, n)
+	for i := 0; i < n; i++ {
+		latches[i] = circuit.Latch{Output: qs[i], Input: ds[i]}
+		init[i] = cnf.False
+	}
+	init[0] = cnf.True // seed = 1
+	return &Sequential{Comb: c, Latches: latches, Init: init, Bad: bad}
+}

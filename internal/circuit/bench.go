@@ -1,0 +1,281 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Latch is a D flip-flop parsed from a .bench file. Its Output node is
+// represented as a pseudo primary input of the combinational core; Input
+// is the node driving D. Sequential analysis (the bmc package) consumes
+// these pairs; purely combinational flows reject files with latches.
+type Latch struct {
+	Output NodeID // the latch's Q, a pseudo-input node
+	Input  NodeID // the node feeding D
+}
+
+// ParseBench reads an ISCAS-style .bench netlist: INPUT(x), OUTPUT(y),
+// and gate lines "z = NAND(a, b)". DFF lines produce Latch records.
+// Definitions may appear in any order; combinational cycles are errors.
+func ParseBench(r io.Reader) (*Circuit, []Latch, error) {
+	type def struct {
+		typ    GateType
+		isDFF  bool
+		fanin  []string
+		lineNo int
+	}
+	defs := make(map[string]*def)
+	var inputOrder, outputOrder, defOrder []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT("):
+			name, err := parseParen(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			inputOrder = append(inputOrder, name)
+		case strings.HasPrefix(upper, "OUTPUT("):
+			name, err := parseParen(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			outputOrder = append(outputOrder, name)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, nil, fmt.Errorf("bench line %d: malformed line %q", lineNo, line)
+			}
+			name := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, nil, fmt.Errorf("bench line %d: malformed gate %q", lineNo, rhs)
+			}
+			gateName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close], ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					args = append(args, a)
+				}
+			}
+			d := &def{fanin: args, lineNo: lineNo}
+			switch gateName {
+			case "AND":
+				d.typ = And
+			case "NAND":
+				d.typ = Nand
+			case "OR":
+				d.typ = Or
+			case "NOR":
+				d.typ = Nor
+			case "XOR":
+				d.typ = Xor
+			case "XNOR":
+				d.typ = Xnor
+			case "NOT", "INV":
+				d.typ = Not
+			case "BUF", "BUFF", "BUFFER":
+				d.typ = Buf
+			case "DFF":
+				d.isDFF = true
+			default:
+				return nil, nil, fmt.Errorf("bench line %d: unknown gate %q", lineNo, gateName)
+			}
+			if _, dup := defs[name]; dup {
+				return nil, nil, fmt.Errorf("bench line %d: duplicate definition of %q", lineNo, name)
+			}
+			defs[name] = d
+			defOrder = append(defOrder, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	c := New()
+	// Inputs and latch outputs become nodes first (latch Q is a
+	// pseudo-input of the combinational core).
+	seenInput := make(map[string]bool, len(inputOrder))
+	for _, name := range inputOrder {
+		if _, isGate := defs[name]; isGate {
+			return nil, nil, fmt.Errorf("bench: %q declared INPUT but also defined", name)
+		}
+		if seenInput[name] {
+			return nil, nil, fmt.Errorf("bench: duplicate INPUT(%s)", name)
+		}
+		seenInput[name] = true
+		c.AddInput(name)
+	}
+	var dffNames []string
+	for _, name := range defOrder {
+		if defs[name].isDFF {
+			dffNames = append(dffNames, name)
+			c.AddInput(name)
+		}
+	}
+
+	// Topologically order the combinational gate definitions.
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var order []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		if c.NodeByName(name) != NoNode && state[name] == 0 {
+			if d, isGate := defs[name]; !isGate || d.isDFF {
+				return nil // input or latch output: already a node
+			}
+		}
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("bench: combinational cycle through %q", name)
+		case 2:
+			return nil
+		}
+		d, ok := defs[name]
+		if !ok {
+			return fmt.Errorf("bench: undefined signal %q", name)
+		}
+		if d.isDFF {
+			return nil // latch outputs break cycles
+		}
+		state[name] = 1
+		for _, f := range d.fanin {
+			if err := visit(f); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		order = append(order, name)
+		return nil
+	}
+	for _, name := range defOrder {
+		if !defs[name].isDFF {
+			if err := visit(name); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	for _, name := range order {
+		d := defs[name]
+		fanin := make([]NodeID, len(d.fanin))
+		for i, f := range d.fanin {
+			id := c.NodeByName(f)
+			if id == NoNode {
+				return nil, nil, fmt.Errorf("bench line %d: undefined fanin %q", d.lineNo, f)
+			}
+			fanin[i] = id
+		}
+		c.AddGate(d.typ, name, fanin...)
+	}
+
+	// Resolve latch D inputs (which may be any node, including inputs).
+	var latches []Latch
+	for _, name := range dffNames {
+		d := defs[name]
+		if len(d.fanin) != 1 {
+			return nil, nil, fmt.Errorf("bench line %d: DFF takes one input", d.lineNo)
+		}
+		in := c.NodeByName(d.fanin[0])
+		if in == NoNode {
+			return nil, nil, fmt.Errorf("bench line %d: undefined DFF input %q", d.lineNo, d.fanin[0])
+		}
+		latches = append(latches, Latch{Output: c.NodeByName(name), Input: in})
+	}
+
+	for _, name := range outputOrder {
+		id := c.NodeByName(name)
+		if id == NoNode {
+			return nil, nil, fmt.Errorf("bench: undefined output %q", name)
+		}
+		c.MarkOutput(id)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return c, latches, nil
+}
+
+func parseParen(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	name := strings.TrimSpace(line[open+1 : close])
+	if name == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return name, nil
+}
+
+// ParseBenchString parses a .bench netlist from a string.
+func ParseBenchString(s string) (*Circuit, []Latch, error) {
+	return ParseBench(strings.NewReader(s))
+}
+
+// WriteBench writes the circuit (and optional latches) in .bench format.
+func WriteBench(w io.Writer, c *Circuit, latches []Latch) error {
+	bw := bufio.NewWriter(w)
+	latchOut := make(map[NodeID]NodeID) // Q node -> D node
+	for _, l := range latches {
+		latchOut[l.Output] = l.Input
+	}
+	for _, in := range c.Inputs {
+		if _, isLatch := latchOut[in]; isLatch {
+			continue
+		}
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Name(in))
+	}
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Name(o))
+	}
+	// Emit latches in a stable order.
+	var qs []NodeID
+	for q := range latchOut {
+		qs = append(qs, q)
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	for _, q := range qs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", c.Name(q), c.Name(latchOut[q]))
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case Input:
+			continue
+		case Const0, Const1:
+			// .bench has no constant primitive; encode as a degenerate
+			// AND/OR of an input would change semantics, so reject.
+			return fmt.Errorf("bench: cannot serialize constant node %q", n.Name)
+		}
+		names := make([]string, len(n.Fanin))
+		for j, f := range n.Fanin {
+			names[j] = c.Name(f)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.Name, n.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// BenchString renders the circuit in .bench format.
+func BenchString(c *Circuit, latches []Latch) (string, error) {
+	var b strings.Builder
+	if err := WriteBench(&b, c, latches); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,329 @@
+// Package circuit provides gate-level combinational netlists: the circuit
+// representation of paper §2 (Figure 1). It includes construction and
+// validation, ISCAS-style ".bench" parsing and writing, 64-way parallel
+// and three-valued simulation, CNF encoding exactly per the paper's
+// Table 1, and generators for standard circuit families used as
+// workloads (adders, multipliers, parity trees, comparators, random
+// DAGs, and the public c17 benchmark).
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the supported gate functions (paper Table 1 plus
+// inputs and constants).
+type GateType int8
+
+// Gate types.
+const (
+	Input GateType = iota
+	Const0
+	Const1
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+)
+
+var gateNames = [...]string{"INPUT", "CONST0", "CONST1", "BUFF", "NOT", "AND", "NAND", "OR", "NOR", "XOR", "XNOR"}
+
+// String renders the gate type in .bench spelling.
+func (g GateType) String() string {
+	if int(g) < len(gateNames) {
+		return gateNames[g]
+	}
+	return fmt.Sprintf("GATE(%d)", int8(g))
+}
+
+// NodeID identifies a node within a circuit. The zero value is a valid
+// node id; use NoNode for "none".
+type NodeID int32
+
+// NoNode is the invalid node id.
+const NoNode NodeID = -1
+
+// Node is a gate instance (or primary input / constant).
+type Node struct {
+	Type  GateType
+	Fanin []NodeID
+	Name  string
+}
+
+// Circuit is a combinational netlist. Nodes must form a DAG; fanins
+// always refer to lower construction indices when built via the Add*
+// methods, so the node slice is a topological order.
+type Circuit struct {
+	Nodes   []Node
+	Inputs  []NodeID
+	Outputs []NodeID
+	byName  map[string]NodeID
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{byName: make(map[string]NodeID)}
+}
+
+// NumNodes returns the node count.
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumGates returns the count of logic gates (excluding inputs/constants).
+func (c *Circuit) NumGates() int {
+	n := 0
+	for i := range c.Nodes {
+		switch c.Nodes[i].Type {
+		case Input, Const0, Const1:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// AddInput appends a primary input.
+func (c *Circuit) AddInput(name string) NodeID {
+	id := c.addNode(Node{Type: Input, Name: name})
+	c.Inputs = append(c.Inputs, id)
+	return id
+}
+
+// AddConst appends a constant node.
+func (c *Circuit) AddConst(one bool, name string) NodeID {
+	t := Const0
+	if one {
+		t = Const1
+	}
+	return c.addNode(Node{Type: t, Name: name})
+}
+
+// AddGate appends a gate. Fanin counts are validated: Buf/Not take one,
+// Xor/Xnor take two or more, And/Nand/Or/Nor take one or more.
+func (c *Circuit) AddGate(t GateType, name string, fanin ...NodeID) NodeID {
+	switch t {
+	case Input, Const0, Const1:
+		panic("circuit: AddGate with non-gate type; use AddInput/AddConst")
+	case Buf, Not:
+		if len(fanin) != 1 {
+			panic(fmt.Sprintf("circuit: %v requires exactly 1 fanin, got %d", t, len(fanin)))
+		}
+	case Xor, Xnor:
+		if len(fanin) < 2 {
+			panic(fmt.Sprintf("circuit: %v requires >= 2 fanins, got %d", t, len(fanin)))
+		}
+	default:
+		if len(fanin) < 1 {
+			panic(fmt.Sprintf("circuit: %v requires >= 1 fanin", t))
+		}
+	}
+	for _, f := range fanin {
+		if f < 0 || int(f) >= len(c.Nodes) {
+			panic(fmt.Sprintf("circuit: fanin %d out of range", f))
+		}
+	}
+	return c.addNode(Node{Type: t, Fanin: append([]NodeID(nil), fanin...), Name: name})
+}
+
+func (c *Circuit) addNode(n Node) NodeID {
+	id := NodeID(len(c.Nodes))
+	if n.Name == "" {
+		n.Name = fmt.Sprintf("n%d", id)
+	}
+	if _, dup := c.byName[n.Name]; dup {
+		panic(fmt.Sprintf("circuit: duplicate node name %q", n.Name))
+	}
+	c.byName[n.Name] = id
+	c.Nodes = append(c.Nodes, n)
+	return id
+}
+
+// MarkOutput declares id a primary output.
+func (c *Circuit) MarkOutput(id NodeID) {
+	c.Outputs = append(c.Outputs, id)
+}
+
+// NodeByName returns the node id with the given name, or NoNode.
+func (c *Circuit) NodeByName(name string) NodeID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// Name returns the name of node id.
+func (c *Circuit) Name(id NodeID) string { return c.Nodes[id].Name }
+
+// Fanouts computes the fanout lists FO(x) for every node (§5).
+func (c *Circuit) Fanouts() [][]NodeID {
+	out := make([][]NodeID, len(c.Nodes))
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			out[f] = append(out[f], NodeID(i))
+		}
+	}
+	return out
+}
+
+// Levels returns the topological level of every node (inputs at 0).
+func (c *Circuit) Levels() []int {
+	lv := make([]int, len(c.Nodes))
+	for i := range c.Nodes {
+		max := -1
+		for _, f := range c.Nodes[i].Fanin {
+			if lv[f] > max {
+				max = lv[f]
+			}
+		}
+		lv[i] = max + 1
+	}
+	return lv
+}
+
+// Depth returns the maximum level over all nodes.
+func (c *Circuit) Depth() int {
+	d := 0
+	for _, l := range c.Levels() {
+		if l > d {
+			d = l
+		}
+	}
+	return d
+}
+
+// Validate checks structural sanity: fanins precede their gates (DAG by
+// construction), every output exists, and gate arities are legal.
+func (c *Circuit) Validate() error {
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		for _, f := range n.Fanin {
+			if f < 0 || int(f) >= len(c.Nodes) {
+				return fmt.Errorf("circuit: node %d (%s): fanin %d out of range", i, n.Name, f)
+			}
+			if int(f) >= i {
+				return fmt.Errorf("circuit: node %d (%s): fanin %d not topologically earlier", i, n.Name, f)
+			}
+		}
+		switch n.Type {
+		case Input, Const0, Const1:
+			if len(n.Fanin) != 0 {
+				return fmt.Errorf("circuit: node %d (%s): %v cannot have fanin", i, n.Name, n.Type)
+			}
+		case Buf, Not:
+			if len(n.Fanin) != 1 {
+				return fmt.Errorf("circuit: node %d (%s): %v arity %d", i, n.Name, n.Type, len(n.Fanin))
+			}
+		case Xor, Xnor:
+			if len(n.Fanin) < 2 {
+				return fmt.Errorf("circuit: node %d (%s): %v arity %d", i, n.Name, n.Type, len(n.Fanin))
+			}
+		case And, Nand, Or, Nor:
+			if len(n.Fanin) < 1 {
+				return fmt.Errorf("circuit: node %d (%s): %v arity %d", i, n.Name, n.Type, len(n.Fanin))
+			}
+		default:
+			return fmt.Errorf("circuit: node %d (%s): unknown type %d", i, n.Name, n.Type)
+		}
+	}
+	for _, o := range c.Outputs {
+		if o < 0 || int(o) >= len(c.Nodes) {
+			return fmt.Errorf("circuit: output %d out of range", o)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (c *Circuit) Clone() *Circuit {
+	out := &Circuit{
+		Nodes:   make([]Node, len(c.Nodes)),
+		Inputs:  append([]NodeID(nil), c.Inputs...),
+		Outputs: append([]NodeID(nil), c.Outputs...),
+		byName:  make(map[string]NodeID, len(c.byName)),
+	}
+	for i, n := range c.Nodes {
+		out.Nodes[i] = Node{Type: n.Type, Fanin: append([]NodeID(nil), n.Fanin...), Name: n.Name}
+		out.byName[n.Name] = NodeID(i)
+	}
+	return out
+}
+
+// TransitiveFanoutOf returns the set of nodes reachable from start
+// (inclusive), sorted by id — the fault cone used by ATPG.
+func (c *Circuit) TransitiveFanoutOf(start NodeID) []NodeID {
+	fo := c.Fanouts()
+	seen := make(map[NodeID]bool)
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, fo[n]...)
+	}
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GateCounts returns a histogram of gate types.
+func (c *Circuit) GateCounts() map[GateType]int {
+	m := make(map[GateType]int)
+	for i := range c.Nodes {
+		m[c.Nodes[i].Type]++
+	}
+	return m
+}
+
+// EvalGate computes a gate's Boolean function over its input values.
+// It is the single source of truth for gate semantics, shared by the
+// simulators and tests.
+func EvalGate(t GateType, in []bool) bool {
+	switch t {
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case Buf:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And, Nand:
+		v := true
+		for _, x := range in {
+			v = v && x
+		}
+		if t == Nand {
+			return !v
+		}
+		return v
+	case Or, Nor:
+		v := false
+		for _, x := range in {
+			v = v || x
+		}
+		if t == Nor {
+			return !v
+		}
+		return v
+	case Xor, Xnor:
+		v := false
+		for _, x := range in {
+			v = v != x
+		}
+		if t == Xnor {
+			return !v
+		}
+		return v
+	}
+	panic("circuit: EvalGate on INPUT")
+}

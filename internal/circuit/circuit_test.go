@@ -1,0 +1,678 @@
+package circuit
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestAddAndValidate(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(And, "g", a, b)
+	c.MarkOutput(g)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumNodes() != 3 || c.NumGates() != 1 {
+		t.Fatalf("counts wrong: %d nodes %d gates", c.NumNodes(), c.NumGates())
+	}
+	if c.NodeByName("g") != g || c.NodeByName("zzz") != NoNode {
+		t.Fatal("NodeByName broken")
+	}
+	if c.Name(g) != "g" {
+		t.Fatal("Name broken")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	c := New()
+	c.AddInput("a")
+	c.AddInput("a")
+}
+
+func TestArityPanics(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	for _, fn := range []func(){
+		func() { c.AddGate(Not, "n1", a, a) },
+		func() { c.AddGate(Xor, "x1", a) },
+		func() { c.AddGate(And, "a1") },
+		func() { c.AddGate(Input, "i1") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected arity panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFanoutsAndLevels(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "g1", a, b)
+	g2 := c.AddGate(Or, "g2", g1, a)
+	fo := c.Fanouts()
+	if len(fo[a]) != 2 || len(fo[g1]) != 1 || len(fo[g2]) != 0 {
+		t.Fatalf("fanouts wrong: %v", fo)
+	}
+	lv := c.Levels()
+	if lv[a] != 0 || lv[g1] != 1 || lv[g2] != 2 {
+		t.Fatalf("levels wrong: %v", lv)
+	}
+	if c.Depth() != 2 {
+		t.Fatalf("depth = %d", c.Depth())
+	}
+}
+
+func TestTransitiveFanout(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "g1", a, b)
+	g2 := c.AddGate(Not, "g2", g1)
+	g3 := c.AddGate(Or, "g3", b, b)
+	cone := c.TransitiveFanoutOf(g1)
+	want := []NodeID{g1, g2}
+	if len(cone) != len(want) || cone[0] != want[0] || cone[1] != want[1] {
+		t.Fatalf("cone = %v, want %v", cone, want)
+	}
+	_ = g3
+}
+
+func TestEvalGateTruthTables(t *testing.T) {
+	cases := []struct {
+		t    GateType
+		in   []bool
+		want bool
+	}{
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{false, true}, true},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xor, []bool{true, false}, true},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, true, true}, true},
+		{Xnor, []bool{true, false}, false},
+		{Xnor, []bool{true, true}, true},
+		{Not, []bool{true}, false},
+		{Buf, []bool{true}, true},
+		{Const0, nil, false},
+		{Const1, nil, true},
+	}
+	for _, tc := range cases {
+		if got := EvalGate(tc.t, tc.in); got != tc.want {
+			t.Errorf("EvalGate(%v, %v) = %v, want %v", tc.t, tc.in, got, tc.want)
+		}
+	}
+}
+
+// Simulation must agree with gate-by-gate evaluation on random circuits
+// and random patterns.
+func TestSimulateAgreesWithEvalGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		c := RandomDAG(6, 30, 3, int64(trial))
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		inputs := make([]uint64, len(c.Inputs))
+		for i := range inputs {
+			inputs[i] = rng.Uint64()
+		}
+		vals := c.Simulate(inputs)
+		for bit := 0; bit < 64; bit += 17 {
+			ref := make([]bool, len(c.Nodes))
+			inIdx := 0
+			for i := range c.Nodes {
+				n := &c.Nodes[i]
+				if n.Type == Input {
+					ref[i] = inputs[inIdx]&(1<<uint(bit)) != 0
+					inIdx++
+					continue
+				}
+				in := make([]bool, len(n.Fanin))
+				for j, f := range n.Fanin {
+					in[j] = ref[f]
+				}
+				ref[i] = EvalGate(n.Type, in)
+			}
+			for i := range c.Nodes {
+				if got := vals[i]&(1<<uint(bit)) != 0; got != ref[i] {
+					t.Fatalf("trial %d bit %d node %d: sim %v ref %v", trial, bit, i, got, ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRippleCarryAdderFunction(t *testing.T) {
+	n := 5
+	c := RippleCarryAdder(n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Intn(1 << n)
+		b := rng.Intn(1 << n)
+		cin := rng.Intn(2)
+		in := make([]bool, 2*n+1)
+		for i := 0; i < n; i++ {
+			in[i] = a&(1<<i) != 0
+			in[n+i] = b&(1<<i) != 0
+		}
+		in[2*n] = cin == 1
+		vals := c.SimulateBool(in)
+		sum := 0
+		for i, o := range c.Outputs {
+			if vals[o] {
+				sum |= 1 << i
+			}
+		}
+		if want := a + b + cin; sum != want {
+			t.Fatalf("%d+%d+%d = %d, adder says %d", a, b, cin, want, sum)
+		}
+	}
+}
+
+func TestCarrySkipAdderFunction(t *testing.T) {
+	n := 6
+	c := CarrySkipAdder(n, 3)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Intn(1 << n)
+		b := rng.Intn(1 << n)
+		cin := rng.Intn(2)
+		in := make([]bool, 2*n+1)
+		for i := 0; i < n; i++ {
+			in[i] = a&(1<<i) != 0
+			in[n+i] = b&(1<<i) != 0
+		}
+		in[2*n] = cin == 1
+		vals := c.SimulateBool(in)
+		sum := 0
+		for i, o := range c.Outputs {
+			if vals[o] {
+				sum |= 1 << i
+			}
+		}
+		if want := a + b + cin; sum != want {
+			t.Fatalf("%d+%d+%d = %d, skip adder says %d", a, b, cin, want, sum)
+		}
+	}
+}
+
+func TestArrayMultiplierFunction(t *testing.T) {
+	n := 4
+	c := ArrayMultiplier(n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 1<<n; a++ {
+		for b := 0; b < 1<<n; b++ {
+			in := make([]bool, 2*n)
+			for i := 0; i < n; i++ {
+				in[i] = a&(1<<i) != 0
+				in[n+i] = b&(1<<i) != 0
+			}
+			vals := c.SimulateBool(in)
+			p := 0
+			for i, o := range c.Outputs {
+				if vals[o] {
+					p |= 1 << i
+				}
+			}
+			if p != a*b {
+				t.Fatalf("%d*%d = %d, multiplier says %d", a, b, a*b, p)
+			}
+		}
+	}
+}
+
+func TestParityAndComparatorAndMux(t *testing.T) {
+	p := ParityTree(7)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		in := make([]bool, 7)
+		want := false
+		for i := range in {
+			in[i] = rng.Intn(2) == 0
+			want = want != in[i]
+		}
+		if got := p.SimulateBool(in)[p.Outputs[0]]; got != want {
+			t.Fatalf("parity wrong")
+		}
+	}
+	eq := EqualityComparator(4)
+	for trial := 0; trial < 100; trial++ {
+		a := rng.Intn(16)
+		b := rng.Intn(16)
+		in := make([]bool, 8)
+		for i := 0; i < 4; i++ {
+			in[i] = a&(1<<i) != 0
+			in[4+i] = b&(1<<i) != 0
+		}
+		if got := eq.SimulateBool(in)[eq.Outputs[0]]; got != (a == b) {
+			t.Fatalf("comparator wrong for %d,%d", a, b)
+		}
+	}
+	mux := MuxTree(3)
+	for trial := 0; trial < 100; trial++ {
+		data := rng.Intn(256)
+		sel := rng.Intn(8)
+		in := make([]bool, 8+3)
+		for i := 0; i < 8; i++ {
+			in[i] = data&(1<<i) != 0
+		}
+		for i := 0; i < 3; i++ {
+			in[8+i] = sel&(1<<i) != 0
+		}
+		want := data&(1<<sel) != 0
+		if got := mux.SimulateBool(in)[mux.Outputs[0]]; got != want {
+			t.Fatalf("mux wrong for data=%08b sel=%d", data, sel)
+		}
+	}
+}
+
+func TestC17(t *testing.T) {
+	c := C17()
+	if len(c.Inputs) != 5 || len(c.Outputs) != 2 || c.NumGates() != 6 {
+		t.Fatalf("c17 shape wrong: %d in %d out %d gates", len(c.Inputs), len(c.Outputs), c.NumGates())
+	}
+	// Known response: all-ones input gives 22=0? Compute via NAND logic:
+	// 10=NAND(1,3)=0, 11=NAND(3,6)=0, 16=NAND(2,11)=1, 19=NAND(11,7)=1,
+	// 22=NAND(10,16)=1, 23=NAND(16,19)=0.
+	vals := c.SimulateBool([]bool{true, true, true, true, true})
+	if got := vals[c.NodeByName("22")]; got != true {
+		t.Fatal("c17 output 22 wrong")
+	}
+	if got := vals[c.NodeByName("23")]; got != false {
+		t.Fatal("c17 output 23 wrong")
+	}
+}
+
+func TestThreeValuedSim(t *testing.T) {
+	// AND with one controlling 0 input is 0 even with X on the other.
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(And, "g", a, b)
+	o := c.AddGate(Or, "o", g, b)
+	c.MarkOutput(o)
+	vals := c.SimulateLBool([]cnf.LBool{cnf.False, cnf.Undef})
+	if vals[g] != cnf.False {
+		t.Fatal("AND with 0 must be 0 under X")
+	}
+	if vals[o] != cnf.Undef {
+		t.Fatal("OR of 0 and X must be X")
+	}
+	vals = c.SimulateLBool([]cnf.LBool{cnf.Undef, cnf.True})
+	if vals[o] != cnf.True {
+		t.Fatal("OR with 1 must be 1 under X")
+	}
+	// XOR propagates X.
+	x := New()
+	xa := x.AddInput("a")
+	xb := x.AddInput("b")
+	xg := x.AddGate(Xor, "g", xa, xb)
+	x.MarkOutput(xg)
+	if x.SimulateLBool([]cnf.LBool{cnf.True, cnf.Undef})[xg] != cnf.Undef {
+		t.Fatal("XOR with X must be X")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := RippleCarryAdder(3)
+	d := c.Clone()
+	d.Nodes[len(d.Nodes)-1].Type = Nor
+	if c.Nodes[len(c.Nodes)-1].Type == Nor {
+		t.Fatal("Clone is shallow")
+	}
+	if d.NodeByName("cin") != c.NodeByName("cin") {
+		t.Fatal("Clone lost name index")
+	}
+}
+
+func TestGateCounts(t *testing.T) {
+	c := C17()
+	gc := c.GateCounts()
+	if gc[Nand] != 6 || gc[Input] != 5 {
+		t.Fatalf("GateCounts wrong: %v", gc)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	c := RippleCarryAdder(3)
+	s, err := BenchString(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, latches, err := ParseBenchString(s)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, s)
+	}
+	if len(latches) != 0 {
+		t.Fatal("unexpected latches")
+	}
+	if len(d.Inputs) != len(c.Inputs) || len(d.Outputs) != len(c.Outputs) || d.NumGates() != c.NumGates() {
+		t.Fatal("round trip changed shape")
+	}
+	// Same function on random vectors.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		in := make([]uint64, len(c.Inputs))
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		// Input order may differ; map by name.
+		din := make([]uint64, len(d.Inputs))
+		for i, id := range c.Inputs {
+			for j, jd := range d.Inputs {
+				if d.Name(jd) == c.Name(id) {
+					din[j] = in[i]
+				}
+			}
+		}
+		cv := c.Simulate(in)
+		dv := d.Simulate(din)
+		for i, o := range c.Outputs {
+			if cv[o] != dv[d.Outputs[i]] {
+				t.Fatal("round trip changed function")
+			}
+		}
+	}
+}
+
+func TestBenchLatchParsing(t *testing.T) {
+	src := `
+INPUT(a)
+OUTPUT(q)
+q = DFF(d)
+d = AND(a, q)
+`
+	c, latches, err := ParseBenchString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(latches) != 1 {
+		t.Fatalf("latches = %v", latches)
+	}
+	if c.Name(latches[0].Output) != "q" || c.Name(latches[0].Input) != "d" {
+		t.Fatal("latch wiring wrong")
+	}
+	// Latch output acts as pseudo input.
+	if len(c.Inputs) != 2 {
+		t.Fatalf("inputs = %d, want 2 (a + pseudo q)", len(c.Inputs))
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	cases := map[string]string{
+		"cycle":          "INPUT(a)\nx = AND(a, y)\ny = AND(a, x)\nOUTPUT(x)\n",
+		"undefined":      "INPUT(a)\nx = AND(a, nosuch)\nOUTPUT(x)\n",
+		"unknown gate":   "INPUT(a)\nx = FROB(a)\nOUTPUT(x)\n",
+		"dup definition": "INPUT(a)\nx = AND(a, a)\nx = OR(a, a)\nOUTPUT(x)\n",
+		"bad output":     "INPUT(a)\nOUTPUT(nosuch)\nx = AND(a, a)\n",
+		"malformed":      "INPUT(a)\nx AND(a)\n",
+	}
+	for name, src := range cases {
+		if _, _, err := ParseBenchString(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestBenchOutOfOrderDefinitions(t *testing.T) {
+	src := `
+OUTPUT(z)
+z = AND(x, y)
+y = NOT(a)
+x = OR(a, b)
+INPUT(a)
+INPUT(b)
+`
+	c, _, err := ParseBenchString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumGates() != 3 {
+		t.Fatalf("gates = %d", c.NumGates())
+	}
+}
+
+func clauseSet(f *cnf.Formula) []string {
+	var out []string
+	for _, c := range f.Clauses {
+		n, _ := c.Normalize()
+		out = append(out, n.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestTable1GateCNF checks the encoder emits exactly the paper's Table 1
+// clause sets (experiment E1). Variables: output x=3, inputs w1=1, w2=2.
+func TestTable1GateCNF(t *testing.T) {
+	cases := []struct {
+		gate GateType
+		want []string
+	}{
+		{And, []string{"(1 -3)", "(2 -3)", "(-1 -2 3)"}},
+		{Nand, []string{"(1 3)", "(2 3)", "(-1 -2 -3)"}},
+		{Or, []string{"(-1 3)", "(-2 3)", "(1 2 -3)"}},
+		{Nor, []string{"(-1 -3)", "(-2 -3)", "(1 2 3)"}},
+	}
+	for _, tc := range cases {
+		f := cnf.New(3)
+		AppendGateCNF(f, tc.gate, 3, []cnf.Var{1, 2})
+		got := clauseSet(f)
+		want := append([]string(nil), tc.want...)
+		for i, w := range want {
+			n, _ := cnf.NewClause(parseInts(w)...).Normalize()
+			want[i] = n.String()
+		}
+		sort.Strings(want)
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Errorf("%v: got %v, want %v", tc.gate, got, want)
+		}
+	}
+	// Single-input gates: x=2, w1=1.
+	f := cnf.New(2)
+	AppendGateCNF(f, Not, 2, []cnf.Var{1})
+	if s := strings.Join(clauseSet(f), " "); s != "(-1 -2) (1 2)" {
+		t.Errorf("NOT: %s", s)
+	}
+	f = cnf.New(2)
+	AppendGateCNF(f, Buf, 2, []cnf.Var{1})
+	if s := strings.Join(clauseSet(f), " "); s != "(-1 2) (1 -2)" {
+		t.Errorf("BUFFER: %s", s)
+	}
+}
+
+func parseInts(s string) []int {
+	s = strings.Trim(s, "()")
+	var out []int
+	for _, tok := range strings.Fields(s) {
+		n := 0
+		negf := false
+		for _, ch := range tok {
+			if ch == '-' {
+				negf = true
+			} else {
+				n = n*10 + int(ch-'0')
+			}
+		}
+		if negf {
+			n = -n
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// The consistency formula must hold exactly for assignments matching the
+// circuit simulation (Table 1 semantics on every gate type).
+func TestEncodingMatchesSimulation(t *testing.T) {
+	for trial := int64(0); trial < 8; trial++ {
+		c := RandomDAG(5, 20, 3, trial)
+		e := Encode(c)
+		rng := rand.New(rand.NewSource(trial + 100))
+		for v := 0; v < 30; v++ {
+			in := make([]bool, len(c.Inputs))
+			for i := range in {
+				in[i] = rng.Intn(2) == 0
+			}
+			vals := c.SimulateBool(in)
+			a := cnf.NewAssignment(e.F.NumVars())
+			for i := range c.Nodes {
+				a[e.VarOf[i]] = cnf.FromBool(vals[i])
+			}
+			// Auxiliary XOR-decomposition variables: set them to the
+			// value forced by the formula via unit propagation is
+			// overkill here; instead check only when no aux vars exist.
+			if e.F.NumVars() == len(c.Nodes) {
+				if !a.Satisfies(e.F) {
+					t.Fatalf("trial %d: simulation assignment violates encoding", trial)
+				}
+			} else {
+				if a.Eval(e.F) == cnf.False {
+					t.Fatalf("trial %d: simulation assignment falsifies encoding", trial)
+				}
+			}
+		}
+	}
+}
+
+// Wide XOR decomposition: the encoding of an n-ary XOR must have exactly
+// the models of the parity function.
+func TestWideXorEncoding(t *testing.T) {
+	for _, typ := range []GateType{Xor, Xnor} {
+		f := cnf.New(5) // inputs 1..4, output 5
+		AppendGateCNF(f, typ, 5, []cnf.Var{1, 2, 3, 4})
+		count := cnf.CountModels(f)
+		// Inputs free (16 combinations), output and auxiliaries forced.
+		if count != 16 {
+			t.Fatalf("%v: %d models, want 16", typ, count)
+		}
+		// Check output polarity on one vector: 1,0,0,0 → parity 1.
+		g := f.Clone()
+		g.AddDIMACS(1)
+		g.AddDIMACS(-2)
+		g.AddDIMACS(-3)
+		g.AddDIMACS(-4)
+		if typ == Xor {
+			g.AddDIMACS(-5)
+		} else {
+			g.AddDIMACS(5)
+		}
+		if sat, _ := cnf.BruteForce(g); sat {
+			t.Fatalf("%v: wrong output polarity", typ)
+		}
+	}
+}
+
+func TestEncodeProperty(t *testing.T) {
+	// Figure 1 workflow: circuit plus objective.
+	c := Figure1()
+	f, e := EncodeProperty(c, c.Outputs[0], false)
+	sat, m := cnf.BruteForce(f)
+	// z = OR(NOT(AND(a,b)), b) = 0 requires b=0 and AND(a,b)=1, which
+	// needs b=1: contradiction, so z=0 must be UNSAT. Cross-check the
+	// encoding against exhaustive simulation rather than hardcoding:
+	found := false
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			vals := c.SimulateBool([]bool{a == 1, b == 1})
+			if !vals[c.Outputs[0]] {
+				found = true
+			}
+		}
+	}
+	if sat != found {
+		t.Fatalf("encoding says %v, exhaustive simulation says %v (model %v)", sat, found, m)
+	}
+	_ = e
+}
+
+func TestConstEncoding(t *testing.T) {
+	c := New()
+	k1 := c.AddConst(true, "one")
+	k0 := c.AddConst(false, "zero")
+	g := c.AddGate(And, "g", k1, k0)
+	c.MarkOutput(g)
+	e := Encode(c)
+	sat, m := cnf.BruteForce(e.F)
+	if !sat {
+		t.Fatal("constant circuit must have the single consistent assignment")
+	}
+	if m.Value(e.VarOf[g]) != cnf.False {
+		t.Fatal("AND(1,0) must be 0")
+	}
+}
+
+func TestALUFunction(t *testing.T) {
+	n := 5
+	c := ALU(n)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 300; trial++ {
+		a := rng.Intn(1 << n)
+		b := rng.Intn(1 << n)
+		op := rng.Intn(4)
+		in := make([]bool, 2*n+2)
+		for i := 0; i < n; i++ {
+			in[i] = a&(1<<i) != 0
+			in[n+i] = b&(1<<i) != 0
+		}
+		in[2*n] = op&1 != 0   // op0
+		in[2*n+1] = op&2 != 0 // op1
+		vals := c.SimulateBool(in)
+		r := 0
+		for i, o := range c.Outputs {
+			if vals[o] {
+				r |= 1 << i
+			}
+		}
+		var want int
+		switch op {
+		case 0:
+			want = (a + b) & (1<<n - 1)
+		case 1:
+			want = a & b
+		case 2:
+			want = a | b
+		case 3:
+			want = a ^ b
+		}
+		if r != want {
+			t.Fatalf("op=%d a=%d b=%d: got %d want %d", op, a, b, r, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package circuit
+
+import "repro/internal/cnf"
+
+// Encoding maps a circuit to its CNF consistency formula: the
+// conjunction of the CNF formulas for each gate output, where each
+// gate's formula denotes the valid input-output assignments to the gate
+// (paper §2, Table 1, Figure 1).
+type Encoding struct {
+	// F is the CNF formula. Variables 1..NumNodes correspond to nodes in
+	// construction order; any additional variables are auxiliaries
+	// introduced for wide XOR/XNOR gates.
+	F *cnf.Formula
+	// VarOf maps NodeID to its CNF variable.
+	VarOf []cnf.Var
+}
+
+// Encode builds the CNF consistency formula for the whole circuit.
+func Encode(c *Circuit) *Encoding {
+	f := cnf.New(0)
+	return EncodeInto(f, c)
+}
+
+// EncodeInto appends the circuit's consistency formula to f, allocating
+// fresh variables. This allows composing several circuit copies into one
+// formula (miters, time-frame expansion).
+func EncodeInto(f *cnf.Formula, c *Circuit) *Encoding {
+	e := &Encoding{F: f, VarOf: make([]cnf.Var, len(c.Nodes))}
+	for i := range c.Nodes {
+		e.VarOf[i] = f.NewVar()
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		x := e.VarOf[i]
+		ins := make([]cnf.Var, len(n.Fanin))
+		for j, fn := range n.Fanin {
+			ins[j] = e.VarOf[fn]
+		}
+		AppendGateCNF(f, n.Type, x, ins)
+	}
+	return e
+}
+
+// Lit returns the literal asserting node id has the given value.
+func (e *Encoding) Lit(id NodeID, val bool) cnf.Lit {
+	return cnf.NewLit(e.VarOf[id], !val)
+}
+
+// Var returns the CNF variable of node id.
+func (e *Encoding) Var(id NodeID) cnf.Var { return e.VarOf[id] }
+
+// AppendGateCNF appends the Table 1 clause set for a single gate with
+// output variable x and input variables ins. Wide XOR/XNOR gates are
+// decomposed via fresh auxiliary variables from f.
+//
+// Table 1 (for two inputs; the n-ary forms generalize literally):
+//
+//	x = AND(w1,w2):   (w1 + ¬x)(w2 + ¬x)(¬w1 + ¬w2 + x)
+//	x = NAND(w1,w2):  (w1 + x)(w2 + x)(¬w1 + ¬w2 + ¬x)
+//	x = OR(w1,w2):    (¬w1 + x)(¬w2 + x)(w1 + w2 + ¬x)
+//	x = NOR(w1,w2):   (¬w1 + ¬x)(¬w2 + ¬x)(w1 + w2 + x)
+//	x = NOT(w1):      (x + w1)(¬x + ¬w1)
+//	x = BUFFER(w1):   (¬x + w1)(x + ¬w1)
+func AppendGateCNF(f *cnf.Formula, t GateType, x cnf.Var, ins []cnf.Var) {
+	pos := func(v cnf.Var) cnf.Lit { return cnf.PosLit(v) }
+	neg := func(v cnf.Var) cnf.Lit { return cnf.NegLit(v) }
+	switch t {
+	case Input:
+		// Free variable: no clauses.
+	case Const0:
+		f.Add(neg(x))
+	case Const1:
+		f.Add(pos(x))
+	case Buf:
+		f.Add(neg(x), pos(ins[0]))
+		f.Add(pos(x), neg(ins[0]))
+	case Not:
+		f.Add(pos(x), pos(ins[0]))
+		f.Add(neg(x), neg(ins[0]))
+	case And:
+		long := make(cnf.Clause, 0, len(ins)+1)
+		for _, w := range ins {
+			f.Add(pos(w), neg(x))
+			long = append(long, neg(w))
+		}
+		long = append(long, pos(x))
+		f.AddClause(long)
+	case Nand:
+		long := make(cnf.Clause, 0, len(ins)+1)
+		for _, w := range ins {
+			f.Add(pos(w), pos(x))
+			long = append(long, neg(w))
+		}
+		long = append(long, neg(x))
+		f.AddClause(long)
+	case Or:
+		long := make(cnf.Clause, 0, len(ins)+1)
+		for _, w := range ins {
+			f.Add(neg(w), pos(x))
+			long = append(long, pos(w))
+		}
+		long = append(long, neg(x))
+		f.AddClause(long)
+	case Nor:
+		long := make(cnf.Clause, 0, len(ins)+1)
+		for _, w := range ins {
+			f.Add(neg(w), neg(x))
+			long = append(long, pos(w))
+		}
+		long = append(long, pos(x))
+		f.AddClause(long)
+	case Xor, Xnor:
+		// Decompose n-ary parity into 2-input steps with fresh
+		// auxiliaries: t1 = w1 ⊕ w2, t2 = t1 ⊕ w3, …
+		cur := ins[0]
+		for i := 1; i < len(ins); i++ {
+			var out cnf.Var
+			last := i == len(ins)-1
+			if last {
+				out = x
+			} else {
+				out = f.NewVar()
+			}
+			odd := true
+			if last && t == Xnor {
+				odd = false // final step realizes the complement
+			}
+			appendXor2(f, out, cur, ins[i], odd)
+			cur = out
+		}
+	default:
+		panic("circuit: AppendGateCNF on unsupported gate")
+	}
+}
+
+// appendXor2 appends clauses for out = a ⊕ b (odd=true) or
+// out = ¬(a ⊕ b) (odd=false).
+func appendXor2(f *cnf.Formula, out, a, b cnf.Var, odd bool) {
+	o := func(neg bool) cnf.Lit { return cnf.NewLit(out, neg != !odd) }
+	// For XOR: out=1 iff a≠b. Clauses forbid the four inconsistent rows.
+	f.Add(o(true), cnf.PosLit(a), cnf.PosLit(b))  // a=0,b=0 → out=0
+	f.Add(o(true), cnf.NegLit(a), cnf.NegLit(b))  // a=1,b=1 → out=0
+	f.Add(o(false), cnf.NegLit(a), cnf.PosLit(b)) // a=1,b=0 → out=1
+	f.Add(o(false), cnf.PosLit(a), cnf.NegLit(b)) // a=0,b=1 → out=1
+}
+
+// EncodeProperty builds the CNF for proving property "output o has value
+// v" on circuit c (paper Figure 1(b)): the consistency formula plus the
+// unit objective clause. A SAT result yields an input assignment
+// establishing the property value.
+func EncodeProperty(c *Circuit, o NodeID, v bool) (*cnf.Formula, *Encoding) {
+	e := Encode(c)
+	e.F.Add(e.Lit(o, v))
+	return e.F, e
+}

@@ -1,0 +1,184 @@
+package circuit
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestValidateErrorPaths(t *testing.T) {
+	// Hand-corrupt structures to hit every Validate branch.
+	mk := func() *Circuit {
+		c := New()
+		a := c.AddInput("a")
+		b := c.AddInput("b")
+		g := c.AddGate(And, "g", a, b)
+		c.MarkOutput(g)
+		return c
+	}
+	cases := []func(*Circuit){
+		func(c *Circuit) { c.Nodes[2].Fanin[0] = 99 },                                       // out of range
+		func(c *Circuit) { c.Nodes[2].Fanin[0] = 2 },                                        // self/forward ref
+		func(c *Circuit) { c.Nodes[0].Fanin = []NodeID{1} },                                 // input with fanin
+		func(c *Circuit) { c.Nodes[2].Type = Not },                                          // NOT arity 2
+		func(c *Circuit) { c.Nodes[2].Type = Xor; c.Nodes[2].Fanin = c.Nodes[2].Fanin[:1] }, // XOR arity 1
+		func(c *Circuit) { c.Nodes[2].Fanin = nil },                                         // AND arity 0
+		func(c *Circuit) { c.Nodes[2].Type = GateType(99) },                                 // unknown type
+		func(c *Circuit) { c.Outputs[0] = 99 },                                              // bad output
+	}
+	for i, corrupt := range cases {
+		c := mk()
+		corrupt(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: corruption not detected", i)
+		}
+	}
+	if err := mk().Validate(); err != nil {
+		t.Fatalf("clean circuit rejected: %v", err)
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if And.String() != "AND" || Xnor.String() != "XNOR" || Input.String() != "INPUT" {
+		t.Fatal("GateType.String broken")
+	}
+	if GateType(99).String() == "" {
+		t.Fatal("unknown type should render something")
+	}
+}
+
+func TestOutputsOfAndEncodingVar(t *testing.T) {
+	c := RippleCarryAdder(2)
+	in := make([]uint64, len(c.Inputs))
+	in[0] = ^uint64(0) // a0 = 1
+	vals := c.Simulate(in)
+	outs := c.OutputsOf(vals)
+	if len(outs) != len(c.Outputs) {
+		t.Fatal("OutputsOf length wrong")
+	}
+	if outs[0] != vals[c.Outputs[0]] {
+		t.Fatal("OutputsOf order wrong")
+	}
+	enc := Encode(c)
+	if enc.Var(c.Inputs[0]) != enc.VarOf[c.Inputs[0]] {
+		t.Fatal("Encoding.Var accessor wrong")
+	}
+}
+
+func TestSimulateInjectInPackage(t *testing.T) {
+	// Output stem injection and pin injection agree with manual logic.
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g := c.AddGate(And, "g", a, b)
+	o := c.AddGate(Or, "o", g, a)
+	c.MarkOutput(o)
+	in := []uint64{0b1100, 0b1010}
+	// Force g output to all-ones: o = 1 everywhere.
+	vals := c.SimulateInject(in, []Injection{{Node: g, Pin: -1, Value: ^uint64(0)}})
+	if vals[o] != ^uint64(0) {
+		t.Fatal("stem injection failed")
+	}
+	// Force pin 1 of g (input b) to 0: g = 0, o = a.
+	vals = c.SimulateInject(in, []Injection{{Node: g, Pin: 1, Value: 0}})
+	if vals[o] != in[0] {
+		t.Fatalf("pin injection failed: %b vs %b", vals[o], in[0])
+	}
+	// No injections = plain simulate.
+	vals = c.SimulateInject(in, nil)
+	plain := c.Simulate(in)
+	for i := range vals {
+		if vals[i] != plain[i] {
+			t.Fatal("empty injection changed simulation")
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	c := Figure3()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// x1=1, w=1 forces y1=y2=1 and y3=1.
+	vals := c.SimulateBool([]bool{true, true})
+	if !vals[c.NodeByName("y3")] {
+		t.Fatal("Figure 3 semantics wrong")
+	}
+	vals = c.SimulateBool([]bool{false, true})
+	if vals[c.NodeByName("y3")] {
+		t.Fatal("y3 must be 0 when x1=0")
+	}
+}
+
+func TestNANDAdderMatchesPlainAdder(t *testing.T) {
+	n := 5
+	a := RippleCarryAdder(n)
+	b := RippleCarryAdderNAND(n)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		in := make([]uint64, len(a.Inputs))
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		av := a.Simulate(in)
+		bv := b.Simulate(in)
+		for i := range a.Outputs {
+			if av[a.Outputs[i]] != bv[b.Outputs[i]] {
+				t.Fatal("NAND adder differs from plain adder")
+			}
+		}
+	}
+}
+
+func TestEncodePropertyLitHelper(t *testing.T) {
+	c := Figure1()
+	_, enc := EncodeProperty(c, c.Outputs[0], true)
+	l := enc.Lit(c.Outputs[0], true)
+	if l.IsNeg() {
+		t.Fatal("Lit(id, true) must be positive")
+	}
+	if enc.Lit(c.Outputs[0], false) != l.Not() {
+		t.Fatal("Lit polarity inversion wrong")
+	}
+	_ = cnf.LitUndef
+}
+
+func TestStrashNamePreservation(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	g := c.AddGate(Not, "g", a)
+	c.MarkOutput(g)
+	s := Strash(c)
+	if s.NodeByName("a") == NoNode {
+		t.Fatal("input name lost in strash")
+	}
+}
+
+// Bench parser robustness: byte soup must error, never panic.
+func TestParseBenchFuzzish(t *testing.T) {
+	inputs := []string{
+		"", "\x00\x01", "INPUT(", "INPUT()", "OUTPUT()", "x =", "= AND(a)",
+		"INPUT(a)\nx = AND(a\nOUTPUT(x)", "INPUT(a)\nx = (a)\nOUTPUT(x)",
+		"INPUT(a)\nINPUT(a)\nx = BUF(a)\nOUTPUT(x)",
+		"x = DFF()\nOUTPUT(x)", "x = DFF(a, b)\nINPUT(a)\nINPUT(b)\nOUTPUT(x)",
+		"INPUT(a)\na = AND(a, a)\nOUTPUT(a)",
+		strings.Repeat("INPUT(x)\n", 2),
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", in, r)
+				}
+			}()
+			c, _, err := ParseBenchString(in)
+			if err == nil && c != nil {
+				if verr := c.Validate(); verr != nil {
+					t.Errorf("accepted invalid circuit from %q: %v", in, verr)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,426 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides circuit-family generators. Industrial ISCAS/ITC
+// suites are not redistributable, so the workloads are synthetic
+// structural families of comparable shape (see DESIGN.md substitutions),
+// plus the tiny public c17 benchmark.
+
+// RippleCarryAdder builds an n-bit ripple-carry adder with inputs
+// a0..a(n-1), b0..b(n-1), cin; outputs s0..s(n-1), cout.
+func RippleCarryAdder(n int) *Circuit {
+	c := New()
+	as := make([]NodeID, n)
+	bs := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	carry := c.AddInput("cin")
+	for i := 0; i < n; i++ {
+		sum, cout := fullAdder(c, as[i], bs[i], carry, fmt.Sprintf("fa%d", i))
+		c.MarkOutput(sum)
+		carry = cout
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+func fullAdder(c *Circuit, a, b, cin NodeID, prefix string) (sum, cout NodeID) {
+	axb := c.AddGate(Xor, prefix+"_axb", a, b)
+	sum = c.AddGate(Xor, prefix+"_s", axb, cin)
+	t1 := c.AddGate(And, prefix+"_t1", a, b)
+	t2 := c.AddGate(And, prefix+"_t2", axb, cin)
+	cout = c.AddGate(Or, prefix+"_c", t1, t2)
+	return sum, cout
+}
+
+// CarrySkipAdder builds an n-bit carry-skip (carry-bypass) adder with
+// the given block size. Its bypass muxes create false paths, making it
+// the standard workload for sensitizable-delay analysis (experiment E18).
+func CarrySkipAdder(n, block int) *Circuit {
+	if block < 1 {
+		block = 4
+	}
+	c := New()
+	as := make([]NodeID, n)
+	bs := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	carry := c.AddInput("cin")
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		blockIn := carry
+		// Ripple within the block; collect propagate signals.
+		props := make([]NodeID, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			p := c.AddGate(Xor, fmt.Sprintf("p%d", i), as[i], bs[i])
+			props = append(props, p)
+			s := c.AddGate(Xor, fmt.Sprintf("s%d", i), p, carry)
+			c.MarkOutput(s)
+			g := c.AddGate(And, fmt.Sprintf("g%d", i), as[i], bs[i])
+			pc := c.AddGate(And, fmt.Sprintf("pc%d", i), p, carry)
+			carry = c.AddGate(Or, fmt.Sprintf("c%d", i+1), g, pc)
+		}
+		// Bypass: if every bit in the block propagates, the block's
+		// carry-out equals its carry-in (mux realized with AND/OR).
+		allP := props[0]
+		if len(props) > 1 {
+			allP = c.AddGate(And, fmt.Sprintf("allp%d", lo), props...)
+		}
+		skip := c.AddGate(And, fmt.Sprintf("skip%d", lo), allP, blockIn)
+		notAllP := c.AddGate(Not, fmt.Sprintf("nallp%d", lo), allP)
+		keep := c.AddGate(And, fmt.Sprintf("keep%d", lo), notAllP, carry)
+		carry = c.AddGate(Or, fmt.Sprintf("bc%d", lo), skip, keep)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// ArrayMultiplier builds an n×n array multiplier with inputs a0.., b0..
+// and outputs p0..p(2n-1).
+func ArrayMultiplier(n int) *Circuit {
+	c := New()
+	as := make([]NodeID, n)
+	bs := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	// Partial products pp[i][j] = a_j & b_i contributes to bit i+j.
+	cols := make([][]NodeID, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pp := c.AddGate(And, fmt.Sprintf("pp_%d_%d", i, j), as[j], bs[i])
+			cols[i+j] = append(cols[i+j], pp)
+		}
+	}
+	// Column compression with full/half adders (carry-save).
+	for col := 0; col < 2*n; col++ {
+		k := 0
+		for len(cols[col]) > 1 {
+			if len(cols[col]) >= 3 {
+				a, b, ci := cols[col][0], cols[col][1], cols[col][2]
+				cols[col] = cols[col][3:]
+				s, co := fullAdder(c, a, b, ci, fmt.Sprintf("m%d_%d", col, k))
+				cols[col] = append(cols[col], s)
+				cols[col+1] = append(cols[col+1], co)
+			} else {
+				a, b := cols[col][0], cols[col][1]
+				cols[col] = cols[col][2:]
+				s := c.AddGate(Xor, fmt.Sprintf("hs%d_%d", col, k), a, b)
+				co := c.AddGate(And, fmt.Sprintf("hc%d_%d", col, k), a, b)
+				cols[col] = append(cols[col], s)
+				cols[col+1] = append(cols[col+1], co)
+			}
+			k++
+		}
+	}
+	for col := 0; col < 2*n; col++ {
+		var bit NodeID
+		if len(cols[col]) == 1 {
+			bit = cols[col][0]
+		} else {
+			bit = c.AddConst(false, fmt.Sprintf("z%d", col))
+		}
+		p := c.AddGate(Buf, fmt.Sprintf("p%d", col), bit)
+		c.MarkOutput(p)
+	}
+	return c
+}
+
+// EqualityComparator builds an n-bit a == b comparator with a single
+// output "eq".
+func EqualityComparator(n int) *Circuit {
+	c := New()
+	as := make([]NodeID, n)
+	bs := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	bits := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		bits[i] = c.AddGate(Xnor, fmt.Sprintf("e%d", i), as[i], bs[i])
+	}
+	var eq NodeID
+	if n == 1 {
+		eq = c.AddGate(Buf, "eq", bits[0])
+	} else {
+		eq = c.AddGate(And, "eq", bits...)
+	}
+	c.MarkOutput(eq)
+	return c
+}
+
+// ParityTree builds a balanced XOR tree over n inputs with output "par".
+func ParityTree(n int) *Circuit {
+	c := New()
+	layer := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		layer[i] = c.AddInput(fmt.Sprintf("x%d", i))
+	}
+	k := 0
+	for len(layer) > 1 {
+		var next []NodeID
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, c.AddGate(Xor, fmt.Sprintf("t%d", k), layer[i], layer[i+1]))
+			k++
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	out := c.AddGate(Buf, "par", layer[0])
+	c.MarkOutput(out)
+	return c
+}
+
+// MuxTree builds a 2^k-to-1 multiplexer with k select inputs.
+func MuxTree(k int) *Circuit {
+	c := New()
+	n := 1 << k
+	data := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		data[i] = c.AddInput(fmt.Sprintf("d%d", i))
+	}
+	sels := make([]NodeID, k)
+	selN := make([]NodeID, k)
+	for i := 0; i < k; i++ {
+		sels[i] = c.AddInput(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < k; i++ {
+		selN[i] = c.AddGate(Not, fmt.Sprintf("sn%d", i), sels[i])
+	}
+	layer := data
+	for lvl := 0; lvl < k; lvl++ {
+		var next []NodeID
+		for i := 0; i+1 < len(layer); i += 2 {
+			a := c.AddGate(And, fmt.Sprintf("m%d_%d_a", lvl, i), layer[i], selN[lvl])
+			b := c.AddGate(And, fmt.Sprintf("m%d_%d_b", lvl, i), layer[i+1], sels[lvl])
+			next = append(next, c.AddGate(Or, fmt.Sprintf("m%d_%d", lvl, i), a, b))
+		}
+		layer = next
+	}
+	out := c.AddGate(Buf, "y", layer[0])
+	c.MarkOutput(out)
+	return c
+}
+
+// RandomDAG builds a random combinational circuit with nIn inputs and
+// nGates gates of fanin up to maxFanin; nodes with no fanout become
+// primary outputs.
+func RandomDAG(nIn, nGates, maxFanin int, seed int64) *Circuit {
+	if maxFanin < 2 {
+		maxFanin = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := New()
+	for i := 0; i < nIn; i++ {
+		c.AddInput(fmt.Sprintf("x%d", i))
+	}
+	types := []GateType{And, Nand, Or, Nor, Xor, Xnor, Not}
+	for g := 0; g < nGates; g++ {
+		t := types[rng.Intn(len(types))]
+		var arity int
+		switch t {
+		case Not:
+			arity = 1
+		case Xor, Xnor:
+			arity = 2
+		default:
+			arity = 2 + rng.Intn(maxFanin-1)
+		}
+		avail := c.NumNodes()
+		fanin := make([]NodeID, 0, arity)
+		seen := map[NodeID]bool{}
+		for len(fanin) < arity {
+			// Bias towards recent nodes for depth.
+			var f NodeID
+			if rng.Intn(2) == 0 && avail > nIn {
+				f = NodeID(nIn + rng.Intn(avail-nIn))
+			} else {
+				f = NodeID(rng.Intn(avail))
+			}
+			if seen[f] {
+				if len(seen) >= avail {
+					break
+				}
+				continue
+			}
+			seen[f] = true
+			fanin = append(fanin, f)
+		}
+		if len(fanin) == 0 {
+			continue
+		}
+		if (t == Xor || t == Xnor) && len(fanin) < 2 {
+			t = Not
+			fanin = fanin[:1]
+		}
+		if t == Not {
+			fanin = fanin[:1]
+		}
+		c.AddGate(t, fmt.Sprintf("g%d", g), fanin...)
+	}
+	fo := c.Fanouts()
+	for i := range c.Nodes {
+		if len(fo[i]) == 0 && c.Nodes[i].Type != Input {
+			c.MarkOutput(NodeID(i))
+		}
+	}
+	if len(c.Outputs) == 0 && c.NumNodes() > nIn {
+		c.MarkOutput(NodeID(c.NumNodes() - 1))
+	}
+	return c
+}
+
+// C17 returns the ISCAS-85 c17 benchmark (six NAND gates), the only
+// industrial circuit small enough to embed verbatim.
+func C17() *Circuit {
+	src := `# c17 iscas example
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+	c, _, err := ParseBenchString(src)
+	if err != nil {
+		panic("circuit: embedded c17 failed to parse: " + err.Error())
+	}
+	return c
+}
+
+// Figure1 returns the example circuit of the paper's Figure 1:
+// x = NOT(w1) with w1 = AND(a, b), z = NOR(x, y) style miniature used in
+// tests and the quickstart example. The exact figure is partially
+// obscured in the scan; this reconstruction follows the formula shown:
+// a small two-gate circuit with an objective on output z.
+func Figure1() *Circuit {
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	w1 := c.AddGate(And, "w1", a, b)
+	x := c.AddGate(Not, "x", w1)
+	z := c.AddGate(Or, "z", x, b)
+	c.MarkOutput(z)
+	return c
+}
+
+// Figure3 returns the example circuit of the paper's Figure 3, used in
+// §4.1's conflict-analysis walkthrough: with w = 1 and y3 = 0, assigning
+// x1 = 1 forces y1 = 0 and y2 = 0, which is inconsistent with
+// y3 = OR(y1, y2) = 0 only if y3's justification needs one of them —
+// the reconstruction keeps the essential conflict: x1=1 ∧ w=1 ⇒ y3=1,
+// so (x1=1, w=1, y3=0) is conflicting and analysis learns
+// (¬x1 ∨ ¬w ∨ y3).
+func Figure3() *Circuit {
+	c := New()
+	x1 := c.AddInput("x1")
+	w := c.AddInput("w")
+	y1 := c.AddGate(And, "y1", x1, w)
+	y2 := c.AddGate(And, "y2", x1, w)
+	y3 := c.AddGate(Or, "y3", y1, y2)
+	c.MarkOutput(y3)
+	return c
+}
+
+// RippleCarryAdderNAND builds a ripple-carry adder whose carry logic is
+// realized in NAND-NAND form: functionally identical to
+// RippleCarryAdder (same input/output names and order) but structurally
+// different, the canonical CEC workload pair.
+func RippleCarryAdderNAND(n int) *Circuit {
+	c := New()
+	as := make([]NodeID, n)
+	bs := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	carry := c.AddInput("cin")
+	for i := 0; i < n; i++ {
+		axb := c.AddGate(Xor, fmt.Sprintf("nx%d", i), as[i], bs[i])
+		s := c.AddGate(Xor, fmt.Sprintf("ns%d", i), axb, carry)
+		c.MarkOutput(s)
+		n1 := c.AddGate(Nand, fmt.Sprintf("nn1_%d", i), as[i], bs[i])
+		n2 := c.AddGate(Nand, fmt.Sprintf("nn2_%d", i), axb, carry)
+		carry = c.AddGate(Nand, fmt.Sprintf("nc%d", i), n1, n2)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// ALU builds an n-bit arithmetic-logic unit with two data words, two
+// operation-select bits and outputs r0..r(n-1):
+//
+//	op = 00: a + b (no carry out)
+//	op = 01: a AND b
+//	op = 10: a OR b
+//	op = 11: a XOR b
+//
+// It is the realistic datapath workload used by the application benches
+// (deep carry chain + wide mux structure in one circuit).
+func ALU(n int) *Circuit {
+	c := New()
+	as := make([]NodeID, n)
+	bs := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		as[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		bs[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	s0 := c.AddInput("op0")
+	s1 := c.AddInput("op1")
+	ns0 := c.AddGate(Not, "nop0", s0)
+	ns1 := c.AddGate(Not, "nop1", s1)
+	selAdd := c.AddGate(And, "sel_add", ns1, ns0)
+	selAnd := c.AddGate(And, "sel_and", ns1, s0)
+	selOr := c.AddGate(And, "sel_or", s1, ns0)
+	selXor := c.AddGate(And, "sel_xor", s1, s0)
+
+	carry := c.AddConst(false, "c0")
+	for i := 0; i < n; i++ {
+		sum, cout := fullAdder(c, as[i], bs[i], carry, fmt.Sprintf("alu_fa%d", i))
+		carry = cout
+		andB := c.AddGate(And, fmt.Sprintf("andb%d", i), as[i], bs[i])
+		orB := c.AddGate(Or, fmt.Sprintf("orb%d", i), as[i], bs[i])
+		xorB := c.AddGate(Xor, fmt.Sprintf("xorb%d", i), as[i], bs[i])
+		m0 := c.AddGate(And, fmt.Sprintf("m0_%d", i), sum, selAdd)
+		m1 := c.AddGate(And, fmt.Sprintf("m1_%d", i), andB, selAnd)
+		m2 := c.AddGate(And, fmt.Sprintf("m2_%d", i), orB, selOr)
+		m3 := c.AddGate(And, fmt.Sprintf("m3_%d", i), xorB, selXor)
+		r := c.AddGate(Or, fmt.Sprintf("r%d", i), m0, m1, m2, m3)
+		c.MarkOutput(r)
+	}
+	return c
+}

@@ -1,0 +1,269 @@
+package circuit
+
+import "repro/internal/cnf"
+
+// Simulate performs 64-way bit-parallel simulation: each input word
+// carries 64 independent patterns. It returns one word per node.
+// The inputs slice is indexed like c.Inputs.
+func (c *Circuit) Simulate(inputs []uint64) []uint64 {
+	if len(inputs) != len(c.Inputs) {
+		panic("circuit: Simulate input count mismatch")
+	}
+	val := make([]uint64, len(c.Nodes))
+	inIdx := 0
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case Input:
+			val[i] = inputs[inIdx]
+			inIdx++
+		case Const0:
+			val[i] = 0
+		case Const1:
+			val[i] = ^uint64(0)
+		case Buf:
+			val[i] = val[n.Fanin[0]]
+		case Not:
+			val[i] = ^val[n.Fanin[0]]
+		case And, Nand:
+			v := ^uint64(0)
+			for _, f := range n.Fanin {
+				v &= val[f]
+			}
+			if n.Type == Nand {
+				v = ^v
+			}
+			val[i] = v
+		case Or, Nor:
+			v := uint64(0)
+			for _, f := range n.Fanin {
+				v |= val[f]
+			}
+			if n.Type == Nor {
+				v = ^v
+			}
+			val[i] = v
+		case Xor, Xnor:
+			v := uint64(0)
+			for _, f := range n.Fanin {
+				v ^= val[f]
+			}
+			if n.Type == Xnor {
+				v = ^v
+			}
+			val[i] = v
+		}
+	}
+	return val
+}
+
+// SimulateBool simulates a single Boolean pattern.
+func (c *Circuit) SimulateBool(inputs []bool) []bool {
+	words := make([]uint64, len(inputs))
+	for i, b := range inputs {
+		if b {
+			words[i] = 1
+		}
+	}
+	vals := c.Simulate(words)
+	out := make([]bool, len(vals))
+	for i, w := range vals {
+		out[i] = w&1 == 1
+	}
+	return out
+}
+
+// OutputsOf extracts the output values from a node-value slice.
+func (c *Circuit) OutputsOf(vals []uint64) []uint64 {
+	out := make([]uint64, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = vals[o]
+	}
+	return out
+}
+
+// SimulateLBool performs three-valued (0/1/X) simulation, used to verify
+// that partially-specified test patterns (§5: non-overspecified input
+// patterns) still establish the required values. Controlling values
+// dominate X inputs as in standard ternary simulation.
+func (c *Circuit) SimulateLBool(inputs []cnf.LBool) []cnf.LBool {
+	if len(inputs) != len(c.Inputs) {
+		panic("circuit: SimulateLBool input count mismatch")
+	}
+	val := make([]cnf.LBool, len(c.Nodes))
+	inIdx := 0
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case Input:
+			val[i] = inputs[inIdx]
+			inIdx++
+		case Const0:
+			val[i] = cnf.False
+		case Const1:
+			val[i] = cnf.True
+		case Buf:
+			val[i] = val[n.Fanin[0]]
+		case Not:
+			val[i] = val[n.Fanin[0]].Not()
+		case And, Nand:
+			v := cnf.True
+			for _, f := range n.Fanin {
+				v = and3(v, val[f])
+			}
+			if n.Type == Nand {
+				v = v.Not()
+			}
+			val[i] = v
+		case Or, Nor:
+			v := cnf.False
+			for _, f := range n.Fanin {
+				v = or3(v, val[f])
+			}
+			if n.Type == Nor {
+				v = v.Not()
+			}
+			val[i] = v
+		case Xor, Xnor:
+			v := cnf.False
+			for _, f := range n.Fanin {
+				v = xor3(v, val[f])
+			}
+			if n.Type == Xnor {
+				v = v.Not()
+			}
+			val[i] = v
+		}
+	}
+	return val
+}
+
+func and3(a, b cnf.LBool) cnf.LBool {
+	if a == cnf.False || b == cnf.False {
+		return cnf.False
+	}
+	if a == cnf.True && b == cnf.True {
+		return cnf.True
+	}
+	return cnf.Undef
+}
+
+func or3(a, b cnf.LBool) cnf.LBool {
+	if a == cnf.True || b == cnf.True {
+		return cnf.True
+	}
+	if a == cnf.False && b == cnf.False {
+		return cnf.False
+	}
+	return cnf.Undef
+}
+
+func xor3(a, b cnf.LBool) cnf.LBool {
+	if a == cnf.Undef || b == cnf.Undef {
+		return cnf.Undef
+	}
+	if a == b {
+		return cnf.False
+	}
+	return cnf.True
+}
+
+// evalWord computes a gate function over 64-way packed words.
+func evalWord(t GateType, ins []uint64) uint64 {
+	switch t {
+	case Const0:
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case Buf:
+		return ins[0]
+	case Not:
+		return ^ins[0]
+	case And, Nand:
+		v := ^uint64(0)
+		for _, x := range ins {
+			v &= x
+		}
+		if t == Nand {
+			return ^v
+		}
+		return v
+	case Or, Nor:
+		v := uint64(0)
+		for _, x := range ins {
+			v |= x
+		}
+		if t == Nor {
+			return ^v
+		}
+		return v
+	case Xor, Xnor:
+		v := uint64(0)
+		for _, x := range ins {
+			v ^= x
+		}
+		if t == Xnor {
+			return ^v
+		}
+		return v
+	}
+	panic("circuit: evalWord on INPUT")
+}
+
+// Injection describes a stuck value for fault simulation: Pin == -1
+// forces the node's output; Pin >= 0 forces the value seen on that fanin
+// position of the node (a branch fault on the connection).
+type Injection struct {
+	Node  NodeID
+	Pin   int
+	Value uint64
+}
+
+// SimulateInject is Simulate with stuck-at injections applied — the
+// engine behind parallel-pattern fault simulation in the atpg package.
+func (c *Circuit) SimulateInject(inputs []uint64, inj []Injection) []uint64 {
+	if len(inputs) != len(c.Inputs) {
+		panic("circuit: SimulateInject input count mismatch")
+	}
+	outForce := make(map[NodeID]uint64)
+	pinForce := make(map[NodeID]map[int]uint64)
+	for _, j := range inj {
+		if j.Pin < 0 {
+			outForce[j.Node] = j.Value
+		} else {
+			if pinForce[j.Node] == nil {
+				pinForce[j.Node] = make(map[int]uint64)
+			}
+			pinForce[j.Node][j.Pin] = j.Value
+		}
+	}
+	val := make([]uint64, len(c.Nodes))
+	scratch := make([]uint64, 0, 8)
+	inIdx := 0
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		id := NodeID(i)
+		var v uint64
+		if n.Type == Input {
+			v = inputs[inIdx]
+			inIdx++
+		} else {
+			scratch = scratch[:0]
+			for pin, f := range n.Fanin {
+				x := val[f]
+				if pf, ok := pinForce[id]; ok {
+					if fv, ok2 := pf[pin]; ok2 {
+						x = fv
+					}
+				}
+				scratch = append(scratch, x)
+			}
+			v = evalWord(n.Type, scratch)
+		}
+		if fv, ok := outForce[id]; ok {
+			v = fv
+		}
+		val[i] = v
+	}
+	return val
+}

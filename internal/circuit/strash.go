@@ -1,0 +1,90 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Strash structurally hashes the circuit: gates with the same type and
+// the same (order-normalized) fanins are merged, constants are folded
+// into gate keys, and buffers collapse. The returned circuit computes
+// the same outputs with at most as many gates. Structural hashing is
+// the classic front-end of equivalence checkers: structurally identical
+// regions of two designs merge before SAT sees them.
+func Strash(c *Circuit) *Circuit {
+	out := New()
+	newID := make([]NodeID, len(c.Nodes))
+	byKey := make(map[string]NodeID)
+
+	gateNode := func(t GateType, fanin []NodeID, name string) NodeID {
+		// Commutative gates: normalize fanin order for hashing.
+		key := fmt.Sprintf("%d", t)
+		sorted := append([]NodeID(nil), fanin...)
+		switch t {
+		case And, Nand, Or, Nor, Xor, Xnor:
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		}
+		parts := make([]string, len(sorted))
+		for i, f := range sorted {
+			parts[i] = fmt.Sprintf("%d", f)
+		}
+		key += ":" + strings.Join(parts, ",")
+		if id, ok := byKey[key]; ok {
+			return id
+		}
+		id := out.AddGate(t, uniqueName(out, name), sorted...)
+		byKey[key] = id
+		return id
+	}
+
+	var c0, c1 NodeID = NoNode, NoNode
+	constNode := func(v bool) NodeID {
+		if v {
+			if c1 == NoNode {
+				c1 = out.AddConst(true, uniqueName(out, "one"))
+			}
+			return c1
+		}
+		if c0 == NoNode {
+			c0 = out.AddConst(false, uniqueName(out, "zero"))
+		}
+		return c0
+	}
+
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case Input:
+			newID[i] = out.AddInput(n.Name)
+		case Const0:
+			newID[i] = constNode(false)
+		case Const1:
+			newID[i] = constNode(true)
+		case Buf:
+			newID[i] = newID[n.Fanin[0]] // collapse buffers
+		default:
+			fanin := make([]NodeID, len(n.Fanin))
+			for j, f := range n.Fanin {
+				fanin[j] = newID[f]
+			}
+			newID[i] = gateNode(n.Type, fanin, n.Name)
+		}
+	}
+	for _, o := range c.Outputs {
+		out.MarkOutput(newID[o])
+	}
+	return out
+}
+
+func uniqueName(c *Circuit, base string) string {
+	if base != "" && c.NodeByName(base) == NoNode {
+		return base
+	}
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s_s%d", base, i)
+		if c.NodeByName(name) == NoNode {
+			return name
+		}
+	}
+}

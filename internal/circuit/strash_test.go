@@ -1,0 +1,106 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStrashMergesDuplicates(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(And, "g1", a, b)
+	g2 := c.AddGate(And, "g2", b, a) // same gate, swapped fanins
+	o := c.AddGate(Or, "o", g1, g2)  // collapses to OR(g, g)
+	c.MarkOutput(o)
+	s := Strash(c)
+	if s.NumGates() >= c.NumGates() {
+		t.Fatalf("strash did not merge: %d -> %d gates", c.NumGates(), s.NumGates())
+	}
+	// Function preserved.
+	for pat := 0; pat < 4; pat++ {
+		in := []bool{pat&1 != 0, pat&2 != 0}
+		if c.SimulateBool(in)[o] != s.SimulateBool(in)[s.Outputs[0]] {
+			t.Fatalf("strash changed function at %d", pat)
+		}
+	}
+}
+
+func TestStrashCollapsesBuffers(t *testing.T) {
+	c := New()
+	a := c.AddInput("a")
+	b1 := c.AddGate(Buf, "b1", a)
+	b2 := c.AddGate(Buf, "b2", b1)
+	n := c.AddGate(Not, "n", b2)
+	c.MarkOutput(n)
+	s := Strash(c)
+	if s.NumGates() != 1 {
+		t.Fatalf("expected single NOT, got %d gates", s.NumGates())
+	}
+}
+
+func TestStrashPreservesRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		c := RandomDAG(6, 30, 3, seed)
+		s := Strash(c)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.NumGates() > c.NumGates() {
+			t.Fatalf("seed %d: strash grew the circuit", seed)
+		}
+		rng := rand.New(rand.NewSource(seed + 50))
+		for trial := 0; trial < 20; trial++ {
+			in := make([]uint64, len(c.Inputs))
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			cv := c.Simulate(in)
+			sv := s.Simulate(in)
+			for i := range c.Outputs {
+				if cv[c.Outputs[i]] != sv[s.Outputs[i]] {
+					t.Fatalf("seed %d: output %d differs", seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStrashSharedSubcircuits(t *testing.T) {
+	// Duplicate an adder twice and XOR outputs: strash should merge the
+	// two copies entirely (the miter of a circuit with itself).
+	a := RippleCarryAdder(4)
+	m := New()
+	newA := make([]NodeID, len(a.Nodes))
+	newB := make([]NodeID, len(a.Nodes))
+	for i := range a.Nodes {
+		n := &a.Nodes[i]
+		if n.Type == Input {
+			id := m.AddInput(n.Name)
+			newA[i] = id
+			newB[i] = id
+			continue
+		}
+		fa := make([]NodeID, len(n.Fanin))
+		fb := make([]NodeID, len(n.Fanin))
+		for j, f := range n.Fanin {
+			fa[j] = newA[f]
+			fb[j] = newB[f]
+		}
+		newA[i] = m.AddGate(n.Type, "A_"+n.Name, fa...)
+		newB[i] = m.AddGate(n.Type, "B_"+n.Name, fb...)
+	}
+	var diffs []NodeID
+	for i, o := range a.Outputs {
+		diffs = append(diffs, m.AddGate(Xor, uniqueName(m, "d"+a.Name(a.Outputs[i])), newA[o], newB[o]))
+	}
+	top := m.AddGate(Or, "top", diffs...)
+	m.MarkOutput(top)
+
+	s := Strash(m)
+	// After merging the copies, every XOR has identical fanins; it
+	// remains but the duplicated adder halves; expect far fewer gates.
+	if s.NumGates() > m.NumGates()/2+len(diffs)+2 {
+		t.Fatalf("strash failed to merge copies: %d -> %d gates", m.NumGates(), s.NumGates())
+	}
+}

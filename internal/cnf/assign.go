@@ -1,0 +1,133 @@
+package cnf
+
+// LBool is a three-valued Boolean: true, false or undefined.
+type LBool int8
+
+// The three LBool values.
+const (
+	Undef LBool = iota // unassigned
+	True               // assigned 1
+	False              // assigned 0
+)
+
+// FromBool lifts a Go bool to an LBool.
+func FromBool(b bool) LBool {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Not returns the complement (Undef maps to Undef).
+func (b LBool) Not() LBool {
+	switch b {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Undef
+}
+
+// String renders the LBool as "1", "0" or "X".
+func (b LBool) String() string {
+	switch b {
+	case True:
+		return "1"
+	case False:
+		return "0"
+	}
+	return "X"
+}
+
+// Assignment maps variables to LBool values. Index 0 is unused.
+type Assignment []LBool
+
+// NewAssignment returns an all-undefined assignment for n variables.
+func NewAssignment(n int) Assignment { return make(Assignment, n+1) }
+
+// Value returns the value assigned to v (Undef if v is out of range).
+func (a Assignment) Value(v Var) LBool {
+	if int(v) >= len(a) || v <= 0 {
+		return Undef
+	}
+	return a[v]
+}
+
+// LitValue returns the value of the literal under the assignment.
+func (a Assignment) LitValue(l Lit) LBool {
+	v := a.Value(l.Var())
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// Assign sets the literal l to true (its variable to the corresponding
+// polarity), growing the assignment if needed is not supported: v must be
+// within range.
+func (a Assignment) Assign(l Lit) {
+	a[l.Var()] = FromBool(!l.IsNeg())
+}
+
+// Unassign clears the variable underlying l.
+func (a Assignment) Unassign(l Lit) { a[l.Var()] = Undef }
+
+// NumAssigned counts the variables with a defined value.
+func (a Assignment) NumAssigned() int {
+	n := 0
+	for _, v := range a[1:] {
+		if v != Undef {
+			n++
+		}
+	}
+	return n
+}
+
+// EvalClause returns the clause's value under the assignment:
+// True if some literal is true, False if all literals are false,
+// Undef otherwise.
+func (a Assignment) EvalClause(c Clause) LBool {
+	allFalse := true
+	for _, l := range c {
+		switch a.LitValue(l) {
+		case True:
+			return True
+		case Undef:
+			allFalse = false
+		}
+	}
+	if allFalse {
+		return False
+	}
+	return Undef
+}
+
+// Eval returns the formula's value under the assignment: False if any
+// clause is falsified, True if every clause is satisfied, Undef otherwise.
+func (a Assignment) Eval(f *Formula) LBool {
+	allTrue := true
+	for _, c := range f.Clauses {
+		switch a.EvalClause(c) {
+		case False:
+			return False
+		case Undef:
+			allTrue = false
+		}
+	}
+	if allTrue {
+		return True
+	}
+	return Undef
+}
+
+// Satisfies reports whether the (possibly partial) assignment satisfies
+// every clause of f.
+func (a Assignment) Satisfies(f *Formula) bool { return a.Eval(f) == True }
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	copy(out, a)
+	return out
+}

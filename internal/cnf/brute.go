@@ -1,0 +1,42 @@
+package cnf
+
+// BruteForce decides satisfiability by exhaustive enumeration. It is the
+// reference oracle used by the test suite to validate the real solvers
+// and is practical only for small formulas (it panics above 25 variables
+// to catch accidental misuse).
+func BruteForce(f *Formula) (bool, Assignment) {
+	n := f.NumVars()
+	if n > 25 {
+		panic("cnf: BruteForce limited to 25 variables")
+	}
+	a := NewAssignment(n)
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			a[v] = FromBool(mask&(1<<uint(v-1)) != 0)
+		}
+		if a.Satisfies(f) {
+			return true, a.Clone()
+		}
+	}
+	return false, nil
+}
+
+// CountModels counts satisfying assignments by exhaustive enumeration
+// (over the formula's NumVars variables). Same size limits as BruteForce.
+func CountModels(f *Formula) int {
+	n := f.NumVars()
+	if n > 25 {
+		panic("cnf: CountModels limited to 25 variables")
+	}
+	a := NewAssignment(n)
+	count := 0
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			a[v] = FromBool(mask&(1<<uint(v-1)) != 0)
+		}
+		if a.Satisfies(f) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,106 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a formula in DIMACS CNF format. It tolerates missing
+// or inconsistent "p cnf" headers (the variable count is grown to the
+// maximum variable seen) but rejects malformed tokens, unterminated
+// clauses at EOF, and literals exceeding the declared variable count are
+// accepted with the count adjusted upward.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	f := New(0)
+	var cur Clause
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch text[0] {
+		case 'c', '%':
+			continue
+		case 'p':
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, litErr("line %d: malformed problem line %q", line, text)
+			}
+			nv, err1 := strconv.Atoi(fields[2])
+			_, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || nv < 0 {
+				return nil, litErr("line %d: malformed problem line %q", line, text)
+			}
+			f.EnsureVars(nv)
+			sawHeader = true
+			continue
+		case '0':
+			// A line can legitimately start with a 0 terminating a clause
+			// built across lines; fall through to token parsing.
+		}
+		for _, tok := range strings.Fields(text) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, litErr("line %d: bad literal %q", line, tok)
+			}
+			if n == 0 {
+				f.AddClause(cur)
+				cur = nil
+				continue
+			}
+			cur = append(cur, FromDIMACS(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) != 0 {
+		return nil, litErr("unterminated clause at end of input")
+	}
+	_ = sawHeader
+	return f, nil
+}
+
+// ParseDIMACSString parses a DIMACS CNF from a string.
+func ParseDIMACSString(s string) (*Formula, error) {
+	return ParseDIMACS(strings.NewReader(s))
+}
+
+// WriteDIMACS writes the formula in DIMACS CNF format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range f.Comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars(), f.NumClauses()); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", l.DIMACS()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DIMACSString renders the formula in DIMACS CNF format as a string.
+func DIMACSString(f *Formula) string {
+	var b strings.Builder
+	_ = WriteDIMACS(&b, f)
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package cnf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars. The zero value is an empty formula with no variables.
+type Formula struct {
+	numVars int
+	Clauses []Clause
+	// Comments carries optional annotations (e.g. variable names from a
+	// circuit encoding) that serializers may emit as DIMACS comments.
+	Comments []string
+}
+
+// New returns an empty formula with n variables.
+func New(n int) *Formula {
+	if n < 0 {
+		n = 0
+	}
+	return &Formula{numVars: n}
+}
+
+// NumVars returns the number of variables in the formula.
+func (f *Formula) NumVars() int { return f.numVars }
+
+// NumClauses returns the number of clauses in the formula.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// NewVar allocates a fresh variable and returns it.
+func (f *Formula) NewVar() Var {
+	f.numVars++
+	return Var(f.numVars)
+}
+
+// NewVars allocates n fresh variables and returns them in order.
+func (f *Formula) NewVars(n int) []Var {
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i] = f.NewVar()
+	}
+	return vs
+}
+
+// EnsureVars grows the variable count so that it is at least n.
+func (f *Formula) EnsureVars(n int) {
+	if n > f.numVars {
+		f.numVars = n
+	}
+}
+
+// Add appends a clause built from literals, growing the variable count as
+// needed. The clause is stored as given (no normalization).
+func (f *Formula) Add(lits ...Lit) {
+	c := make(Clause, len(lits))
+	copy(c, lits)
+	f.AddClause(c)
+}
+
+// AddClause appends the clause, growing the variable count as needed.
+// The formula takes ownership of c.
+func (f *Formula) AddClause(c Clause) {
+	if mv := int(c.MaxVar()); mv > f.numVars {
+		f.numVars = mv
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// AddDIMACS appends a clause given as DIMACS-style signed integers.
+func (f *Formula) AddDIMACS(dimacs ...int) {
+	f.AddClause(NewClause(dimacs...))
+}
+
+// AddUnit appends a unit clause asserting l.
+func (f *Formula) AddUnit(l Lit) { f.Add(l) }
+
+// Clone returns a deep copy of the formula.
+func (f *Formula) Clone() *Formula {
+	g := &Formula{numVars: f.numVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		g.Clauses[i] = c.Clone()
+	}
+	g.Comments = append(g.Comments, f.Comments...)
+	return g
+}
+
+// String renders the formula as a conjunction of clause strings; intended
+// for debugging and small examples, not large instances.
+func (f *Formula) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cnf[%d vars]", f.numVars)
+	for _, c := range f.Clauses {
+		b.WriteByte(' ')
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// MaxVar returns the largest variable mentioned in any clause (which may
+// be smaller than NumVars if trailing variables are unused).
+func (f *Formula) MaxVar() Var {
+	var m Var
+	for _, c := range f.Clauses {
+		if v := c.MaxVar(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// NumLiterals returns the total literal count across all clauses.
+func (f *Formula) NumLiterals() int {
+	n := 0
+	for _, c := range f.Clauses {
+		n += len(c)
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+// Package core assembles the paper's complete SAT "package": the
+// Preprocess() stage of Figure 2 (simplification, equivalency reasoning,
+// recursive learning on CNF) in front of the backtrack-search engine,
+// with optional local-search and hardware-model back ends. It is the
+// high-level entry point the EDA applications and command-line tools
+// use; the individual techniques live in the solver, preprocess,
+// reclearn, localsearch and hwsat packages.
+package core
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/localsearch"
+	"repro/internal/preprocess"
+	"repro/internal/reclearn"
+	"repro/internal/solver"
+)
+
+// Engine selects the decision procedure.
+type Engine int
+
+// Available engines.
+const (
+	// EngineCDCL is the modern backtrack-search solver (default).
+	EngineCDCL Engine = iota
+	// EngineLocalSearch is WalkSAT: incomplete, SAT answers only.
+	EngineLocalSearch
+)
+
+// Options configures the pipeline.
+type Options struct {
+	Engine Engine
+	// Preprocess enables the simplification pipeline (units, pure
+	// literals, subsumption, self-subsumption, probing).
+	Preprocess bool
+	// EquivalencyReasoning enables variable substitution from the
+	// binary implication graph (§6); implies Preprocess.
+	EquivalencyReasoning bool
+	// RecursiveLearning applies recursive learning of the given depth
+	// to strengthen the formula before search (0 = off, §4.2).
+	RecursiveLearning int
+	// Solver carries backtrack-search options.
+	Solver solver.Options
+	// LocalSearch carries WalkSAT options.
+	LocalSearch localsearch.Options
+}
+
+// Answer is a pipeline verdict.
+type Answer struct {
+	Status solver.Status
+	// Model is a satisfying assignment over the ORIGINAL variables
+	// (preprocessing substitutions undone).
+	Model cnf.Assignment
+	// Preprocessing / learning statistics, when the stages ran.
+	Pre   *preprocess.Stats
+	Learn *reclearn.Stats
+	// SolverStats is populated when the CDCL engine ran.
+	SolverStats *solver.Stats
+}
+
+// Solve runs the configured pipeline on f.
+func Solve(f *cnf.Formula, opts Options) *Answer {
+	ans := &Answer{}
+	work := f
+
+	var pre *preprocess.Result
+	if opts.Preprocess || opts.EquivalencyReasoning {
+		popts := preprocess.Options{
+			PureLiterals:    true,
+			Subsumption:     true,
+			SelfSubsumption: true,
+			FailedLiterals:  true,
+			VarElim:         true,
+			Equivalences:    opts.EquivalencyReasoning,
+		}
+		pre = preprocess.Simplify(work, popts)
+		ans.Pre = &pre.Stats
+		switch pre.Decided {
+		case cnf.False:
+			ans.Status = solver.Unsat
+			return ans
+		case cnf.True:
+			ans.Status = solver.Sat
+			ans.Model = pre.ExtendModel(cnf.NewAssignment(f.NumVars()))
+			return ans
+		}
+		work = pre.Formula
+	}
+
+	if opts.RecursiveLearning > 0 {
+		strengthened, res := reclearn.Strengthen(work, reclearn.Options{MaxDepth: opts.RecursiveLearning})
+		ans.Learn = &res.Stats
+		if res.Unsat {
+			ans.Status = solver.Unsat
+			return ans
+		}
+		work = strengthened
+	}
+
+	switch opts.Engine {
+	case EngineLocalSearch:
+		res := localsearch.Solve(work, opts.LocalSearch)
+		if res.Sat {
+			ans.Status = solver.Sat
+			ans.Model = finishModel(f, pre, res.Model)
+		} else {
+			ans.Status = solver.Unknown // incomplete engine
+		}
+		return ans
+
+	default:
+		s := solver.FromFormula(work, opts.Solver)
+		st := s.Solve()
+		stats := s.Stats
+		ans.SolverStats = &stats
+		ans.Status = st
+		if st == solver.Sat {
+			ans.Model = finishModel(f, pre, s.Model())
+		}
+		return ans
+	}
+}
+
+// finishModel lifts a model of the (possibly simplified) formula back to
+// the original variable space.
+func finishModel(orig *cnf.Formula, pre *preprocess.Result, m cnf.Assignment) cnf.Assignment {
+	out := cnf.NewAssignment(orig.NumVars())
+	for v := 1; v < len(out) && v < len(m); v++ {
+		out[v] = m[v]
+	}
+	if pre != nil {
+		out = pre.ExtendModel(out)
+	} else {
+		for v := 1; v < len(out); v++ {
+			if out[v] == cnf.Undef {
+				out[v] = cnf.False
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+func pipelines() map[string]Options {
+	return map[string]Options{
+		"plain":      {},
+		"preprocess": {Preprocess: true},
+		"equiv":      {EquivalencyReasoning: true},
+		"reclearn1":  {RecursiveLearning: 1},
+		"reclearn2":  {RecursiveLearning: 2},
+		"full":       {EquivalencyReasoning: true, RecursiveLearning: 1},
+	}
+}
+
+func TestPipelinesAgreeWithBruteForce(t *testing.T) {
+	for name, opts := range pipelines() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 40; seed++ {
+				nv := 5 + int(seed%5)
+				f := gen.RandomKSAT(nv, nv*4, 3, seed)
+				want, _ := cnf.BruteForce(f)
+				ans := Solve(f, opts)
+				if (ans.Status == solver.Sat) != want {
+					t.Fatalf("seed %d: %v vs brute %v", seed, ans.Status, want)
+				}
+				if ans.Status == solver.Sat && !ans.Model.Satisfies(f) {
+					t.Fatalf("seed %d: model does not satisfy original formula", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestEquivalencyPipelineOnLadder(t *testing.T) {
+	f := gen.EquivalenceLadder(40, 30, 3)
+	ans := Solve(f, Options{EquivalencyReasoning: true})
+	if ans.Status != solver.Sat {
+		t.Fatalf("ladder is SAT, got %v", ans.Status)
+	}
+	// Failed-literal probing may collapse the single equivalence class
+	// to units before substitution runs; either way the preprocessor
+	// must have dissolved the ladder.
+	if ans.Pre == nil || (ans.Pre.VarsSubstituted == 0 && ans.Pre.UnitsFixed == 0) {
+		t.Fatal("equivalency pipeline did not simplify the ladder")
+	}
+	if !ans.Model.Satisfies(f) {
+		t.Fatal("model broken after substitution undo")
+	}
+}
+
+func TestLocalSearchEngine(t *testing.T) {
+	f := gen.RandomKSAT(15, 40, 3, 2) // easy region
+	want, _ := cnf.BruteForce(cnfTruncate(f))
+	_ = want
+	ans := Solve(f, Options{Engine: EngineLocalSearch})
+	if ans.Status == solver.Sat && !ans.Model.Satisfies(f) {
+		t.Fatal("local search returned bad model")
+	}
+	// On UNSAT input local search must never answer Unsat.
+	u := gen.Pigeonhole(3)
+	ans = Solve(u, Options{Engine: EngineLocalSearch})
+	if ans.Status == solver.Unsat {
+		t.Fatal("incomplete engine cannot prove UNSAT")
+	}
+}
+
+// cnfTruncate keeps formulas under the brute-force variable cap.
+func cnfTruncate(f *cnf.Formula) *cnf.Formula {
+	if f.NumVars() <= 25 {
+		return f
+	}
+	return cnf.New(1)
+}
+
+func TestDecidedByPreprocessing(t *testing.T) {
+	// Pure units: decided without search.
+	f := cnf.New(3)
+	f.AddDIMACS(1)
+	f.AddDIMACS(-1, 2)
+	f.AddDIMACS(-2, 3)
+	ans := Solve(f, Options{Preprocess: true})
+	if ans.Status != solver.Sat || ans.SolverStats != nil {
+		t.Fatalf("should be decided by preprocessing alone: %+v", ans)
+	}
+	if !ans.Model.Satisfies(f) {
+		t.Fatal("model wrong")
+	}
+	// Contradiction decided by preprocessing.
+	g := cnf.New(1)
+	g.AddDIMACS(1)
+	g.AddDIMACS(-1)
+	if Solve(g, Options{Preprocess: true}).Status != solver.Unsat {
+		t.Fatal("should be Unsat via preprocessing")
+	}
+}
+
+func TestRecursiveLearningStats(t *testing.T) {
+	f := gen.RandomKSAT(10, 35, 3, 4)
+	ans := Solve(f, Options{RecursiveLearning: 2})
+	if ans.Learn == nil || ans.Learn.Splits == 0 {
+		t.Fatal("recursive learning did not run")
+	}
+}
+
+func TestXorChainThroughPipelines(t *testing.T) {
+	sat := gen.XorChain(14, false, 9)
+	unsat := gen.XorChain(14, true, 9)
+	for name, opts := range pipelines() {
+		if opts.Engine == EngineLocalSearch {
+			continue
+		}
+		a := Solve(sat, opts)
+		if a.Status != solver.Sat {
+			t.Fatalf("%s: even cycle must be SAT", name)
+		}
+		if !a.Model.Satisfies(sat) {
+			t.Fatalf("%s: bad model", name)
+		}
+		if Solve(unsat, opts).Status != solver.Unsat {
+			t.Fatalf("%s: odd cycle must be UNSAT", name)
+		}
+	}
+}

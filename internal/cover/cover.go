@@ -1,0 +1,340 @@
+package cover
+
+import (
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// Problem is a (possibly binate) covering problem: choose a minimum-cost
+// subset of columns such that every row is covered. Row literals are
+// column indices; negative entries (binate rows) are covered by NOT
+// selecting the column.
+type Problem struct {
+	NumCols int
+	// Rows[i] lists the satisfying column literals of row i: +c means
+	// "column c selected", -c-1 is not used — we encode polarity in the
+	// RowLit struct instead.
+	Rows [][]RowLit
+	// Weights holds per-column costs (nil = unit costs).
+	Weights []int
+}
+
+// RowLit is one literal of a covering row.
+type RowLit struct {
+	Col int
+	Neg bool // covered by NOT selecting the column (binate rows)
+}
+
+// NewUnate builds a unate covering problem from rows of column indices.
+func NewUnate(numCols int, rows [][]int) *Problem {
+	p := &Problem{NumCols: numCols}
+	for _, r := range rows {
+		row := make([]RowLit, len(r))
+		for i, c := range r {
+			row[i] = RowLit{Col: c}
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p
+}
+
+// Cost returns the cost of a selection.
+func (p *Problem) Cost(sel []bool) int {
+	cost := 0
+	for c, on := range sel {
+		if on {
+			if p.Weights != nil {
+				cost += p.Weights[c]
+			} else {
+				cost++
+			}
+		}
+	}
+	return cost
+}
+
+// Feasible reports whether the selection covers every row.
+func (p *Problem) Feasible(sel []bool) bool {
+	for _, row := range p.Rows {
+		ok := false
+		for _, rl := range row {
+			if sel[rl.Col] != rl.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Result reports an optimization run.
+type Result struct {
+	// Optimal is true when optimality was proven within budget.
+	Optimal bool
+	// Feasible is false when the constraints are unsatisfiable.
+	Feasible bool
+	Cost     int
+	Select   []bool
+	SATCalls int
+	// Nodes counts branch-and-bound tree nodes (B&B only).
+	Nodes int64
+}
+
+// Options configures the optimizers.
+type Options struct {
+	// MaxConflicts bounds each SAT call (0 = unlimited).
+	MaxConflicts int64
+	Solver       solver.Options
+	// Reduce applies the covering-matrix reductions (essential columns,
+	// row/column dominance) before optimization; the forced columns are
+	// merged back into the reported solution.
+	Reduce bool
+}
+
+// SolveSAT minimizes the covering cost by linear SAT/UNSAT search with a
+// totalizer bound ([Manquinho & Marques-Silva], paper §3).
+func SolveSAT(p *Problem, opts Options) *Result {
+	if opts.Reduce {
+		return solveReduced(p, opts, SolveSAT)
+	}
+	res := &Result{}
+	f := cnf.New(p.NumCols) // var c+1 = column c selected
+	for _, row := range p.Rows {
+		c := make(cnf.Clause, len(row))
+		for i, rl := range row {
+			c[i] = cnf.NewLit(cnf.Var(rl.Col+1), rl.Neg)
+		}
+		f.AddClause(c)
+	}
+	costLits := make([]cnf.Lit, p.NumCols)
+	for c := 0; c < p.NumCols; c++ {
+		costLits[c] = cnf.PosLit(cnf.Var(c + 1))
+	}
+	tot := BuildTotalizer(f, WeightedLits(costLits, p.Weights))
+
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(f, sopts)
+
+	for {
+		res.SATCalls++
+		switch s.Solve() {
+		case solver.Sat:
+			m := s.Model()
+			sel := make([]bool, p.NumCols)
+			for c := 0; c < p.NumCols; c++ {
+				sel[c] = m.Value(cnf.Var(c+1)) == cnf.True
+			}
+			cost := p.Cost(sel)
+			res.Feasible = true
+			res.Cost = cost
+			res.Select = sel
+			if cost == 0 {
+				res.Optimal = true
+				return res
+			}
+			// Tighten: cost ≤ current-1 via totalizer outputs.
+			for i := cost - 1; i < len(tot.Outputs); i++ {
+				if !s.AddClause(cnf.Clause{cnf.NegLit(tot.Outputs[i])}) {
+					res.Optimal = true
+					return res
+				}
+			}
+		case solver.Unsat:
+			if res.Feasible {
+				res.Optimal = true // previous model was optimal
+			}
+			return res
+		default:
+			return res // budget exhausted; best-so-far in res
+		}
+	}
+}
+
+// SolveBB minimizes the covering cost with classic branch and bound:
+// essential-column and dominance reductions, an independent-row-set
+// lower bound, and branching on the column covering the most rows
+// ([Coudert]-style baseline). Only unate problems are supported.
+func SolveBB(p *Problem, opts Options) *Result {
+	for _, row := range p.Rows {
+		for _, rl := range row {
+			if rl.Neg {
+				panic("cover: SolveBB supports unate problems only")
+			}
+		}
+	}
+	if opts.Reduce {
+		return solveReduced(p, opts, SolveBB)
+	}
+	res := &Result{Cost: 1 << 30}
+	sel := make([]bool, p.NumCols)
+	banned := make([]bool, p.NumCols)
+	alive := make([]bool, len(p.Rows))
+	for i := range alive {
+		alive[i] = true
+	}
+	bb(p, sel, banned, alive, 0, res)
+	if res.Cost == 1<<30 {
+		res.Cost = 0
+		return res
+	}
+	res.Feasible = true
+	res.Optimal = true
+	return res
+}
+
+func weight(p *Problem, c int) int {
+	if p.Weights == nil {
+		return 1
+	}
+	return p.Weights[c]
+}
+
+func bb(p *Problem, sel, banned, alive []bool, cost int, res *Result) {
+	res.Nodes++
+	// Collect uncovered rows.
+	var open []int
+	for i, a := range alive {
+		if !a {
+			continue
+		}
+		covered := false
+		feasible := false
+		for _, rl := range p.Rows[i] {
+			if sel[rl.Col] {
+				covered = true
+				break
+			}
+			if !banned[rl.Col] {
+				feasible = true
+			}
+		}
+		if covered {
+			continue
+		}
+		if !feasible {
+			return // dead end: row cannot be covered any more
+		}
+		open = append(open, i)
+	}
+	if len(open) == 0 {
+		if cost < res.Cost {
+			res.Cost = cost
+			res.Select = append([]bool(nil), sel...)
+		}
+		return
+	}
+	// Lower bound: greedy independent set of open rows (no shared
+	// columns); each needs at least its cheapest column.
+	lb := 0
+	usedCols := make(map[int]bool)
+	for _, r := range open {
+		shares := false
+		minW := 1 << 30
+		for _, rl := range p.Rows[r] {
+			if banned[rl.Col] {
+				continue
+			}
+			if usedCols[rl.Col] {
+				shares = true
+			}
+			if w := weight(p, rl.Col); w < minW {
+				minW = w
+			}
+		}
+		if !shares && minW < 1<<30 {
+			lb += minW
+			for _, rl := range p.Rows[r] {
+				usedCols[rl.Col] = true
+			}
+		}
+	}
+	if cost+lb >= res.Cost {
+		return // bound
+	}
+	// Branch on the column covering the most open rows (per unit cost).
+	counts := make([]int, p.NumCols)
+	for _, r := range open {
+		for _, rl := range p.Rows[r] {
+			if !banned[rl.Col] && !sel[rl.Col] {
+				counts[rl.Col]++
+			}
+		}
+	}
+	best := -1
+	for c, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if best < 0 || n*weight(p, best) > counts[best]*weight(p, c) {
+			best = c
+		}
+	}
+	if best < 0 {
+		return
+	}
+	// Include best.
+	sel[best] = true
+	bb(p, sel, banned, alive, cost+weight(p, best), res)
+	sel[best] = false
+	// Exclude best.
+	banned[best] = true
+	bb(p, sel, banned, alive, cost, res)
+	banned[best] = false
+}
+
+// RandomUnate generates a random unate covering instance where every row
+// has `perRow` distinct columns; a full-column check guarantees
+// feasibility.
+func RandomUnate(rows, cols, perRow int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{NumCols: cols}
+	for r := 0; r < rows; r++ {
+		seen := map[int]bool{}
+		var row []RowLit
+		for len(row) < perRow {
+			c := rng.Intn(cols)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			row = append(row, RowLit{Col: c})
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p
+}
+
+// solveReduced runs the reductions, solves the residue with the given
+// engine (with reductions disabled to avoid recursion), and merges the
+// forced columns back into the reported solution.
+func solveReduced(p *Problem, opts Options, engine func(*Problem, Options) *Result) *Result {
+	red, info := Reduce(p)
+	sub := opts
+	sub.Reduce = false
+	res := engine(red, sub)
+	if !res.Feasible && len(red.Rows) == 0 {
+		// Fully solved by reductions.
+		res.Feasible = true
+		res.Optimal = true
+		res.Cost = 0
+		res.Select = make([]bool, p.NumCols)
+	}
+	if res.Feasible {
+		if res.Select == nil {
+			res.Select = make([]bool, p.NumCols)
+		}
+		for _, c := range info.Forced {
+			if !res.Select[c] {
+				res.Select[c] = true
+			}
+		}
+		res.Cost = p.Cost(res.Select)
+	}
+	return res
+}

@@ -1,0 +1,328 @@
+package cover
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+func TestTotalizerCounts(t *testing.T) {
+	// Exhaustively verify the totalizer over 5 inputs: for every input
+	// assignment, out[i] must equal (popcount > i).
+	for n := 1; n <= 4; n++ {
+		f := cnf.New(n)
+		lits := make([]cnf.Lit, n)
+		for i := 0; i < n; i++ {
+			lits[i] = cnf.PosLit(cnf.Var(i + 1))
+		}
+		tot := BuildTotalizer(f, lits)
+		if len(tot.Outputs) != n {
+			t.Fatalf("n=%d: %d outputs", n, len(tot.Outputs))
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			g := f.Clone()
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					g.AddDIMACS(i + 1)
+				} else {
+					g.AddDIMACS(-(i + 1))
+				}
+			}
+			sat, m := cnf.BruteForce(g)
+			if !sat {
+				t.Fatalf("n=%d mask=%b: totalizer inconsistent", n, mask)
+			}
+			pop := 0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					pop++
+				}
+			}
+			for i, o := range tot.Outputs {
+				want := cnf.FromBool(pop > i)
+				if m.Value(o) != want {
+					t.Fatalf("n=%d mask=%b out[%d]=%v want %v", n, mask, i, m.Value(o), want)
+				}
+			}
+		}
+	}
+}
+
+func TestAtMostAtLeast(t *testing.T) {
+	f := cnf.New(4)
+	lits := []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3), cnf.PosLit(4)}
+	tot := BuildTotalizer(f, lits)
+	tot.AtMost(f, 2)
+	tot.AtLeast(f, 1)
+	count := 0
+	n := f.NumVars()
+	if n > 25 {
+		t.Fatal("formula too large for oracle")
+	}
+	// Count projected models over the four selector vars.
+	seen := map[int]bool{}
+	for mask := 0; mask < 16; mask++ {
+		g := f.Clone()
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				g.AddDIMACS(i + 1)
+			} else {
+				g.AddDIMACS(-(i + 1))
+			}
+		}
+		if sat, _ := cnf.BruteForce(g); sat {
+			seen[mask] = true
+			count++
+		}
+	}
+	// Masks with popcount in [1,2]: C(4,1)+C(4,2) = 4+6 = 10.
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 (%v)", count, seen)
+	}
+}
+
+func TestSATAndBBOptimaAgree(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		p := RandomUnate(10, 8, 3, seed)
+		sat := SolveSAT(p, Options{})
+		bb := SolveBB(p, Options{})
+		if !sat.Optimal || !bb.Optimal {
+			t.Fatalf("seed %d: not optimal (sat=%v bb=%v)", seed, sat.Optimal, bb.Optimal)
+		}
+		if !sat.Feasible || !bb.Feasible {
+			t.Fatalf("seed %d: infeasible?", seed)
+		}
+		if sat.Cost != bb.Cost {
+			t.Fatalf("seed %d: SAT cost %d != BB cost %d", seed, sat.Cost, bb.Cost)
+		}
+		if !p.Feasible(sat.Select) || p.Cost(sat.Select) != sat.Cost {
+			t.Fatalf("seed %d: SAT solution invalid", seed)
+		}
+		if !p.Feasible(bb.Select) || p.Cost(bb.Select) != bb.Cost {
+			t.Fatalf("seed %d: BB solution invalid", seed)
+		}
+	}
+}
+
+func TestWeightedCovering(t *testing.T) {
+	// Two rows; column 0 covers both at weight 3, columns 1+2 cover one
+	// each at weight 1: optimum is 2 (pick 1 and 2).
+	p := NewUnate(3, [][]int{{0, 1}, {0, 2}})
+	p.Weights = []int{3, 1, 1}
+	res := SolveSAT(p, Options{})
+	if !res.Optimal || res.Cost != 2 {
+		t.Fatalf("weighted optimum = %d, want 2 (%+v)", res.Cost, res)
+	}
+	// With cheap column 0 the optimum flips.
+	p.Weights = []int{1, 1, 1}
+	res = SolveSAT(p, Options{})
+	if res.Cost != 1 || !res.Select[0] {
+		t.Fatalf("unit optimum should pick column 0: %+v", res)
+	}
+}
+
+func TestInfeasibleCovering(t *testing.T) {
+	// A binate problem requiring column 0 both selected and not.
+	p := &Problem{NumCols: 1}
+	p.Rows = append(p.Rows, []RowLit{{Col: 0}})
+	p.Rows = append(p.Rows, []RowLit{{Col: 0, Neg: true}})
+	res := SolveSAT(p, Options{})
+	if res.Feasible {
+		t.Fatal("contradictory rows must be infeasible")
+	}
+}
+
+func TestBinateCovering(t *testing.T) {
+	// Selecting column 0 forbids column 1 (binate constraint), row needs
+	// 0 or 1, another row needs 1 or 2: optimum 1 = {1}.
+	p := &Problem{NumCols: 3}
+	p.Rows = [][]RowLit{
+		{{Col: 0}, {Col: 1}},
+		{{Col: 1}, {Col: 2}},
+		{{Col: 0, Neg: true}, {Col: 1, Neg: true}},
+	}
+	res := SolveSAT(p, Options{})
+	if !res.Optimal || res.Cost != 1 || !res.Select[1] {
+		t.Fatalf("binate optimum should be {1}: %+v", res)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := &Problem{NumCols: 3}
+	res := SolveSAT(p, Options{})
+	if !res.Feasible || res.Cost != 0 || !res.Optimal {
+		t.Fatalf("empty problem optimum is 0: %+v", res)
+	}
+	bb := SolveBB(p, Options{})
+	if !bb.Feasible || bb.Cost != 0 {
+		t.Fatalf("BB on empty problem: %+v", bb)
+	}
+}
+
+func TestImplicantPredicates(t *testing.T) {
+	// f = (x1 ∨ x2)(¬x1 ∨ x3).
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(-1, 3)
+	imp := Implicant{cnf.PosLit(1), cnf.PosLit(3)}
+	if !imp.Implies(f) {
+		t.Fatal("{x1, x3} is an implicant")
+	}
+	if !imp.IsPrime(f) {
+		t.Fatal("{x1, x3} is prime")
+	}
+	big := Implicant{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}
+	if !big.Implies(f) || big.IsPrime(f) {
+		t.Fatal("{x1,x2,x3} implies but is not prime")
+	}
+	bad := Implicant{cnf.PosLit(2)}
+	if bad.Implies(f) {
+		t.Fatal("{x2} does not satisfy clause 2")
+	}
+}
+
+func TestMinPrimeImplicantMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		f := gen.RandomKSAT(6, 10, 3, seed)
+		want := MinPrimeSizeBrute(f)
+		res := MinPrimeImplicant(f, Options{})
+		if want < 0 {
+			if res.Found {
+				t.Fatalf("seed %d: found implicant of UNSAT-ish formula", seed)
+			}
+			continue
+		}
+		if !res.Found || !res.Optimal {
+			t.Fatalf("seed %d: not solved: %+v", seed, res)
+		}
+		if len(res.Implicant) != want {
+			t.Fatalf("seed %d: size %d, oracle %d", seed, len(res.Implicant), want)
+		}
+		if !res.Implicant.IsPrime(f) {
+			t.Fatalf("seed %d: result not prime", seed)
+		}
+	}
+}
+
+func TestMinPrimeOnTautologyLike(t *testing.T) {
+	// f = (x1 ∨ ¬x1) reduced: single clause (x1): min prime = {x1}.
+	f := cnf.New(1)
+	f.AddDIMACS(1)
+	res := MinPrimeImplicant(f, Options{})
+	if !res.Found || len(res.Implicant) != 1 || res.Implicant[0] != cnf.PosLit(1) {
+		t.Fatalf("min prime of (x1) wrong: %+v", res)
+	}
+}
+
+func TestSolveSATBudget(t *testing.T) {
+	p := RandomUnate(30, 25, 3, 1)
+	res := SolveSAT(p, Options{Solver: solver.Options{MaxDecisions: 1}, MaxConflicts: 1})
+	// Must terminate and not claim optimality it can't prove.
+	if res.Optimal && !res.Feasible {
+		t.Fatalf("inconsistent result: %+v", res)
+	}
+}
+
+func TestReducePreservesOptimum(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := RandomUnate(12, 9, 3, seed)
+		orig := SolveSAT(p, Options{})
+		red, info := Reduce(p)
+		got := SolveSAT(red, Options{})
+		if !orig.Optimal || !got.Optimal {
+			t.Fatalf("seed %d: unsolved", seed)
+		}
+		if got.Cost+info.ForcedCost != orig.Cost {
+			t.Fatalf("seed %d: reduced %d + forced %d != original %d",
+				seed, got.Cost, info.ForcedCost, orig.Cost)
+		}
+	}
+}
+
+func TestReduceEssentialColumn(t *testing.T) {
+	// Row {2} is a singleton: column 2 is essential.
+	p := NewUnate(4, [][]int{{2}, {0, 1}, {2, 3}})
+	red, info := Reduce(p)
+	has2 := false
+	for _, c := range info.Forced {
+		if c == 2 {
+			has2 = true
+		}
+	}
+	if !has2 {
+		t.Fatalf("essential column 2 not forced: %+v", info)
+	}
+	// The cascade may solve the whole instance (dominance collapses
+	// {0,1} to an essential too); the optimum identity must hold:
+	// optimum = 2 (column 2 plus one of {0,1}).
+	res := SolveSAT(red, Options{})
+	if res.Cost+info.ForcedCost != 2 {
+		t.Fatalf("optimum broken: %d + %d != 2", res.Cost, info.ForcedCost)
+	}
+}
+
+func TestReduceRowDominance(t *testing.T) {
+	// Row {0,1,2} is dominated by row {0,1}.
+	p := NewUnate(3, [][]int{{0, 1}, {0, 1, 2}})
+	red, info := Reduce(p)
+	if info.RowsRemoved == 0 {
+		t.Fatal("row dominance not applied")
+	}
+	// The cascade (dominance → essential → covered) may solve the
+	// instance outright; the optimum identity is the real invariant.
+	res := SolveSAT(red, Options{})
+	if res.Cost+info.ForcedCost != 1 {
+		t.Fatalf("optimum broken: %d + %d != 1", res.Cost, info.ForcedCost)
+	}
+}
+
+func TestReduceColumnDominance(t *testing.T) {
+	// Column 0 covers both rows; column 1 covers only one at the same
+	// cost: column 1 is dominated.
+	p := NewUnate(2, [][]int{{0, 1}, {0}})
+	red, info := Reduce(p)
+	if info.ColsRemoved == 0 {
+		t.Fatal("column dominance not applied")
+	}
+	res := SolveSAT(red, Options{})
+	if res.Cost+info.ForcedCost != 1 {
+		t.Fatalf("optimum wrong after reduction: %d + %d", res.Cost, info.ForcedCost)
+	}
+}
+
+func TestReduceWeightAware(t *testing.T) {
+	// Column 0 covers a superset of column 1's rows but is MORE
+	// expensive; dominance must not remove the cheap column.
+	p := NewUnate(2, [][]int{{0, 1}, {0}})
+	p.Weights = []int{10, 1}
+	orig := SolveSAT(p, Options{})
+	red, info := Reduce(p)
+	got := SolveSAT(red, Options{})
+	if got.Cost+info.ForcedCost != orig.Cost {
+		t.Fatalf("weighted reduction broke optimum: %d+%d vs %d",
+			got.Cost, info.ForcedCost, orig.Cost)
+	}
+}
+
+func TestSolveWithReduceOption(t *testing.T) {
+	for seed := int64(20); seed < 30; seed++ {
+		p := RandomUnate(14, 10, 3, seed)
+		plain := SolveSAT(p, Options{})
+		reduced := SolveSAT(p, Options{Reduce: true})
+		if plain.Cost != reduced.Cost || !reduced.Optimal {
+			t.Fatalf("seed %d: reduce changed optimum %d -> %d", seed, plain.Cost, reduced.Cost)
+		}
+		if !p.Feasible(reduced.Select) {
+			t.Fatalf("seed %d: reduced solution infeasible on original", seed)
+		}
+		bbRed := SolveBB(p, Options{Reduce: true})
+		if bbRed.Cost != plain.Cost {
+			t.Fatalf("seed %d: BB+reduce optimum %d != %d", seed, bbRed.Cost, plain.Cost)
+		}
+		if !p.Feasible(bbRed.Select) {
+			t.Fatalf("seed %d: BB reduced solution infeasible", seed)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package cover implements SAT-based solutions of covering problems and
+// linear (pseudo-Boolean) optimization (paper §3; [Barth], [Coudert],
+// [Manquinho & Marques-Silva]), plus minimum-size prime implicant
+// computation ([Manquinho, Oliveira & Marques-Silva]).
+//
+// The optimizer performs a linear SAT/UNSAT search on the cost bound: a
+// totalizer-encoded cardinality constraint "cost ≤ k" is tightened each
+// time a cheaper model is found, until UNSAT proves optimality. A
+// classic branch-and-bound solver with an independent-set lower bound
+// serves as the baseline the paper's covering references compare
+// against.
+package cover
+
+import "repro/internal/cnf"
+
+// Totalizer encodes a unary sorting network over the input literals:
+// output variable out[i] is true iff at least i+1 inputs are true.
+// Tightening the bound later only requires asserting ¬out[k], which is
+// how the optimizer's linear search strengthens the cost constraint
+// incrementally.
+type Totalizer struct {
+	Outputs []cnf.Var
+}
+
+// BuildTotalizer appends the totalizer clauses for lits to f and returns
+// the (sorted-unary) output variables.
+func BuildTotalizer(f *cnf.Formula, lits []cnf.Lit) *Totalizer {
+	if len(lits) == 0 {
+		return &Totalizer{}
+	}
+	outs := buildTot(f, lits)
+	return &Totalizer{Outputs: outs}
+}
+
+// buildTot recursively merges unary counts.
+func buildTot(f *cnf.Formula, lits []cnf.Lit) []cnf.Var {
+	if len(lits) == 1 {
+		// A single input: its unary count is the literal itself; create
+		// a proxy variable v ≡ lit.
+		v := f.NewVar()
+		f.Add(cnf.NegLit(v), lits[0])
+		f.Add(cnf.PosLit(v), lits[0].Not())
+		return []cnf.Var{v}
+	}
+	mid := len(lits) / 2
+	left := buildTot(f, lits[:mid])
+	right := buildTot(f, lits[mid:])
+	out := make([]cnf.Var, len(left)+len(right))
+	for i := range out {
+		out[i] = f.NewVar()
+	}
+	// Merge: out[k] true iff left-count + right-count >= k+1.
+	// Standard totalizer clauses, both directions for propagation
+	// strength:
+	//   left_{a} ∧ right_{b} → out_{a+b+1}   (a,b counts, 1-based)
+	//   ¬left_{a+1} ∧ ¬right_{b+1} → ¬out_{a+b+1}
+	la, lb := len(left), len(right)
+	for a := 0; a <= la; a++ {
+		for b := 0; b <= lb; b++ {
+			if a+b >= 1 && a+b <= len(out) {
+				// (≥a from left) ∧ (≥b from right) → ≥(a+b) total.
+				c := cnf.Clause{}
+				if a > 0 {
+					c = append(c, cnf.NegLit(left[a-1]))
+				}
+				if b > 0 {
+					c = append(c, cnf.NegLit(right[b-1]))
+				}
+				c = append(c, cnf.PosLit(out[a+b-1]))
+				f.AddClause(c)
+			}
+			if a+b < len(out) {
+				// (<a+1 from left) ∧ (<b+1 from right) → <(a+b+1) total.
+				c := cnf.Clause{}
+				if a < la {
+					c = append(c, cnf.PosLit(left[a]))
+				}
+				if b < lb {
+					c = append(c, cnf.PosLit(right[b]))
+				}
+				if len(c) == 0 {
+					continue
+				}
+				c = append(c, cnf.NegLit(out[a+b]))
+				f.AddClause(c)
+			}
+		}
+	}
+	return out
+}
+
+// AtMost asserts that at most k of the totalizer's inputs are true.
+func (t *Totalizer) AtMost(f *cnf.Formula, k int) {
+	for i := k; i < len(t.Outputs); i++ {
+		f.Add(cnf.NegLit(t.Outputs[i]))
+	}
+}
+
+// AtLeast asserts that at least k of the totalizer's inputs are true.
+func (t *Totalizer) AtLeast(f *cnf.Formula, k int) {
+	for i := 0; i < k && i < len(t.Outputs); i++ {
+		f.Add(cnf.PosLit(t.Outputs[i]))
+	}
+}
+
+// WeightedLits expands a weighted pseudo-Boolean sum Σ w_i·x_i into a
+// multiset of unit-weight literals for totalizer counting (practical for
+// the small weights of covering problems; the expansion is linear in the
+// total weight).
+func WeightedLits(lits []cnf.Lit, weights []int) []cnf.Lit {
+	var out []cnf.Lit
+	for i, l := range lits {
+		w := 1
+		if weights != nil {
+			w = weights[i]
+		}
+		for j := 0; j < w; j++ {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package cover
+
+import "repro/internal/cnf"
+
+// Implicant is a cube: a consistent set of literals.
+type Implicant []cnf.Lit
+
+// Implies reports whether the cube satisfies every clause of f (i.e. the
+// cube is an implicant of the function f represents).
+func (imp Implicant) Implies(f *cnf.Formula) bool {
+	has := make(map[cnf.Lit]bool, len(imp))
+	for _, l := range imp {
+		has[l] = true
+	}
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if has[l] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrime reports whether no proper sub-cube of imp is still an
+// implicant of f.
+func (imp Implicant) IsPrime(f *cnf.Formula) bool {
+	if !imp.Implies(f) {
+		return false
+	}
+	for i := range imp {
+		sub := make(Implicant, 0, len(imp)-1)
+		sub = append(sub, imp[:i]...)
+		sub = append(sub, imp[i+1:]...)
+		if sub.Implies(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// PrimeResult reports a minimum-size prime implicant computation.
+type PrimeResult struct {
+	// Found is false when f has no implicant (f is unsatisfiable).
+	Found bool
+	// Optimal is true when minimality was proven.
+	Optimal   bool
+	Implicant Implicant
+	SATCalls  int
+}
+
+// MinPrimeImplicant computes a minimum-size prime implicant of the
+// function represented by the CNF formula f, using the covering model of
+// [Manquinho, Oliveira & Marques-Silva] (paper §3): selector variables
+// y_l for every literal, constraints "every clause of f contains a
+// selected literal" and "a variable is not selected in both polarities",
+// minimizing the number of selected literals. A minimum-size implicant
+// is necessarily prime.
+func MinPrimeImplicant(f *cnf.Formula, opts Options) *PrimeResult {
+	res := &PrimeResult{}
+	n := f.NumVars()
+	// Covering problem over 2n columns: column 2i = y_{x_{i+1}},
+	// column 2i+1 = y_{¬x_{i+1}}.
+	p := &Problem{NumCols: 2 * n}
+	for _, c := range f.Clauses {
+		row := make([]RowLit, len(c))
+		for i, l := range c {
+			col := 2 * (int(l.Var()) - 1)
+			if l.IsNeg() {
+				col++
+			}
+			row[i] = RowLit{Col: col}
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	// Consistency: ¬(y_x ∧ y_¬x) — binate rows of negated literals.
+	for v := 0; v < n; v++ {
+		p.Rows = append(p.Rows, []RowLit{
+			{Col: 2 * v, Neg: true},
+			{Col: 2*v + 1, Neg: true},
+		})
+	}
+	sol := SolveSAT(p, opts)
+	res.SATCalls = sol.SATCalls
+	if !sol.Feasible {
+		return res
+	}
+	res.Found = true
+	res.Optimal = sol.Optimal
+	for v := 0; v < n; v++ {
+		if sol.Select[2*v] {
+			res.Implicant = append(res.Implicant, cnf.PosLit(cnf.Var(v+1)))
+		}
+		if sol.Select[2*v+1] {
+			res.Implicant = append(res.Implicant, cnf.NegLit(cnf.Var(v+1)))
+		}
+	}
+	return res
+}
+
+// AllPrimesBrute enumerates all prime implicants of f by brute force
+// (test oracle; practical only for small formulas).
+func AllPrimesBrute(f *cnf.Formula) []Implicant {
+	n := f.NumVars()
+	if n > 12 {
+		panic("cover: AllPrimesBrute limited to 12 variables")
+	}
+	var primes []Implicant
+	// Enumerate cubes as ternary vectors.
+	var rec func(v int, cube Implicant)
+	rec = func(v int, cube Implicant) {
+		if v > n {
+			c := make(Implicant, len(cube))
+			copy(c, cube)
+			if c.IsPrime(f) {
+				primes = append(primes, c)
+			}
+			return
+		}
+		rec(v+1, cube)
+		rec(v+1, append(cube, cnf.PosLit(cnf.Var(v))))
+		rec(v+1, append(cube, cnf.NegLit(cnf.Var(v))))
+	}
+	rec(1, nil)
+	return primes
+}
+
+// MinPrimeSizeBrute returns the size of the smallest prime implicant
+// (oracle), or -1 if none exists.
+func MinPrimeSizeBrute(f *cnf.Formula) int {
+	primes := AllPrimesBrute(f)
+	if len(primes) == 0 {
+		return -1
+	}
+	min := 1 << 30
+	for _, p := range primes {
+		if len(p) < min {
+			min = len(p)
+		}
+	}
+	return min
+}

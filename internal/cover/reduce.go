@@ -1,0 +1,188 @@
+package cover
+
+// ReduceInfo reports what the covering-matrix reductions did.
+type ReduceInfo struct {
+	// Forced columns were selected by the essential-column rule; their
+	// cost must be added to the reduced problem's optimum.
+	Forced []int
+	// ForcedCost is the total cost of the forced columns.
+	ForcedCost int
+	// RowsRemoved and ColsRemoved count eliminated rows and columns.
+	RowsRemoved int
+	ColsRemoved int
+	Rounds      int
+}
+
+// Reduce applies the classical unate covering-matrix reductions
+// ([Coudert], paper §3) to fixpoint:
+//
+//   - essential columns: a row coverable by exactly one column forces
+//     that column into the solution,
+//   - row dominance: a row whose column set contains another row's is
+//     redundant (covering the smaller row covers it),
+//   - column dominance: a column covering a subset of another's rows at
+//     no lower cost can be discarded.
+//
+// It returns an equivalent reduced problem and the bookkeeping needed to
+// reconstruct the optimum: opt(original) = opt(reduced) + ForcedCost.
+// Only unate problems are supported (binate rows panic).
+func Reduce(p *Problem) (*Problem, *ReduceInfo) {
+	for _, row := range p.Rows {
+		for _, rl := range row {
+			if rl.Neg {
+				panic("cover: Reduce supports unate problems only")
+			}
+		}
+	}
+	info := &ReduceInfo{}
+	// Working state: live rows as column sets, live columns.
+	rows := make([]map[int]bool, len(p.Rows))
+	for i, row := range p.Rows {
+		rows[i] = map[int]bool{}
+		for _, rl := range row {
+			rows[i][rl.Col] = true
+		}
+	}
+	liveRow := make([]bool, len(rows))
+	for i := range liveRow {
+		liveRow[i] = true
+	}
+	liveCol := make([]bool, p.NumCols)
+	for i := range liveCol {
+		liveCol[i] = true
+	}
+	forced := map[int]bool{}
+
+	covered := func(i int) bool {
+		for c := range rows[i] {
+			if forced[c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for round := 0; round < p.NumCols+len(rows)+1; round++ {
+		info.Rounds = round + 1
+		changed := false
+
+		// Essential columns.
+		for i := range rows {
+			if !liveRow[i] || covered(i) {
+				continue
+			}
+			var last, count = -1, 0
+			for c := range rows[i] {
+				if liveCol[c] {
+					last = c
+					count++
+				}
+			}
+			if count == 1 && !forced[last] {
+				forced[last] = true
+				info.Forced = append(info.Forced, last)
+				info.ForcedCost += weight(p, last)
+				changed = true
+			}
+		}
+		// Drop covered rows.
+		for i := range rows {
+			if liveRow[i] && covered(i) {
+				liveRow[i] = false
+				info.RowsRemoved++
+				changed = true
+			}
+		}
+		// Row dominance: r1 ⊇ r2 (restricted to live columns) → drop r1.
+		for i := range rows {
+			if !liveRow[i] {
+				continue
+			}
+			for j := range rows {
+				if i == j || !liveRow[j] {
+					continue
+				}
+				if liveSubset(rows[j], rows[i], liveCol) && !(liveSubset(rows[i], rows[j], liveCol) && i < j) {
+					liveRow[i] = false
+					info.RowsRemoved++
+					changed = true
+					break
+				}
+			}
+		}
+		// Column dominance: rows(c2) ⊆ rows(c1) and w(c1) ≤ w(c2) → drop c2.
+		colRows := make([]map[int]bool, p.NumCols)
+		for c := 0; c < p.NumCols; c++ {
+			colRows[c] = map[int]bool{}
+		}
+		for i := range rows {
+			if !liveRow[i] {
+				continue
+			}
+			for c := range rows[i] {
+				if liveCol[c] {
+					colRows[c][i] = true
+				}
+			}
+		}
+		for c2 := 0; c2 < p.NumCols; c2++ {
+			if !liveCol[c2] || forced[c2] {
+				continue
+			}
+			for c1 := 0; c1 < p.NumCols; c1++ {
+				if c1 == c2 || !liveCol[c1] {
+					continue
+				}
+				if weight(p, c1) > weight(p, c2) {
+					continue
+				}
+				if subsetInt(colRows[c2], colRows[c1]) && !(subsetInt(colRows[c1], colRows[c2]) && weight(p, c1) == weight(p, c2) && c1 > c2) {
+					liveCol[c2] = false
+					info.ColsRemoved++
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := &Problem{NumCols: p.NumCols, Weights: p.Weights}
+	for i := range rows {
+		if !liveRow[i] {
+			continue
+		}
+		var row []RowLit
+		for c := range rows[i] {
+			if liveCol[c] {
+				row = append(row, RowLit{Col: c})
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, info
+}
+
+// liveSubset reports a ⊆ b restricted to live columns.
+func liveSubset(a, b map[int]bool, liveCol []bool) bool {
+	for c := range a {
+		if !liveCol[c] {
+			continue
+		}
+		if !b[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetInt(a, b map[int]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

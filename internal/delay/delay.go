@@ -1,0 +1,298 @@
+// Package delay implements SAT-based circuit delay computation and path
+// delay fault test generation (paper §3; [McGeer et al.], [Silva et al.,
+// "Satisfiability Models and Algorithms for Circuit Delay Computation"],
+// [Chen & Gupta]).
+//
+// Under the unit-delay model, the topological delay (longest structural
+// path) is only an upper bound on the true circuit delay: the longest
+// paths may be false — not sensitizable by any input vector. The
+// sensitizable delay is computed by enumerating structural paths in
+// decreasing length order (best-first search) and asking SAT whether
+// each is statically sensitizable: every side input of every gate along
+// the path must take its non-controlling value. Carry-skip adders are
+// the classic workload: their ripple paths are false because full
+// propagation forces the bypass.
+package delay
+
+import (
+	"container/heap"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// Path is a structural path: a sequence of nodes from a primary input to
+// a primary output, each consecutive pair connected by a fanin edge.
+type Path []circuit.NodeID
+
+// Length returns the path delay in gate stages (edges).
+func (p Path) Length() int { return len(p) - 1 }
+
+// TopologicalDelay returns the longest structural path length (unit
+// delay per gate stage).
+func TopologicalDelay(c *circuit.Circuit) int {
+	max := 0
+	levels := c.Levels()
+	for _, o := range c.Outputs {
+		if levels[o] > max {
+			max = levels[o]
+		}
+	}
+	return max
+}
+
+// Options configures delay computation.
+type Options struct {
+	// MaxPaths caps the number of paths tested for sensitizability
+	// (0 = 10000). When exceeded, the result is a lower bound.
+	MaxPaths int
+	// MaxConflicts bounds each sensitization SAT query (0 = unlimited).
+	MaxConflicts int64
+	// Solver carries base solver options.
+	Solver solver.Options
+}
+
+// Result reports a delay computation.
+type Result struct {
+	// Topological is the structural longest-path delay.
+	Topological int
+	// Sensitizable is the longest statically-sensitizable path delay.
+	Sensitizable int
+	// Critical is a sensitizable path achieving it (nil if none found).
+	Critical Path
+	// Vector sensitizes the critical path.
+	Vector []bool
+	// FalsePaths counts the longer paths proven unsensitizable.
+	FalsePaths int
+	// PathsTested counts SAT queries.
+	PathsTested int
+	// Exact is false if the path cap was hit before finding a
+	// sensitizable path (Sensitizable is then a lower bound of 0 or the
+	// last proven value).
+	Exact bool
+}
+
+// ComputeDelay computes the sensitizable delay of c.
+func ComputeDelay(c *circuit.Circuit, opts Options) *Result {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 10000
+	}
+	res := &Result{Topological: TopologicalDelay(c)}
+	e := newEnumerator(c)
+	for res.PathsTested < opts.MaxPaths {
+		p := e.next()
+		if p == nil {
+			res.Exact = true // all paths enumerated
+			return res
+		}
+		res.PathsTested++
+		ok, vec := StaticallySensitizable(c, p, opts)
+		if ok {
+			res.Sensitizable = p.Length()
+			res.Critical = p
+			res.Vector = vec
+			res.Exact = true
+			return res
+		}
+		res.FalsePaths++
+	}
+	return res
+}
+
+// StaticallySensitizable asks SAT whether some input vector sets every
+// side input along the path to its non-controlling value. It returns the
+// sensitizing vector on success.
+func StaticallySensitizable(c *circuit.Circuit, p Path, opts Options) (bool, []bool) {
+	enc := circuit.Encode(c)
+	f := enc.F
+	ok := addSideConstraints(f, enc, c, p, false, nil)
+	if !ok {
+		return false, nil
+	}
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(f, sopts)
+	if s.Solve() != solver.Sat {
+		return false, nil
+	}
+	m := s.Model()
+	vec := make([]bool, len(c.Inputs))
+	for i, id := range c.Inputs {
+		vec[i] = m.Value(enc.VarOf[id]) == cnf.True
+	}
+	return true, vec
+}
+
+// nonControlling returns the non-controlling input value of a gate type
+// and whether the gate has one (XOR/XNOR/NOT/BUF do not need side
+// constraints — NOT/BUF have no side inputs, XOR side inputs never block
+// propagation).
+func nonControlling(t circuit.GateType) (bool, bool) {
+	switch t {
+	case circuit.And, circuit.Nand:
+		return true, true
+	case circuit.Or, circuit.Nor:
+		return false, true
+	}
+	return false, false
+}
+
+// addSideConstraints adds the sensitization conditions for the path to
+// f. When twoFrame is non-nil it holds the second frame's encoding and
+// the constraints are the non-robust (frame-2 only) conditions; the
+// robust flag additionally requires side inputs stable across frames.
+func addSideConstraints(f *cnf.Formula, enc *circuit.Encoding, c *circuit.Circuit, p Path, robust bool, frame2 *circuit.Encoding) bool {
+	for i := 1; i < len(p); i++ {
+		g := p[i]
+		n := &c.Nodes[g]
+		onPath := p[i-1]
+		found := false
+		for _, fn := range n.Fanin {
+			if fn == onPath {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false // not a structural path
+		}
+		nc, has := nonControlling(n.Type)
+		for _, w := range n.Fanin {
+			if w == onPath {
+				continue
+			}
+			if frame2 == nil {
+				// Single-frame static sensitization.
+				if has {
+					f.Add(enc.Lit(w, nc))
+				}
+				continue
+			}
+			// Two-frame (path delay test): non-controlling at v2.
+			if has {
+				f.Add(frame2.Lit(w, nc))
+				if robust {
+					f.Add(enc.Lit(w, nc)) // stable non-controlling
+				}
+			} else if robust && (n.Type == circuit.Xor || n.Type == circuit.Xnor) {
+				// XOR side inputs must be stable for a robust test.
+				a, b := enc.Lit(w, true), frame2.Lit(w, true)
+				f.Add(a.Not(), b)
+				f.Add(a, b.Not())
+			}
+		}
+	}
+	return true
+}
+
+// enumerator yields structural PI→PO paths in decreasing length order
+// via best-first search on (prefix length + longest remaining).
+type enumerator struct {
+	c    *circuit.Circuit
+	fo   [][]circuit.NodeID
+	down []int // longest remaining edges to a PO
+	isPO []bool
+	h    pathHeap
+}
+
+type prefix struct {
+	potential int
+	nodes     []circuit.NodeID
+	complete  bool
+}
+
+type pathHeap []*prefix
+
+func (h pathHeap) Len() int            { return len(h) }
+func (h pathHeap) Less(i, j int) bool  { return h[i].potential > h[j].potential }
+func (h pathHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pathHeap) Push(x interface{}) { *h = append(*h, x.(*prefix)) }
+func (h *pathHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func newEnumerator(c *circuit.Circuit) *enumerator {
+	e := &enumerator{c: c, fo: c.Fanouts(), down: make([]int, len(c.Nodes)), isPO: make([]bool, len(c.Nodes))}
+	for _, o := range c.Outputs {
+		e.isPO[o] = true
+	}
+	// down in reverse topological order.
+	for i := len(c.Nodes) - 1; i >= 0; i-- {
+		d := -1 << 30
+		if e.isPO[i] {
+			d = 0
+		}
+		for _, g := range e.fo[i] {
+			if 1+e.down[g] > d {
+				d = 1 + e.down[g]
+			}
+		}
+		e.down[i] = d
+	}
+	for _, in := range c.Inputs {
+		if e.down[in] >= 0 {
+			heap.Push(&e.h, &prefix{potential: e.down[in], nodes: []circuit.NodeID{in}})
+		}
+	}
+	return e
+}
+
+// next returns the next-longest complete path, or nil when exhausted.
+func (e *enumerator) next() Path {
+	for e.h.Len() > 0 {
+		p := heap.Pop(&e.h).(*prefix)
+		last := p.nodes[len(p.nodes)-1]
+		if p.complete {
+			return Path(p.nodes)
+		}
+		if e.isPO[last] {
+			heap.Push(&e.h, &prefix{potential: len(p.nodes) - 1, nodes: p.nodes, complete: true})
+		}
+		for _, g := range e.fo[last] {
+			if e.down[g] < 0 {
+				continue // no PO reachable
+			}
+			nodes := make([]circuit.NodeID, len(p.nodes)+1)
+			copy(nodes, p.nodes)
+			nodes[len(p.nodes)] = g
+			heap.Push(&e.h, &prefix{potential: len(p.nodes) + e.down[g], nodes: nodes})
+		}
+	}
+	return nil
+}
+
+// PathReport pairs a sensitizable path with its sensitizing vector.
+type PathReport struct {
+	Path   Path
+	Vector []bool
+}
+
+// KLongestSensitizable enumerates structural paths in decreasing length
+// order and returns the first k that are statically sensitizable — the
+// candidate set for path delay fault test generation (test the K
+// longest true paths). The second result reports whether enumeration
+// was exhaustive within the options' path cap.
+func KLongestSensitizable(c *circuit.Circuit, k int, opts Options) ([]PathReport, bool) {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 10000
+	}
+	e := newEnumerator(c)
+	var out []PathReport
+	tested := 0
+	for len(out) < k && tested < opts.MaxPaths {
+		p := e.next()
+		if p == nil {
+			return out, true
+		}
+		tested++
+		if ok, vec := StaticallySensitizable(c, p, opts); ok {
+			out = append(out, PathReport{Path: p, Vector: vec})
+		}
+	}
+	return out, tested < opts.MaxPaths
+}

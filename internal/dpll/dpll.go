@@ -1,0 +1,194 @@
+// Package dpll implements the classic Davis–Logemann–Loveland backtrack
+// search procedure [paper ref 11]: chronological backtracking, unit
+// propagation, optional pure-literal elimination, and no clause
+// recording. It is the historical baseline against which the modern
+// techniques of §4.1 are measured, and doubles as a reference solver in
+// the test suite.
+package dpll
+
+import "repro/internal/cnf"
+
+// Options configures the DPLL baseline.
+type Options struct {
+	// PureLiterals enables the pure-literal rule.
+	PureLiterals bool
+	// MaxDecisions bounds the search (0 = unlimited).
+	MaxDecisions int64
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Backtracks   int64
+}
+
+// Result is the outcome of a DPLL run.
+type Result struct {
+	Sat     bool
+	Unknown bool // budget exhausted
+	Model   cnf.Assignment
+	Stats   Stats
+}
+
+type dpll struct {
+	f      *cnf.Formula
+	assign cnf.Assignment
+	opts   Options
+	stats  Stats
+	occ    [][]int // clause indices by literal index
+}
+
+// Solve runs DPLL on f.
+func Solve(f *cnf.Formula, opts Options) Result {
+	d := &dpll{
+		f:      f,
+		assign: cnf.NewAssignment(f.NumVars()),
+		opts:   opts,
+		occ:    make([][]int, 2*(f.NumVars()+1)),
+	}
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return Result{Sat: false}
+		}
+		for _, l := range c {
+			d.occ[l.Index()] = append(d.occ[l.Index()], i)
+		}
+	}
+	sat, unknown := d.search()
+	res := Result{Sat: sat, Unknown: unknown, Stats: d.stats}
+	if sat {
+		res.Model = d.assign.Clone()
+	}
+	return res
+}
+
+// search returns (sat, budgetExhausted).
+func (d *dpll) search() (bool, bool) {
+	trail, conflict := d.propagate()
+	if conflict {
+		d.undo(trail)
+		d.stats.Backtracks++
+		return false, false
+	}
+	if d.opts.PureLiterals {
+		pure := d.pureLiterals()
+		for _, l := range pure {
+			if d.assign.LitValue(l) == cnf.Undef {
+				d.assign.Assign(l)
+				trail = append(trail, l)
+			}
+		}
+	}
+	v := d.pickVar()
+	if v == cnf.VarUndef {
+		// All variables assigned (or all clauses satisfied).
+		ok := d.assign.Eval(d.f) == cnf.True
+		if !ok {
+			d.undo(trail)
+			d.stats.Backtracks++
+		}
+		return ok, false
+	}
+	if d.opts.MaxDecisions > 0 && d.stats.Decisions >= d.opts.MaxDecisions {
+		d.undo(trail)
+		return false, true
+	}
+	d.stats.Decisions++
+	for _, phase := range []bool{false, true} {
+		l := cnf.NewLit(v, phase)
+		d.assign.Assign(l)
+		sat, unknown := d.search()
+		if sat || unknown {
+			return sat, unknown
+		}
+		d.assign.Unassign(l)
+	}
+	d.undo(trail)
+	d.stats.Backtracks++
+	return false, false
+}
+
+// propagate applies the unit clause rule to fixpoint. It returns the
+// literals assigned and whether a clause became unsatisfied.
+func (d *dpll) propagate() ([]cnf.Lit, bool) {
+	var trail []cnf.Lit
+	for {
+		progress := false
+		for _, c := range d.f.Clauses {
+			var unit cnf.Lit
+			unassigned := 0
+			satisfied := false
+			for _, l := range c {
+				switch d.assign.LitValue(l) {
+				case cnf.True:
+					satisfied = true
+				case cnf.Undef:
+					unassigned++
+					unit = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				return trail, true // conflict
+			case 1:
+				d.assign.Assign(unit)
+				trail = append(trail, unit)
+				d.stats.Propagations++
+				progress = true
+			}
+		}
+		if !progress {
+			return trail, false
+		}
+	}
+}
+
+// pureLiterals returns literals whose complement does not occur in any
+// unresolved clause.
+func (d *dpll) pureLiterals() []cnf.Lit {
+	var pure []cnf.Lit
+	for v := cnf.Var(1); int(v) <= d.f.NumVars(); v++ {
+		if d.assign.Value(v) != cnf.Undef {
+			continue
+		}
+		posLive := d.liveOcc(cnf.PosLit(v))
+		negLive := d.liveOcc(cnf.NegLit(v))
+		if posLive && !negLive {
+			pure = append(pure, cnf.PosLit(v))
+		} else if negLive && !posLive {
+			pure = append(pure, cnf.NegLit(v))
+		}
+	}
+	return pure
+}
+
+func (d *dpll) liveOcc(l cnf.Lit) bool {
+	for _, ci := range d.occ[l.Index()] {
+		if d.assign.EvalClause(d.f.Clauses[ci]) == cnf.Undef {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *dpll) pickVar() cnf.Var {
+	for v := cnf.Var(1); int(v) <= d.f.NumVars(); v++ {
+		if d.assign.Value(v) == cnf.Undef {
+			return v
+		}
+	}
+	return cnf.VarUndef
+}
+
+func (d *dpll) undo(trail []cnf.Lit) {
+	for _, l := range trail {
+		d.assign.Unassign(l)
+	}
+}

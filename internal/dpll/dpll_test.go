@@ -1,0 +1,65 @@
+package dpll
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+func TestAgainstBruteForce(t *testing.T) {
+	for _, opts := range []Options{{}, {PureLiterals: true}} {
+		for seed := int64(0); seed < 40; seed++ {
+			nv := 4 + int(seed%5)
+			f := gen.RandomKSAT(nv, nv*4, 3, seed)
+			want, _ := cnf.BruteForce(f)
+			res := Solve(f, opts)
+			if res.Unknown {
+				t.Fatalf("seed %d: unexpected Unknown", seed)
+			}
+			if res.Sat != want {
+				t.Fatalf("seed %d: dpll=%v brute=%v (opts %+v)", seed, res.Sat, want, opts)
+			}
+			if res.Sat && !res.Model.Satisfies(f) {
+				t.Fatalf("seed %d: bad model", seed)
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	res := Solve(gen.Pigeonhole(3), Options{})
+	if res.Sat || res.Unknown {
+		t.Fatal("PHP(3) must be UNSAT")
+	}
+	if res.Stats.Backtracks == 0 {
+		t.Fatal("expected backtracks")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(cnf.Clause{})
+	if Solve(f, Options{}).Sat {
+		t.Fatal("formula with empty clause must be UNSAT")
+	}
+}
+
+func TestDecisionBudget(t *testing.T) {
+	res := Solve(gen.Pigeonhole(6), Options{MaxDecisions: 3})
+	if !res.Unknown {
+		t.Fatal("expected Unknown under budget")
+	}
+}
+
+func TestPureLiteralRule(t *testing.T) {
+	// x3 occurs only positively: pure-literal assignment satisfies both
+	// clauses without branching on x3's clauses.
+	f := cnf.New(3)
+	f.AddDIMACS(1, 3)
+	f.AddDIMACS(-1, 3)
+	res := Solve(f, Options{PureLiterals: true})
+	if !res.Sat || res.Model.Value(3) != cnf.True {
+		t.Fatal("pure literal should set x3 true")
+	}
+}

@@ -1,0 +1,278 @@
+// Package euf decides formulas in the logic of Equality with
+// Uninterpreted Functions by reduction to propositional SAT (paper §3;
+// [Velev & Bryant, "Superscalar Processor Verification Using Reductions
+// of the Logic of Equality with Uninterpreted Functions to Propositional
+// Logic"]). Datapath values are abstract terms, ALUs and memories are
+// uninterpreted function applications, and pipeline-control decisions
+// are term-level ITEs; correctness statements (implementation result =
+// specification result) become EUF validity queries.
+//
+// The reduction introduces one propositional variable per unordered pair
+// of terms (e_ij ⇔ "terms i and j are equal") and encodes:
+//
+//   - congruence: equal arguments force equal function applications,
+//   - transitivity over all term triples,
+//   - ITE semantics: the condition selects which branch the ITE equals,
+//   - the formula's Boolean skeleton by Tseitin transformation.
+package euf
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// Term identifies a term in a Builder's hash-consed DAG.
+type Term int32
+
+// Builder constructs terms. All terms share one untyped universe.
+type Builder struct {
+	nodes []termNode
+	byKey map[string]Term
+	ites  []iteNode
+}
+
+type termNode struct {
+	fn   string
+	args []Term
+}
+
+type iteNode struct {
+	t         Term // the fresh ITE result term
+	cond      Prop
+	then, els Term
+}
+
+// NewBuilder returns an empty term builder.
+func NewBuilder() *Builder {
+	return &Builder{byKey: make(map[string]Term)}
+}
+
+// Var returns the 0-ary term (domain variable) with the given name.
+func (b *Builder) Var(name string) Term { return b.Apply(name) }
+
+// Apply returns the hash-consed application fn(args...).
+func (b *Builder) Apply(fn string, args ...Term) Term {
+	var sb strings.Builder
+	sb.WriteString(fn)
+	for _, a := range args {
+		fmt.Fprintf(&sb, ",%d", a)
+	}
+	key := sb.String()
+	if t, ok := b.byKey[key]; ok {
+		return t
+	}
+	t := Term(len(b.nodes))
+	b.nodes = append(b.nodes, termNode{fn: fn, args: append([]Term(nil), args...)})
+	b.byKey[key] = t
+	return t
+}
+
+// Ite returns a term equal to `then` when cond holds and `els`
+// otherwise — the term-level multiplexer of pipeline models.
+func (b *Builder) Ite(cond Prop, then, els Term) Term {
+	t := Term(len(b.nodes))
+	b.nodes = append(b.nodes, termNode{fn: fmt.Sprintf("$ite%d", len(b.ites))})
+	b.ites = append(b.ites, iteNode{t: t, cond: cond, then: then, els: els})
+	return t
+}
+
+// NumTerms returns the number of distinct terms built.
+func (b *Builder) NumTerms() int { return len(b.nodes) }
+
+// Prop is a propositional formula over equality atoms.
+type Prop struct {
+	kind propKind
+	args []Prop
+	a, b Term
+}
+
+type propKind int8
+
+const (
+	pEq propKind = iota
+	pNot
+	pAnd
+	pOr
+	pTrue
+)
+
+// Eq returns the atom a = b.
+func Eq(a, b Term) Prop { return Prop{kind: pEq, a: a, b: b} }
+
+// Neq returns the atom a ≠ b.
+func Neq(a, b Term) Prop { return Not(Eq(a, b)) }
+
+// Not negates a proposition.
+func Not(p Prop) Prop { return Prop{kind: pNot, args: []Prop{p}} }
+
+// And conjoins propositions (And() is true).
+func And(ps ...Prop) Prop { return Prop{kind: pAnd, args: ps} }
+
+// Or disjoins propositions (Or() is false).
+func Or(ps ...Prop) Prop { return Prop{kind: pOr, args: ps} }
+
+// Implies returns a → b.
+func Implies(a, b Prop) Prop { return Or(Not(a), b) }
+
+// Iff returns a ↔ b.
+func Iff(a, b Prop) Prop { return And(Implies(a, b), Implies(b, a)) }
+
+// TrueProp is the constant true.
+func TrueProp() Prop { return Prop{kind: pTrue} }
+
+// Options configures the decision procedure.
+type Options struct {
+	MaxConflicts int64
+	Solver       solver.Options
+}
+
+// Result reports a satisfiability query.
+type Result struct {
+	Sat     bool
+	Decided bool
+	// EqualPairs lists the term pairs made equal in the satisfying
+	// interpretation (a finite model sketch).
+	EqualPairs [][2]Term
+	Vars       int
+	Clauses    int
+}
+
+// Satisfiable decides whether some interpretation of the uninterpreted
+// functions satisfies p.
+func (b *Builder) Satisfiable(p Prop, opts Options) *Result {
+	f, atom := b.encode()
+	root := b.encodeProp(f, atom, p)
+	f.Add(root)
+	res := &Result{Vars: f.NumVars(), Clauses: f.NumClauses()}
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(f, sopts)
+	switch s.Solve() {
+	case solver.Sat:
+		res.Sat = true
+		res.Decided = true
+		m := s.Model()
+		n := len(b.nodes)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if m.LitValue(atom(Term(i), Term(j))) == cnf.True {
+					res.EqualPairs = append(res.EqualPairs, [2]Term{Term(i), Term(j)})
+				}
+			}
+		}
+	case solver.Unsat:
+		res.Decided = true
+	}
+	return res
+}
+
+// Valid decides whether p holds under every interpretation.
+func (b *Builder) Valid(p Prop, opts Options) (bool, *Result) {
+	res := b.Satisfiable(Not(p), opts)
+	return res.Decided && !res.Sat, res
+}
+
+// encode builds the equality skeleton: pair variables, congruence,
+// transitivity and ITE constraints. It returns the formula and the atom
+// accessor (literal that is true iff the two terms are equal).
+func (b *Builder) encode() (*cnf.Formula, func(Term, Term) cnf.Lit) {
+	n := len(b.nodes)
+	f := cnf.New(0)
+	// Pair variable for i<j at index i*n+j.
+	pairVar := make([]cnf.Var, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairVar[i*n+j] = f.NewVar()
+		}
+	}
+	trueVar := f.NewVar()
+	f.Add(cnf.PosLit(trueVar)) // reflexivity carrier
+	atom := func(a, c Term) cnf.Lit {
+		if a == c {
+			return cnf.PosLit(trueVar)
+		}
+		if a > c {
+			a, c = c, a
+		}
+		return cnf.PosLit(pairVar[int(a)*n+int(c)])
+	}
+
+	// Congruence: same function, pairwise-equal arguments → equal.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ni, nj := &b.nodes[i], &b.nodes[j]
+			if ni.fn != nj.fn || len(ni.args) != len(nj.args) || len(ni.args) == 0 {
+				continue
+			}
+			clause := make(cnf.Clause, 0, len(ni.args)+1)
+			for k := range ni.args {
+				clause = append(clause, atom(ni.args[k], nj.args[k]).Not())
+			}
+			clause = append(clause, atom(Term(i), Term(j)))
+			f.AddClause(clause)
+		}
+	}
+	// Transitivity over all triples (three rotations each).
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				ij := atom(Term(i), Term(j))
+				jk := atom(Term(j), Term(k))
+				ik := atom(Term(i), Term(k))
+				f.Add(ij.Not(), jk.Not(), ik)
+				f.Add(ij.Not(), ik.Not(), jk)
+				f.Add(jk.Not(), ik.Not(), ij)
+			}
+		}
+	}
+	// ITE semantics: cond → t=then, ¬cond → t=else.
+	for _, ite := range b.ites {
+		condLit := b.encodeProp(f, atom, ite.cond)
+		f.Add(condLit.Not(), atom(ite.t, ite.then))
+		f.Add(condLit, atom(ite.t, ite.els))
+	}
+	return f, atom
+}
+
+// encodeProp Tseitin-encodes the proposition and returns a literal
+// equivalent to it.
+func (b *Builder) encodeProp(f *cnf.Formula, atom func(Term, Term) cnf.Lit, p Prop) cnf.Lit {
+	switch p.kind {
+	case pTrue:
+		v := f.NewVar()
+		f.Add(cnf.PosLit(v))
+		return cnf.PosLit(v)
+	case pEq:
+		return atom(p.a, p.b)
+	case pNot:
+		return b.encodeProp(f, atom, p.args[0]).Not()
+	case pAnd, pOr:
+		lits := make([]cnf.Lit, len(p.args))
+		for i, q := range p.args {
+			lits[i] = b.encodeProp(f, atom, q)
+		}
+		out := cnf.PosLit(f.NewVar())
+		if p.kind == pAnd {
+			long := make(cnf.Clause, 0, len(lits)+1)
+			for _, l := range lits {
+				f.Add(out.Not(), l) // out → each
+				long = append(long, l.Not())
+			}
+			long = append(long, out) // all → out
+			f.AddClause(long)
+		} else {
+			long := make(cnf.Clause, 0, len(lits)+1)
+			for _, l := range lits {
+				f.Add(l.Not(), out) // each → out
+				long = append(long, l)
+			}
+			long = append(long, out.Not()) // out → some
+			f.AddClause(long)
+		}
+		return out
+	}
+	panic("euf: unknown prop kind")
+}

@@ -1,0 +1,165 @@
+package euf
+
+import "testing"
+
+func TestBasicEquality(t *testing.T) {
+	b := NewBuilder()
+	a := b.Var("a")
+	c := b.Var("c")
+	// a=c is satisfiable but not valid.
+	if res := b.Satisfiable(Eq(a, c), Options{}); !res.Sat {
+		t.Fatal("a=c must be satisfiable")
+	}
+	if ok, _ := b.Valid(Eq(a, c), Options{}); ok {
+		t.Fatal("a=c must not be valid")
+	}
+	// a=a is valid.
+	if ok, _ := b.Valid(Eq(a, a), Options{}); !ok {
+		t.Fatal("a=a must be valid")
+	}
+}
+
+func TestTransitivityChain(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+	z := b.Var("z")
+	f := Implies(And(Eq(x, y), Eq(y, z)), Eq(x, z))
+	if ok, _ := b.Valid(f, Options{}); !ok {
+		t.Fatal("transitivity must be valid")
+	}
+}
+
+func TestCongruence(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+	fx := b.Apply("f", x)
+	fy := b.Apply("f", y)
+	if ok, _ := b.Valid(Implies(Eq(x, y), Eq(fx, fy)), Options{}); !ok {
+		t.Fatal("congruence must be valid")
+	}
+	// The converse is not valid: f may collapse distinct arguments.
+	if ok, _ := b.Valid(Implies(Eq(fx, fy), Eq(x, y)), Options{}); ok {
+		t.Fatal("injectivity must not be valid for uninterpreted f")
+	}
+}
+
+func TestClassicFixpoint(t *testing.T) {
+	// f(f(a))=a ∧ f(f(f(a)))=a → f(a)=a — the classic EUF exercise.
+	b := NewBuilder()
+	a := b.Var("a")
+	fa := b.Apply("f", a)
+	ffa := b.Apply("f", fa)
+	fffa := b.Apply("f", ffa)
+	hyp := And(Eq(ffa, a), Eq(fffa, a))
+	if ok, res := b.Valid(Implies(hyp, Eq(fa, a)), Options{}); !ok {
+		t.Fatalf("classic fixpoint must be valid (%+v)", res)
+	}
+}
+
+func TestBinaryFunctionCongruence(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+	u := b.Var("u")
+	v := b.Var("v")
+	g1 := b.Apply("g", x, u)
+	g2 := b.Apply("g", y, v)
+	f := Implies(And(Eq(x, y), Eq(u, v)), Eq(g1, g2))
+	if ok, _ := b.Valid(f, Options{}); !ok {
+		t.Fatal("binary congruence must be valid")
+	}
+	// Only one argument equal: not valid.
+	f2 := Implies(Eq(x, y), Eq(g1, g2))
+	if ok, _ := b.Valid(f2, Options{}); ok {
+		t.Fatal("partial congruence must not be valid")
+	}
+}
+
+func TestIteSemantics(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+	p := Eq(b.Var("c1"), b.Var("c2"))
+	ite := b.Ite(p, x, y)
+	if ok, _ := b.Valid(Implies(p, Eq(ite, x)), Options{}); !ok {
+		t.Fatal("cond → ite=then must be valid")
+	}
+	if ok, _ := b.Valid(Implies(Not(p), Eq(ite, y)), Options{}); !ok {
+		t.Fatal("¬cond → ite=else must be valid")
+	}
+	if ok, _ := b.Valid(Eq(ite, x), Options{}); ok {
+		t.Fatal("ite=then unconditionally must not be valid")
+	}
+	// ite is always one of its branches.
+	if ok, _ := b.Valid(Or(Eq(ite, x), Eq(ite, y)), Options{}); !ok {
+		t.Fatal("ite ∈ {then, else} must be valid")
+	}
+}
+
+// TestPipelineForwarding is the miniature processor-verification
+// scenario of [Velev & Bryant]: the implementation reads its operand
+// through a forwarding multiplexer (bypassing the register file when
+// the previous instruction's result is still in the write-back stage);
+// the specification reads the architectural register directly. Given
+// the forwarding-correctness side condition — the bypassed value equals
+// what the register file will hold — both compute the same ALU result.
+func TestPipelineForwarding(t *testing.T) {
+	b := NewBuilder()
+	op := b.Var("op")
+	regVal := b.Var("regVal") // architectural register value
+	wbVal := b.Var("wbVal")   // value in the write-back stage
+	src2 := b.Var("src2")
+	useFwd := Eq(b.Var("rs1"), b.Var("rdWB")) // hazard: source = WB dest
+
+	// Implementation: operand through the forwarding mux.
+	operandImpl := b.Ite(useFwd, wbVal, regVal)
+	resultImpl := b.Apply("alu", op, operandImpl, src2)
+	// Specification: operand from the register file.
+	resultSpec := b.Apply("alu", op, regVal, src2)
+
+	// Forwarding correctness side condition: when the hazard is active,
+	// the WB value is exactly the register's new value.
+	side := Implies(useFwd, Eq(wbVal, regVal))
+
+	ok, _ := b.Valid(Implies(side, Eq(resultImpl, resultSpec)), Options{})
+	if !ok {
+		t.Fatal("forwarding implementation must match the specification")
+	}
+	// Without the side condition the equivalence must FAIL (a real bug
+	// class: forwarding the wrong value).
+	ok, res := b.Valid(Eq(resultImpl, resultSpec), Options{})
+	if ok {
+		t.Fatal("equivalence without forwarding correctness must be invalid")
+	}
+	if len(res.EqualPairs) == 0 {
+		t.Fatal("counterexample interpretation should relate some terms")
+	}
+}
+
+func TestUnsatisfiableConjunction(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+	fx := b.Apply("f", x)
+	fy := b.Apply("f", y)
+	// x=y ∧ f(x)≠f(y) is unsatisfiable.
+	res := b.Satisfiable(And(Eq(x, y), Neq(fx, fy)), Options{})
+	if res.Sat || !res.Decided {
+		t.Fatal("congruence violation must be UNSAT")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	f1 := b.Apply("f", x)
+	f2 := b.Apply("f", x)
+	if f1 != f2 {
+		t.Fatal("identical applications must be hash-consed")
+	}
+	if b.NumTerms() != 2 {
+		t.Fatalf("NumTerms = %d, want 2", b.NumTerms())
+	}
+}

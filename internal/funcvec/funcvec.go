@@ -1,0 +1,264 @@
+// Package funcvec implements constrained functional test vector
+// generation (paper §3; [Fallah, Devadas & Keutzer, "Functional Vector
+// Generation for HDL Models Using Linear Programming and
+// 3-Satisfiability"]). Word-level variables and linear constraints are
+// compiled to CNF through adder and comparator networks; satisfying
+// assignments are functional vectors, and distinct-vector sampling uses
+// randomized solver restarts plus blocking clauses — the iterative SAT
+// usage of §6.
+//
+// The paper's HDL frontend is substituted by a small constraint-model
+// API (see DESIGN.md): the SAT back end it exercises is identical.
+package funcvec
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// Word is a fixed-width unsigned word variable (LSB first).
+type Word struct {
+	Name string
+	Bits []cnf.Var
+}
+
+// Width returns the word's bit width.
+func (w Word) Width() int { return len(w.Bits) }
+
+// Model is a constraint model over word-level variables.
+type Model struct {
+	f     *cnf.Formula
+	words []Word
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{f: cnf.New(0)}
+}
+
+// Word declares a fresh n-bit word.
+func (m *Model) Word(name string, n int) Word {
+	w := Word{Name: name, Bits: m.f.NewVars(n)}
+	m.words = append(m.words, w)
+	return w
+}
+
+// Formula exposes the underlying CNF (for inspection/benchmarks).
+func (m *Model) Formula() *cnf.Formula { return m.f }
+
+// Const builds a constant word of the given width.
+func (m *Model) Const(value uint64, width int) Word {
+	w := Word{Name: fmt.Sprintf("const%d", value), Bits: m.f.NewVars(width)}
+	for i, v := range w.Bits {
+		if value&(1<<uint(i)) != 0 {
+			m.f.Add(cnf.PosLit(v))
+		} else {
+			m.f.Add(cnf.NegLit(v))
+		}
+	}
+	return w
+}
+
+// gate adds a fresh variable constrained as the given gate function.
+func (m *Model) gate(t circuit.GateType, ins ...cnf.Var) cnf.Var {
+	out := m.f.NewVar()
+	circuit.AppendGateCNF(m.f, t, out, ins)
+	return out
+}
+
+// Add returns a word constrained to equal a + b (width = max+1).
+func (m *Model) Add(a, b Word) Word {
+	n := a.Width()
+	if b.Width() > n {
+		n = b.Width()
+	}
+	ax := m.zeroExtend(a, n)
+	bx := m.zeroExtend(b, n)
+	sum := Word{Name: "(" + a.Name + "+" + b.Name + ")"}
+	carry := cnf.VarUndef
+	for i := 0; i < n; i++ {
+		var s, c cnf.Var
+		if carry == cnf.VarUndef {
+			s = m.gate(circuit.Xor, ax.Bits[i], bx.Bits[i])
+			c = m.gate(circuit.And, ax.Bits[i], bx.Bits[i])
+		} else {
+			s = m.gate(circuit.Xor, ax.Bits[i], bx.Bits[i], carry)
+			t1 := m.gate(circuit.And, ax.Bits[i], bx.Bits[i])
+			t2 := m.gate(circuit.Xor, ax.Bits[i], bx.Bits[i])
+			t3 := m.gate(circuit.And, t2, carry)
+			c = m.gate(circuit.Or, t1, t3)
+		}
+		sum.Bits = append(sum.Bits, s)
+		carry = c
+	}
+	sum.Bits = append(sum.Bits, carry)
+	return sum
+}
+
+// zeroExtend pads a word with constant-0 bits up to width n.
+func (m *Model) zeroExtend(a Word, n int) Word {
+	if a.Width() >= n {
+		return a
+	}
+	out := Word{Name: a.Name, Bits: append([]cnf.Var(nil), a.Bits...)}
+	for out.Width() < n {
+		z := m.f.NewVar()
+		m.f.Add(cnf.NegLit(z))
+		out.Bits = append(out.Bits, z)
+	}
+	return out
+}
+
+// lessThan returns a variable that is true iff a < b (unsigned), padding
+// to equal width.
+func (m *Model) lessThan(a, b Word) cnf.Var {
+	n := a.Width()
+	if b.Width() > n {
+		n = b.Width()
+	}
+	ax := m.zeroExtend(a, n)
+	bx := m.zeroExtend(b, n)
+	// From MSB: lt_i = (¬a_i ∧ b_i) ∨ (a_i≡b_i ∧ lt_{i-1}).
+	lt := m.f.NewVar()
+	m.f.Add(cnf.NegLit(lt)) // below LSB: false
+	for i := 0; i < n; i++ {
+		bitLt := m.gate(circuit.Nor, ax.Bits[i], m.gate(circuit.Not, bx.Bits[i]))
+		eq := m.gate(circuit.Xnor, ax.Bits[i], bx.Bits[i])
+		keep := m.gate(circuit.And, eq, lt)
+		lt = m.gate(circuit.Or, bitLt, keep)
+	}
+	return lt
+}
+
+// RequireLess asserts a < b.
+func (m *Model) RequireLess(a, b Word) { m.f.Add(cnf.PosLit(m.lessThan(a, b))) }
+
+// RequireLessEq asserts a ≤ b.
+func (m *Model) RequireLessEq(a, b Word) { m.f.Add(cnf.NegLit(m.lessThan(b, a))) }
+
+// RequireEqual asserts a == b.
+func (m *Model) RequireEqual(a, b Word) {
+	n := a.Width()
+	if b.Width() > n {
+		n = b.Width()
+	}
+	ax := m.zeroExtend(a, n)
+	bx := m.zeroExtend(b, n)
+	for i := 0; i < n; i++ {
+		m.f.Add(cnf.NegLit(ax.Bits[i]), cnf.PosLit(bx.Bits[i]))
+		m.f.Add(cnf.PosLit(ax.Bits[i]), cnf.NegLit(bx.Bits[i]))
+	}
+}
+
+// RequireNotEqual asserts a != b.
+func (m *Model) RequireNotEqual(a, b Word) {
+	n := a.Width()
+	if b.Width() > n {
+		n = b.Width()
+	}
+	ax := m.zeroExtend(a, n)
+	bx := m.zeroExtend(b, n)
+	diff := make(cnf.Clause, n)
+	for i := 0; i < n; i++ {
+		diff[i] = cnf.PosLit(m.gate(circuit.Xor, ax.Bits[i], bx.Bits[i]))
+	}
+	m.f.AddClause(diff)
+}
+
+// Vector is one generated assignment of values to the model's words.
+type Vector map[string]uint64
+
+// value extracts a word's value from a model assignment.
+func wordValue(m cnf.Assignment, w Word) uint64 {
+	var out uint64
+	for i, v := range w.Bits {
+		if m.Value(v) == cnf.True {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Options configures vector generation.
+type Options struct {
+	Seed         int64
+	MaxConflicts int64
+	Solver       solver.Options
+}
+
+// Generate produces up to n distinct vectors satisfying the model's
+// constraints. Each accepted vector is excluded with a blocking clause
+// over the declared words' bits, and randomized decisions spread the
+// samples across the solution space (§6 randomization).
+func (m *Model) Generate(n int, opts Options) []Vector {
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	if sopts.RandomFreq == 0 {
+		sopts.RandomFreq = 0.2
+	}
+	sopts.Seed = opts.Seed
+	if sopts.Restart == solver.RestartNone {
+		sopts.Restart = solver.RestartLuby
+	}
+	s := solver.FromFormula(m.f, sopts)
+	var out []Vector
+	for len(out) < n {
+		if s.Solve() != solver.Sat {
+			break
+		}
+		model := s.Model()
+		vec := Vector{}
+		var block cnf.Clause
+		for _, w := range m.words {
+			vec[w.Name] = wordValue(model, w)
+			for _, v := range w.Bits {
+				block = append(block, cnf.NewLit(v, model.Value(v) == cnf.True))
+			}
+		}
+		out = append(out, vec)
+		if len(block) == 0 || !s.AddClause(block) {
+			break // no more distinct vectors
+		}
+	}
+	return out
+}
+
+// ScaleConst returns a word constrained to equal w shifted-and-added to
+// k·w (for constant k ≥ 0), enabling general linear terms Σ c_i·w_i in
+// constraints. Width grows to cover the maximum product.
+func (m *Model) ScaleConst(w Word, k uint64) Word {
+	if k == 0 {
+		return m.Const(0, 1)
+	}
+	var acc Word
+	first := true
+	shift := 0
+	for kk := k; kk != 0; kk >>= 1 {
+		if kk&1 == 1 {
+			shifted := m.shiftLeft(w, shift)
+			if first {
+				acc = shifted
+				first = false
+			} else {
+				acc = m.Add(acc, shifted)
+			}
+		}
+		shift++
+	}
+	return acc
+}
+
+// shiftLeft returns w << k (constant-zero low bits).
+func (m *Model) shiftLeft(w Word, k int) Word {
+	out := Word{Name: w.Name + "<<"}
+	for i := 0; i < k; i++ {
+		z := m.f.NewVar()
+		m.f.Add(cnf.NegLit(z))
+		out.Bits = append(out.Bits, z)
+	}
+	out.Bits = append(out.Bits, w.Bits...)
+	return out
+}

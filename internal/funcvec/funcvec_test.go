@@ -1,0 +1,156 @@
+package funcvec
+
+import (
+	"testing"
+)
+
+func TestAddConstraintArithmetic(t *testing.T) {
+	// a + b == 9, a < b, a 4-bit, b 4-bit.
+	m := NewModel()
+	a := m.Word("a", 4)
+	b := m.Word("b", 4)
+	sum := m.Add(a, b)
+	m.RequireEqual(sum, m.Const(9, 5))
+	m.RequireLess(a, b)
+	vecs := m.Generate(20, Options{Seed: 1})
+	if len(vecs) == 0 {
+		t.Fatal("no vectors generated")
+	}
+	for _, v := range vecs {
+		if v["a"]+v["b"] != 9 {
+			t.Fatalf("a+b != 9: %v", v)
+		}
+		if v["a"] >= v["b"] {
+			t.Fatalf("a >= b: %v", v)
+		}
+	}
+	// All solutions with a+b=9, a<b, 4-bit: (0,9),(1,8),(2,7),(3,6),(4,5) = 5.
+	if len(vecs) != 5 {
+		t.Fatalf("expected exactly 5 distinct vectors, got %d", len(vecs))
+	}
+}
+
+func TestVectorsDistinct(t *testing.T) {
+	m := NewModel()
+	a := m.Word("a", 5)
+	m.RequireLess(a, m.Const(20, 5))
+	vecs := m.Generate(25, Options{Seed: 3})
+	if len(vecs) != 20 {
+		t.Fatalf("expected 20 distinct values below 20, got %d", len(vecs))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range vecs {
+		if seen[v["a"]] {
+			t.Fatalf("duplicate vector %v", v)
+		}
+		if v["a"] >= 20 {
+			t.Fatalf("constraint violated: %v", v)
+		}
+		seen[v["a"]] = true
+	}
+}
+
+func TestLessEqAndNotEqual(t *testing.T) {
+	m := NewModel()
+	a := m.Word("a", 3)
+	b := m.Word("b", 3)
+	m.RequireLessEq(a, b)
+	m.RequireNotEqual(a, b)
+	vecs := m.Generate(100, Options{Seed: 7})
+	// a <= b and a != b means a < b: C(8,2) = 28 pairs.
+	if len(vecs) != 28 {
+		t.Fatalf("expected 28 pairs, got %d", len(vecs))
+	}
+	for _, v := range vecs {
+		if v["a"] >= v["b"] {
+			t.Fatalf("violated: %v", v)
+		}
+	}
+}
+
+func TestInfeasibleConstraints(t *testing.T) {
+	m := NewModel()
+	a := m.Word("a", 3)
+	m.RequireLess(a, m.Const(0, 3)) // a < 0 impossible
+	vecs := m.Generate(5, Options{Seed: 1})
+	if len(vecs) != 0 {
+		t.Fatalf("infeasible model produced vectors: %v", vecs)
+	}
+}
+
+func TestWideAddOverflowBit(t *testing.T) {
+	// 4-bit + 4-bit sums up to 30: the 5th bit must be usable.
+	m := NewModel()
+	a := m.Word("a", 4)
+	b := m.Word("b", 4)
+	sum := m.Add(a, b)
+	if sum.Width() != 5 {
+		t.Fatalf("sum width = %d, want 5", sum.Width())
+	}
+	m.RequireEqual(sum, m.Const(30, 5))
+	vecs := m.Generate(2, Options{Seed: 2})
+	if len(vecs) != 1 {
+		t.Fatalf("a+b=30 has exactly one 4-bit solution (15+15), got %d", len(vecs))
+	}
+	if vecs[0]["a"] != 15 || vecs[0]["b"] != 15 {
+		t.Fatalf("wrong solution: %v", vecs[0])
+	}
+}
+
+func TestChainedConstraints(t *testing.T) {
+	// a + b <= 10, b + c == 6, a > c (via c < a), 4-bit words:
+	// c = 6-b and 6-b < a <= 10-b is non-empty, e.g. b=0, c=6, a=7.
+	m := NewModel()
+	a := m.Word("a", 4)
+	b := m.Word("b", 4)
+	c := m.Word("c", 4)
+	m.RequireLessEq(m.Add(a, b), m.Const(10, 5))
+	m.RequireEqual(m.Add(b, c), m.Const(6, 5))
+	m.RequireLess(c, a)
+	vecs := m.Generate(50, Options{Seed: 5})
+	if len(vecs) == 0 {
+		t.Fatal("satisfiable system produced nothing")
+	}
+	for _, v := range vecs {
+		if v["a"]+v["b"] > 10 || v["b"]+v["c"] != 6 || v["c"] >= v["a"] {
+			t.Fatalf("violated: %v", v)
+		}
+	}
+}
+
+func TestScaleConstLinearTerm(t *testing.T) {
+	// 3a + 2b == 17 over 4-bit words.
+	m := NewModel()
+	a := m.Word("a", 4)
+	b := m.Word("b", 4)
+	lhs := m.Add(m.ScaleConst(a, 3), m.ScaleConst(b, 2))
+	m.RequireEqual(lhs, m.Const(17, lhs.Width()))
+	vecs := m.Generate(64, Options{Seed: 11})
+	if len(vecs) == 0 {
+		t.Fatal("3a+2b=17 has solutions (e.g. a=1,b=7)")
+	}
+	for _, v := range vecs {
+		if 3*v["a"]+2*v["b"] != 17 {
+			t.Fatalf("violated: %v", v)
+		}
+	}
+	// Exhaustive count: a in 0..15, b in 0..15 with 3a+2b=17:
+	// a must be odd: a=1,b=7; a=3,b=4; a=5,b=1 → 3 solutions.
+	if len(vecs) != 3 {
+		t.Fatalf("expected 3 solutions, got %d: %v", len(vecs), vecs)
+	}
+}
+
+func TestScaleByZeroAndOne(t *testing.T) {
+	m := NewModel()
+	a := m.Word("a", 3)
+	zero := m.ScaleConst(a, 0)
+	m.RequireEqual(zero, m.Const(0, 1))
+	one := m.ScaleConst(a, 1)
+	m.RequireEqual(one, a)
+	m.RequireEqual(a, m.Const(5, 3))
+	vecs := m.Generate(2, Options{Seed: 2})
+	if len(vecs) != 1 || vecs[0]["a"] != 5 {
+		t.Fatalf("scaling identities broken: %v", vecs)
+	}
+}

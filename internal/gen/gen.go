@@ -1,0 +1,246 @@
+// Package gen generates benchmark CNF workloads: uniform random k-SAT,
+// pigeonhole formulas, XOR (parity) chains, graph colouring and N-queens.
+// These are the standard instance families used to exercise the solver
+// configurations the paper compares (§4, §6).
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/cnf"
+)
+
+// RandomKSAT returns a uniform random k-SAT formula with n variables and
+// m clauses. Each clause has k distinct variables with random polarities.
+// The classic hard region for 3-SAT is m/n ≈ 4.26.
+func RandomKSAT(n, m, k int, seed int64) *cnf.Formula {
+	if k > n {
+		panic("gen: k > n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		seen := make(map[int]bool, k)
+		c := make(cnf.Clause, 0, k)
+		for len(c) < k {
+			v := rng.Intn(n) + 1
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			c = append(c, cnf.NewLit(cnf.Var(v), rng.Intn(2) == 0))
+		}
+		f.AddClause(c)
+	}
+	return f
+}
+
+// Random3SATHard returns a random 3-SAT instance at the hard
+// clause-to-variable ratio 4.26.
+func Random3SATHard(n int, seed int64) *cnf.Formula {
+	return RandomKSAT(n, int(4.26*float64(n)), 3, seed)
+}
+
+// Pigeonhole returns the propositional pigeonhole principle PHP(n+1, n):
+// n+1 pigeons cannot fit in n holes, one pigeon per hole. The formula is
+// unsatisfiable and exponentially hard for resolution — the classic
+// structured UNSAT benchmark for backtrack search.
+//
+// Variable p_{i,h} (pigeon i in hole h) is i*n + h + 1 for i in [0,n],
+// h in [0,n-1].
+func Pigeonhole(n int) *cnf.Formula {
+	f := cnf.New((n + 1) * n)
+	v := func(i, h int) cnf.Var { return cnf.Var(i*n + h + 1) }
+	// Every pigeon is in some hole.
+	for i := 0; i <= n; i++ {
+		c := make(cnf.Clause, n)
+		for h := 0; h < n; h++ {
+			c[h] = cnf.PosLit(v(i, h))
+		}
+		f.AddClause(c)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < n; h++ {
+		for i := 0; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				f.Add(cnf.NegLit(v(i, h)), cnf.NegLit(v(j, h)))
+			}
+		}
+	}
+	return f
+}
+
+// XorClause appends CNF clauses encoding l1 ⊕ l2 ⊕ … ⊕ lk = rhs to f.
+// The expansion is exponential in k; intended for short chains (k ≤ 4).
+func XorClause(f *cnf.Formula, lits []cnf.Lit, rhs bool) {
+	k := len(lits)
+	for mask := 0; mask < 1<<k; mask++ {
+		// A clause is emitted for every assignment violating the parity.
+		neg := 0
+		c := make(cnf.Clause, k)
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				c[i] = lits[i].Not()
+				neg++
+			} else {
+				c[i] = lits[i]
+			}
+		}
+		// The clause forbids the assignment where all its literals are
+		// false, i.e. lits[i] = (mask bit i). That assignment has parity
+		// (number of set bits) mod 2; forbid those with the wrong parity.
+		parity := neg%2 == 1
+		if parity != rhs {
+			f.AddClause(c)
+		}
+	}
+}
+
+// XorChain returns a chained parity formula: x1⊕x2=c1, x2⊕x3=c2, …,
+// with a closing constraint x_n⊕x_1=cn chosen so the total parity is odd
+// (unsat=true) or even (unsat=false). These formulas are easy for
+// equivalency reasoning but hard for plain resolution-style search.
+func XorChain(n int, unsat bool, seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.New(n)
+	total := false
+	for i := 1; i < n; i++ {
+		rhs := rng.Intn(2) == 0
+		total = total != rhs
+		XorClause(f, []cnf.Lit{cnf.PosLit(cnf.Var(i)), cnf.PosLit(cnf.Var(i + 1))}, rhs)
+	}
+	// Closing edge: choose rhs so the cycle parity is odd iff unsat.
+	rhs := total != unsat
+	XorClause(f, []cnf.Lit{cnf.PosLit(cnf.Var(n)), cnf.PosLit(cnf.Var(1))}, rhs)
+	return f
+}
+
+// AtMostOne appends pairwise at-most-one constraints over lits.
+func AtMostOne(f *cnf.Formula, lits []cnf.Lit) {
+	for i := range lits {
+		for j := i + 1; j < len(lits); j++ {
+			f.Add(lits[i].Not(), lits[j].Not())
+		}
+	}
+}
+
+// ExactlyOne appends an exactly-one constraint over lits.
+func ExactlyOne(f *cnf.Formula, lits []cnf.Lit) {
+	f.AddClause(append(cnf.Clause(nil), lits...))
+	AtMostOne(f, lits)
+}
+
+// GraphColoring returns a k-colouring formula for a random graph with n
+// nodes and m edges (no self loops, duplicates allowed to keep it simple).
+// Variable x_{v,c} = node v has colour c, laid out v*k + c + 1.
+func GraphColoring(n, m, k int, seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.New(n * k)
+	v := func(node, c int) cnf.Var { return cnf.Var(node*k + c + 1) }
+	for node := 0; node < n; node++ {
+		lits := make([]cnf.Lit, k)
+		for c := 0; c < k; c++ {
+			lits[c] = cnf.PosLit(v(node, c))
+		}
+		ExactlyOne(f, lits)
+	}
+	for e := 0; e < m; e++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		for c := 0; c < k; c++ {
+			f.Add(cnf.NegLit(v(a, c)), cnf.NegLit(v(b, c)))
+		}
+	}
+	return f
+}
+
+// Queens returns the N-queens problem as CNF: variable q_{r,c} = queen at
+// row r column c (r*n + c + 1). Satisfiable for n = 1 and n >= 4.
+func Queens(n int) *cnf.Formula {
+	f := cnf.New(n * n)
+	v := func(r, c int) cnf.Var { return cnf.Var(r*n + c + 1) }
+	for r := 0; r < n; r++ {
+		row := make([]cnf.Lit, n)
+		for c := 0; c < n; c++ {
+			row[c] = cnf.PosLit(v(r, c))
+		}
+		ExactlyOne(f, row)
+	}
+	for c := 0; c < n; c++ {
+		col := make([]cnf.Lit, n)
+		for r := 0; r < n; r++ {
+			col[r] = cnf.PosLit(v(r, c))
+		}
+		AtMostOne(f, col)
+	}
+	// Diagonals.
+	for r1 := 0; r1 < n; r1++ {
+		for c1 := 0; c1 < n; c1++ {
+			for r2 := r1 + 1; r2 < n; r2++ {
+				d := r2 - r1
+				for _, c2 := range []int{c1 - d, c1 + d} {
+					if c2 >= 0 && c2 < n {
+						f.Add(cnf.NegLit(v(r1, c1)), cnf.NegLit(v(r2, c2)))
+					}
+				}
+			}
+		}
+	}
+	return f
+}
+
+// EquivalenceLadder builds a satisfiable formula consisting of n
+// equivalence constraints x_i ≡ x_{i+1} plus a sprinkling of random
+// ternary clauses over the chained variables. It is the natural workload
+// for equivalency reasoning (§6): substitution collapses the chain to a
+// single variable.
+func EquivalenceLadder(n, extra int, seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.New(n)
+	for i := 1; i < n; i++ {
+		x, y := cnf.Var(i), cnf.Var(i+1)
+		f.Add(cnf.PosLit(x), cnf.NegLit(y))
+		f.Add(cnf.NegLit(x), cnf.PosLit(y))
+	}
+	for e := 0; e < extra; e++ {
+		a := cnf.Var(rng.Intn(n) + 1)
+		b := cnf.Var(rng.Intn(n) + 1)
+		c := cnf.Var(rng.Intn(n) + 1)
+		// All-positive ternary clauses keep the formula satisfiable
+		// (set everything true).
+		f.Add(cnf.PosLit(a), cnf.PosLit(b), cnf.PosLit(c))
+	}
+	return f
+}
+
+// DuplicateWithEquivalences returns an equisatisfiable copy of f over
+// twice the variables: every variable x_i gains a duplicate x'_i tied by
+// the equivalence clauses (x_i + ¬x'_i)(¬x_i + x'_i), and each literal
+// occurrence of f randomly refers to the original or the duplicate.
+// Equivalency reasoning (§6) collapses the instance back to f; without
+// it the solver faces a doubled variable space.
+func DuplicateWithEquivalences(f *cnf.Formula, seed int64) *cnf.Formula {
+	rng := rand.New(rand.NewSource(seed))
+	n := f.NumVars()
+	out := cnf.New(2 * n)
+	dup := func(v cnf.Var) cnf.Var { return v + cnf.Var(n) }
+	for v := cnf.Var(1); int(v) <= n; v++ {
+		out.Add(cnf.PosLit(v), cnf.NegLit(dup(v)))
+		out.Add(cnf.NegLit(v), cnf.PosLit(dup(v)))
+	}
+	for _, c := range f.Clauses {
+		d := make(cnf.Clause, len(c))
+		for i, l := range c {
+			v := l.Var()
+			if rng.Intn(2) == 0 {
+				v = dup(v)
+			}
+			d[i] = cnf.NewLit(v, l.IsNeg())
+		}
+		out.AddClause(d)
+	}
+	return out
+}

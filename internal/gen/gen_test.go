@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestRandomKSATShape(t *testing.T) {
+	f := RandomKSAT(20, 85, 3, 1)
+	if f.NumVars() != 20 || f.NumClauses() != 85 {
+		t.Fatalf("shape: %d vars %d clauses", f.NumVars(), f.NumClauses())
+	}
+	for _, c := range f.Clauses {
+		if len(c) != 3 {
+			t.Fatalf("clause width %d", len(c))
+		}
+		seen := map[cnf.Var]bool{}
+		for _, l := range c {
+			if seen[l.Var()] {
+				t.Fatalf("repeated variable in clause %v", c)
+			}
+			seen[l.Var()] = true
+		}
+	}
+	// Determinism.
+	g := RandomKSAT(20, 85, 3, 1)
+	for i := range f.Clauses {
+		if f.Clauses[i].String() != g.Clauses[i].String() {
+			t.Fatal("same seed must give same formula")
+		}
+	}
+	h := RandomKSAT(20, 85, 3, 2)
+	same := true
+	for i := range f.Clauses {
+		if f.Clauses[i].String() != h.Clauses[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical formulas")
+	}
+}
+
+func TestPigeonholeStructure(t *testing.T) {
+	f := Pigeonhole(3)
+	// 4 pigeons x 3 holes: 12 vars; 4 pigeon clauses + 3*C(4,2)=18 hole
+	// clauses.
+	if f.NumVars() != 12 || f.NumClauses() != 22 {
+		t.Fatalf("PHP(3): %d vars %d clauses", f.NumVars(), f.NumClauses())
+	}
+	if sat, _ := cnf.BruteForce(Pigeonhole(2)); sat {
+		t.Fatal("PHP(2) must be UNSAT")
+	}
+}
+
+func TestXorChainParity(t *testing.T) {
+	for _, unsat := range []bool{false, true} {
+		f := XorChain(6, unsat, 5)
+		sat, _ := cnf.BruteForce(f)
+		if sat == unsat {
+			t.Fatalf("XorChain(unsat=%v) got sat=%v", unsat, sat)
+		}
+	}
+}
+
+func TestXorClauseSemantics(t *testing.T) {
+	// x1 ⊕ x2 ⊕ x3 = 1 has exactly 4 of 8 models.
+	f := cnf.New(3)
+	XorClause(f, []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}, true)
+	if n := cnf.CountModels(f); n != 4 {
+		t.Fatalf("odd-parity models = %d, want 4", n)
+	}
+	g := cnf.New(3)
+	XorClause(g, []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3)}, false)
+	if n := cnf.CountModels(g); n != 4 {
+		t.Fatalf("even-parity models = %d, want 4", n)
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	f := cnf.New(4)
+	lits := []cnf.Lit{cnf.PosLit(1), cnf.PosLit(2), cnf.PosLit(3), cnf.PosLit(4)}
+	ExactlyOne(f, lits)
+	if n := cnf.CountModels(f); n != 4 {
+		t.Fatalf("exactly-one models = %d, want 4", n)
+	}
+}
+
+func TestQueensCounts(t *testing.T) {
+	// N-queens solution counts: N=4 -> 2, N=5 -> 10.
+	if n := cnf.CountModels(Queens(4)); n != 2 {
+		t.Fatalf("queens(4) models = %d, want 2", n)
+	}
+	if sat, _ := cnf.BruteForce(Queens(3)); sat {
+		t.Fatal("queens(3) must be UNSAT")
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// Very sparse graph with 3 colours: SAT.
+	f := GraphColoring(5, 4, 3, 7)
+	if sat, _ := cnf.BruteForce(f); !sat {
+		t.Fatal("sparse 3-colouring should be SAT")
+	}
+}
+
+func TestEquivalenceLadderSat(t *testing.T) {
+	f := EquivalenceLadder(6, 5, 2)
+	sat, m := cnf.BruteForce(f)
+	if !sat {
+		t.Fatal("ladder must be SAT")
+	}
+	// All chained variables equal.
+	for v := cnf.Var(2); int(v) <= 6; v++ {
+		if m.Value(v) != m.Value(1) {
+			t.Fatal("equivalence chain violated in model")
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package hwsat is a cycle-level software model of a reconfigurable-
+// hardware SAT accelerator (paper §6; [Abramovici, De Sousa & Saab],
+// [Zhong, Ashar, Malik & Martonosi]). We have no FPGA board, so the
+// hardware is substituted by a faithful cost model (see DESIGN.md):
+//
+//   - the formula is "mapped onto hardware" — every clause owns an
+//     evaluation unit;
+//   - each cycle, ALL clause units evaluate simultaneously against the
+//     current assignment, latching every unit implication and any
+//     conflict in that one cycle;
+//   - propagation to fixpoint therefore costs one cycle per implication
+//     WAVE, while a software BCP engine pays one step per implication
+//     processed sequentially.
+//
+// As in the papers, the control strategy is deliberately unsophisticated
+// (static decision order, chronological backtracking): the speedups come
+// purely from deduction parallelism, which the model exposes as the
+// ratio of sequential implication steps to hardware cycles.
+package hwsat
+
+import "repro/internal/cnf"
+
+// Stats reports the hardware model's cost accounting.
+type Stats struct {
+	// Cycles counts hardware clock cycles: one per deduction wave, one
+	// per decision and one per backtrack flip.
+	Cycles int64
+	// Implications counts individual implied assignments — what a
+	// sequential software BCP engine would process one at a time.
+	Implications int64
+	// Waves counts deduction waves (cycles spent in propagation).
+	Waves      int64
+	Decisions  int64
+	Backtracks int64
+}
+
+// Parallelism returns implications per propagation cycle — the speedup
+// of the parallel deduction engine over sequential BCP on this instance.
+func (s Stats) Parallelism() float64 {
+	if s.Waves == 0 {
+		return 1
+	}
+	return float64(s.Implications) / float64(s.Waves)
+}
+
+// Result is the outcome of a hardware-model run.
+type Result struct {
+	Sat     bool
+	Unknown bool // cycle budget exhausted
+	Model   cnf.Assignment
+	Stats   Stats
+}
+
+// Solve runs the modeled accelerator on f. MaxCycles bounds the run
+// (0 = unlimited).
+func Solve(f *cnf.Formula, maxCycles int64) Result {
+	n := f.NumVars()
+	assign := cnf.NewAssignment(n)
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return Result{}
+		}
+	}
+
+	type trailEntry struct {
+		lit      cnf.Lit
+		decision bool
+		flipped  bool
+	}
+	var trail []trailEntry
+	var st Stats
+
+	budget := func() bool { return maxCycles > 0 && st.Cycles >= maxCycles }
+
+	// propagateWave evaluates every clause in parallel (one cycle),
+	// returning (implied literals, conflict).
+	propagateWave := func() ([]cnf.Lit, bool) {
+		st.Cycles++
+		st.Waves++
+		var implied []cnf.Lit
+		seen := map[cnf.Lit]bool{}
+		for _, c := range f.Clauses {
+			unit := cnf.LitUndef
+			unassigned := 0
+			sat := false
+			for _, l := range c {
+				switch assign.LitValue(l) {
+				case cnf.True:
+					sat = true
+				case cnf.Undef:
+					unassigned++
+					unit = l
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				return nil, true // conflict latched this cycle
+			case 1:
+				if seen[unit.Not()] {
+					return nil, true // opposite units in one wave
+				}
+				if !seen[unit] {
+					seen[unit] = true
+					implied = append(implied, unit)
+				}
+			}
+		}
+		return implied, false
+	}
+
+	// deduce runs waves to fixpoint; true on conflict.
+	deduce := func() (bool, bool) {
+		for {
+			if budget() {
+				return false, true
+			}
+			implied, conflict := propagateWave()
+			if conflict {
+				return true, false
+			}
+			if len(implied) == 0 {
+				return false, false
+			}
+			for _, l := range implied {
+				assign.Assign(l)
+				trail = append(trail, trailEntry{lit: l})
+				st.Implications++
+			}
+		}
+	}
+
+	// backtrack pops to the last unflipped decision and flips it.
+	backtrack := func() bool {
+		for len(trail) > 0 {
+			top := trail[len(trail)-1]
+			trail = trail[:len(trail)-1]
+			assign.Unassign(top.lit)
+			if top.decision && !top.flipped {
+				st.Cycles++
+				st.Backtracks++
+				flip := top.lit.Not()
+				assign.Assign(flip)
+				trail = append(trail, trailEntry{lit: flip, decision: true, flipped: true})
+				return true
+			}
+		}
+		return false
+	}
+
+	for {
+		conflict, out := deduce()
+		if out {
+			return Result{Unknown: true, Stats: st}
+		}
+		if conflict {
+			if !backtrack() {
+				return Result{Stats: st} // UNSAT
+			}
+			continue
+		}
+		// Decide: first unassigned variable, value 0 (static order, as
+		// in the hardware papers).
+		var pick cnf.Var
+		for v := cnf.Var(1); int(v) <= n; v++ {
+			if assign.Value(v) == cnf.Undef {
+				pick = v
+				break
+			}
+		}
+		if pick == cnf.VarUndef {
+			return Result{Sat: true, Model: assign.Clone(), Stats: st}
+		}
+		if budget() {
+			return Result{Unknown: true, Stats: st}
+		}
+		st.Cycles++
+		st.Decisions++
+		l := cnf.NegLit(pick)
+		assign.Assign(l)
+		trail = append(trail, trailEntry{lit: l, decision: true})
+	}
+}
+
+// SoftwareBCPSteps estimates the sequential cost of the same search: it
+// replays Solve but charges one step per implication instead of one per
+// wave. Returned for convenience of the benchmark harness; equal to
+// Stats.Implications + Stats.Decisions + Stats.Backtracks.
+func SoftwareBCPSteps(st Stats) int64 {
+	return st.Implications + st.Decisions + st.Backtracks
+}

@@ -1,0 +1,103 @@
+package hwsat
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+func TestAgreesWithBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		nv := 4 + int(seed%5)
+		f := gen.RandomKSAT(nv, nv*4, 3, seed)
+		want, _ := cnf.BruteForce(f)
+		res := Solve(f, 0)
+		if res.Unknown {
+			t.Fatalf("seed %d: unexpected Unknown", seed)
+		}
+		if res.Sat != want {
+			t.Fatalf("seed %d: hw=%v brute=%v", seed, res.Sat, want)
+		}
+		if res.Sat && !res.Model.Satisfies(f) {
+			t.Fatalf("seed %d: bad model", seed)
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	res := Solve(gen.Pigeonhole(3), 0)
+	if res.Sat || res.Unknown {
+		t.Fatal("PHP(3) must be UNSAT")
+	}
+	if res.Stats.Backtracks == 0 {
+		t.Fatal("expected backtracking work")
+	}
+}
+
+func TestParallelismExceedsOneOnChains(t *testing.T) {
+	// Implication-chain-heavy formulas: many implications per wave ...
+	// actually a single chain gives 1 impl/wave; a fanout tree gives
+	// many. Build x1 → (y1..y30) directly: assigning ¬x1? We want unit
+	// implications: clauses (¬x1 ∨ y_i): deciding x1=... the static
+	// strategy sets x1=0 first, satisfying all clauses. Force x1 true
+	// with a unit clause so the first wave implies x1 and the second
+	// wave implies all 30 y's in parallel.
+	f := cnf.New(31)
+	f.AddDIMACS(1)
+	for i := 2; i <= 31; i++ {
+		f.AddDIMACS(-1, i)
+	}
+	res := Solve(f, 0)
+	if !res.Sat {
+		t.Fatal("expected SAT")
+	}
+	if p := res.Stats.Parallelism(); p < 5 {
+		t.Fatalf("expected high deduction parallelism, got %.2f", p)
+	}
+	if res.Stats.Cycles >= res.Stats.Implications {
+		t.Fatalf("hardware cycles (%d) should be far below implications (%d)",
+			res.Stats.Cycles, res.Stats.Implications)
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	res := Solve(gen.Pigeonhole(6), 100)
+	if !res.Unknown {
+		t.Fatal("tiny cycle budget should return Unknown")
+	}
+	if res.Stats.Cycles < 100 {
+		t.Fatalf("cycles = %d, want >= 100", res.Stats.Cycles)
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(cnf.Clause{})
+	res := Solve(f, 0)
+	if res.Sat || res.Unknown {
+		t.Fatal("empty clause must be UNSAT")
+	}
+}
+
+func TestOppositeUnitsInOneWave(t *testing.T) {
+	// (x1)(¬x1): the first wave latches both units → conflict → UNSAT.
+	f := cnf.New(1)
+	f.AddDIMACS(1)
+	f.AddDIMACS(-1)
+	res := Solve(f, 0)
+	if res.Sat {
+		t.Fatal("must be UNSAT")
+	}
+}
+
+func TestSoftwareBCPStepsAccounting(t *testing.T) {
+	f := gen.Random3SATHard(20, 3)
+	res := Solve(f, 200000)
+	if res.Unknown {
+		t.Skip("budget hit; accounting still fine")
+	}
+	if got := SoftwareBCPSteps(res.Stats); got != res.Stats.Implications+res.Stats.Decisions+res.Stats.Backtracks {
+		t.Fatalf("accounting identity broken: %d", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package localsearch implements the GSAT and WalkSAT local search
+// procedures [paper ref 32]. As the paper notes (§4), local search cannot
+// prove unsatisfiability and "only backtrack search has proven useful for
+// solving instances of SAT from EDA applications, in particular for
+// applications where the objective is to prove unsatisfiability"; these
+// solvers exist as the comparison baseline for that claim (experiment E14).
+package localsearch
+
+import (
+	"math/rand"
+
+	"repro/internal/cnf"
+)
+
+// Algorithm selects the local-search variant.
+type Algorithm int
+
+// Supported algorithms.
+const (
+	// GSAT flips the variable giving the best decrease in unsatisfied
+	// clauses, ties broken at random.
+	GSAT Algorithm = iota
+	// WalkSAT picks a random unsatisfied clause, then flips either a
+	// zero-break variable or (with probability Noise) a random variable
+	// of the clause, else the minimum-break variable.
+	WalkSAT
+)
+
+// Options configures a local search run.
+type Options struct {
+	Algorithm Algorithm
+	MaxFlips  int     // flips per try (0 = 10000)
+	MaxTries  int     // restarts (0 = 10)
+	Noise     float64 // WalkSAT noise probability (0 = 0.5)
+	Seed      int64
+}
+
+// Result reports a local search outcome. Local search is incomplete:
+// Sat=false only means no model was found within the budget.
+type Result struct {
+	Sat   bool
+	Model cnf.Assignment
+	Flips int64
+	Tries int
+}
+
+type state struct {
+	f        *cnf.Formula
+	assign   []bool
+	occ      [][]int // clause indices per literal index
+	numTrue  []int   // per clause: count of true literals
+	unsat    []int   // indices of unsatisfied clauses
+	unsatPos []int   // position of clause in unsat (-1 if satisfied)
+	rng      *rand.Rand
+}
+
+// Solve runs local search on f.
+func Solve(f *cnf.Formula, opts Options) Result {
+	if opts.MaxFlips == 0 {
+		opts.MaxFlips = 10000
+	}
+	if opts.MaxTries == 0 {
+		opts.MaxTries = 10
+	}
+	if opts.Noise == 0 {
+		opts.Noise = 0.5
+	}
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return Result{}
+		}
+	}
+	st := &state{
+		f:        f,
+		assign:   make([]bool, f.NumVars()+1),
+		occ:      make([][]int, 2*(f.NumVars()+1)),
+		numTrue:  make([]int, f.NumClauses()),
+		unsatPos: make([]int, f.NumClauses()),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			st.occ[l.Index()] = append(st.occ[l.Index()], i)
+		}
+	}
+	var res Result
+	for try := 0; try < opts.MaxTries; try++ {
+		res.Tries = try + 1
+		st.randomInit()
+		for flip := 0; flip < opts.MaxFlips; flip++ {
+			if len(st.unsat) == 0 {
+				res.Sat = true
+				res.Model = st.model()
+				return res
+			}
+			var v cnf.Var
+			if opts.Algorithm == GSAT {
+				v = st.gsatPick()
+			} else {
+				v = st.walksatPick(opts.Noise)
+			}
+			st.flip(v)
+			res.Flips++
+		}
+	}
+	if len(st.unsat) == 0 {
+		res.Sat = true
+		res.Model = st.model()
+	}
+	return res
+}
+
+func (s *state) model() cnf.Assignment {
+	m := cnf.NewAssignment(s.f.NumVars())
+	for v := 1; v <= s.f.NumVars(); v++ {
+		m[v] = cnf.FromBool(s.assign[v])
+	}
+	return m
+}
+
+func (s *state) litTrue(l cnf.Lit) bool {
+	return s.assign[l.Var()] != l.IsNeg()
+}
+
+func (s *state) randomInit() {
+	for v := 1; v <= s.f.NumVars(); v++ {
+		s.assign[v] = s.rng.Intn(2) == 0
+	}
+	s.unsat = s.unsat[:0]
+	for i, c := range s.f.Clauses {
+		n := 0
+		for _, l := range c {
+			if s.litTrue(l) {
+				n++
+			}
+		}
+		s.numTrue[i] = n
+		if n == 0 {
+			s.unsatPos[i] = len(s.unsat)
+			s.unsat = append(s.unsat, i)
+		} else {
+			s.unsatPos[i] = -1
+		}
+	}
+}
+
+func (s *state) markUnsat(ci int) {
+	if s.unsatPos[ci] >= 0 {
+		return
+	}
+	s.unsatPos[ci] = len(s.unsat)
+	s.unsat = append(s.unsat, ci)
+}
+
+func (s *state) markSat(ci int) {
+	pos := s.unsatPos[ci]
+	if pos < 0 {
+		return
+	}
+	last := s.unsat[len(s.unsat)-1]
+	s.unsat[pos] = last
+	s.unsatPos[last] = pos
+	s.unsat = s.unsat[:len(s.unsat)-1]
+	s.unsatPos[ci] = -1
+}
+
+// flip toggles v and incrementally updates clause truth counts.
+func (s *state) flip(v cnf.Var) {
+	becameTrue := cnf.PosLit(v)
+	becameFalse := cnf.NegLit(v)
+	if s.assign[v] {
+		becameTrue, becameFalse = becameFalse, becameTrue
+	}
+	s.assign[v] = !s.assign[v]
+	for _, ci := range s.occ[becameTrue.Index()] {
+		s.numTrue[ci]++
+		if s.numTrue[ci] == 1 {
+			s.markSat(ci)
+		}
+	}
+	for _, ci := range s.occ[becameFalse.Index()] {
+		s.numTrue[ci]--
+		if s.numTrue[ci] == 0 {
+			s.markUnsat(ci)
+		}
+	}
+}
+
+// breakCount returns how many currently satisfied clauses would become
+// unsatisfied by flipping v.
+func (s *state) breakCount(v cnf.Var) int {
+	lit := cnf.PosLit(v)
+	if !s.assign[v] {
+		lit = cnf.NegLit(v)
+	}
+	// lit is currently true; flipping falsifies clauses where it is the
+	// only true literal.
+	n := 0
+	for _, ci := range s.occ[lit.Index()] {
+		if s.numTrue[ci] == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// makeCount returns how many currently unsatisfied clauses would become
+// satisfied by flipping v.
+func (s *state) makeCount(v cnf.Var) int {
+	lit := cnf.NegLit(v)
+	if !s.assign[v] {
+		lit = cnf.PosLit(v)
+	}
+	// lit is currently false and would become true.
+	n := 0
+	for _, ci := range s.occ[lit.Index()] {
+		if s.numTrue[ci] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *state) gsatPick() cnf.Var {
+	bestScore := -1 << 30
+	var best []cnf.Var
+	for v := cnf.Var(1); int(v) <= s.f.NumVars(); v++ {
+		score := s.makeCount(v) - s.breakCount(v)
+		if score > bestScore {
+			bestScore = score
+			best = best[:0]
+		}
+		if score == bestScore {
+			best = append(best, v)
+		}
+	}
+	return best[s.rng.Intn(len(best))]
+}
+
+func (s *state) walksatPick(noise float64) cnf.Var {
+	c := s.f.Clauses[s.unsat[s.rng.Intn(len(s.unsat))]]
+	// Zero-break variable if one exists.
+	bestBreak := 1 << 30
+	var best []cnf.Var
+	for _, l := range c {
+		b := s.breakCount(l.Var())
+		if b < bestBreak {
+			bestBreak = b
+			best = best[:0]
+		}
+		if b == bestBreak {
+			best = append(best, l.Var())
+		}
+	}
+	if bestBreak == 0 {
+		return best[s.rng.Intn(len(best))]
+	}
+	if s.rng.Float64() < noise {
+		return c[s.rng.Intn(len(c))].Var()
+	}
+	return best[s.rng.Intn(len(best))]
+}

@@ -1,0 +1,92 @@
+package localsearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+func TestFindsModelsOnEasyInstances(t *testing.T) {
+	for _, alg := range []Algorithm{GSAT, WalkSAT} {
+		found := 0
+		for seed := int64(0); seed < 20; seed++ {
+			f := gen.RandomKSAT(12, 30, 3, seed) // low ratio: almost surely SAT
+			want, _ := cnf.BruteForce(f)
+			if !want {
+				continue
+			}
+			res := Solve(f, Options{Algorithm: alg, Seed: seed, MaxFlips: 2000, MaxTries: 5})
+			if res.Sat {
+				if !res.Model.Satisfies(f) {
+					t.Fatalf("alg %v seed %d: reported model does not satisfy", alg, seed)
+				}
+				found++
+			}
+		}
+		if found < 15 {
+			t.Fatalf("alg %v found only %d/≈20 easy models", alg, found)
+		}
+	}
+}
+
+func TestNeverClaimsSatOnUnsat(t *testing.T) {
+	f := gen.Pigeonhole(3)
+	for _, alg := range []Algorithm{GSAT, WalkSAT} {
+		res := Solve(f, Options{Algorithm: alg, Seed: 1, MaxFlips: 500, MaxTries: 3})
+		if res.Sat {
+			t.Fatalf("alg %v claimed SAT on PHP(3)", alg)
+		}
+		if res.Flips == 0 {
+			t.Fatalf("alg %v did no work", alg)
+		}
+	}
+}
+
+func TestEmptyClauseHandled(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(cnf.Clause{})
+	if Solve(f, Options{}).Sat {
+		t.Fatal("empty clause must never be satisfied")
+	}
+}
+
+func TestIncrementalCountsConsistent(t *testing.T) {
+	// White-box: after many flips the numTrue counters must match a
+	// recount from scratch.
+	f := gen.RandomKSAT(10, 42, 3, 9)
+	st := &state{
+		f:        f,
+		assign:   make([]bool, f.NumVars()+1),
+		occ:      make([][]int, 2*(f.NumVars()+1)),
+		numTrue:  make([]int, f.NumClauses()),
+		unsatPos: make([]int, f.NumClauses()),
+	}
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			st.occ[l.Index()] = append(st.occ[l.Index()], i)
+		}
+	}
+	st.rng = rand.New(rand.NewSource(123))
+	st.randomInit()
+	for i := 0; i < 200; i++ {
+		v := cnf.Var(i%f.NumVars() + 1)
+		st.flip(v)
+	}
+	for i, c := range f.Clauses {
+		n := 0
+		for _, l := range c {
+			if st.litTrue(l) {
+				n++
+			}
+		}
+		if n != st.numTrue[i] {
+			t.Fatalf("clause %d: counter %d, recount %d", i, st.numTrue[i], n)
+		}
+		inUnsat := st.unsatPos[i] >= 0
+		if (n == 0) != inUnsat {
+			t.Fatalf("clause %d: unsat-list membership wrong", i)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package preprocess
+
+import "repro/internal/cnf"
+
+// Equivalency reasoning (§6, [Li]): binary clauses (x + ¬y)·(¬x + y)
+// indicate that x and y must always take the same value, so y can be
+// replaced by x. We generalize via the binary implication graph: every
+// binary clause (a ∨ b) contributes edges ¬a→b and ¬b→a; literals in the
+// same strongly connected component are pairwise equivalent. If a
+// variable's two literals share a component the formula is unsatisfiable.
+
+// substituteEquivalences finds equivalence classes among literals and
+// rewrites the clause list, recording substitutions in subst. It returns
+// the rewritten clauses, the number of variables eliminated, and whether
+// a contradiction (x ≡ ¬x) was found.
+func substituteEquivalences(clauses []cnf.Clause, numVars int, subst map[cnf.Var]cnf.Lit) ([]cnf.Clause, int, bool) {
+	nLits := 2 * (numVars + 1)
+	adj := make([][]int32, nLits)
+	for _, c := range clauses {
+		if len(c) != 2 {
+			continue
+		}
+		a, b := c[0], c[1]
+		adj[a.Not().Index()] = append(adj[a.Not().Index()], int32(b.Index()))
+		adj[b.Not().Index()] = append(adj[b.Not().Index()], int32(a.Index()))
+	}
+
+	comp := sccLiterals(adj, numVars)
+
+	// For each component pick a representative literal: the occurrence
+	// with the smallest variable, positive polarity preferred. A
+	// variable whose two literals are in one component is contradictory.
+	repOf := make(map[int32]cnf.Lit)
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		p, n := cnf.PosLit(v), cnf.NegLit(v)
+		if comp[p.Index()] == comp[n.Index()] && comp[p.Index()] != -1 {
+			return nil, 0, true
+		}
+	}
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		for _, l := range []cnf.Lit{cnf.PosLit(v), cnf.NegLit(v)} {
+			c := comp[l.Index()]
+			if c < 0 {
+				continue
+			}
+			if _, ok := repOf[c]; !ok {
+				repOf[c] = l
+				// Keep representative choice consistent between the two
+				// complementary components: rep(comp(¬l)) = ¬rep(comp(l)).
+				repOf[comp[l.Not().Index()]] = l.Not()
+			}
+		}
+	}
+
+	mapLit := func(l cnf.Lit) cnf.Lit {
+		c := comp[l.Index()]
+		if c < 0 {
+			return l
+		}
+		return repOf[c]
+	}
+
+	eliminated := 0
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		if _, done := subst[v]; done {
+			continue
+		}
+		rep := mapLit(cnf.PosLit(v))
+		if rep != cnf.PosLit(v) {
+			subst[v] = rep
+			eliminated++
+		}
+	}
+	if eliminated == 0 {
+		return clauses, 0, false
+	}
+
+	var out []cnf.Clause
+	seen := make(map[string]bool)
+	for _, c := range clauses {
+		d := make(cnf.Clause, len(c))
+		for i, l := range c {
+			d[i] = mapLit(l)
+		}
+		n, taut := d.Normalize()
+		if taut {
+			continue
+		}
+		if len(n) == 0 {
+			return nil, eliminated, true
+		}
+		key := n.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, n)
+	}
+	return out, eliminated, false
+}
+
+// sccLiterals runs an iterative Tarjan SCC over the literal graph and
+// returns the component id per literal index, with -1 for literals that
+// form singleton components with no structure (still assigned an id, the
+// -1 marker is only for out-of-range/unused slots).
+func sccLiterals(adj [][]int32, numVars int) []int32 {
+	n := len(adj)
+	comp := make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range comp {
+		comp[i] = -1
+		index[i] = -1
+	}
+	var stack []int32
+	var counter, nComp int32
+
+	type frame struct {
+		node int32
+		edge int
+	}
+	var callStack []frame
+
+	strongconnect := func(root int32) {
+		callStack = callStack[:0]
+		callStack = append(callStack, frame{root, 0})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			v := fr.node
+			if fr.edge < len(adj[v]) {
+				w := adj[v][fr.edge]
+				fr.edge++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && low[v] > index[w] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Finished v.
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].node
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		for _, l := range []cnf.Lit{cnf.PosLit(v), cnf.NegLit(v)} {
+			if index[l.Index()] == -1 {
+				strongconnect(int32(l.Index()))
+			}
+		}
+	}
+	return comp
+}

@@ -1,0 +1,420 @@
+// Package preprocess implements the Preprocess() stage of the paper's
+// generic SAT algorithm (§4.1, Figure 2): satisfiability-preserving
+// simplifications applied before search. It provides unit propagation,
+// pure-literal elimination, clause subsumption, self-subsuming
+// resolution, failed-literal probing, and the equivalency reasoning of
+// §6 (detecting (x + ¬y)(¬x + y) pairs and eliminating variables by
+// substitution). Every transform is model-reconstructible via
+// ExtendModel.
+package preprocess
+
+import "repro/internal/cnf"
+
+// Options selects which simplifications run. The zero value runs only
+// unit propagation.
+type Options struct {
+	PureLiterals    bool
+	Subsumption     bool
+	SelfSubsumption bool
+	FailedLiterals  bool
+	Equivalences    bool
+	// VarElim enables bounded variable elimination (NiVER-style):
+	// clauses of an eliminated variable are replaced by their
+	// resolvents when that does not grow the formula.
+	VarElim bool
+	// MaxRounds bounds the simplification fixpoint loop (0 = 10).
+	MaxRounds int
+}
+
+// All returns options with every simplification enabled.
+func All() Options {
+	return Options{
+		PureLiterals:    true,
+		Subsumption:     true,
+		SelfSubsumption: true,
+		FailedLiterals:  true,
+		Equivalences:    true,
+		VarElim:         true,
+	}
+}
+
+// Stats counts the work done by each simplification.
+type Stats struct {
+	Rounds          int
+	UnitsFixed      int
+	PureFixed       int
+	ClausesSubsumed int
+	LitsStrength    int // literals removed by self-subsumption
+	FailedLiterals  int
+	VarsSubstituted int // variables eliminated by equivalency reasoning
+	VarsEliminated  int // variables removed by bounded elimination
+}
+
+// Result is the outcome of preprocessing.
+type Result struct {
+	// Formula is the simplified formula (same variable space as input;
+	// eliminated variables simply no longer occur).
+	Formula *cnf.Formula
+	// Status is Sat/Unsat if preprocessing fully decided the instance,
+	// else Unknown (0).
+	Decided cnf.LBool
+	// Units holds the literals fixed at top level.
+	Units []cnf.Lit
+	// Subst maps a substituted variable to the literal it equals.
+	Subst map[cnf.Var]cnf.Lit
+	// Pure holds pure-literal assignments (safe to assert, not implied).
+	Pure []cnf.Lit
+	// eliminated records bounded-variable-elimination steps for model
+	// reconstruction.
+	eliminated []elimRecord
+	// undoLog records every model-affecting transform in application
+	// order; ExtendModel replays it backwards so reconstructions see
+	// exactly the variable values they depended on.
+	undoLog []undoStep
+	Stats   Stats
+}
+
+type undoKind int8
+
+const (
+	undoUnit undoKind = iota
+	undoPure
+	undoSubst
+	undoElim
+)
+
+type undoStep struct {
+	kind    undoKind
+	lit     cnf.Lit      // undoUnit / undoPure
+	v       cnf.Var      // undoSubst / undoElim
+	rep     cnf.Lit      // undoSubst
+	clauses []cnf.Clause // undoElim
+}
+
+// Simplify applies the selected transforms to fixpoint and returns the
+// result. The input formula is not modified.
+func Simplify(f *cnf.Formula, opts Options) *Result {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 10
+	}
+	res := &Result{Subst: make(map[cnf.Var]cnf.Lit)}
+	work := normalizeClauses(f)
+	st := &res.Stats
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		st.Rounds = round + 1
+		changed := false
+
+		w, ok, units := propagateUnits(work, st)
+		if !ok {
+			res.Formula = cnf.New(f.NumVars())
+			res.Formula.AddClause(cnf.Clause{})
+			res.Decided = cnf.False
+			return res
+		}
+		if len(units) > 0 {
+			changed = true
+			res.Units = append(res.Units, units...)
+			for _, l := range units {
+				res.undoLog = append(res.undoLog, undoStep{kind: undoUnit, lit: l})
+			}
+		}
+		work = w
+
+		if opts.PureLiterals {
+			w, pure := pureLiterals(work, f.NumVars(), res, st)
+			if len(pure) > 0 {
+				changed = true
+				res.Pure = append(res.Pure, pure...)
+				for _, l := range pure {
+					res.undoLog = append(res.undoLog, undoStep{kind: undoPure, lit: l})
+				}
+			}
+			work = w
+		}
+
+		if opts.FailedLiterals {
+			failed, conflict := failedLiterals(work, f.NumVars())
+			if conflict {
+				res.Formula = cnf.New(f.NumVars())
+				res.Formula.AddClause(cnf.Clause{})
+				res.Decided = cnf.False
+				return res
+			}
+			if len(failed) > 0 {
+				changed = true
+				st.FailedLiterals += len(failed)
+				for _, l := range failed {
+					work = append(work, cnf.Clause{l})
+				}
+				continue // re-run unit propagation first
+			}
+		}
+
+		if opts.Equivalences {
+			var unsat bool
+			var n int
+			before := make(map[cnf.Var]bool, len(res.Subst))
+			for v := range res.Subst {
+				before[v] = true
+			}
+			work, n, unsat = substituteEquivalences(work, f.NumVars(), res.Subst)
+			for v, rep := range res.Subst {
+				if !before[v] {
+					res.undoLog = append(res.undoLog, undoStep{kind: undoSubst, v: v, rep: rep})
+				}
+			}
+			if unsat {
+				res.Formula = cnf.New(f.NumVars())
+				res.Formula.AddClause(cnf.Clause{})
+				res.Decided = cnf.False
+				return res
+			}
+			if n > 0 {
+				changed = true
+				st.VarsSubstituted += n
+			}
+		}
+
+		if opts.Subsumption || opts.SelfSubsumption {
+			var nSub, nStr int
+			work, nSub, nStr = subsumptionPass(work, f.NumVars(), opts.SelfSubsumption)
+			st.ClausesSubsumed += nSub
+			st.LitsStrength += nStr
+			if nSub > 0 || nStr > 0 {
+				changed = true
+			}
+		}
+
+		if opts.VarElim {
+			var n int
+			prev := len(res.eliminated)
+			work, n = eliminateVariables(work, f.NumVars(), &res.eliminated, 100, 0)
+			for _, rec := range res.eliminated[prev:] {
+				res.undoLog = append(res.undoLog, undoStep{kind: undoElim, v: rec.v, clauses: rec.clauses})
+			}
+			if n > 0 {
+				st.VarsEliminated += n
+				changed = true
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+
+	out := cnf.New(f.NumVars())
+	for _, c := range work {
+		out.AddClause(c)
+	}
+	for _, l := range res.Units {
+		out.AddClause(cnf.Clause{l})
+	}
+	res.Formula = out
+	if len(work) == 0 {
+		res.Decided = cnf.True
+	}
+	return res
+}
+
+// ExtendModel lifts a model of the simplified formula to a full model of
+// the original formula by replaying the transform log backwards: each
+// unit/pure assertion, equivalence substitution and variable elimination
+// is undone in reverse application order, so every reconstruction sees
+// exactly the variable values it depended on when it was applied.
+// Unconstrained variables default to false.
+func (r *Result) ExtendModel(m cnf.Assignment) cnf.Assignment {
+	out := m.Clone()
+	// Variables produced by some undo step must stay open until their
+	// step runs; every other undefined variable is a free survivor.
+	produced := make(map[cnf.Var]bool, len(r.undoLog))
+	for _, st := range r.undoLog {
+		switch st.kind {
+		case undoUnit, undoPure:
+			produced[st.lit.Var()] = true
+		default:
+			produced[st.v] = true
+		}
+	}
+	for v := 1; v < len(out); v++ {
+		if out[v] == cnf.Undef && !produced[cnf.Var(v)] {
+			out[v] = cnf.False
+		}
+	}
+	for i := len(r.undoLog) - 1; i >= 0; i-- {
+		st := r.undoLog[i]
+		switch st.kind {
+		case undoUnit, undoPure:
+			out.Assign(st.lit)
+		case undoSubst:
+			val := out.LitValue(st.rep)
+			if val == cnf.Undef {
+				val = cnf.False
+			}
+			out[st.v] = val
+		case undoElim:
+			reconstructEliminated(out, []elimRecord{{v: st.v, clauses: st.clauses}})
+		}
+	}
+	for v := 1; v < len(out); v++ {
+		if out[v] == cnf.Undef {
+			out[v] = cnf.False
+		}
+	}
+	return out
+}
+
+// normalizeClauses copies f's clauses, dropping tautologies and
+// normalizing duplicates.
+func normalizeClauses(f *cnf.Formula) []cnf.Clause {
+	var out []cnf.Clause
+	seen := make(map[string]bool)
+	for _, c := range f.Clauses {
+		n, taut := c.Normalize()
+		if taut {
+			continue
+		}
+		key := n.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// propagateUnits applies the unit-clause rule to fixpoint on the clause
+// list. It returns the reduced list, false on conflict, and the units.
+func propagateUnits(clauses []cnf.Clause, st *Stats) ([]cnf.Clause, bool, []cnf.Lit) {
+	assign := map[cnf.Lit]bool{}
+	var units []cnf.Lit
+	for {
+		found := cnf.LitUndef
+		for _, c := range clauses {
+			if len(c) == 1 {
+				found = c[0]
+				break
+			}
+		}
+		if found == cnf.LitUndef {
+			return clauses, true, units
+		}
+		if assign[found.Not()] {
+			return nil, false, nil
+		}
+		if !assign[found] {
+			assign[found] = true
+			units = append(units, found)
+			st.UnitsFixed++
+		}
+		var next []cnf.Clause
+		for _, c := range clauses {
+			if c.Has(found) {
+				continue // satisfied
+			}
+			if c.Has(found.Not()) {
+				d := make(cnf.Clause, 0, len(c)-1)
+				for _, l := range c {
+					if l != found.Not() {
+						d = append(d, l)
+					}
+				}
+				if len(d) == 0 {
+					return nil, false, nil
+				}
+				next = append(next, d)
+			} else {
+				next = append(next, c)
+			}
+		}
+		clauses = next
+	}
+}
+
+// pureLiterals removes clauses containing literals whose complement never
+// occurs.
+func pureLiterals(clauses []cnf.Clause, numVars int, res *Result, st *Stats) ([]cnf.Clause, []cnf.Lit) {
+	occ := make([]int, 2*(numVars+1))
+	for _, c := range clauses {
+		for _, l := range c {
+			occ[l.Index()]++
+		}
+	}
+	var pure []cnf.Lit
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		if _, substituted := res.Subst[v]; substituted {
+			continue
+		}
+		p, n := occ[cnf.PosLit(v).Index()], occ[cnf.NegLit(v).Index()]
+		if p > 0 && n == 0 {
+			pure = append(pure, cnf.PosLit(v))
+			st.PureFixed++
+		} else if n > 0 && p == 0 {
+			pure = append(pure, cnf.NegLit(v))
+			st.PureFixed++
+		}
+	}
+	if len(pure) == 0 {
+		return clauses, nil
+	}
+	isPure := make(map[cnf.Lit]bool, len(pure))
+	for _, l := range pure {
+		isPure[l] = true
+	}
+	var out []cnf.Clause
+	for _, c := range clauses {
+		satisfied := false
+		for _, l := range c {
+			if isPure[l] {
+				satisfied = true
+				break
+			}
+		}
+		if !satisfied {
+			out = append(out, c)
+		}
+	}
+	return out, pure
+}
+
+// failedLiterals probes each literal: if assuming l yields a conflict
+// under BCP, then ¬l is a necessary assignment. If both l and ¬l fail,
+// the formula is unsatisfiable.
+func failedLiterals(clauses []cnf.Clause, numVars int) ([]cnf.Lit, bool) {
+	f := cnf.New(numVars)
+	for _, c := range clauses {
+		f.AddClause(c)
+	}
+	p := NewPropagator(f)
+	base := p.Mark()
+	if !p.propagate(0) {
+		return nil, true
+	}
+	var failed []cnf.Lit
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		if p.Value(v) != cnf.Undef {
+			continue
+		}
+		posOK := probe(p, cnf.PosLit(v), base)
+		negOK := probe(p, cnf.NegLit(v), base)
+		switch {
+		case !posOK && !negOK:
+			return nil, true
+		case !posOK:
+			failed = append(failed, cnf.NegLit(v))
+		case !negOK:
+			failed = append(failed, cnf.PosLit(v))
+		}
+	}
+	return failed, false
+}
+
+func probe(p *Propagator, l cnf.Lit, base int) bool {
+	mark := p.Mark()
+	ok := p.Assume(l)
+	p.Undo(mark)
+	_ = base
+	return ok
+}

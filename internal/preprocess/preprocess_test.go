@@ -1,0 +1,339 @@
+package preprocess
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+func TestUnitPropagation(t *testing.T) {
+	f := cnf.New(3)
+	f.AddDIMACS(1)
+	f.AddDIMACS(-1, 2)
+	f.AddDIMACS(-2, 3)
+	res := Simplify(f, Options{})
+	if res.Decided != cnf.True {
+		t.Fatalf("chain of units should decide SAT, got %v", res.Decided)
+	}
+	if res.Stats.UnitsFixed != 3 {
+		t.Fatalf("UnitsFixed = %d, want 3", res.Stats.UnitsFixed)
+	}
+	m := res.ExtendModel(cnf.NewAssignment(3))
+	if !m.Satisfies(f) {
+		t.Fatal("extended model does not satisfy original")
+	}
+}
+
+func TestUnitConflict(t *testing.T) {
+	f := cnf.New(1)
+	f.AddDIMACS(1)
+	f.AddDIMACS(-1)
+	res := Simplify(f, Options{})
+	if res.Decided != cnf.False {
+		t.Fatal("contradictory units must decide UNSAT")
+	}
+}
+
+func TestPureLiteral(t *testing.T) {
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(1, -2)
+	// x1 occurs only positively → pure; both clauses drop.
+	res := Simplify(f, Options{PureLiterals: true})
+	if res.Stats.PureFixed == 0 {
+		t.Fatal("pure literal not detected")
+	}
+	if res.Decided != cnf.True {
+		t.Fatal("pure elimination should decide SAT here")
+	}
+	m := res.ExtendModel(cnf.NewAssignment(3))
+	if !m.Satisfies(f) {
+		t.Fatal("extended model wrong")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(1, 2, 3)
+	f.AddDIMACS(-3, 2, 1)
+	res := Simplify(f, Options{Subsumption: true})
+	if res.Stats.ClausesSubsumed != 2 {
+		t.Fatalf("ClausesSubsumed = %d, want 2", res.Stats.ClausesSubsumed)
+	}
+}
+
+func TestSelfSubsumption(t *testing.T) {
+	// (1 2) and (1 -2 3): resolving on 2 gives (1 3) ⊂ (1 -2 3),
+	// so the second clause strengthens to (1 3).
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(1, -2, 3)
+	res := Simplify(f, Options{SelfSubsumption: true})
+	if res.Stats.LitsStrength == 0 {
+		t.Fatal("self-subsumption found nothing")
+	}
+	for _, c := range res.Formula.Clauses {
+		if len(c) == 3 {
+			t.Fatalf("clause not strengthened: %v", c)
+		}
+	}
+}
+
+func TestFailedLiterals(t *testing.T) {
+	// Assuming ¬x1 forces a conflict: (x1∨x2)(x1∨¬x2) ⇒ x1.
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(1, -2)
+	f.AddDIMACS(-1, 3)
+	res := Simplify(f, Options{FailedLiterals: true})
+	if res.Stats.FailedLiterals == 0 {
+		t.Fatal("failed literal not detected")
+	}
+	if res.Decided != cnf.True {
+		t.Fatal("probing + units should decide this formula")
+	}
+	m := res.ExtendModel(cnf.NewAssignment(3))
+	if m.Value(1) != cnf.True || m.Value(3) != cnf.True {
+		t.Fatalf("wrong extension: x1=%v x3=%v", m.Value(1), m.Value(3))
+	}
+}
+
+func TestFailedLiteralsUnsat(t *testing.T) {
+	// Both polarities of x1 fail.
+	f := cnf.New(2)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(1, -2)
+	f.AddDIMACS(-1, 2)
+	f.AddDIMACS(-1, -2)
+	res := Simplify(f, Options{FailedLiterals: true})
+	if res.Decided != cnf.False {
+		t.Fatal("must decide UNSAT via probing")
+	}
+}
+
+func TestEquivalencySubstitution(t *testing.T) {
+	// x1 ≡ x2 ≡ x3 chain plus a clause using x3: substitution should
+	// eliminate two variables (§6 claim).
+	f := gen.EquivalenceLadder(5, 0, 1)
+	f.AddDIMACS(5, 4)
+	res := Simplify(f, Options{Equivalences: true})
+	if res.Stats.VarsSubstituted < 4 {
+		t.Fatalf("VarsSubstituted = %d, want >= 4", res.Stats.VarsSubstituted)
+	}
+	m := res.ExtendModel(cnf.NewAssignment(5))
+	if !m.Satisfies(f) {
+		t.Fatalf("extended model does not satisfy: %v", m)
+	}
+}
+
+func TestEquivalenceContradiction(t *testing.T) {
+	// x1 ≡ x2 and x1 ≡ ¬x2 → UNSAT.
+	f := cnf.New(2)
+	f.AddDIMACS(1, -2)
+	f.AddDIMACS(-1, 2)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(-1, -2)
+	res := Simplify(f, Options{Equivalences: true})
+	if res.Decided != cnf.False {
+		t.Fatal("contradictory equivalence must be UNSAT")
+	}
+}
+
+func TestEquisatisfiabilityProperty(t *testing.T) {
+	// Simplification must preserve satisfiability, and extended models of
+	// SAT results must satisfy the original formula.
+	for seed := int64(0); seed < 80; seed++ {
+		nv := 5 + int(seed%5)
+		f := gen.RandomKSAT(nv, int(float64(nv)*4.2), 3, seed)
+		want, _ := cnf.BruteForce(f)
+		res := Simplify(f, All())
+		switch res.Decided {
+		case cnf.True:
+			if !want {
+				t.Fatalf("seed %d: preprocess says SAT, brute says UNSAT", seed)
+			}
+			m := res.ExtendModel(cnf.NewAssignment(nv))
+			if !m.Satisfies(f) {
+				t.Fatalf("seed %d: extended model fails", seed)
+			}
+		case cnf.False:
+			if want {
+				t.Fatalf("seed %d: preprocess says UNSAT, brute says SAT", seed)
+			}
+		default:
+			got, model := cnf.BruteForce(res.Formula)
+			if got != want {
+				t.Fatalf("seed %d: equisatisfiability broken (got %v want %v)", seed, got, want)
+			}
+			if got {
+				m := res.ExtendModel(model)
+				if !m.Satisfies(f) {
+					t.Fatalf("seed %d: extended model of simplified formula fails original", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestPropagatorMarkUndo(t *testing.T) {
+	f := cnf.New(4)
+	f.AddDIMACS(-1, 2)
+	f.AddDIMACS(-2, 3)
+	p := NewPropagator(f)
+	mark := p.Mark()
+	if !p.Assume(cnf.PosLit(1)) {
+		t.Fatal("assume should succeed")
+	}
+	if p.Value(3) != cnf.True {
+		t.Fatal("chain not propagated")
+	}
+	if len(p.Trail(mark)) != 3 {
+		t.Fatalf("trail = %v", p.Trail(mark))
+	}
+	p.Undo(mark)
+	if p.Value(1) != cnf.Undef || p.Value(3) != cnf.Undef {
+		t.Fatal("undo failed")
+	}
+	// Nested marks.
+	m1 := p.Mark()
+	p.Assume(cnf.PosLit(2))
+	m2 := p.Mark()
+	p.Assume(cnf.PosLit(4))
+	p.Undo(m2)
+	if p.Value(4) != cnf.Undef || p.Value(3) != cnf.True {
+		t.Fatal("nested undo wrong")
+	}
+	p.Undo(m1)
+	if p.Value(2) != cnf.Undef {
+		t.Fatal("outer undo wrong")
+	}
+}
+
+func TestPropagatorConflict(t *testing.T) {
+	f := cnf.New(2)
+	f.AddDIMACS(-1, 2)
+	f.AddDIMACS(-1, -2)
+	p := NewPropagator(f)
+	mark := p.Mark()
+	if p.Assume(cnf.PosLit(1)) {
+		t.Fatal("assume x1 must conflict")
+	}
+	p.Undo(mark)
+	if p.Value(1) != cnf.Undef {
+		t.Fatal("undo after conflict failed")
+	}
+}
+
+func TestXorChainEquivalences(t *testing.T) {
+	// Even xor cycles are chains of equivalences/antivalences: the SCC
+	// pass should collapse them substantially.
+	f := gen.XorChain(12, false, 3)
+	res := Simplify(f, Options{Equivalences: true})
+	if res.Stats.VarsSubstituted < 11 {
+		t.Fatalf("xor chain: substituted %d, want >= 11", res.Stats.VarsSubstituted)
+	}
+	if res.Decided == cnf.False {
+		t.Fatal("even cycle is SAT")
+	}
+}
+
+func TestVarElimBasic(t *testing.T) {
+	// v=2 appears in (1 2) and (-2 3): resolvent (1 3), 2 clauses → 1.
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(-2, 3)
+	res := Simplify(f, Options{VarElim: true})
+	if res.Stats.VarsEliminated == 0 {
+		t.Fatal("no variables eliminated")
+	}
+	// The whole chain collapses (every variable is eliminable here);
+	// whatever remains must be equisatisfiable and reconstructible.
+	var m cnf.Assignment
+	if res.Decided == cnf.True {
+		m = res.ExtendModel(cnf.NewAssignment(3))
+	} else {
+		_, model := cnf.BruteForce(res.Formula)
+		m = res.ExtendModel(model)
+	}
+	if !m.Satisfies(f) {
+		t.Fatalf("reconstructed model fails: %v", m)
+	}
+}
+
+func TestVarElimEquisatisfiable(t *testing.T) {
+	for seed := int64(200); seed < 280; seed++ {
+		nv := 5 + int(seed%5)
+		f := gen.RandomKSAT(nv, int(float64(nv)*4.2), 3, seed)
+		want, _ := cnf.BruteForce(f)
+		res := Simplify(f, Options{VarElim: true})
+		switch res.Decided {
+		case cnf.True:
+			if !want {
+				t.Fatalf("seed %d: false SAT", seed)
+			}
+			m := res.ExtendModel(cnf.NewAssignment(nv))
+			if !m.Satisfies(f) {
+				t.Fatalf("seed %d: reconstruction fails", seed)
+			}
+		case cnf.False:
+			if want {
+				t.Fatalf("seed %d: false UNSAT", seed)
+			}
+		default:
+			got, model := cnf.BruteForce(res.Formula)
+			if got != want {
+				t.Fatalf("seed %d: equisatisfiability broken", seed)
+			}
+			if got {
+				m := res.ExtendModel(model)
+				if !m.Satisfies(f) {
+					t.Fatalf("seed %d: reconstruction fails", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestVarElimWithFullPipeline(t *testing.T) {
+	// All transforms together (the All() configuration) must stay sound
+	// with elimination interleaved with substitution and probing.
+	for seed := int64(300); seed < 360; seed++ {
+		nv := 6 + int(seed%4)
+		f := gen.RandomKSAT(nv, int(float64(nv)*4.0), 3, seed)
+		want, _ := cnf.BruteForce(f)
+		res := Simplify(f, All())
+		switch res.Decided {
+		case cnf.True:
+			if !want {
+				t.Fatalf("seed %d: false SAT", seed)
+			}
+			if !res.ExtendModel(cnf.NewAssignment(nv)).Satisfies(f) {
+				t.Fatalf("seed %d: model fails", seed)
+			}
+		case cnf.False:
+			if want {
+				t.Fatalf("seed %d: false UNSAT", seed)
+			}
+		default:
+			got, model := cnf.BruteForce(res.Formula)
+			if got != want {
+				t.Fatalf("seed %d: equisat broken", seed)
+			}
+			if got && !res.ExtendModel(model).Satisfies(f) {
+				t.Fatalf("seed %d: model fails", seed)
+			}
+		}
+	}
+}
+
+func TestVarElimDoesNotGrow(t *testing.T) {
+	f := gen.Random3SATHard(40, 7)
+	before := len(normalizeClauses(f))
+	res := Simplify(f, Options{VarElim: true})
+	if res.Formula.NumClauses() > before {
+		t.Fatalf("NiVER must never grow the formula: %d -> %d",
+			before, res.Formula.NumClauses())
+	}
+}

@@ -1,0 +1,107 @@
+package preprocess
+
+import "repro/internal/cnf"
+
+// Propagator is a simple occurrence-list Boolean constraint propagator
+// over a fixed formula. Unlike the search solver it supports nested
+// assumption contexts via Mark/Undo, which is what failed-literal probing
+// and recursive learning (§4.2) need.
+type Propagator struct {
+	f      *cnf.Formula
+	assign cnf.Assignment
+	occ    [][]int
+	trail  []cnf.Lit
+}
+
+// NewPropagator builds a propagator for f.
+func NewPropagator(f *cnf.Formula) *Propagator {
+	p := &Propagator{
+		f:      f,
+		assign: cnf.NewAssignment(f.NumVars()),
+		occ:    make([][]int, 2*(f.NumVars()+1)),
+	}
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			// Watch complements: assigning ¬l may make clause i unit.
+			p.occ[l.Not().Index()] = append(p.occ[l.Not().Index()], i)
+		}
+	}
+	return p
+}
+
+// Value returns the current value of v.
+func (p *Propagator) Value(v cnf.Var) cnf.LBool { return p.assign.Value(v) }
+
+// LitValue returns the current value of l.
+func (p *Propagator) LitValue(l cnf.Lit) cnf.LBool { return p.assign.LitValue(l) }
+
+// Mark returns a trail position for a later Undo.
+func (p *Propagator) Mark() int { return len(p.trail) }
+
+// Undo retracts every assignment made after the given mark.
+func (p *Propagator) Undo(mark int) {
+	for i := len(p.trail) - 1; i >= mark; i-- {
+		p.assign.Unassign(p.trail[i])
+	}
+	p.trail = p.trail[:mark]
+}
+
+// Trail returns the literals assigned since the given mark, in order.
+func (p *Propagator) Trail(mark int) []cnf.Lit { return p.trail[mark:] }
+
+// Assume asserts l and propagates to fixpoint. It reports false on
+// conflict (some clause falsified). The caller is responsible for Undo.
+func (p *Propagator) Assume(l cnf.Lit) bool {
+	if !p.enqueue(l) {
+		return false
+	}
+	return p.propagate(len(p.trail) - 1)
+}
+
+// enqueue asserts l without propagating; false if l is already false.
+func (p *Propagator) enqueue(l cnf.Lit) bool {
+	switch p.assign.LitValue(l) {
+	case cnf.True:
+		return true
+	case cnf.False:
+		return false
+	}
+	p.assign.Assign(l)
+	p.trail = append(p.trail, l)
+	return true
+}
+
+// propagate processes the trail from position qhead to fixpoint.
+func (p *Propagator) propagate(qhead int) bool {
+	for qhead < len(p.trail) {
+		l := p.trail[qhead]
+		qhead++
+		for _, ci := range p.occ[l.Index()] {
+			c := p.f.Clauses[ci]
+			unit := cnf.LitUndef
+			sat := false
+			unassigned := 0
+			for _, m := range c {
+				switch p.assign.LitValue(m) {
+				case cnf.True:
+					sat = true
+				case cnf.Undef:
+					unassigned++
+					unit = m
+				}
+				if sat || unassigned > 1 {
+					break
+				}
+			}
+			if sat || unassigned > 1 {
+				continue
+			}
+			if unassigned == 0 {
+				return false // conflict
+			}
+			p.assign.Assign(unit)
+			p.trail = append(p.trail, unit)
+		}
+	}
+	return true
+}

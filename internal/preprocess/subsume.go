@@ -1,0 +1,110 @@
+package preprocess
+
+import "repro/internal/cnf"
+
+// subsumptionPass removes subsumed clauses and (optionally) strengthens
+// clauses by self-subsuming resolution: given (A ∨ l) and a clause D ⊇
+// (A ∨ ¬l), literal ¬l can be removed from D. It returns the reduced
+// clause list and the counts of removed clauses / strengthened literals.
+func subsumptionPass(clauses []cnf.Clause, numVars int, selfSub bool) ([]cnf.Clause, int, int) {
+	type entry struct {
+		c   cnf.Clause
+		sig uint64
+		del bool
+	}
+	entries := make([]entry, len(clauses))
+	occ := make([][]int, 2*(numVars+1))
+	for i, c := range clauses {
+		entries[i] = entry{c: c, sig: c.Signature()}
+		for _, l := range c {
+			occ[l.Index()] = append(occ[l.Index()], i)
+		}
+	}
+
+	// leastOccLit picks the literal of c with the shortest occurrence
+	// list: any clause containing all of c contains that literal.
+	leastOccLit := func(c cnf.Clause) cnf.Lit {
+		best := c[0]
+		for _, l := range c[1:] {
+			if len(occ[l.Index()]) < len(occ[best.Index()]) {
+				best = l
+			}
+		}
+		return best
+	}
+
+	nSub, nStr := 0, 0
+	for i := range entries {
+		e := &entries[i]
+		if e.del || len(e.c) == 0 {
+			continue
+		}
+		// Forward subsumption: does e.c subsume other clauses?
+		pivot := leastOccLit(e.c)
+		for _, j := range occ[pivot.Index()] {
+			if j == i || entries[j].del {
+				continue
+			}
+			d := &entries[j]
+			if e.sig&^d.sig != 0 || len(e.c) > len(d.c) {
+				continue
+			}
+			if e.c.Subsumes(d.c) {
+				d.del = true
+				nSub++
+			}
+		}
+		if !selfSub {
+			continue
+		}
+		// Self-subsuming resolution: flip one literal of e.c and look
+		// for clauses containing the flipped clause.
+		for li, l := range e.c {
+			flipped := l.Not()
+			for _, j := range occ[flipped.Index()] {
+				if j == i || entries[j].del {
+					continue
+				}
+				d := &entries[j]
+				if len(e.c) > len(d.c) {
+					continue
+				}
+				if subsumesWithFlip(e.c, li, d.c) {
+					// Remove ¬l from d.
+					nd := make(cnf.Clause, 0, len(d.c)-1)
+					for _, m := range d.c {
+						if m != flipped {
+							nd = append(nd, m)
+						}
+					}
+					d.c = nd
+					d.sig = nd.Signature()
+					nStr++
+				}
+			}
+		}
+	}
+
+	var out []cnf.Clause
+	for i := range entries {
+		if !entries[i].del {
+			out = append(out, entries[i].c)
+		}
+	}
+	return out, nSub, nStr
+}
+
+// subsumesWithFlip reports whether c, with the literal at index flipIdx
+// complemented, subsumes d.
+func subsumesWithFlip(c cnf.Clause, flipIdx int, d cnf.Clause) bool {
+	for i, l := range c {
+		want := l
+		if i == flipIdx {
+			want = l.Not()
+		}
+		if !d.Has(want) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package preprocess
+
+import "repro/internal/cnf"
+
+// Bounded variable elimination (NiVER-style): a variable v can be
+// eliminated by replacing the clauses containing v and ¬v with all their
+// non-tautological resolvents on v, accepted only when this does not
+// grow the formula. Elimination is satisfiability-preserving but not
+// model-preserving, so each elimination records the removed clauses and
+// ExtendModel reconstructs v's value in reverse elimination order.
+
+// elimRecord remembers one eliminated variable and its original clauses.
+type elimRecord struct {
+	v       cnf.Var
+	clauses []cnf.Clause // all clauses that mentioned v (both polarities)
+}
+
+// eliminateVariables performs one bounded-elimination sweep. maxPairs
+// caps |P|×|N| to bound resolvent computation; growth is the allowed
+// clause-count increase per elimination (0 = NiVER's "never grow").
+func eliminateVariables(clauses []cnf.Clause, numVars int, records *[]elimRecord, maxPairs, growth int) ([]cnf.Clause, int) {
+	eliminated := 0
+	for v := cnf.Var(1); int(v) <= numVars; v++ {
+		var pos, neg, rest []cnf.Clause
+		for _, c := range clauses {
+			switch {
+			case c.Has(cnf.PosLit(v)):
+				pos = append(pos, c)
+			case c.Has(cnf.NegLit(v)):
+				neg = append(neg, c)
+			default:
+				rest = append(rest, c)
+			}
+		}
+		if len(pos) == 0 && len(neg) == 0 {
+			continue
+		}
+		if len(pos)*len(neg) > maxPairs {
+			continue
+		}
+		var resolvents []cnf.Clause
+		tooBig := false
+		for _, p := range pos {
+			for _, n := range neg {
+				r, taut := resolve(p, n, v)
+				if taut {
+					continue
+				}
+				resolvents = append(resolvents, r)
+				if len(resolvents) > len(pos)+len(neg)+growth {
+					tooBig = true
+					break
+				}
+			}
+			if tooBig {
+				break
+			}
+		}
+		if tooBig {
+			continue
+		}
+		// Accept the elimination.
+		rec := elimRecord{v: v}
+		rec.clauses = append(rec.clauses, pos...)
+		rec.clauses = append(rec.clauses, neg...)
+		*records = append(*records, rec)
+		clauses = append(rest, resolvents...)
+		eliminated++
+	}
+	return clauses, eliminated
+}
+
+// resolve computes the resolvent of p (containing v) and n (containing
+// ¬v), reporting tautologies.
+func resolve(p, n cnf.Clause, v cnf.Var) (cnf.Clause, bool) {
+	out := make(cnf.Clause, 0, len(p)+len(n)-2)
+	for _, l := range p {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	for _, l := range n {
+		if l.Var() != v {
+			out = append(out, l)
+		}
+	}
+	return out.Normalize()
+}
+
+// reconstructEliminated assigns values to eliminated variables, newest
+// elimination first, such that every removed clause is satisfied. The
+// rest of the assignment must already be total over surviving variables.
+func reconstructEliminated(m cnf.Assignment, records []elimRecord) {
+	for i := len(records) - 1; i >= 0; i-- {
+		rec := records[i]
+		// Try v = false; if some removed clause then evaluates false,
+		// v = true must work (the resolvents guarantee one side is
+		// satisfiable).
+		m[rec.v] = cnf.False
+		ok := true
+		for _, c := range rec.clauses {
+			if m.EvalClause(c) != cnf.True {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			m[rec.v] = cnf.True
+		}
+	}
+}

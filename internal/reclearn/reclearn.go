@@ -1,0 +1,227 @@
+// Package reclearn implements recursive learning on CNF formulas
+// (paper §4.2, Figure 4; [Marques-Silva & Glass]).
+//
+// For any clause ω in a CNF formula φ to be satisfied, at least one of
+// its yet-unassigned literals must be assigned value 1. Recursive
+// learning studies the different ways of satisfying a selected clause and
+// identifies common implied assignments, which are then deemed necessary
+// for the clause — and hence the formula — to be satisfiable. Each
+// identified assignment is recorded together with a clause that explains
+// why it is necessary: a new implicate of the Boolean function associated
+// with the CNF formula. Recording implicates (rather than bare necessary
+// assignments, as circuit-based recursive learning does) prevents the
+// repeated derivation of the same assignments during subsequent search.
+package reclearn
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/preprocess"
+)
+
+// Options configures recursive learning.
+type Options struct {
+	// MaxDepth is the recursion depth (0 = 1). Depth 1 examines single
+	// case splits; higher depths nest splits inside each case.
+	MaxDepth int
+	// MaxWidth restricts case splitting to clauses with at most this
+	// many unassigned literals (0 = 3, the practical default; large
+	// widths multiply the number of cases).
+	MaxWidth int
+	// MaxRounds bounds the outer fixpoint loop (0 = 10).
+	MaxRounds int
+}
+
+// Stats counts learning effort.
+type Stats struct {
+	Splits     int // case splits performed
+	Cases      int // individual cases propagated
+	Rounds     int
+	Implicates int // clauses recorded
+	Necessary  int // necessary assignments identified
+}
+
+// Result is the outcome of recursive learning.
+type Result struct {
+	// Unsat is true if learning proved the formula (with assumptions)
+	// unsatisfiable: some clause cannot be satisfied in any way.
+	Unsat bool
+	// Necessary holds the assignments derived at the outermost level, in
+	// derivation order.
+	Necessary []cnf.Lit
+	// Implicates holds the recorded explanation clauses. Each clause has
+	// the form (x ∨ ¬c1 ∨ … ∨ ¬ck) where x is the necessary assignment
+	// and c1..ck the context assignments it depends on (Figure 4:
+	// (z=1) ∧ (u=0) ⇒ (x=1) recorded as (¬z + u + x)).
+	Implicates []cnf.Clause
+	Stats      Stats
+}
+
+type engine struct {
+	f       *cnf.Formula
+	p       *preprocess.Propagator
+	opts    Options
+	context []cnf.Lit // assumption stack (outer-to-inner)
+	res     *Result
+}
+
+// Learn runs recursive learning on f under the given context assumptions.
+// The assumptions become the antecedent of every recorded implicate (pass
+// none to derive unit implicates usable as a preprocessing step).
+func Learn(f *cnf.Formula, assumptions []cnf.Lit, opts Options) *Result {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 1
+	}
+	if opts.MaxWidth == 0 {
+		opts.MaxWidth = 3
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 10
+	}
+	e := &engine{f: f, p: preprocess.NewPropagator(f), opts: opts, res: &Result{}}
+
+	// Establish the initial context: formula units plus assumptions.
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			e.res.Unsat = true
+			return e.res
+		}
+		if len(c) == 1 {
+			if !e.p.Assume(c[0]) {
+				e.res.Unsat = true
+				return e.res
+			}
+		}
+	}
+	for _, a := range assumptions {
+		if !e.p.Assume(a) {
+			e.res.Unsat = true
+			return e.res
+		}
+		e.context = append(e.context, a)
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		e.res.Stats.Rounds = round + 1
+		changed, conflict := e.pass(opts.MaxDepth, true)
+		if conflict {
+			e.res.Unsat = true
+			return e.res
+		}
+		if !changed {
+			break
+		}
+	}
+	return e.res
+}
+
+// pass performs one sweep over all clauses at the current propagator
+// state. record controls whether implicates/necessary assignments are
+// published into the result (true only at the outermost context).
+// It reports whether new assignments were derived and whether the
+// formula is contradictory under the current context.
+func (e *engine) pass(depth int, record bool) (changed, conflict bool) {
+	for _, w := range e.f.Clauses {
+		sat, unassigned := e.clauseState(w)
+		if sat || len(unassigned) <= 1 || len(unassigned) > e.opts.MaxWidth {
+			// BCP covers the ≤1 case; wide clauses are skipped for cost.
+			continue
+		}
+		e.res.Stats.Splits++
+
+		counts := make(map[cnf.Lit]int)
+		cases := 0
+		for _, l := range unassigned {
+			if e.p.LitValue(l) != cnf.Undef {
+				continue // an earlier case's learning may have assigned it
+			}
+			mark := e.p.Mark()
+			ok := e.p.Assume(l)
+			if ok && depth > 1 {
+				// Recursive step: derive deeper implications within the
+				// case before taking the intersection.
+				e.context = append(e.context, l)
+				for {
+					ch, cf := e.pass(depth-1, false)
+					if cf {
+						ok = false
+						break
+					}
+					if !ch {
+						break
+					}
+				}
+				e.context = e.context[:len(e.context)-1]
+			}
+			if ok {
+				e.res.Stats.Cases++
+				cases++
+				for _, t := range e.p.Trail(mark) {
+					counts[t]++
+				}
+			}
+			e.p.Undo(mark)
+		}
+		if cases == 0 {
+			// No way to satisfy w under the current context.
+			return changed, true
+		}
+		// Assignments common to every consistent way of satisfying w are
+		// necessary (§4.2).
+		for l, n := range counts {
+			if n != cases || e.p.LitValue(l) != cnf.Undef {
+				continue
+			}
+			if record {
+				e.recordImplicate(l)
+			}
+			if !e.p.Assume(l) {
+				return changed, true
+			}
+			changed = true
+		}
+	}
+	return changed, false
+}
+
+// recordImplicate publishes the necessary assignment l with its
+// explanation clause (l ∨ ¬context…).
+func (e *engine) recordImplicate(l cnf.Lit) {
+	c := make(cnf.Clause, 0, len(e.context)+1)
+	c = append(c, l)
+	for _, a := range e.context {
+		c = append(c, a.Not())
+	}
+	e.res.Implicates = append(e.res.Implicates, c)
+	e.res.Necessary = append(e.res.Necessary, l)
+	e.res.Stats.Implicates++
+	e.res.Stats.Necessary++
+}
+
+// clauseState returns whether w is satisfied and its unassigned literals.
+func (e *engine) clauseState(w cnf.Clause) (bool, []cnf.Lit) {
+	var unassigned []cnf.Lit
+	for _, l := range w {
+		switch e.p.LitValue(l) {
+		case cnf.True:
+			return true, nil
+		case cnf.Undef:
+			unassigned = append(unassigned, l)
+		}
+	}
+	return false, unassigned
+}
+
+// Strengthen appends the implicates learned from f (no assumptions) to a
+// copy of f and returns it — the preprocessing use of recursive learning.
+func Strengthen(f *cnf.Formula, opts Options) (*cnf.Formula, *Result) {
+	res := Learn(f, nil, opts)
+	out := f.Clone()
+	if res.Unsat {
+		out.AddClause(cnf.Clause{})
+		return out, res
+	}
+	for _, c := range res.Implicates {
+		out.AddClause(c.Clone())
+	}
+	return out, res
+}

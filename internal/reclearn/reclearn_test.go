@@ -1,0 +1,181 @@
+package reclearn
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+// TestFigure4 reproduces the paper's Figure 4 exactly: with
+// ω1 = (u + x + ¬w), ω2 = (x + ¬y), ω3 = (w + y + ¬z) and the
+// assignments z=1, u=0, satisfying ω3 requires w=1 or y=1; both cases
+// imply x=1, so x=1 is necessary and the recorded explanation is the
+// clause (¬z + u + x).
+func TestFigure4(t *testing.T) {
+	// Variables: u=1, w=2, x=3, y=4, z=5.
+	u, w, x, y, z := cnf.Var(1), cnf.Var(2), cnf.Var(3), cnf.Var(4), cnf.Var(5)
+	f := cnf.New(5)
+	f.Add(cnf.PosLit(u), cnf.PosLit(x), cnf.NegLit(w)) // ω1
+	f.Add(cnf.PosLit(x), cnf.NegLit(y))                // ω2
+	f.Add(cnf.PosLit(w), cnf.PosLit(y), cnf.NegLit(z)) // ω3
+
+	res := Learn(f, []cnf.Lit{cnf.PosLit(z), cnf.NegLit(u)}, Options{MaxDepth: 1})
+	if res.Unsat {
+		t.Fatal("formula is satisfiable under the context")
+	}
+	foundX := false
+	for _, l := range res.Necessary {
+		if l == cnf.PosLit(x) {
+			foundX = true
+		}
+	}
+	if !foundX {
+		t.Fatalf("x=1 not identified as necessary; got %v", res.Necessary)
+	}
+	// The explanation clause must be exactly {x, ¬z, u} as a set.
+	found := false
+	for _, c := range res.Implicates {
+		if len(c) == 3 && c.Has(cnf.PosLit(x)) && c.Has(cnf.NegLit(z)) && c.Has(cnf.PosLit(u)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("explanation (¬z + u + x) not recorded; got %v", res.Implicates)
+	}
+}
+
+// Implicates must be logical consequences of the original formula.
+func TestImplicatesAreImplicates(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		f := gen.RandomKSAT(8, 25, 3, seed)
+		res := Learn(f, nil, Options{MaxDepth: 2})
+		if res.Unsat {
+			if sat, _ := cnf.BruteForce(f); sat {
+				t.Fatalf("seed %d: learning claimed UNSAT on satisfiable formula", seed)
+			}
+			continue
+		}
+		for _, c := range res.Implicates {
+			g := f.Clone()
+			for _, l := range c {
+				g.AddUnit(l.Not())
+			}
+			if sat, _ := cnf.BruteForce(g); sat {
+				t.Fatalf("seed %d: %v is not an implicate", seed, c)
+			}
+		}
+	}
+}
+
+// Strengthening preserves satisfiability (equivalence, in fact).
+func TestStrengthenEquisatisfiable(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		f := gen.RandomKSAT(7, 26, 3, seed)
+		want, _ := cnf.BruteForce(f)
+		g, res := Strengthen(f, Options{MaxDepth: 2})
+		got, _ := cnf.BruteForce(g)
+		if res.Unsat && want {
+			t.Fatalf("seed %d: false UNSAT", seed)
+		}
+		if !res.Unsat && got != want {
+			t.Fatalf("seed %d: strengthened formula changed satisfiability", seed)
+		}
+	}
+}
+
+func TestDepth2FindsMore(t *testing.T) {
+	// A formula where depth-1 learning on any single clause finds
+	// nothing, but depth-2 (nested case analysis) derives a necessary
+	// assignment. Construct: satisfying (a ∨ b) in both cases implies g
+	// only after a second-level split.
+	//   (a ∨ b ∨ b2); a → (c ∨ d); c → g; d → g; b → g; b2 → g.
+	// Depth 1 on (a∨b∨b2): case a implies nothing by BCP alone, so the
+	// intersection is empty. Depth 2 splits (¬a∨c∨d) inside case a,
+	// finds g in both sub-cases, and hence derives g overall.
+	a, b, c, d, g, b2 := 1, 2, 3, 4, 5, 6
+	f := cnf.New(6)
+	f.AddDIMACS(a, b, b2) // target clause
+	f.AddDIMACS(-a, c, d) // a → c ∨ d
+	f.AddDIMACS(-c, g)    // c → g
+	f.AddDIMACS(-d, g)    // d → g
+	f.AddDIMACS(-b, g)    // b → g
+	f.AddDIMACS(-b2, g)   // b2 → g
+	res1 := Learn(f, nil, Options{MaxDepth: 1})
+	res2 := Learn(f, nil, Options{MaxDepth: 2})
+	has := func(res *Result, l cnf.Lit) bool {
+		for _, x := range res.Necessary {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	if has(res1, cnf.PosLit(cnf.Var(g))) {
+		t.Fatal("depth 1 unexpectedly derived g")
+	}
+	if !has(res2, cnf.PosLit(cnf.Var(g))) {
+		t.Fatalf("depth 2 failed to derive g; necessary=%v", res2.Necessary)
+	}
+}
+
+func TestUnsatDetection(t *testing.T) {
+	// Clause (a ∨ b) where both a and b immediately conflict.
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	f.AddDIMACS(-1, 3)
+	f.AddDIMACS(-1, -3)
+	f.AddDIMACS(-2, 3)
+	f.AddDIMACS(-2, -3)
+	res := Learn(f, nil, Options{MaxDepth: 1})
+	if !res.Unsat {
+		t.Fatal("recursive learning should prove UNSAT")
+	}
+	if sat, _ := cnf.BruteForce(f); sat {
+		t.Fatal("test formula is actually satisfiable")
+	}
+}
+
+func TestUnsatWithContext(t *testing.T) {
+	f := cnf.New(2)
+	f.AddDIMACS(-1, 2)
+	f.AddDIMACS(-1, -2)
+	res := Learn(f, []cnf.Lit{cnf.PosLit(1)}, Options{})
+	if !res.Unsat {
+		t.Fatal("context x1=1 is contradictory")
+	}
+}
+
+func TestEmptyClause(t *testing.T) {
+	f := cnf.New(1)
+	f.AddClause(cnf.Clause{})
+	if !Learn(f, nil, Options{}).Unsat {
+		t.Fatal("empty clause must be UNSAT")
+	}
+}
+
+func TestNoFalseNecessaries(t *testing.T) {
+	// Every necessary assignment must hold in every model of the formula.
+	for seed := int64(100); seed < 120; seed++ {
+		f := gen.RandomKSAT(6, 18, 3, seed)
+		res := Learn(f, nil, Options{MaxDepth: 2, MaxWidth: 3})
+		if res.Unsat {
+			continue
+		}
+		for _, l := range res.Necessary {
+			g := f.Clone()
+			g.AddUnit(l.Not())
+			if sat, _ := cnf.BruteForce(g); sat {
+				t.Fatalf("seed %d: %v claimed necessary but formula has a model violating it", seed, l)
+			}
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	f := gen.RandomKSAT(8, 30, 3, 5)
+	res := Learn(f, nil, Options{MaxDepth: 2})
+	if res.Stats.Splits == 0 || res.Stats.Cases == 0 {
+		t.Fatalf("no work recorded: %+v", res.Stats)
+	}
+}

@@ -1,0 +1,198 @@
+package redund
+
+import "repro/internal/circuit"
+
+// Cleanup simplifies a circuit by constant folding, buffer collapsing
+// and dead-node elimination, preserving the primary inputs, the output
+// count/order and the circuit function. It is the consolidation step run
+// after each redundancy removal.
+func Cleanup(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New()
+	// folded[i]: either a constant (isConst) or a node in `out`.
+	folded := make([]foldT, len(c.Nodes))
+
+	var c0, c1 circuit.NodeID = circuit.NoNode, circuit.NoNode
+	constNode := func(v bool) circuit.NodeID {
+		if v {
+			if c1 == circuit.NoNode {
+				c1 = out.AddConst(true, "const1")
+			}
+			return c1
+		}
+		if c0 == circuit.NoNode {
+			c0 = out.AddConst(false, "const0")
+		}
+		return c0
+	}
+
+	nameUsed := make(map[string]bool)
+	freshName := func(base string) string {
+		name := base
+		for i := 2; nameUsed[name]; i++ {
+			name = base + "_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		nameUsed[name] = true
+		return name
+	}
+
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case circuit.Input:
+			folded[i] = foldT{id: out.AddInput(freshName(n.Name))}
+			continue
+		case circuit.Const0:
+			folded[i] = foldT{isConst: true, cv: false}
+			continue
+		case circuit.Const1:
+			folded[i] = foldT{isConst: true, cv: true}
+			continue
+		}
+
+		ins := make([]foldT, len(n.Fanin))
+		for j, fn := range n.Fanin {
+			ins[j] = folded[fn]
+		}
+		folded[i] = foldGate(out, n, ins, freshName)
+	}
+
+	for _, o := range c.Outputs {
+		f := folded[o]
+		if f.isConst {
+			out.MarkOutput(constNode(f.cv))
+		} else {
+			out.MarkOutput(f.id)
+		}
+	}
+	return prune(out)
+}
+
+// foldT is the folding state of a node: a known constant or a node id
+// in the rebuilt circuit.
+type foldT struct {
+	isConst bool
+	cv      bool
+	id      circuit.NodeID
+}
+
+// foldGate folds one gate given its (possibly constant) fanins.
+func foldGate(out *circuit.Circuit, n *circuit.Node, ins []foldT, freshName func(string) string) foldT {
+	mk := func(t circuit.GateType, fanin ...circuit.NodeID) foldT {
+		return foldT{id: out.AddGate(t, freshName(n.Name), fanin...)}
+	}
+	konst := func(v bool) foldT { return foldT{isConst: true, cv: v} }
+
+	switch n.Type {
+	case circuit.Buf, circuit.Not:
+		inv := n.Type == circuit.Not
+		if ins[0].isConst {
+			return konst(ins[0].cv != inv)
+		}
+		if !inv {
+			return ins[0] // collapse buffers
+		}
+		return mk(circuit.Not, ins[0].id)
+
+	case circuit.And, circuit.Nand, circuit.Or, circuit.Nor:
+		isAnd := n.Type == circuit.And || n.Type == circuit.Nand
+		invOut := n.Type == circuit.Nand || n.Type == circuit.Nor
+		controlling := !isAnd // 1 controls OR/NOR, 0 controls AND/NAND
+		var live []circuit.NodeID
+		for _, in := range ins {
+			if in.isConst {
+				if in.cv == controlling {
+					return konst(controlling != invOut)
+				}
+				continue // neutral constant: drop
+			}
+			live = append(live, in.id)
+		}
+		switch len(live) {
+		case 0:
+			// All inputs neutral: identity value.
+			return konst(!controlling != invOut)
+		case 1:
+			if invOut {
+				return mk(circuit.Not, live[0])
+			}
+			return foldT{id: live[0]}
+		default:
+			return mk(n.Type, live...)
+		}
+
+	case circuit.Xor, circuit.Xnor:
+		parity := n.Type == circuit.Xnor // accumulated constant parity
+		var live []circuit.NodeID
+		for _, in := range ins {
+			if in.isConst {
+				if in.cv {
+					parity = !parity
+				}
+				continue
+			}
+			live = append(live, in.id)
+		}
+		switch len(live) {
+		case 0:
+			return konst(parity)
+		case 1:
+			if parity {
+				return mk(circuit.Not, live[0])
+			}
+			return foldT{id: live[0]}
+		default:
+			if parity {
+				return mk(circuit.Xnor, live...)
+			}
+			return mk(circuit.Xor, live...)
+		}
+	}
+	panic("redund: foldGate on non-gate")
+}
+
+// prune removes nodes not reachable from the outputs (primary inputs are
+// always kept to preserve the interface).
+func prune(c *circuit.Circuit) *circuit.Circuit {
+	keep := make([]bool, len(c.Nodes))
+	var stack []circuit.NodeID
+	for _, o := range c.Outputs {
+		stack = append(stack, o)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if keep[n] {
+			continue
+		}
+		keep[n] = true
+		stack = append(stack, c.Nodes[n].Fanin...)
+	}
+	for _, in := range c.Inputs {
+		keep[in] = true
+	}
+	out := circuit.New()
+	newID := make([]circuit.NodeID, len(c.Nodes))
+	for i := range c.Nodes {
+		if !keep[i] {
+			newID[i] = circuit.NoNode
+			continue
+		}
+		n := &c.Nodes[i]
+		switch n.Type {
+		case circuit.Input:
+			newID[i] = out.AddInput(n.Name)
+		case circuit.Const0, circuit.Const1:
+			newID[i] = out.AddConst(n.Type == circuit.Const1, n.Name)
+		default:
+			fanin := make([]circuit.NodeID, len(n.Fanin))
+			for j, f := range n.Fanin {
+				fanin[j] = newID[f]
+			}
+			newID[i] = out.AddGate(n.Type, n.Name, fanin...)
+		}
+	}
+	for _, o := range c.Outputs {
+		out.MarkOutput(newID[o])
+	}
+	return out
+}

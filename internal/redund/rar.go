@@ -1,0 +1,156 @@
+package redund
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/cec"
+	"repro/internal/circuit"
+)
+
+// RARReport describes a redundancy-addition-and-removal attempt.
+type RARReport struct {
+	CandidatesTried int
+	Added           bool
+	AddedSource     circuit.NodeID
+	AddedTarget     circuit.NodeID
+	RemovedFault    atpg.Fault
+}
+
+// AddAndRemove performs one step of redundancy addition and removal
+// ([Entrena & Cheng], paper §3 "logic synthesis"): it searches for a
+// connection (source → target gate) whose addition leaves the circuit
+// function unchanged (the new connection is redundant) but makes some
+// other existing connection redundant, then removes that connection.
+// It returns the rewritten circuit (functionally equivalent to the
+// input) and a report; when no profitable addition is found within
+// maxCandidates, the original circuit is returned with Added=false.
+func AddAndRemove(c *circuit.Circuit, maxCandidates int, opts Options) (*circuit.Circuit, *RARReport) {
+	rep := &RARReport{}
+	if maxCandidates == 0 {
+		maxCandidates = 50
+	}
+
+	// Baseline redundancies: connections already removable are not RAR
+	// wins; we look for NEW redundancies exposed by an addition.
+	baseRedundant := map[string]bool{}
+	base, _ := Identify(c, opts)
+	for _, f := range base {
+		baseRedundant[f.String()] = true
+	}
+
+	for gi := range c.Nodes {
+		g := circuit.NodeID(gi)
+		t := c.Nodes[g].Type
+		if t != circuit.And && t != circuit.Or && t != circuit.Nand && t != circuit.Nor {
+			continue
+		}
+		cone := c.TransitiveFanoutOf(g)
+		inCone := map[circuit.NodeID]bool{}
+		for _, n := range cone {
+			inCone[n] = true
+		}
+		for ui := range c.Nodes {
+			u := circuit.NodeID(ui)
+			if u == g || inCone[u] {
+				continue // would create a cycle
+			}
+			already := false
+			for _, f := range c.Nodes[g].Fanin {
+				if f == u {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			if rep.CandidatesTried >= maxCandidates {
+				return c, rep
+			}
+			rep.CandidatesTried++
+
+			c2 := addConnection(c, g, u)
+			eq, err := cec.Check(c, c2, cec.Options{MaxConflicts: opts.MaxConflicts})
+			if err != nil || !eq.Decided || !eq.Equivalent {
+				continue // addition changes the function: not redundant
+			}
+			// The addition is redundant. Does it expose a NEW redundant
+			// branch elsewhere?
+			newRed, _ := Identify(c2, opts)
+			for _, f := range newRed {
+				if f.Pin < 0 {
+					continue
+				}
+				// Skip the wire we just added (last pin of g).
+				if f.Node == g && f.Pin == len(c2.Nodes[g].Fanin)-1 {
+					continue
+				}
+				if baseRedundant[f.String()] {
+					continue
+				}
+				c3 := Cleanup(applyRemoval(c2, f))
+				rep.Added = true
+				rep.AddedSource = u
+				rep.AddedTarget = g
+				rep.RemovedFault = f
+				return c3, rep
+			}
+		}
+	}
+	return c, rep
+}
+
+// addConnection returns a copy of c with node u appended to gate g's
+// fanin list. u must precede g topologically.
+func addConnection(c *circuit.Circuit, g, u circuit.NodeID) *circuit.Circuit {
+	d := c.Clone()
+	if u < g {
+		d.Nodes[g].Fanin = append(d.Nodes[g].Fanin, u)
+		return d
+	}
+	// u comes after g in construction order: rebuild with g moved after u
+	// is complex; instead rebuild the whole circuit in a topological
+	// order that respects the new edge.
+	out := circuit.New()
+	newID := make([]circuit.NodeID, len(c.Nodes))
+	done := make([]bool, len(c.Nodes))
+	var visit func(id circuit.NodeID)
+	visit = func(id circuit.NodeID) {
+		if done[id] {
+			return
+		}
+		n := &c.Nodes[id]
+		for _, f := range n.Fanin {
+			visit(f)
+		}
+		if id == g {
+			visit(u)
+		}
+		done[id] = true
+		switch n.Type {
+		case circuit.Input:
+			newID[id] = out.AddInput(n.Name)
+		case circuit.Const0, circuit.Const1:
+			newID[id] = out.AddConst(n.Type == circuit.Const1, n.Name)
+		default:
+			fanin := make([]circuit.NodeID, len(n.Fanin))
+			for j, f := range n.Fanin {
+				fanin[j] = newID[f]
+			}
+			if id == g {
+				fanin = append(fanin, newID[u])
+			}
+			newID[id] = out.AddGate(n.Type, n.Name, fanin...)
+		}
+	}
+	// Inputs first to preserve the interface order.
+	for _, in := range c.Inputs {
+		visit(in)
+	}
+	for i := range c.Nodes {
+		visit(circuit.NodeID(i))
+	}
+	for _, o := range c.Outputs {
+		out.MarkOutput(newID[o])
+	}
+	return out
+}

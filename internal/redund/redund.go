@@ -1,0 +1,218 @@
+// Package redund implements redundancy identification and removal
+// (paper §3; [RID-GRASP: Kim, Marques-Silva, Savoj & Sakallah]) and a
+// simplified redundancy-addition-and-removal (RAR) logic optimization
+// pass ([Entrena & Cheng]).
+//
+// A single stuck-at fault whose ATPG instance is unsatisfiable is
+// untestable; the corresponding circuitry is redundant and can be
+// removed without changing the circuit function: a redundant stem
+// s-a-v fault allows replacing the node with the constant v, and a
+// redundant branch s-a-v fault allows replacing that connection with
+// the constant v. Removal exposes further redundancies, so the flow
+// iterates to a fixpoint.
+package redund
+
+import (
+	"repro/internal/atpg"
+	"repro/internal/circuit"
+	"repro/internal/solver"
+)
+
+// Options configures redundancy removal.
+type Options struct {
+	// MaxIterations bounds the identify-remove loop (0 = 50).
+	MaxIterations int
+	// MaxConflicts bounds each ATPG SAT call (0 = atpg default).
+	MaxConflicts int64
+	// Solver carries base solver options.
+	Solver solver.Options
+}
+
+// Report describes a removal run.
+type Report struct {
+	Iterations    int
+	RemovedFaults []atpg.Fault
+	GatesBefore   int
+	GatesAfter    int
+	NodesBefore   int
+	NodesAfter    int
+	Aborted       int // faults whose classification ran out of budget
+}
+
+// Identify returns the redundant (untestable) faults of c.
+func Identify(c *circuit.Circuit, opts Options) ([]atpg.Fault, int) {
+	faults := atpg.FaultUniverse(c)
+	var redundant []atpg.Fault
+	aborted := 0
+	for _, f := range faults {
+		fr := atpg.TestFault(c, f, atpg.Options{MaxConflicts: opts.MaxConflicts, Solver: opts.Solver})
+		switch fr.Status {
+		case atpg.Redundant:
+			redundant = append(redundant, f)
+		case atpg.Aborted:
+			aborted++
+		}
+	}
+	return redundant, aborted
+}
+
+// Remove iterates redundancy identification and removal until no
+// redundant fault remains (or the iteration budget is hit). The returned
+// circuit is functionally equivalent to the input.
+func Remove(c *circuit.Circuit, opts Options) (*circuit.Circuit, *Report) {
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 50
+	}
+	rep := &Report{
+		GatesBefore: c.NumGates(),
+		NodesBefore: c.NumNodes(),
+	}
+	cur := c.Clone()
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		rep.Iterations = iter + 1
+		redundant, aborted := Identify(cur, opts)
+		rep.Aborted += aborted
+		// Remove the first redundancy that makes progress, then
+		// re-analyze: removals interact. Faults on dangling primary
+		// inputs are permanently redundant but removable only by
+		// changing the interface, which we never do.
+		progressed := false
+		fo := cur.Fanouts()
+		for _, f := range redundant {
+			if cur.Nodes[f.Node].Type == circuit.Input && len(fo[f.Node]) == 0 {
+				continue // dangling PI: nothing to remove
+			}
+			next := Cleanup(applyRemoval(cur, f))
+			if sameStructure(cur, next) {
+				continue
+			}
+			cur = next
+			rep.RemovedFaults = append(rep.RemovedFaults, f)
+			progressed = true
+			break
+		}
+		if !progressed {
+			break
+		}
+	}
+	rep.GatesAfter = cur.NumGates()
+	rep.NodesAfter = cur.NumNodes()
+	return cur, rep
+}
+
+// applyRemoval rewrites the circuit exploiting one redundant fault.
+func applyRemoval(c *circuit.Circuit, f atpg.Fault) *circuit.Circuit {
+	d := c.Clone()
+	if f.Pin < 0 {
+		if c.Nodes[f.Node].Type == circuit.Input {
+			// A redundant PI fault means the input is a don't-care; its
+			// uses become constant but the input itself stays so the
+			// circuit interface is preserved.
+			return replaceUsesWithConst(d, f.Node, f.StuckAt)
+		}
+		// Gate stem: the node is replaceable by the stuck constant.
+		n := &d.Nodes[f.Node]
+		if f.StuckAt {
+			n.Type = circuit.Const1
+		} else {
+			n.Type = circuit.Const0
+		}
+		n.Fanin = nil
+		return d
+	}
+	// Branch: the connection sees the constant. Insert a constant node;
+	// it must come before the gate topologically, so rebuild with the
+	// constant inserted at the front.
+	return replacePinWithConst(d, f.Node, f.Pin, f.StuckAt)
+}
+
+// replaceUsesWithConst rebuilds the circuit with every fanin reference to
+// node u replaced by a constant, keeping u itself.
+func replaceUsesWithConst(c *circuit.Circuit, u circuit.NodeID, v bool) *circuit.Circuit {
+	out := circuit.New()
+	konst := out.AddConst(v, "redund_const")
+	newID := make([]circuit.NodeID, len(c.Nodes))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case circuit.Input:
+			newID[i] = out.AddInput(n.Name)
+		case circuit.Const0, circuit.Const1:
+			newID[i] = out.AddConst(n.Type == circuit.Const1, n.Name)
+		default:
+			fanin := make([]circuit.NodeID, len(n.Fanin))
+			for j, fn := range n.Fanin {
+				if fn == u {
+					fanin[j] = konst
+				} else {
+					fanin[j] = newID[fn]
+				}
+			}
+			newID[i] = out.AddGate(n.Type, n.Name, fanin...)
+		}
+	}
+	for _, o := range c.Outputs {
+		if o == u {
+			out.MarkOutput(konst)
+		} else {
+			out.MarkOutput(newID[o])
+		}
+	}
+	return out
+}
+
+// replacePinWithConst rebuilds the circuit with gate `g`'s fanin `pin`
+// replaced by a constant node.
+func replacePinWithConst(c *circuit.Circuit, g circuit.NodeID, pin int, v bool) *circuit.Circuit {
+	out := circuit.New()
+	konst := out.AddConst(v, "redund_const")
+	newID := make([]circuit.NodeID, len(c.Nodes))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Type {
+		case circuit.Input:
+			newID[i] = out.AddInput(n.Name)
+		case circuit.Const0, circuit.Const1:
+			newID[i] = out.AddConst(n.Type == circuit.Const1, n.Name)
+		default:
+			fanin := make([]circuit.NodeID, len(n.Fanin))
+			for j, fn := range n.Fanin {
+				if circuit.NodeID(i) == g && j == pin {
+					fanin[j] = konst
+				} else {
+					fanin[j] = newID[fn]
+				}
+			}
+			newID[i] = out.AddGate(n.Type, n.Name, fanin...)
+		}
+	}
+	for _, o := range c.Outputs {
+		out.MarkOutput(newID[o])
+	}
+	return out
+}
+
+// sameStructure reports whether two circuits have identical node lists —
+// the no-progress test for the removal loop.
+func sameStructure(a, b *circuit.Circuit) bool {
+	if len(a.Nodes) != len(b.Nodes) || len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i := range a.Nodes {
+		na, nb := &a.Nodes[i], &b.Nodes[i]
+		if na.Type != nb.Type || len(na.Fanin) != len(nb.Fanin) {
+			return false
+		}
+		for j := range na.Fanin {
+			if na.Fanin[j] != nb.Fanin[j] {
+				return false
+			}
+		}
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			return false
+		}
+	}
+	return true
+}

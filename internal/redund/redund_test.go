@@ -1,0 +1,234 @@
+package redund
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/cec"
+	"repro/internal/circuit"
+)
+
+// redundantCircuit builds a circuit with an obviously redundant cone:
+// z = OR(b, AND(a, NOT(a))) — the AND is constant 0 and removable.
+func redundantCircuit() *circuit.Circuit {
+	c := circuit.New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	na := c.AddGate(circuit.Not, "na", a)
+	dead := c.AddGate(circuit.And, "dead", a, na)
+	z := c.AddGate(circuit.Or, "z", b, dead)
+	c.MarkOutput(z)
+	return c
+}
+
+func TestIdentifyFindsRedundancy(t *testing.T) {
+	c := redundantCircuit()
+	red, aborted := Identify(c, Options{})
+	if aborted != 0 {
+		t.Fatalf("aborted %d classifications", aborted)
+	}
+	found := false
+	for _, f := range red {
+		if f.Node == c.NodeByName("dead") && f.Pin < 0 && !f.StuckAt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead s-a-0 should be redundant; got %v", red)
+	}
+}
+
+func TestRemovePreservesFunction(t *testing.T) {
+	c := redundantCircuit()
+	opt, rep := Remove(c, Options{})
+	if len(rep.RemovedFaults) == 0 {
+		t.Fatal("nothing removed")
+	}
+	if opt.NumGates() >= c.NumGates() {
+		t.Fatalf("gates did not shrink: %d -> %d", c.NumGates(), opt.NumGates())
+	}
+	res, err := cec.Check(c, opt, cec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatal("removal changed the function")
+	}
+	// The optimized circuit should be irredundant except for faults on
+	// dangling primary inputs (kept to preserve the interface).
+	red, _ := Identify(opt, Options{})
+	fo := opt.Fanouts()
+	for _, f := range red {
+		if opt.Nodes[f.Node].Type == circuit.Input && len(fo[f.Node]) == 0 {
+			continue
+		}
+		t.Fatalf("still redundant after Remove: %v", red)
+	}
+}
+
+func TestRemoveOnIrredundantCircuit(t *testing.T) {
+	c := circuit.C17()
+	opt, rep := Remove(c, Options{})
+	if len(rep.RemovedFaults) != 0 {
+		t.Fatalf("c17 is irredundant, removed %v", rep.RemovedFaults)
+	}
+	res, _ := cec.Check(c, opt, cec.Options{})
+	if !res.Equivalent {
+		t.Fatal("no-op removal changed function")
+	}
+}
+
+func TestCleanupFoldsConstants(t *testing.T) {
+	c := circuit.New()
+	a := c.AddInput("a")
+	one := c.AddConst(true, "one")
+	zero := c.AddConst(false, "zero")
+	g1 := c.AddGate(circuit.And, "g1", a, one)  // = a
+	g2 := c.AddGate(circuit.Or, "g2", g1, zero) // = a
+	g3 := c.AddGate(circuit.Xor, "g3", g2, one) // = NOT a
+	c.MarkOutput(g3)
+	opt := Cleanup(c)
+	if opt.NumGates() != 1 {
+		t.Fatalf("expected single NOT after folding, got %d gates", opt.NumGates())
+	}
+	res, _ := cec.Check(c, opt, cec.Options{})
+	if !res.Equivalent {
+		t.Fatal("cleanup changed function")
+	}
+}
+
+func TestCleanupControllingConstants(t *testing.T) {
+	c := circuit.New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	zero := c.AddConst(false, "zero")
+	g := c.AddGate(circuit.And, "g", a, zero) // = 0
+	h := c.AddGate(circuit.Or, "h", g, b)     // = b
+	c.MarkOutput(h)
+	opt := Cleanup(c)
+	res, _ := cec.Check(c, opt, cec.Options{})
+	if !res.Equivalent {
+		t.Fatal("cleanup changed function")
+	}
+	if opt.NumGates() != 0 {
+		t.Fatalf("expected all gates folded, got %d", opt.NumGates())
+	}
+}
+
+func TestCleanupPreservesRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		c := circuit.RandomDAG(5, 20, 3, seed)
+		opt := Cleanup(c)
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 20; trial++ {
+			in := make([]uint64, len(c.Inputs))
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			cv := c.Simulate(in)
+			ov := opt.Simulate(in)
+			for i := range c.Outputs {
+				if cv[c.Outputs[i]] != ov[opt.Outputs[i]] {
+					t.Fatalf("seed %d: cleanup changed output %d", seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCleanupNandNorFolding(t *testing.T) {
+	c := circuit.New()
+	a := c.AddInput("a")
+	zero := c.AddConst(false, "zero")
+	one := c.AddConst(true, "one")
+	n1 := c.AddGate(circuit.Nand, "n1", a, zero) // = 1
+	n2 := c.AddGate(circuit.Nor, "n2", a, one)   // = 0
+	n3 := c.AddGate(circuit.Nand, "n3", a, one)  // = NOT a
+	z := c.AddGate(circuit.Or, "z", n1, n2, n3)  // = 1
+	c.MarkOutput(z)
+	opt := Cleanup(c)
+	res, _ := cec.Check(c, opt, cec.Options{})
+	if !res.Equivalent {
+		t.Fatal("cleanup changed function")
+	}
+	if opt.NumGates() != 0 {
+		t.Fatalf("z is constant 1; expected full fold, got %d gates", opt.NumGates())
+	}
+}
+
+func TestApplyRemovalBranch(t *testing.T) {
+	// Branch redundancy: z = AND(a, OR(a, b)) — the OR gate is redundant
+	// since AND(a, OR(a,b)) = a; the branch (z, pin1) can be set to 1.
+	c := circuit.New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	or := c.AddGate(circuit.Or, "or", a, b)
+	z := c.AddGate(circuit.And, "z", a, or)
+	c.MarkOutput(z)
+	fr := atpg.TestFault(c, atpg.Fault{Node: z, Pin: 1, StuckAt: true}, atpg.Options{})
+	if fr.Status != atpg.Redundant {
+		t.Fatalf("branch z.in1 s-a-1 should be redundant, got %v", fr.Status)
+	}
+	opt, rep := Remove(c, Options{})
+	if len(rep.RemovedFaults) == 0 {
+		t.Fatal("nothing removed")
+	}
+	res, _ := cec.Check(c, opt, cec.Options{})
+	if !res.Equivalent {
+		t.Fatal("branch removal changed function")
+	}
+	if opt.NumGates() >= c.NumGates() {
+		t.Fatalf("expected shrink: %d -> %d", c.NumGates(), opt.NumGates())
+	}
+}
+
+func TestAddAndRemovePreservesFunction(t *testing.T) {
+	// RAR on a small circuit: whatever it does, the result must stay
+	// equivalent; on this redundant circuit it may or may not find a
+	// profitable move, both are acceptable.
+	c := circuit.New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	d := c.AddInput("d")
+	g1 := c.AddGate(circuit.And, "g1", a, b)
+	g2 := c.AddGate(circuit.Or, "g2", g1, d)
+	g3 := c.AddGate(circuit.And, "g3", g2, a)
+	c.MarkOutput(g3)
+	opt, rep := AddAndRemove(c, 20, Options{})
+	res, err := cec.Check(c, opt, cec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Fatalf("RAR changed the function (report %+v)", rep)
+	}
+}
+
+func TestAddConnectionTopology(t *testing.T) {
+	// Adding a connection from a later node must produce a valid DAG.
+	c := circuit.New()
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	g1 := c.AddGate(circuit.And, "g1", a, b)
+	g2 := c.AddGate(circuit.Or, "g2", a, b) // later than g1, independent
+	c.MarkOutput(g1)
+	c.MarkOutput(g2)
+	d := addConnection(c, g1, g2) // g1 gains fanin g2 (requires reorder)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("reordered circuit invalid: %v", err)
+	}
+	// Function check: g1' = AND(a, b, OR(a, b)) = AND(a,b).
+	for pat := 0; pat < 4; pat++ {
+		in := []bool{pat&1 != 0, pat&2 != 0}
+		v1 := c.SimulateBool(in)
+		v2 := d.SimulateBool(in)
+		want := v1[c.Outputs[0]] && (in[0] || in[1])
+		if v2[d.Outputs[0]] != want {
+			t.Fatalf("pattern %d: wrong function after addConnection", pat)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package route implements SAT-based layout routing (paper §3; [Nam,
+// Sakallah & Rutenbar], [Sherwani]). Two models are provided:
+//
+//   - classic channel routing as track assignment: each net occupies a
+//     horizontal interval and must be assigned one of H tracks such
+//     that horizontally overlapping nets use different tracks and
+//     vertical (pin-ordering) constraints are respected; the minimum
+//     track count is found by searching H with a SAT feasibility query
+//     per value, and
+//
+//   - FPGA-style detailed grid routing: each two-pin net selects one of
+//     its enumerated candidate paths through a capacity-1 routing grid,
+//     with conflict clauses excluding resource sharing.
+package route
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+// Net is a channel-routing net occupying columns [Left, Right].
+type Net struct {
+	Left, Right int
+}
+
+// Channel is a channel routing instance.
+type Channel struct {
+	Nets []Net
+	// Vert lists vertical constraints (a, b): net a must be assigned a
+	// strictly lower track than net b (pin ordering at some column).
+	Vert [][2]int
+}
+
+// Density returns the channel density: the maximum number of nets
+// crossing any column — a lower bound on the required tracks.
+func (ch *Channel) Density() int {
+	max := 0
+	for col := minLeft(ch); col <= maxRight(ch); col++ {
+		n := 0
+		for _, net := range ch.Nets {
+			if net.Left <= col && col <= net.Right {
+				n++
+			}
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+func minLeft(ch *Channel) int {
+	m := 1 << 30
+	for _, n := range ch.Nets {
+		if n.Left < m {
+			m = n.Left
+		}
+	}
+	return m
+}
+
+func maxRight(ch *Channel) int {
+	m := -(1 << 30)
+	for _, n := range ch.Nets {
+		if n.Right > m {
+			m = n.Right
+		}
+	}
+	return m
+}
+
+// overlaps reports whether two nets share a column.
+func overlaps(a, b Net) bool {
+	return a.Left <= b.Right && b.Left <= a.Right
+}
+
+// ChannelResult reports a routability query.
+type ChannelResult struct {
+	Routable bool
+	Decided  bool
+	// Track[i] is net i's assigned track (0-based) when routable.
+	Track     []int
+	Conflicts int64
+}
+
+// RouteChannel asks whether the channel is routable in `tracks` tracks.
+func RouteChannel(ch *Channel, tracks int, opts Options) *ChannelResult {
+	res := &ChannelResult{}
+	n := len(ch.Nets)
+	if n == 0 {
+		res.Routable = true
+		res.Decided = true
+		return res
+	}
+	f := cnf.New(n * tracks)
+	v := func(net, track int) cnf.Var { return cnf.Var(net*tracks + track + 1) }
+	for i := 0; i < n; i++ {
+		lits := make([]cnf.Lit, tracks)
+		for t := 0; t < tracks; t++ {
+			lits[t] = cnf.PosLit(v(i, t))
+		}
+		gen.ExactlyOne(f, lits)
+	}
+	// Horizontal overlap: different tracks.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if overlaps(ch.Nets[i], ch.Nets[j]) {
+				for t := 0; t < tracks; t++ {
+					f.Add(cnf.NegLit(v(i, t)), cnf.NegLit(v(j, t)))
+				}
+			}
+		}
+	}
+	// Vertical constraints: track(a) < track(b).
+	for _, vc := range ch.Vert {
+		a, b := vc[0], vc[1]
+		for ta := 0; ta < tracks; ta++ {
+			for tb := 0; tb <= ta; tb++ {
+				f.Add(cnf.NegLit(v(a, ta)), cnf.NegLit(v(b, tb)))
+			}
+		}
+	}
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(f, sopts)
+	switch s.Solve() {
+	case solver.Sat:
+		res.Routable = true
+		res.Decided = true
+		m := s.Model()
+		res.Track = make([]int, n)
+		for i := 0; i < n; i++ {
+			res.Track[i] = -1
+			for t := 0; t < tracks; t++ {
+				if m.Value(v(i, t)) == cnf.True {
+					res.Track[i] = t
+					break
+				}
+			}
+		}
+	case solver.Unsat:
+		res.Decided = true
+	}
+	res.Conflicts = s.Stats.Conflicts
+	return res
+}
+
+// MinTracks finds the minimum routable track count by linear search from
+// the density lower bound. It returns (tracks, assignment, decided).
+func MinTracks(ch *Channel, maxTracks int, opts Options) (int, []int, bool) {
+	lb := ch.Density()
+	if lb == 0 {
+		return 0, nil, true
+	}
+	for h := lb; h <= maxTracks; h++ {
+		res := RouteChannel(ch, h, opts)
+		if !res.Decided {
+			return 0, nil, false
+		}
+		if res.Routable {
+			return h, res.Track, true
+		}
+	}
+	return -1, nil, true // not routable within maxTracks
+}
+
+// ValidChannelAssignment checks a track assignment against all
+// constraints.
+func ValidChannelAssignment(ch *Channel, track []int) error {
+	for i := range ch.Nets {
+		if track[i] < 0 {
+			return fmt.Errorf("net %d unassigned", i)
+		}
+	}
+	for i := range ch.Nets {
+		for j := i + 1; j < len(ch.Nets); j++ {
+			if overlaps(ch.Nets[i], ch.Nets[j]) && track[i] == track[j] {
+				return fmt.Errorf("nets %d and %d overlap on track %d", i, j, track[i])
+			}
+		}
+	}
+	for _, vc := range ch.Vert {
+		if track[vc[0]] >= track[vc[1]] {
+			return fmt.Errorf("vertical constraint %d<%d violated (%d >= %d)",
+				vc[0], vc[1], track[vc[0]], track[vc[1]])
+		}
+	}
+	return nil
+}
+
+// RandomChannel generates a random channel instance with n nets over
+// `cols` columns and optional acyclic vertical constraints.
+func RandomChannel(n, cols, vert int, seed int64) *Channel {
+	rng := rand.New(rand.NewSource(seed))
+	ch := &Channel{}
+	for i := 0; i < n; i++ {
+		a := rng.Intn(cols)
+		b := rng.Intn(cols)
+		if a > b {
+			a, b = b, a
+		}
+		ch.Nets = append(ch.Nets, Net{Left: a, Right: b})
+	}
+	// Acyclic vertical constraints: always from lower to higher index.
+	for k := 0; k < vert; k++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		ch.Vert = append(ch.Vert, [2]int{a, b})
+	}
+	return ch
+}

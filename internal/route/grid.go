@@ -1,0 +1,250 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+// Options configures the routing SAT queries.
+type Options struct {
+	MaxConflicts int64
+	Solver       solver.Options
+	// MaxRoutesPerNet caps candidate path enumeration (0 = 12).
+	MaxRoutesPerNet int
+}
+
+// Point is a grid coordinate.
+type Point struct{ X, Y int }
+
+// GridNet is a two-pin net on the routing grid.
+type GridNet struct {
+	Src, Dst Point
+}
+
+// Grid is an FPGA-style detailed routing instance: a W×H array of
+// capacity-1 routing cells and a set of two-pin nets.
+type Grid struct {
+	W, H int
+	Nets []GridNet
+}
+
+// Route is a candidate path: the sequence of cells from Src to Dst.
+type Route []Point
+
+// GridResult reports a grid routing query.
+type GridResult struct {
+	Routable bool
+	Decided  bool
+	// Chosen[i] is the selected route of net i (when routable).
+	Chosen    []Route
+	Conflicts int64
+	// CandidateCount sums enumerated candidate routes.
+	CandidateCount int
+}
+
+// enumerateRoutes lists monotone staircase paths from s to d (L-shapes
+// and Z-shapes: at most two bends), the classic detailed-routing
+// candidate set.
+func enumerateRoutes(s, d Point, max int) []Route {
+	var out []Route
+	addIfNew := func(r Route) {
+		if len(out) >= max {
+			return
+		}
+		out = append(out, r)
+	}
+	dx := sign(d.X - s.X)
+	dy := sign(d.Y - s.Y)
+	if dx == 0 && dy == 0 {
+		return []Route{{s}}
+	}
+	if dx == 0 || dy == 0 {
+		return []Route{straight(s, d)}
+	}
+	// Z-shapes bending at intermediate x (vertical-horizontal-vertical
+	// is covered by bending at each y as well).
+	for x := s.X; ; x += dx {
+		r := Route{}
+		r = append(r, straight(s, Point{x, s.Y})...)
+		r = append(r, straight(Point{x, s.Y}, Point{x, d.Y})[1:]...)
+		r = append(r, straight(Point{x, d.Y}, d)[1:]...)
+		addIfNew(r)
+		if x == d.X {
+			break
+		}
+	}
+	for y := s.Y; ; y += dy {
+		if y != s.Y && y != d.Y {
+			r := Route{}
+			r = append(r, straight(s, Point{s.X, y})...)
+			r = append(r, straight(Point{s.X, y}, Point{d.X, y})[1:]...)
+			r = append(r, straight(Point{d.X, y}, d)[1:]...)
+			addIfNew(r)
+		}
+		if y == d.Y {
+			break
+		}
+	}
+	return out
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+func straight(a, b Point) Route {
+	var r Route
+	dx, dy := sign(b.X-a.X), sign(b.Y-a.Y)
+	p := a
+	for {
+		r = append(r, p)
+		if p == b {
+			return r
+		}
+		p = Point{p.X + dx, p.Y + dy}
+	}
+}
+
+// RouteGrid decides whether all nets can be routed simultaneously:
+// exactly one candidate route per net, no two routes of different nets
+// sharing a cell. Net terminals block other nets' routes as well.
+func RouteGrid(g *Grid, opts Options) *GridResult {
+	if opts.MaxRoutesPerNet == 0 {
+		opts.MaxRoutesPerNet = 12
+	}
+	res := &GridResult{}
+	routes := make([][]Route, len(g.Nets))
+	for i, n := range g.Nets {
+		routes[i] = enumerateRoutes(n.Src, n.Dst, opts.MaxRoutesPerNet)
+		res.CandidateCount += len(routes[i])
+		if len(routes[i]) == 0 {
+			res.Decided = true
+			return res // trivially unroutable
+		}
+	}
+	f := cnf.New(0)
+	varOf := make([][]cnf.Var, len(g.Nets))
+	for i := range routes {
+		varOf[i] = f.NewVars(len(routes[i]))
+		lits := make([]cnf.Lit, len(routes[i]))
+		for r := range routes[i] {
+			lits[r] = cnf.PosLit(varOf[i][r])
+		}
+		gen.ExactlyOne(f, lits)
+	}
+	// Conflicts: routes of different nets sharing any cell.
+	for i := 0; i < len(g.Nets); i++ {
+		for j := i + 1; j < len(g.Nets); j++ {
+			for ri, ra := range routes[i] {
+				for rj, rb := range routes[j] {
+					if sharesCell(ra, rb) {
+						f.Add(cnf.NegLit(varOf[i][ri]), cnf.NegLit(varOf[j][rj]))
+					}
+				}
+			}
+		}
+	}
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(f, sopts)
+	switch s.Solve() {
+	case solver.Sat:
+		res.Routable = true
+		res.Decided = true
+		m := s.Model()
+		res.Chosen = make([]Route, len(g.Nets))
+		for i := range routes {
+			for r := range routes[i] {
+				if m.Value(varOf[i][r]) == cnf.True {
+					res.Chosen[i] = routes[i][r]
+					break
+				}
+			}
+		}
+	case solver.Unsat:
+		res.Decided = true
+	}
+	res.Conflicts = s.Stats.Conflicts
+	return res
+}
+
+func sharesCell(a, b Route) bool {
+	set := make(map[Point]bool, len(a))
+	for _, p := range a {
+		set[p] = true
+	}
+	for _, p := range b {
+		if set[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidGridRouting verifies a chosen routing: every net connected by its
+// route, all routes within bounds, and no shared cells.
+func ValidGridRouting(g *Grid, chosen []Route) error {
+	used := make(map[Point]int)
+	for i, r := range chosen {
+		if len(r) == 0 {
+			return fmt.Errorf("net %d unrouted", i)
+		}
+		if r[0] != g.Nets[i].Src || r[len(r)-1] != g.Nets[i].Dst {
+			return fmt.Errorf("net %d: endpoints wrong", i)
+		}
+		for k, p := range r {
+			if p.X < 0 || p.X >= g.W || p.Y < 0 || p.Y >= g.H {
+				return fmt.Errorf("net %d: out of bounds %v", i, p)
+			}
+			if k > 0 {
+				d := abs(p.X-r[k-1].X) + abs(p.Y-r[k-1].Y)
+				if d != 1 {
+					return fmt.Errorf("net %d: discontinuous at %v", i, p)
+				}
+			}
+			if prev, ok := used[p]; ok && prev != i {
+				return fmt.Errorf("nets %d and %d share cell %v", prev, i, p)
+			}
+			used[p] = i
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RandomGrid generates a grid instance with n nets and distinct random
+// terminals.
+func RandomGrid(w, h, n int, seed int64) *Grid {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Grid{W: w, H: h}
+	used := map[Point]bool{}
+	pick := func() Point {
+		for {
+			p := Point{rng.Intn(w), rng.Intn(h)}
+			if !used[p] {
+				used[p] = true
+				return p
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.Nets = append(g.Nets, GridNet{Src: pick(), Dst: pick()})
+	}
+	return g
+}

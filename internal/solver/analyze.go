@@ -1,0 +1,158 @@
+package solver
+
+import "repro/internal/cnf"
+
+// analyze is the Diagnose() function of Figure 2. Starting from the
+// conflicting clause it resolves backwards along antecedents until the
+// first unique implication point (UIP) of the current decision level,
+// producing a conflict-induced clause — a new implicate of the function
+// associated with the CNF formula (§4.1). The clause's first literal is
+// the asserting literal (the conflict-induced necessary assignment of
+// GRASP); the returned level is the non-chronological backtrack level.
+func (s *Solver) analyze(confl *clause) (learnt []cnf.Lit, btLevel int) {
+	learnt = append(learnt, cnf.LitUndef) // slot for the asserting literal
+	pathC := 0
+	p := cnf.LitUndef
+	idx := len(s.trail) - 1
+
+	for {
+		start := 0
+		if p != cnf.LitUndef {
+			start = 1 // lits[0] of a reason clause is the literal it implied
+		}
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
+		for j := start; j < len(confl.lits); j++ {
+			q := confl.lits[j]
+			v := q.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = 1
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select the next seen literal on the trail.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Minimize the recorded clause (self-subsuming resolution over the
+	// implication graph).
+	s.analyzeToClr = append(s.analyzeToClr[:0], learnt...)
+	if !s.opts.NoMinimize {
+		var abstract uint32
+		for _, l := range learnt[1:] {
+			abstract |= 1 << (uint(s.level[l.Var()]) & 31)
+		}
+		w := 1
+		for i := 1; i < len(learnt); i++ {
+			if s.reason[learnt[i].Var()] == nil || !s.litRedundant(learnt[i], abstract) {
+				learnt[w] = learnt[i]
+				w++
+			} else {
+				s.Stats.MinimizedLit++
+			}
+		}
+		learnt = learnt[:w]
+	}
+
+	// Backtrack level: highest level among the non-asserting literals.
+	btLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+
+	// Clear seen flags for every variable touched.
+	for _, l := range s.analyzeToClr {
+		s.seen[l.Var()] = 0
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether the literal l is implied by the remaining
+// literals of the learned clause (so it can be removed). It performs a
+// DFS over antecedents; abstract is a level-set filter that prunes
+// branches leading outside the clause's levels.
+func (s *Solver) litRedundant(l cnf.Lit, abstract uint32) bool {
+	s.analyzeStack = s.analyzeStack[:0]
+	s.analyzeStack = append(s.analyzeStack, l)
+	top := len(s.analyzeToClr)
+	for len(s.analyzeStack) > 0 {
+		p := s.analyzeStack[len(s.analyzeStack)-1]
+		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
+		c := s.reason[p.Var()]
+		for j := 1; j < len(c.lits); j++ {
+			q := c.lits[j]
+			v := q.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == nil || (1<<(uint(s.level[v])&31))&abstract == 0 {
+				// Reached a decision or a level outside the clause:
+				// l is not redundant. Undo marks made during this probe.
+				for len(s.analyzeToClr) > top {
+					s.seen[s.analyzeToClr[len(s.analyzeToClr)-1].Var()] = 0
+					s.analyzeToClr = s.analyzeToClr[:len(s.analyzeToClr)-1]
+				}
+				return false
+			}
+			s.seen[v] = 1
+			s.analyzeToClr = append(s.analyzeToClr, q)
+			s.analyzeStack = append(s.analyzeStack, q)
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes the subset of the assumptions responsible for
+// falsifying the assumption literal p, storing the inconsistent
+// assumption set in s.conflictSet (the incremental-SAT conflict core).
+func (s *Solver) analyzeFinal(p cnf.Lit) {
+	s.conflictSet = s.conflictSet[:0]
+	s.conflictSet = append(s.conflictSet, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			// A decision below the assumption levels is an assumption.
+			s.conflictSet = append(s.conflictSet, s.trail[i])
+		} else {
+			for _, l := range r.lits[1:] {
+				if s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+}

@@ -1,0 +1,99 @@
+package solver
+
+import "repro/internal/cnf"
+
+// varHeap is an indexed max-heap of variables ordered by activity.
+// It holds a pointer to the solver's activity slice so bumps reorder
+// entries in place.
+type varHeap struct {
+	act     *[]float64
+	heap    []cnf.Var
+	indices []int // position of var in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(a, b cnf.Var) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) grow(v cnf.Var) {
+	for len(h.indices) <= int(v) {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) contains(v cnf.Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) push(v cnf.Var) {
+	h.grow(v)
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v cnf.Var) { h.push(v) }
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) pop() cnf.Var {
+	v := h.heap[0]
+	h.swap(0, len(h.heap)-1)
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[v] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+// update restores heap order after v's activity changed.
+func (h *varHeap) update(v cnf.Var) {
+	if !h.contains(v) {
+		return
+	}
+	i := h.indices[v]
+	h.up(i)
+	h.down(h.indices[v])
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = i
+	h.indices[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.heap[i], h.heap[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(h.heap[l], h.heap[best]) {
+			best = l
+		}
+		if r < n && h.less(h.heap[r], h.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

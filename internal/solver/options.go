@@ -1,0 +1,198 @@
+// Package solver implements a modern backtrack-search SAT solver in the
+// GRASP family, organized exactly around the generic template of the
+// paper's Figure 2: Decide() selects assignments, Deduce() derives implied
+// assignments (Boolean constraint propagation with watched literals),
+// Diagnose() analyzes conflicts to a first unique implication point, and
+// Erase() undoes implied assignments on backtracking.
+//
+// All the techniques the paper highlights for modern solvers (§4.1, §6)
+// are implemented and individually switchable so the historical algorithms
+// can be recovered as configurations:
+//
+//   - non-chronological backtracking vs. chronological backtracking,
+//   - clause recording (conflict-clause learning) with deletion,
+//   - relevance-based learning (bounded-lifespan recorded clauses),
+//   - conflict-induced necessary assignments (asserting clauses),
+//   - randomization and restarts (Luby / geometric policies),
+//   - VSIDS- and DLIS-style decision heuristics,
+//   - incremental solving under assumptions with core extraction,
+//   - a structural "theory" hook used by the circuit layer of §5.
+package solver
+
+// DecisionHeuristic selects how Decide() picks the next branching variable.
+type DecisionHeuristic int
+
+// Supported decision heuristics.
+const (
+	// DecideVSIDS uses exponentially-decayed conflict-driven variable
+	// activities (the modern default).
+	DecideVSIDS DecisionHeuristic = iota
+	// DecideDLIS picks the literal occurring in the most unresolved
+	// clauses (Dynamic Largest Individual Sum), a classic GRASP-era
+	// heuristic. It rescans occurrence lists at each decision and is
+	// therefore slow on large instances; it exists as a baseline.
+	DecideDLIS
+	// DecideOrdered branches on the lowest-indexed unassigned variable,
+	// value false first (the naive textbook order).
+	DecideOrdered
+	// DecideRandom branches uniformly at random.
+	DecideRandom
+)
+
+// RestartPolicy selects the restart schedule (§6: "randomization allows
+// repeatedly restarting the search each time a given limit number of
+// decisions is reached").
+type RestartPolicy int
+
+// Supported restart policies.
+const (
+	// RestartNone never restarts.
+	RestartNone RestartPolicy = iota
+	// RestartLuby restarts after RestartBase * luby(i) conflicts.
+	RestartLuby
+	// RestartGeometric restarts after RestartBase * 1.5^i conflicts.
+	RestartGeometric
+	// RestartFixed restarts every RestartBase conflicts.
+	RestartFixed
+)
+
+// DeletionPolicy selects how recorded clauses are eventually deleted
+// (§4.1: "in most cases large recorded clauses are eventually deleted").
+type DeletionPolicy int
+
+// Supported learned-clause deletion policies.
+const (
+	// DeleteByActivity periodically removes the less active half of the
+	// learned-clause database (Minisat-style).
+	DeleteByActivity DeletionPolicy = iota
+	// DeleteByRelevance implements relevance-based learning [Bayardo &
+	// Schrag]: a recorded clause is kept while at most RelevanceBound of
+	// its literals are unassigned, extending the life-span of clauses
+	// that remain relevant to the current search region.
+	DeleteByRelevance
+	// DeleteNever keeps every recorded clause.
+	DeleteNever
+)
+
+// Options configures a Solver. The zero value is a usable modern default
+// (non-chronological backtracking, learning, VSIDS, Luby restarts).
+type Options struct {
+	// Chronological forces backtracking to the immediately preceding
+	// decision level rather than the level computed by conflict
+	// diagnosis, disabling non-chronological backtracking (§4.1 item 1).
+	Chronological bool
+
+	// NoLearning disables clause recording (§4.1 item 2): conflict
+	// clauses are still derived (they are needed as antecedents of
+	// conflict-induced assignments) but are discarded as soon as the
+	// assignment they assert is erased, so they never prune future
+	// search regions.
+	NoLearning bool
+
+	// NoMinimize disables learned-clause minimization
+	// (self-subsumption of the first-UIP clause).
+	NoMinimize bool
+
+	// Deletion selects the learned-clause deletion policy.
+	Deletion DeletionPolicy
+
+	// RelevanceBound is the unassigned-literal bound for
+	// DeleteByRelevance. Zero means 4 (relsat's classic default region).
+	RelevanceBound int
+
+	// MaxLearnts caps the learned database before deletion triggers.
+	// Zero selects an adaptive cap (one third of the problem clauses,
+	// growing geometrically).
+	MaxLearnts int
+
+	// Restart selects the restart schedule; RestartBase is its unit in
+	// conflicts (0 = 100).
+	Restart     RestartPolicy
+	RestartBase int
+
+	// Decide selects the decision heuristic.
+	Decide DecisionHeuristic
+
+	// RandomFreq is the probability of replacing a heuristic decision
+	// with a uniformly random unassigned variable (the "randomization"
+	// of §6). Typical small values: 0.02.
+	RandomFreq float64
+
+	// Seed seeds the solver's deterministic PRNG.
+	Seed int64
+
+	// NoPhaseSaving disables progress saving of variable polarities.
+	NoPhaseSaving bool
+
+	// VarDecay and ClauseDecay control activity decay (0 = defaults
+	// 0.95 and 0.999).
+	VarDecay, ClauseDecay float64
+
+	// MaxConflicts and MaxDecisions bound the search effort; the solver
+	// returns Unknown when a budget is exhausted. Zero means unlimited.
+	MaxConflicts int64
+	MaxDecisions int64
+
+	// LogProof records every conflict clause into a DRUP-style proof
+	// log retrievable via Proof(); VerifyUnsat can then independently
+	// validate an (assumption-free) Unsat answer.
+	LogProof bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.RestartBase == 0 {
+		out.RestartBase = 100
+	}
+	if out.VarDecay == 0 {
+		out.VarDecay = 0.95
+	}
+	if out.ClauseDecay == 0 {
+		out.ClauseDecay = 0.999
+	}
+	if out.RelevanceBound == 0 {
+		out.RelevanceBound = 4
+	}
+	return out
+}
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means a resource budget was exhausted before an answer.
+	Unknown Status = iota
+	// Sat means a satisfying (possibly partial, when a structural theory
+	// declared early success) assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SATISFIABLE"
+	case Unsat:
+		return "UNSATISFIABLE"
+	}
+	return "UNKNOWN"
+}
+
+// Stats collects search statistics, used by the benchmark harness to
+// report the quantities the paper argues about (decisions, conflicts,
+// recorded clauses, restarts…).
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64 // clauses recorded
+	Deleted      int64 // learned clauses deleted
+	MaxLearnts   int64 // high-water mark of the learned database
+	MinimizedLit int64 // literals removed by clause minimization
+	MaxJump      int   // largest non-chronological backjump (levels skipped)
+}

@@ -1,0 +1,159 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// Proof is a clausal (DRUP-style) proof log: every recorded conflict
+// clause in derivation order. Each lemma is derivable from the original
+// formula plus the preceding lemmas by reverse unit propagation (RUP),
+// and for an UNSAT verdict unit propagation over formula+lemmas yields a
+// conflict outright. Proof logging independently validates the solver's
+// UNSAT answers — the "extensively validated SAT algorithms" the paper
+// §5 cites as the main advantage of CNF-based flows.
+type Proof struct {
+	Lemmas []cnf.Clause
+}
+
+// Proof returns the proof logged during solving (nil unless
+// Options.LogProof was set). The log is a refutation witness only for an
+// assumption-free Unsat answer.
+func (s *Solver) Proof() *Proof { return s.proofLog }
+
+// rupChecker verifies RUP steps over a growing clause database using
+// simple counter-based unit propagation (independent of the solver's
+// watched-literal engine, so bugs cannot self-validate).
+type rupChecker struct {
+	clauses []cnf.Clause
+	occ     [][]int // clause indices per literal-complement index
+	numVars int
+}
+
+func newRUPChecker(f *cnf.Formula) *rupChecker {
+	c := &rupChecker{numVars: f.NumVars()}
+	for _, cl := range f.Clauses {
+		c.add(cl)
+	}
+	return c
+}
+
+func (c *rupChecker) growTo(v int) {
+	for c.numVars < v {
+		c.numVars++
+	}
+	for len(c.occ) < 2*(c.numVars+1) {
+		c.occ = append(c.occ, nil)
+	}
+}
+
+func (c *rupChecker) add(cl cnf.Clause) {
+	c.growTo(int(cl.MaxVar()))
+	idx := len(c.clauses)
+	c.clauses = append(c.clauses, cl)
+	for _, l := range cl {
+		c.occ[l.Not().Index()] = append(c.occ[l.Not().Index()], idx)
+	}
+}
+
+// propagate runs unit propagation from the given initial assignments and
+// reports whether a conflict arises.
+func (c *rupChecker) propagate(initial []cnf.Lit) bool {
+	c.growTo(c.numVars)
+	assign := cnf.NewAssignment(c.numVars)
+	var queue []cnf.Lit
+	enqueue := func(l cnf.Lit) bool {
+		switch assign.LitValue(l) {
+		case cnf.True:
+			return true
+		case cnf.False:
+			return false
+		}
+		assign.Assign(l)
+		queue = append(queue, l)
+		return true
+	}
+	for _, l := range initial {
+		if !enqueue(l) {
+			return true
+		}
+	}
+	// Seed with unit clauses.
+	for _, cl := range c.clauses {
+		if len(cl) == 1 {
+			if !enqueue(cl[0]) {
+				return true
+			}
+		}
+		if len(cl) == 0 {
+			return true
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		l := queue[qi]
+		for _, ci := range c.occ[l.Index()] {
+			cl := c.clauses[ci]
+			unit := cnf.LitUndef
+			unassigned := 0
+			sat := false
+			for _, m := range cl {
+				switch assign.LitValue(m) {
+				case cnf.True:
+					sat = true
+				case cnf.Undef:
+					unassigned++
+					unit = m
+				}
+				if sat || unassigned > 1 {
+					break
+				}
+			}
+			if sat || unassigned > 1 {
+				continue
+			}
+			if unassigned == 0 {
+				return true
+			}
+			if !enqueue(unit) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// VerifyUnsat checks that the proof refutes f: every lemma is RUP with
+// respect to f plus the preceding lemmas, and unit propagation over the
+// final database derives a conflict. It returns nil on success.
+func VerifyUnsat(f *cnf.Formula, p *Proof) error {
+	if p == nil {
+		return fmt.Errorf("solver: no proof logged")
+	}
+	chk := newRUPChecker(f)
+	for i, lemma := range p.Lemmas {
+		neg := make([]cnf.Lit, len(lemma))
+		for j, l := range lemma {
+			neg[j] = l.Not()
+		}
+		chk.growTo(int(lemma.MaxVar()))
+		if !chk.propagate(neg) {
+			return fmt.Errorf("solver: lemma %d %v is not RUP", i, lemma)
+		}
+		chk.add(lemma)
+	}
+	if !chk.propagate(nil) {
+		return fmt.Errorf("solver: final database does not propagate to conflict")
+	}
+	return nil
+}
+
+// VerifyModel checks a Sat answer: the model must satisfy every clause.
+func VerifyModel(f *cnf.Formula, m cnf.Assignment) error {
+	for i, cl := range f.Clauses {
+		if m.EvalClause(cl) != cnf.True {
+			return fmt.Errorf("solver: clause %d %v not satisfied by model", i, cl)
+		}
+	}
+	return nil
+}

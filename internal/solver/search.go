@@ -1,0 +1,394 @@
+package solver
+
+import "repro/internal/cnf"
+
+// Solve decides satisfiability of the loaded clauses under the given
+// assumption literals. It may be called repeatedly; clauses and variables
+// can be added between calls (incremental SAT, §6). On Unsat under
+// assumptions, Core() returns an inconsistent subset of the assumptions.
+func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
+	s.conflictSet = nil
+	s.partial = false
+	s.model = nil
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	s.startConflicts = s.Stats.Conflicts
+	s.startDecisions = s.Stats.Decisions
+	for _, a := range assumptions {
+		if int(a.Var()) > s.NumVars() {
+			s.growTo(int(a.Var()))
+		}
+	}
+	s.assumptions = assumptions
+	if s.opts.Decide == DecideDLIS && !s.dlisOcc {
+		s.buildOccLists()
+	}
+	// Top-level deduction before the search proper.
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	s.maxLearn = float64(s.opts.MaxLearnts)
+	if s.maxLearn == 0 {
+		s.maxLearn = float64(len(s.clauses)) / 3
+		if s.maxLearn < 100 {
+			s.maxLearn = 100
+		}
+	}
+
+	restart := 0
+	for {
+		limit := s.restartLimit(restart)
+		st := s.search(limit)
+		if st == Sat {
+			s.model = make(cnf.Assignment, len(s.assigns))
+			copy(s.model, s.assigns)
+			return st
+		}
+		if st != Unknown {
+			return st
+		}
+		if s.budgetExhausted() {
+			return Unknown
+		}
+		restart++
+		s.Stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+// SolveFormulaOnce is a convenience for one-shot solving of f.
+func SolveFormulaOnce(f *cnf.Formula, opts Options) (Status, cnf.Assignment) {
+	s := FromFormula(f, opts)
+	st := s.Solve()
+	if st == Sat {
+		return st, s.Model()
+	}
+	return st, nil
+}
+
+func (s *Solver) restartLimit(i int) int64 {
+	base := int64(s.opts.RestartBase)
+	switch s.opts.Restart {
+	case RestartNone:
+		return -1
+	case RestartLuby:
+		return base * luby(i)
+	case RestartGeometric:
+		lim := float64(base)
+		for k := 0; k < i; k++ {
+			lim *= 1.5
+		}
+		return int64(lim)
+	case RestartFixed:
+		return base
+	}
+	return -1
+}
+
+// luby returns the i-th element (0-based) of the Luby sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+func luby(i int) int64 {
+	i++
+	for k := uint(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)))
+		}
+	}
+}
+
+func (s *Solver) budgetExhausted() bool {
+	if s.opts.MaxConflicts > 0 && s.Stats.Conflicts-s.startConflicts >= s.opts.MaxConflicts {
+		return true
+	}
+	if s.opts.MaxDecisions > 0 && s.Stats.Decisions-s.startDecisions >= s.opts.MaxDecisions {
+		return true
+	}
+	return false
+}
+
+// search runs the SAT(d, beta) loop of Figure 2 until a verdict, a
+// restart limit (maxConfl conflicts, -1 = unlimited), or a budget bound.
+func (s *Solver) search(maxConfl int64) Status {
+	var conflictsHere int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			// Deduce() returned CONFLICT: run Diagnose().
+			s.Stats.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			if s.opts.Chronological && len(learnt) > 1 {
+				// Chronological search strategies backtrack to the
+				// immediately preceding level regardless of diagnosis.
+				btLevel = s.decisionLevel() - 1
+			} else if jump := s.decisionLevel() - 1 - btLevel; jump > s.Stats.MaxJump {
+				s.Stats.MaxJump = jump
+			}
+			s.cancelUntil(btLevel)
+			s.record(learnt)
+			s.decayVar()
+			s.decayClause()
+			continue
+		}
+
+		// No conflict. A structural theory may declare success with a
+		// partial assignment (§5: empty justification frontier replaces
+		// "all clauses satisfied" as the satisfiability test).
+		if s.theory != nil && s.decisionLevel() >= len(s.assumptions) && s.theory.Done() {
+			s.partial = true
+			return Sat
+		}
+		if s.budgetExhausted() {
+			return Unknown
+		}
+		if maxConfl >= 0 && conflictsHere >= maxConfl {
+			return Unknown // restart
+		}
+		if !s.opts.NoLearning && float64(len(s.learnts)) >= s.maxLearn+float64(len(s.trail)) {
+			s.reduceDB()
+			s.maxLearn *= 1.1
+		}
+
+		// Decide(): assumptions first, then theory suggestion, then the
+		// configured heuristic.
+		next := cnf.LitUndef
+		for next == cnf.LitUndef && s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.LitValue(p) {
+			case cnf.True:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+			case cnf.False:
+				s.analyzeFinal(p)
+				return Unsat
+			default:
+				next = p
+			}
+		}
+		if next == cnf.LitUndef && s.theory != nil {
+			if sug := s.theory.Suggest(); sug != cnf.LitUndef && s.LitValue(sug) == cnf.Undef {
+				next = sug
+				s.Stats.Decisions++
+			}
+		}
+		if next == cnf.LitUndef {
+			next = s.pickBranchLit()
+			if next == cnf.LitUndef {
+				return Sat // every variable assigned, no clause falsified
+			}
+			s.Stats.Decisions++
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// record installs a conflict-induced clause and asserts its first literal
+// (the conflict-induced necessary assignment).
+func (s *Solver) record(learnt []cnf.Lit) {
+	if s.proofLog != nil {
+		s.proofLog.Lemmas = append(s.proofLog.Lemmas, append(cnf.Clause(nil), learnt...))
+	}
+	if len(learnt) == 1 {
+		// Unit implicates always go to the top level.
+		s.cancelUntil(0)
+		if s.LitValue(learnt[0]) == cnf.False {
+			s.ok = false
+			return
+		}
+		if s.LitValue(learnt[0]) == cnf.Undef {
+			s.uncheckedEnqueue(learnt[0], nil)
+		}
+		return
+	}
+	c := &clause{lits: append([]cnf.Lit(nil), learnt...), learnt: true}
+	if s.opts.NoLearning {
+		// The clause exists only as the antecedent of its assertion; it
+		// is never attached, so it cannot prune future search.
+		c.temp = true
+	} else {
+		s.learnts = append(s.learnts, c)
+		s.Stats.Learned++
+		if int64(len(s.learnts)) > s.Stats.MaxLearnts {
+			s.Stats.MaxLearnts = int64(len(s.learnts))
+		}
+		s.attach(c)
+		s.bumpClause(c)
+	}
+	s.uncheckedEnqueue(learnt[0], c)
+}
+
+// reduceDB deletes recorded clauses according to the configured policy
+// (§4.1: "in most cases large recorded clauses are eventually deleted").
+func (s *Solver) reduceDB() {
+	locked := func(c *clause) bool {
+		return s.reason[c.lits[0].Var()] == c && s.LitValue(c.lits[0]) == cnf.True
+	}
+	switch s.opts.Deletion {
+	case DeleteNever:
+		return
+	case DeleteByRelevance:
+		// Relevance-based learning: a clause stays while at most
+		// RelevanceBound of its literals are unassigned.
+		w := 0
+		for _, c := range s.learnts {
+			if locked(c) || len(c.lits) <= 2 || s.unassignedCount(c) <= s.opts.RelevanceBound {
+				s.learnts[w] = c
+				w++
+				continue
+			}
+			c.deleted = true
+			s.detach(c)
+			s.Stats.Deleted++
+		}
+		s.learnts = s.learnts[:w]
+	case DeleteByActivity:
+		// Remove the less-active half, keeping binary and locked clauses.
+		if len(s.learnts) == 0 {
+			return
+		}
+		med := s.medianActivity()
+		w := 0
+		removed := 0
+		target := len(s.learnts) / 2
+		for _, c := range s.learnts {
+			if removed < target && !locked(c) && len(c.lits) > 2 && c.act < med {
+				c.deleted = true
+				s.detach(c)
+				s.Stats.Deleted++
+				removed++
+				continue
+			}
+			s.learnts[w] = c
+			w++
+		}
+		s.learnts = s.learnts[:w]
+	}
+}
+
+func (s *Solver) unassignedCount(c *clause) int {
+	n := 0
+	for _, l := range c.lits {
+		if s.LitValue(l) == cnf.Undef {
+			n++
+		}
+	}
+	return n
+}
+
+// medianActivity approximates the median learned-clause activity by
+// averaging; Minisat uses a sort, but the average is adequate as a
+// threshold and avoids the sort cost.
+func (s *Solver) medianActivity() float64 {
+	sum := 0.0
+	for _, c := range s.learnts {
+		sum += c.act
+	}
+	return sum / float64(len(s.learnts))
+}
+
+// pickBranchLit implements the configured Decide() heuristic.
+func (s *Solver) pickBranchLit() cnf.Lit {
+	if s.opts.RandomFreq > 0 && s.rng.Float64() < s.opts.RandomFreq {
+		if l := s.randomLit(); l != cnf.LitUndef {
+			return l
+		}
+	}
+	switch s.opts.Decide {
+	case DecideDLIS:
+		if l := s.dlisLit(); l != cnf.LitUndef {
+			return l
+		}
+	case DecideOrdered:
+		for v := cnf.Var(1); int(v) <= s.NumVars(); v++ {
+			if s.assigns[v] == cnf.Undef {
+				return cnf.NegLit(v)
+			}
+		}
+		return cnf.LitUndef
+	case DecideRandom:
+		return s.randomLit()
+	}
+	// VSIDS (default): most active unassigned variable, saved polarity.
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == cnf.Undef {
+			return cnf.NewLit(v, !s.phase[v])
+		}
+	}
+	return cnf.LitUndef
+}
+
+func (s *Solver) randomLit() cnf.Lit {
+	n := s.NumVars()
+	if n == 0 {
+		return cnf.LitUndef
+	}
+	// Try random probes, then fall back to a scan.
+	for try := 0; try < 10; try++ {
+		v := cnf.Var(s.rng.Intn(n) + 1)
+		if s.assigns[v] == cnf.Undef {
+			return cnf.NewLit(v, s.rng.Intn(2) == 0)
+		}
+	}
+	for v := cnf.Var(1); int(v) <= n; v++ {
+		if s.assigns[v] == cnf.Undef {
+			return cnf.NewLit(v, s.rng.Intn(2) == 0)
+		}
+	}
+	return cnf.LitUndef
+}
+
+func (s *Solver) buildOccLists() {
+	s.occList = make([][]*clause, 2*(s.NumVars()+1))
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			s.occList[l.Index()] = append(s.occList[l.Index()], c)
+		}
+	}
+	s.dlisOcc = true
+}
+
+// dlisLit implements Dynamic Largest Individual Sum: the unassigned
+// literal occurring in the largest number of unresolved clauses.
+func (s *Solver) dlisLit() cnf.Lit {
+	best := cnf.LitUndef
+	bestCount := -1
+	for v := cnf.Var(1); int(v) <= s.NumVars(); v++ {
+		if s.assigns[v] != cnf.Undef {
+			continue
+		}
+		for _, l := range []cnf.Lit{cnf.PosLit(v), cnf.NegLit(v)} {
+			count := 0
+			for _, c := range s.occList[l.Index()] {
+				if c.deleted {
+					continue
+				}
+				resolved := false
+				for _, m := range c.lits {
+					if s.LitValue(m) == cnf.True {
+						resolved = true
+						break
+					}
+				}
+				if !resolved {
+					count++
+				}
+			}
+			if count > bestCount {
+				bestCount = count
+				best = l
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,414 @@
+package solver
+
+import (
+	"math/rand"
+
+	"repro/internal/cnf"
+)
+
+// clause is the internal representation of an (original or recorded)
+// clause. The literal at index 0 is the one the clause asserted when it
+// acted as an antecedent; watched literals are always at indices 0 and 1.
+type clause struct {
+	lits    []cnf.Lit
+	act     float64
+	learnt  bool
+	temp    bool // discard when its asserted literal is erased (NoLearning)
+	deleted bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker cnf.Lit
+}
+
+// Theory is the hook through which a structural layer (the circuit-SAT
+// layer of paper §5) observes the search. Value consistency remains the
+// SAT engine's job; the theory maintains justification state and may
+// terminate the search early or suggest decisions (backtracing).
+type Theory interface {
+	// OnAssign is invoked after the literal l becomes true on the trail.
+	OnAssign(l cnf.Lit)
+	// OnUnassign is invoked when the assignment to l is erased.
+	OnUnassign(l cnf.Lit)
+	// Done reports whether the current (possibly partial) assignment
+	// already establishes satisfiability for the theory's purposes
+	// (e.g. an empty justification frontier).
+	Done() bool
+	// Suggest returns the next decision literal, or LitUndef to defer to
+	// the solver's heuristic.
+	Suggest() cnf.Lit
+}
+
+// Solver is an incremental CDCL SAT solver. Create one with New, add
+// clauses with AddClause, then call Solve (optionally with assumption
+// literals). The solver may be reused across Solve calls, with more
+// variables and clauses added in between (§6: iterative/incremental use).
+type Solver struct {
+	opts Options
+	rng  *rand.Rand
+
+	// Problem state.
+	clauses []*clause // original problem clauses
+	learnts []*clause // recorded (conflict) clauses
+	watches [][]watcher
+	occList [][]*clause // static occurrence lists (DLIS only), by lit index
+
+	// Assignment state, indexed by variable.
+	assigns  []cnf.LBool
+	level    []int32
+	reason   []*clause
+	phase    []bool // saved polarity
+	activity []float64
+	seen     []byte
+
+	trail    []cnf.Lit
+	trailLim []int
+	qhead    int
+
+	// Heuristic state.
+	order    *varHeap
+	varInc   float64
+	claInc   float64
+	dlisOcc  bool
+	maxLearn float64
+
+	// Assumption handling.
+	assumptions []cnf.Lit
+	conflictSet []cnf.Lit // final conflict core over assumptions
+
+	ok      bool // false once the clause set is trivially unsat
+	theory  Theory
+	partial bool           // last model is partial (theory early stop)
+	model   cnf.Assignment // satisfying assignment copied at Sat time
+
+	startConflicts int64 // per-Solve budget baselines
+	startDecisions int64
+
+	proofLog *Proof // recorded conflict clauses (Options.LogProof)
+
+	// Scratch buffers for analyze.
+	analyzeStack []cnf.Lit
+	analyzeToClr []cnf.Lit
+
+	Stats Stats
+}
+
+// New creates a solver over n variables with the given options.
+func New(n int, opts Options) *Solver {
+	s := &Solver{
+		opts:   opts.withDefaults(),
+		varInc: 1.0,
+		claInc: 1.0,
+		ok:     true,
+	}
+	s.rng = rand.New(rand.NewSource(s.opts.Seed))
+	s.order = newVarHeap(&s.activity)
+	if s.opts.LogProof {
+		s.proofLog = &Proof{}
+	}
+	s.growTo(n)
+	return s
+}
+
+// FromFormula creates a solver loaded with all clauses of f.
+func FromFormula(f *cnf.Formula, opts Options) *Solver {
+	s := New(f.NumVars(), opts)
+	for _, c := range f.Clauses {
+		s.AddClause(c)
+	}
+	return s
+}
+
+// NumVars returns the number of variables known to the solver.
+func (s *Solver) NumVars() int { return len(s.assigns) - 1 }
+
+// NewVar adds a fresh variable and returns it.
+func (s *Solver) NewVar() cnf.Var {
+	s.growTo(s.NumVars() + 1)
+	return cnf.Var(s.NumVars())
+}
+
+func (s *Solver) growTo(n int) {
+	for len(s.assigns) < n+1 {
+		s.assigns = append(s.assigns, cnf.Undef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.phase = append(s.phase, false)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, 0)
+		s.watches = append(s.watches, nil, nil)
+		v := cnf.Var(len(s.assigns) - 1)
+		if v >= 1 {
+			s.order.push(v)
+		}
+	}
+	for len(s.watches) < 2*(n+1) {
+		s.watches = append(s.watches, nil)
+	}
+}
+
+// SetTheory installs a structural theory layer. It must be installed
+// before the first Solve call and before any assignments exist.
+func (s *Solver) SetTheory(t Theory) { s.theory = t }
+
+// Okay reports whether the clause database is still possibly satisfiable
+// (false after a top-level contradiction was added).
+func (s *Solver) Okay() bool { return s.ok }
+
+// Value returns the current/model value of variable v.
+func (s *Solver) Value(v cnf.Var) cnf.LBool { return s.assigns[v] }
+
+// LitValue returns the current/model value of literal l.
+func (s *Solver) LitValue(l cnf.Lit) cnf.LBool {
+	v := s.assigns[l.Var()]
+	if l.IsNeg() {
+		return v.Not()
+	}
+	return v
+}
+
+// Model returns a copy of the satisfying assignment captured by the last
+// Sat result (nil if the last Solve was not Sat). When a theory stopped
+// the search early the model may be partial (contain Undef entries):
+// exactly the non-overspecified patterns of §5.
+func (s *Solver) Model() cnf.Assignment {
+	if s.model == nil {
+		return nil
+	}
+	return s.model.Clone()
+}
+
+// PartialModel reports whether the last Sat model was partial.
+func (s *Solver) PartialModel() bool { return s.partial }
+
+// Core returns the subset of the assumption literals proven jointly
+// inconsistent by the last Unsat answer (the "conflict core").
+func (s *Solver) Core() []cnf.Lit {
+	out := make([]cnf.Lit, len(s.conflictSet))
+	copy(out, s.conflictSet)
+	return out
+}
+
+// decisionLevel returns the current decision level d of Figure 2.
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause at decision level 0. It returns false if the
+// clause makes the database trivially unsatisfiable. Any in-progress
+// assignment above level 0 (left over from the previous Solve) is erased.
+func (s *Solver) AddClause(lits cnf.Clause) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	if mv := int(lits.MaxVar()); mv > s.NumVars() {
+		s.growTo(mv)
+	}
+	norm, taut := lits.Normalize()
+	if taut {
+		return true
+	}
+	// Simplify against top-level assignments.
+	out := norm[:0]
+	for _, l := range norm {
+		switch s.LitValue(l) {
+		case cnf.True:
+			if s.level[l.Var()] == 0 {
+				return true // already satisfied forever
+			}
+			out = append(out, l)
+		case cnf.False:
+			if s.level[l.Var()] == 0 {
+				continue // permanently false literal
+			}
+			out = append(out, l)
+		default:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if s.LitValue(out[0]) == cnf.False {
+			s.ok = false
+			return false
+		}
+		if s.LitValue(out[0]) == cnf.Undef {
+			s.uncheckedEnqueue(out[0], nil)
+			if s.propagate() != nil {
+				s.ok = false
+				return false
+			}
+		}
+		return true
+	}
+	c := &clause{lits: append([]cnf.Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	if s.dlisOcc {
+		for _, l := range c.lits {
+			s.occList[l.Index()] = append(s.occList[l.Index()], c)
+		}
+	}
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Not().Index()] = append(s.watches[c.lits[0].Not().Index()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not().Index()] = append(s.watches[c.lits[1].Not().Index()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].Not(), c)
+	s.removeWatch(c.lits[1].Not(), c)
+}
+
+func (s *Solver) removeWatch(l cnf.Lit, c *clause) {
+	ws := s.watches[l.Index()]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[l.Index()] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+// uncheckedEnqueue places l on the trail as true with the given
+// antecedent (nil for decisions and top-level facts).
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = cnf.FromBool(!l.IsNeg())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	if s.theory != nil {
+		s.theory.OnAssign(l)
+	}
+}
+
+// propagate is the Deduce() function of Figure 2: it performs Boolean
+// constraint propagation from the current queue head and returns the
+// conflicting clause, or nil if no clause became unsatisfied.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[p.Index()]
+		s.Stats.Propagations++
+		i, j := 0, 0
+		var confl *clause
+	watchLoop:
+		for i < len(ws) {
+			w := ws[i]
+			if w.c.deleted {
+				i++
+				continue // drop lazily
+			}
+			if s.LitValue(w.blocker) == cnf.True {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is at index 1.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.LitValue(first) == cnf.True {
+				ws[j] = watcher{c, first}
+				i++
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.LitValue(c.lits[k]) != cnf.False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not().Index()] = append(s.watches[c.lits[1].Not().Index()], watcher{c, first})
+					i++
+					continue watchLoop
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			i++
+			j++
+			if s.LitValue(first) == cnf.False {
+				confl = c
+				s.qhead = len(s.trail)
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		for ; i < len(ws); i++ {
+			ws[j] = ws[i]
+			j++
+		}
+		s.watches[p.Index()] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// cancelUntil is the Erase() function of Figure 2: it undoes all
+// assignments above the given decision level.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if !s.opts.NoPhaseSaving {
+			s.phase[v] = !l.IsNeg()
+		}
+		if r := s.reason[v]; r != nil && r.temp && !r.deleted {
+			// NoLearning: the recorded clause dies with its assignment.
+			// Temp clauses are never attached to watch lists, so marking
+			// suffices; the GC reclaims them once the reason is cleared.
+			r.deleted = true
+		}
+		s.assigns[v] = cnf.Undef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+		if s.theory != nil {
+			s.theory.OnUnassign(l)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayClause() { s.claInc /= s.opts.ClauseDecay }

@@ -1,0 +1,189 @@
+// Package xtalk implements SAT-based crosstalk noise analysis (paper §3;
+// [Chen & Keutzer, "Towards True Crosstalk Noise Analysis"]). A victim
+// net suffers worst-case coupling noise when its capacitively-coupled
+// aggressor nets switch simultaneously in the same direction while the
+// victim itself is quiet. Electrical estimators that assume all
+// aggressors can align are pessimistic: logic constraints may make the
+// alignment impossible. The "true" analysis asks SAT, over a two-vector
+// (two time frame) circuit model, for the maximum total coupling weight
+// of aggressors that can really switch together under some input pair —
+// exactly the kind of validity question the paper's §3 lists.
+package xtalk
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/cover"
+	"repro/internal/solver"
+)
+
+// Coupling describes the parasitic neighbourhood of one victim net.
+type Coupling struct {
+	// Victim is the quiet net.
+	Victim circuit.NodeID
+	// Aggressors are the coupled nets.
+	Aggressors []circuit.NodeID
+	// Weights holds per-aggressor coupling weights (nil = unit). The
+	// noise metric is the sum of weights of aligned switching
+	// aggressors.
+	Weights []int
+}
+
+// Options configures the analysis.
+type Options struct {
+	MaxConflicts int64
+	Solver       solver.Options
+}
+
+// Result reports the worst feasible aligned noise.
+type Result struct {
+	// MaxNoise is the maximum achievable total weight of aggressors
+	// switching in one direction while the victim is stable.
+	MaxNoise int
+	// Pessimistic is the structural upper bound (sum of all weights) an
+	// electrical tool would assume without logic information.
+	Pessimistic int
+	// Feasible is false when even a single aggressor cannot switch with
+	// the victim quiet.
+	Feasible bool
+	// Optimal is true when MaxNoise was proven maximal.
+	Optimal bool
+	// V1, V2 is a witness input pair achieving MaxNoise.
+	V1, V2 []bool
+	// Rising is true if the witness aligns rising transitions.
+	Rising   bool
+	SATCalls int
+}
+
+// MaxAlignedNoise computes the worst-case feasible aligned aggressor
+// noise for the coupling using a two-frame SAT model and an
+// incrementally tightened cardinality bound.
+func MaxAlignedNoise(c *circuit.Circuit, cp Coupling, opts Options) *Result {
+	res := &Result{}
+	for i := range cp.Aggressors {
+		w := 1
+		if cp.Weights != nil {
+			w = cp.Weights[i]
+		}
+		res.Pessimistic += w
+	}
+
+	f := cnf.New(0)
+	enc1 := circuit.EncodeInto(f, c) // frame 1 (V1)
+	enc2 := circuit.EncodeInto(f, c) // frame 2 (V2)
+
+	// Victim quiet: same value in both frames.
+	v1, v2 := enc1.VarOf[cp.Victim], enc2.VarOf[cp.Victim]
+	f.Add(cnf.NegLit(v1), cnf.PosLit(v2))
+	f.Add(cnf.PosLit(v1), cnf.NegLit(v2))
+
+	// Global direction selector d: true = rising alignment.
+	d := f.NewVar()
+
+	// switch_i = (d ∧ rise_i) ∨ (¬d ∧ fall_i) where rise = ¬a1 ∧ a2.
+	switchLits := make([]cnf.Lit, len(cp.Aggressors))
+	for i, ag := range cp.Aggressors {
+		a1, a2 := enc1.VarOf[ag], enc2.VarOf[ag]
+		rise := f.NewVar() // rise ≡ ¬a1 ∧ a2
+		circuit.AppendGateCNF(f, circuit.Nor, rise, []cnf.Var{a1, negVar(f, a2)})
+		fall := f.NewVar() // fall ≡ a1 ∧ ¬a2
+		circuit.AppendGateCNF(f, circuit.Nor, fall, []cnf.Var{negVar(f, a1), a2})
+		selRise := f.NewVar()
+		circuit.AppendGateCNF(f, circuit.And, selRise, []cnf.Var{d, rise})
+		selFall := f.NewVar()
+		circuit.AppendGateCNF(f, circuit.And, selFall, []cnf.Var{negVar(f, d), fall})
+		sw := f.NewVar()
+		circuit.AppendGateCNF(f, circuit.Or, sw, []cnf.Var{selRise, selFall})
+		switchLits[i] = cnf.PosLit(sw)
+	}
+
+	tot := cover.BuildTotalizer(f, cover.WeightedLits(switchLits, cp.Weights))
+
+	sopts := opts.Solver
+	sopts.MaxConflicts = opts.MaxConflicts
+	s := solver.FromFormula(f, sopts)
+
+	// SAT-improve loop: require strictly more aligned weight each round.
+	for {
+		res.SATCalls++
+		switch s.Solve() {
+		case solver.Sat:
+			m := s.Model()
+			k := 0
+			for i, sl := range switchLits {
+				if m.LitValue(sl) == cnf.True {
+					w := 1
+					if cp.Weights != nil {
+						w = cp.Weights[i]
+					}
+					k += w
+				}
+			}
+			if k > res.MaxNoise || !res.Feasible {
+				res.MaxNoise = k
+				res.Feasible = k > 0
+				res.Rising = m.Value(d) == cnf.True
+				res.V1 = extract(c, enc1, m)
+				res.V2 = extract(c, enc2, m)
+			}
+			if k >= len(tot.Outputs) {
+				res.Optimal = true
+				return res // every unit of weight aligned
+			}
+			// Demand at least k+1 next round.
+			if !s.AddClause(cnf.Clause{cnf.PosLit(tot.Outputs[k])}) {
+				res.Optimal = true
+				return res
+			}
+		case solver.Unsat:
+			res.Optimal = true
+			return res
+		default:
+			return res // budget exhausted: best-so-far, not optimal
+		}
+	}
+}
+
+// negVar introduces (and caches nothing — callers are small) a variable
+// equal to the complement of v.
+func negVar(f *cnf.Formula, v cnf.Var) cnf.Var {
+	n := f.NewVar()
+	circuit.AppendGateCNF(f, circuit.Not, n, []cnf.Var{v})
+	return n
+}
+
+func extract(c *circuit.Circuit, enc *circuit.Encoding, m cnf.Assignment) []bool {
+	out := make([]bool, len(c.Inputs))
+	for i, id := range c.Inputs {
+		out[i] = m.Value(enc.VarOf[id]) == cnf.True
+	}
+	return out
+}
+
+// VerifyWitness checks by simulation that the witness pair keeps the
+// victim stable and aligns at least `claimed` aggressor weight in one
+// direction.
+func VerifyWitness(c *circuit.Circuit, cp Coupling, res *Result) bool {
+	if !res.Feasible {
+		return true
+	}
+	s1 := c.SimulateBool(res.V1)
+	s2 := c.SimulateBool(res.V2)
+	if s1[cp.Victim] != s2[cp.Victim] {
+		return false
+	}
+	aligned := 0
+	for i, ag := range cp.Aggressors {
+		rise := !s1[ag] && s2[ag]
+		fall := s1[ag] && !s2[ag]
+		hit := (res.Rising && rise) || (!res.Rising && fall)
+		if hit {
+			w := 1
+			if cp.Weights != nil {
+				w = cp.Weights[i]
+			}
+			aligned += w
+		}
+	}
+	return aligned >= res.MaxNoise
+}

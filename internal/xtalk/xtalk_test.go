@@ -1,0 +1,141 @@
+package xtalk
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestIndependentAggressorsAllAlign(t *testing.T) {
+	// Independent nets: every aggressor can switch while the victim
+	// (a separate input) stays quiet — feasible noise = pessimistic.
+	c := circuit.New()
+	v := c.AddInput("victim")
+	a1 := c.AddInput("a1")
+	a2 := c.AddInput("a2")
+	a3 := c.AddInput("a3")
+	o := c.AddGate(circuit.And, "o", v, a1, a2, a3)
+	c.MarkOutput(o)
+	cp := Coupling{Victim: v, Aggressors: []circuit.NodeID{a1, a2, a3}}
+	res := MaxAlignedNoise(c, cp, Options{})
+	if !res.Optimal || res.MaxNoise != 3 {
+		t.Fatalf("independent aggressors: max=%d optimal=%v, want 3", res.MaxNoise, res.Optimal)
+	}
+	if res.Pessimistic != 3 {
+		t.Fatalf("pessimistic = %d", res.Pessimistic)
+	}
+	if !VerifyWitness(c, cp, res) {
+		t.Fatal("witness fails simulation")
+	}
+}
+
+func TestLogicallyConstrainedAlignment(t *testing.T) {
+	// Aggressors are x and NOT x: they can never switch in the SAME
+	// direction, so true max aligned noise is 1, though the pessimistic
+	// bound is 2 — the headline claim of "true" crosstalk analysis.
+	c := circuit.New()
+	v := c.AddInput("victim")
+	x := c.AddInput("x")
+	nx := c.AddGate(circuit.Not, "nx", x)
+	o := c.AddGate(circuit.And, "o", v, nx)
+	c.MarkOutput(o)
+	cp := Coupling{Victim: v, Aggressors: []circuit.NodeID{x, nx}}
+	res := MaxAlignedNoise(c, cp, Options{})
+	if !res.Optimal {
+		t.Fatal("must prove optimality")
+	}
+	if res.MaxNoise != 1 {
+		t.Fatalf("complementary aggressors: max=%d, want 1", res.MaxNoise)
+	}
+	if res.Pessimistic != 2 {
+		t.Fatalf("pessimistic = %d, want 2", res.Pessimistic)
+	}
+	if !VerifyWitness(c, cp, res) {
+		t.Fatal("witness fails simulation")
+	}
+}
+
+func TestVictimStabilityConstrains(t *testing.T) {
+	// Aggressor IS the victim's only input (buffer): it can never
+	// switch while the victim is quiet → max noise 0.
+	c := circuit.New()
+	x := c.AddInput("x")
+	vict := c.AddGate(circuit.Buf, "v", x)
+	c.MarkOutput(vict)
+	cp := Coupling{Victim: vict, Aggressors: []circuit.NodeID{x}}
+	res := MaxAlignedNoise(c, cp, Options{})
+	if res.MaxNoise != 0 || res.Feasible {
+		t.Fatalf("aggressor driving the victim cannot align: %+v", res)
+	}
+}
+
+func TestWeightedAggressors(t *testing.T) {
+	// Weighted case: x (weight 5) and NOT x (weight 1): best single
+	// direction picks the heavy aggressor → 5.
+	c := circuit.New()
+	v := c.AddInput("victim")
+	x := c.AddInput("x")
+	nx := c.AddGate(circuit.Not, "nx", x)
+	o := c.AddGate(circuit.Or, "o", v, nx)
+	c.MarkOutput(o)
+	cp := Coupling{
+		Victim:     v,
+		Aggressors: []circuit.NodeID{x, nx},
+		Weights:    []int{5, 1},
+	}
+	res := MaxAlignedNoise(c, cp, Options{})
+	if !res.Optimal || res.MaxNoise != 5 {
+		t.Fatalf("weighted max=%d, want 5", res.MaxNoise)
+	}
+	if !VerifyWitness(c, cp, res) {
+		t.Fatal("witness fails simulation")
+	}
+}
+
+func TestInternalNetsAsAggressors(t *testing.T) {
+	// Aggressors deep in the logic: y1 = AND(a,b), y2 = OR(a,b). Both
+	// can rise together (a: 0→1 with b=0→1). Victim c is independent.
+	c := circuit.New()
+	vin := c.AddInput("vin")
+	a := c.AddInput("a")
+	b := c.AddInput("b")
+	y1 := c.AddGate(circuit.And, "y1", a, b)
+	y2 := c.AddGate(circuit.Or, "y2", a, b)
+	vict := c.AddGate(circuit.Buf, "vict", vin)
+	c.MarkOutput(y1)
+	c.MarkOutput(y2)
+	c.MarkOutput(vict)
+	cp := Coupling{Victim: vict, Aggressors: []circuit.NodeID{y1, y2}}
+	res := MaxAlignedNoise(c, cp, Options{})
+	if !res.Optimal || res.MaxNoise != 2 {
+		t.Fatalf("internal aggressors: max=%d, want 2", res.MaxNoise)
+	}
+	if !VerifyWitness(c, cp, res) {
+		t.Fatal("witness fails simulation")
+	}
+}
+
+func TestExclusiveInternalAggressors(t *testing.T) {
+	// Mux outputs with one select: d0∧¬s and d1∧s cannot both be 1, and
+	// cannot both RISE simultaneously (one requires s to fall, the
+	// other to rise... with shared data they are exclusive). Aggressors
+	// y1 = AND(d, NOT s), y2 = AND(d, s): with d constant 1, y1 = ¬s,
+	// y2 = s: complementary → max aligned 1 of 2.
+	c := circuit.New()
+	vin := c.AddInput("vin")
+	d := c.AddConst(true, "d1c")
+	s := c.AddInput("s")
+	ns := c.AddGate(circuit.Not, "ns", s)
+	y1 := c.AddGate(circuit.And, "y1", d, ns)
+	y2 := c.AddGate(circuit.And, "y2", d, s)
+	vict := c.AddGate(circuit.Buf, "vict", vin)
+	c.MarkOutput(y1)
+	c.MarkOutput(y2)
+	c.MarkOutput(vict)
+	cp := Coupling{Victim: vict, Aggressors: []circuit.NodeID{y1, y2}}
+	res := MaxAlignedNoise(c, cp, Options{})
+	if !res.Optimal || res.MaxNoise != 1 {
+		t.Fatalf("exclusive aggressors: max=%d, want 1 (pessimistic %d)",
+			res.MaxNoise, res.Pessimistic)
+	}
+}

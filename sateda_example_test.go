@@ -1,0 +1,45 @@
+package sateda_test
+
+import (
+	"fmt"
+
+	sateda "repro"
+	"repro/internal/cec"
+)
+
+// The basic CNF workflow: build, solve, read the model.
+func ExampleNewSolver() {
+	f := sateda.NewFormula(3)
+	f.AddDIMACS(1, 2)  // x1 ∨ x2
+	f.AddDIMACS(-1, 3) // ¬x1 ∨ x3
+	f.AddDIMACS(-2)    // ¬x2
+	s := sateda.NewSolver(f, sateda.SolverOptions{})
+	fmt.Println(s.Solve())
+	fmt.Println("x1:", s.Value(1))
+	// Output:
+	// SATISFIABLE
+	// x1: 1
+}
+
+// Proving two circuits equivalent through the facade.
+func ExampleCheckEquivalence() {
+	a := sateda.RippleAdder(3)
+	b := sateda.RippleAdder(3)
+	res, err := sateda.CheckEquivalence(a, b, cec.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("equivalent:", res.Equivalent)
+	// Output:
+	// equivalent: true
+}
+
+// Solving a circuit property with the paper's Figure 2 pipeline.
+func ExampleSolvePipeline() {
+	c := sateda.C17()
+	f, _ := sateda.EncodeProperty(c, c.Outputs[0], true)
+	ans := sateda.SolvePipeline(f, sateda.PipelineOptions{EquivalencyReasoning: true})
+	fmt.Println(ans.Status)
+	// Output:
+	// SATISFIABLE
+}

@@ -1,0 +1,88 @@
+package sateda
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dpll"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+// TestSoakSolverConfigs cross-checks every solver configuration against
+// the independent DPLL implementation on many medium instances (too big
+// for brute force, small enough for DPLL).
+func TestSoakSolverConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	configs := map[string]solver.Options{
+		"default":    {},
+		"chrono":     {Chronological: true},
+		"nolearn":    {NoLearning: true},
+		"relevance":  {Deletion: solver.DeleteByRelevance, RelevanceBound: 2, MaxLearnts: 10},
+		"restarts":   {Restart: solver.RestartLuby, RestartBase: 4, RandomFreq: 0.2, Seed: 5},
+		"dlis":       {Decide: solver.DecideDLIS},
+		"proof":      {LogProof: true},
+		"tiny-db":    {MaxLearnts: 1},
+		"nominimize": {NoMinimize: true},
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		f := gen.RandomKSAT(18, 76, 3, seed) // near threshold, mixed phase
+		ref := dpll.Solve(f, dpll.Options{})
+		for name, opt := range configs {
+			s := solver.FromFormula(f, opt)
+			st := s.Solve()
+			if (st == solver.Sat) != ref.Sat {
+				t.Fatalf("seed %d config %s: %v vs dpll %v", seed, name, st, ref.Sat)
+			}
+			if st == solver.Sat {
+				if err := solver.VerifyModel(f, s.Model()); err != nil {
+					t.Fatalf("seed %d config %s: %v", seed, name, err)
+				}
+			} else if opt.LogProof {
+				if err := solver.VerifyUnsat(f, s.Proof()); err != nil {
+					t.Fatalf("seed %d config %s: proof rejected: %v", seed, name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakPipelineOnStructured runs the full pipeline over structured
+// families where verdicts are known analytically.
+func TestSoakPipelineOnStructured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	type wl struct {
+		f    *cnf.Formula
+		sat  bool
+		name string
+	}
+	var workloads []wl
+	for n := 3; n <= 6; n++ {
+		workloads = append(workloads, wl{gen.Pigeonhole(n), false, "php"})
+	}
+	for n := 8; n <= 24; n += 4 {
+		workloads = append(workloads, wl{gen.XorChain(n, true, int64(n)), false, "xorU"})
+		workloads = append(workloads, wl{gen.XorChain(n, false, int64(n)), true, "xorS"})
+	}
+	workloads = append(workloads, wl{gen.Queens(8), true, "queens"})
+	for _, w := range workloads {
+		s := solver.FromFormula(w.f, solver.Options{LogProof: true})
+		st := s.Solve()
+		if (st == solver.Sat) != w.sat {
+			t.Fatalf("%s: got %v want sat=%v", w.name, st, w.sat)
+		}
+		if st == solver.Sat {
+			if err := solver.VerifyModel(w.f, s.Model()); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := solver.VerifyUnsat(w.f, s.Proof()); err != nil {
+				t.Fatalf("%s: %v", w.name, err)
+			}
+		}
+	}
+}
