@@ -10,6 +10,7 @@
 package sateda
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/hwsat"
 	"repro/internal/localsearch"
+	"repro/internal/portfolio"
 	"repro/internal/preprocess"
 	"repro/internal/reclearn"
 	"repro/internal/redund"
@@ -872,4 +874,44 @@ func BenchmarkE30_Preprocessing(b *testing.B) {
 		b.ReportMetric(float64(clauses), "clauses")
 		b.ReportMetric(float64(elim+subst), "varsRemoved")
 	})
+}
+
+// E31 (portfolio, this repo's parallel subsystem): wall-clock of 1, 2
+// and 4 diversified workers racing with clause sharing. Two instance
+// classes: a hard satisfiable random 3-SAT instance where the base
+// configuration is unlucky and recipe diversity pays even when workers
+// time-slice a single core (the §6 variance argument), and a pigeonhole
+// proof where sharing feeds every worker the same lemmas (UNSAT
+// cooperation; on a single-CPU host the extra workers cost more than
+// they save here — the metric to watch across BENCH captures as cores
+// grow).
+func BenchmarkE31_Portfolio(b *testing.B) {
+	instances := []struct {
+		name string
+		f    *cnf.Formula
+	}{
+		{"rand220sat", gen.Random3SATHard(220, 5)},
+		{"php8", gen.Pigeonhole(8)},
+	}
+	for _, inst := range instances {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers%d", inst.name, workers), func(b *testing.B) {
+				var res *portfolio.Result
+				for i := 0; i < b.N; i++ {
+					res = portfolio.Solve(context.Background(), inst.f,
+						portfolio.Options{Workers: workers})
+					if res.Status == solver.Unknown {
+						b.Fatal("portfolio must decide")
+					}
+				}
+				var conflicts int64
+				for _, w := range res.Workers {
+					conflicts += w.Stats.Conflicts
+				}
+				b.ReportMetric(float64(conflicts), "conflicts")
+				b.ReportMetric(float64(res.SharedExported), "sharedClauses")
+				b.ReportMetric(float64(res.Winner), "winnerID")
+			})
+		}
+	}
 }

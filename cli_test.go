@@ -91,6 +91,36 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("local search on UNSAT should be UNKNOWN, got %d", code)
 	}
 
+	// Portfolio mode: same verdicts, and -stats reports the parallel run.
+	out, code = run(t, satsolve, php, "-workers", "4", "-stats")
+	if code != 20 || !strings.Contains(out, "s UNSATISFIABLE") {
+		t.Fatalf("portfolio UNSAT: code %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "c portfolio workers 4") || !strings.Contains(out, "recipe") {
+		t.Fatalf("-workers -stats missing portfolio report:\n%s", out)
+	}
+	out, code = run(t, satsolve, queens, "-workers", "0", "-share=false")
+	if code != 10 || !strings.Contains(out, "s SATISFIABLE") {
+		t.Fatalf("portfolio SAT: code %d\n%s", code, out)
+	}
+
+	// Wall-clock timeout: a hard instance must give up with s UNKNOWN
+	// and the distinct exit code 40.
+	hard, _ := run(t, cnfgen, "", "-family", "php", "-n", "11")
+	out, code = run(t, satsolve, hard, "-timeout", "100ms")
+	if code != 40 || !strings.Contains(out, "s UNKNOWN") {
+		t.Fatalf("timeout: code %d (want 40)\n%s", code, out)
+	}
+	// The same budget must also interrupt a portfolio run.
+	out, code = run(t, satsolve, hard, "-timeout", "100ms", "-workers", "4")
+	if code != 40 || !strings.Contains(out, "s UNKNOWN") {
+		t.Fatalf("portfolio timeout: code %d (want 40)\n%s", code, out)
+	}
+	// A generous timeout must not perturb an easy answer.
+	if _, code = run(t, satsolve, php, "-timeout", "1m"); code != 20 {
+		t.Fatalf("easy instance under timeout: code %d (want 20)", code)
+	}
+
 	// ATPG on a generated adder.
 	adder, _ := run(t, cnfgen, "", "-family", "adder", "-n", "4")
 	benchFile := filepath.Join(dir, "adder.bench")

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/cnf"
 	"repro/internal/core"
@@ -38,6 +40,9 @@ func main() {
 		reclearn  = flag.Int("reclearn", 0, "recursive learning depth (0 = off)")
 		local     = flag.Bool("local-search", false, "use WalkSAT (incomplete)")
 		maxConfl  = flag.Int64("max-conflicts", 0, "conflict budget (0 = unlimited)")
+		workers   = flag.Int("workers", 1, "portfolio workers racing in parallel (0 = all CPUs, 1 = sequential)")
+		share     = flag.Bool("share", true, "share short learned clauses between portfolio workers")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget, e.g. 10s (0 = none); exhaustion exits 40 with s UNKNOWN")
 		stats     = flag.Bool("stats", false, "print search statistics")
 		quiet     = flag.Bool("q", false, "suppress model output")
 	)
@@ -105,8 +110,25 @@ func main() {
 		opts.Engine = core.EngineLocalSearch
 		opts.LocalSearch.Seed = *seed
 	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *workers > 1 {
+		if *local {
+			fmt.Fprintln(os.Stderr, "satsolve: -workers applies to the CDCL engine only; ignored with -local-search")
+		}
+		opts.PortfolioWorkers = *workers
+		opts.PortfolioNoShare = !*share
+	}
 
-	ans := core.Solve(formula, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	ans := core.SolveContext(ctx, formula, opts)
 	if *stats {
 		if ans.Pre != nil {
 			fmt.Printf("c preprocess: %+v\n", *ans.Pre)
@@ -118,6 +140,14 @@ func main() {
 			s := ans.SolverStats
 			fmt.Printf("c decisions %d conflicts %d propagations %d learned %d deleted %d restarts %d maxjump %d\n",
 				s.Decisions, s.Conflicts, s.Propagations, s.Learned, s.Deleted, s.Restarts, s.MaxJump)
+		}
+		if p := ans.Portfolio; p != nil {
+			fmt.Printf("c portfolio workers %d winner %d recipe %s shared %d\n",
+				len(p.Workers), p.Winner, p.Recipe, p.SharedExported)
+			for _, w := range p.Workers {
+				fmt.Printf("c   worker %d %-12s %-13s conflicts %d imported %d exported %d\n",
+					w.ID, w.Recipe, w.Status, w.Stats.Conflicts, w.Stats.Imported, w.Stats.Exported)
+			}
 		}
 	}
 	switch ans.Status {
@@ -139,6 +169,9 @@ func main() {
 		os.Exit(20)
 	default:
 		fmt.Println("s UNKNOWN")
+		if ctx.Err() == context.DeadlineExceeded {
+			os.Exit(40) // wall-clock budget exhausted (distinct from exit 30)
+		}
 		os.Exit(30)
 	}
 	os.Exit(10)

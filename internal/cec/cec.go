@@ -13,12 +13,14 @@
 package cec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/portfolio"
 	"repro/internal/solver"
 )
 
@@ -36,6 +38,12 @@ type Options struct {
 	SimWords int
 	// MaxConflicts bounds each SAT query (0 = unlimited).
 	MaxConflicts int64
+	// PortfolioWorkers, when greater than 1, decides the miter with a
+	// parallel portfolio of diversified solvers instead of a single
+	// sequential one — the right choice for large hard miters. Applies
+	// to the monolithic check (the Internal engine's many incremental
+	// queries stay sequential).
+	PortfolioWorkers int
 	// Solver carries base solver options.
 	Solver solver.Options
 	// Seed drives random simulation.
@@ -146,8 +154,27 @@ func checkPlain(a, b *circuit.Circuit, opts Options) (*Result, error) {
 	f, enc := circuit.EncodeProperty(m, out, true)
 	sopts := opts.Solver
 	sopts.MaxConflicts = opts.MaxConflicts
-	s := solver.FromFormula(f, sopts)
 	res := &Result{SATCalls: 1}
+	if opts.PortfolioWorkers > 1 {
+		pres := portfolio.Solve(context.Background(), f, portfolio.Options{
+			Workers: opts.PortfolioWorkers,
+			Base:    sopts,
+			Seed:    opts.Seed,
+		})
+		switch pres.Status {
+		case solver.Unsat:
+			res.Equivalent = true
+			res.Decided = true
+		case solver.Sat:
+			res.Decided = true
+			res.Counterexample = extractInputs(m, enc, pres.Model)
+		}
+		for _, w := range pres.Workers {
+			res.Conflicts += w.Stats.Conflicts
+		}
+		return res, nil
+	}
+	s := solver.FromFormula(f, sopts)
 	switch s.Solve() {
 	case solver.Unsat:
 		res.Equivalent = true

@@ -213,3 +213,29 @@ func TestStrashModeCEC(t *testing.T) {
 		t.Fatal("strash-mode counterexample invalid")
 	}
 }
+
+// TestPortfolioModeCEC: a portfolio of diversified workers on the miter
+// agrees with the sequential engine in both directions, and portfolio
+// counterexamples still distinguish the circuits.
+func TestPortfolioModeCEC(t *testing.T) {
+	a := circuit.RippleCarryAdder(6)
+	b := optimizedAdder(6)
+	res, err := Check(a, b, Options{PortfolioWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || !res.Equivalent {
+		t.Fatalf("portfolio must prove the adders equivalent: %+v", res)
+	}
+	m := mutate(a)
+	res, err = Check(a, m, Options{PortfolioWorkers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || res.Equivalent {
+		t.Fatal("portfolio must detect the mutant")
+	}
+	if !VerifyCounterexample(a, m, res.Counterexample) {
+		t.Fatal("portfolio counterexample does not distinguish")
+	}
+}

@@ -8,8 +8,11 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/cnf"
 	"repro/internal/localsearch"
+	"repro/internal/portfolio"
 	"repro/internal/preprocess"
 	"repro/internal/reclearn"
 	"repro/internal/solver"
@@ -42,6 +45,14 @@ type Options struct {
 	Solver solver.Options
 	// LocalSearch carries WalkSAT options.
 	LocalSearch localsearch.Options
+	// PortfolioWorkers, when greater than 1 (or 0 with PortfolioAuto
+	// semantics left to the caller), routes the CDCL search stage
+	// through a parallel portfolio of that many diversified workers
+	// racing on goroutines. 0 or 1 keeps the sequential solver.
+	PortfolioWorkers int
+	// PortfolioNoShare disables learned-clause exchange between
+	// portfolio workers.
+	PortfolioNoShare bool
 }
 
 // Answer is a pipeline verdict.
@@ -53,12 +64,23 @@ type Answer struct {
 	// Preprocessing / learning statistics, when the stages ran.
 	Pre   *preprocess.Stats
 	Learn *reclearn.Stats
-	// SolverStats is populated when the CDCL engine ran.
+	// SolverStats is populated when the CDCL engine ran (the winning
+	// worker's statistics when a portfolio ran).
 	SolverStats *solver.Stats
+	// Portfolio reports the full parallel run when PortfolioWorkers > 1.
+	Portfolio *portfolio.Result
 }
 
 // Solve runs the configured pipeline on f.
 func Solve(f *cnf.Formula, opts Options) *Answer {
+	return SolveContext(context.Background(), f, opts)
+}
+
+// SolveContext runs the configured pipeline on f under ctx: cancelling
+// the context interrupts the search stage (sequential or portfolio),
+// which then reports Unknown. Preprocessing and recursive learning are
+// not interruptible; they are cheap relative to search.
+func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 	ans := &Answer{}
 	work := f
 
@@ -98,7 +120,12 @@ func Solve(f *cnf.Formula, opts Options) *Answer {
 
 	switch opts.Engine {
 	case EngineLocalSearch:
-		res := localsearch.Solve(work, opts.LocalSearch)
+		lsOpts := opts.LocalSearch
+		userStop := lsOpts.Stop
+		lsOpts.Stop = func() bool {
+			return ctx.Err() != nil || (userStop != nil && userStop())
+		}
+		res := localsearch.Solve(work, lsOpts)
 		if res.Sat {
 			ans.Status = solver.Sat
 			ans.Model = finishModel(f, pre, res.Model)
@@ -108,8 +135,27 @@ func Solve(f *cnf.Formula, opts Options) *Answer {
 		return ans
 
 	default:
+		if opts.PortfolioWorkers > 1 {
+			res := portfolio.Solve(ctx, work, portfolio.Options{
+				Workers: opts.PortfolioWorkers,
+				NoShare: opts.PortfolioNoShare,
+				Base:    opts.Solver,
+			})
+			ans.Portfolio = res
+			ans.Status = res.Status
+			if res.Winner >= 0 {
+				stats := res.Workers[res.Winner].Stats
+				ans.SolverStats = &stats
+			}
+			if res.Status == solver.Sat {
+				ans.Model = finishModel(f, pre, res.Model)
+			}
+			return ans
+		}
 		s := solver.FromFormula(work, opts.Solver)
+		stopWatch := context.AfterFunc(ctx, s.Interrupt)
 		st := s.Solve()
+		stopWatch()
 		stats := s.Stats
 		ans.SolverStats = &stats
 		ans.Status = st

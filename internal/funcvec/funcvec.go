@@ -200,9 +200,6 @@ func (m *Model) Generate(n int, opts Options) []Vector {
 		sopts.RandomFreq = 0.2
 	}
 	sopts.Seed = opts.Seed
-	if sopts.Restart == solver.RestartNone {
-		sopts.Restart = solver.RestartLuby
-	}
 	s := solver.FromFormula(m.f, sopts)
 	var out []Vector
 	for len(out) < n {

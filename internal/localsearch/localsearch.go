@@ -33,6 +33,10 @@ type Options struct {
 	MaxTries  int     // restarts (0 = 10)
 	Noise     float64 // WalkSAT noise probability (0 = 0.5)
 	Seed      int64
+	// Stop, when non-nil, is polled periodically (every 1024 flips);
+	// returning true abandons the search immediately with Sat=false.
+	// This is how a wall-clock deadline reaches the incomplete engine.
+	Stop func() bool
 }
 
 // Result reports a local search outcome. Local search is incomplete:
@@ -88,6 +92,9 @@ func Solve(f *cnf.Formula, opts Options) Result {
 		res.Tries = try + 1
 		st.randomInit()
 		for flip := 0; flip < opts.MaxFlips; flip++ {
+			if flip&1023 == 0 && opts.Stop != nil && opts.Stop() {
+				return res
+			}
 			if len(st.unsat) == 0 {
 				res.Sat = true
 				res.Model = st.model()

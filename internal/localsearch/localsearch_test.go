@@ -90,3 +90,25 @@ func TestIncrementalCountsConsistent(t *testing.T) {
 		}
 	}
 }
+
+// TestStopHook: a Stop callback returning true abandons the search at
+// the next poll instead of running the full flip budget.
+func TestStopHook(t *testing.T) {
+	f := gen.Pigeonhole(7) // UNSAT: local search would burn the whole budget
+	polls := 0
+	res := Solve(f, Options{
+		Algorithm: WalkSAT,
+		MaxFlips:  1 << 20,
+		MaxTries:  100,
+		Stop:      func() bool { polls++; return polls > 2 },
+	})
+	if res.Sat {
+		t.Fatal("impossible: PHP(7) is UNSAT")
+	}
+	if res.Flips >= 1<<20 {
+		t.Fatalf("search ran %d flips past the stop request", res.Flips)
+	}
+	if polls < 3 {
+		t.Fatalf("stop hook polled only %d times", polls)
+	}
+}

@@ -1,0 +1,108 @@
+package portfolio
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/cnf"
+)
+
+// pool is the lock-guarded learned-clause exchange between workers. It
+// is an append-only log with per-worker read cursors: a worker exports
+// a clause once (deduplicated by a literal-set fingerprint) and every
+// other worker imports it at its next restart boundary. The log is
+// bounded; once full, further exports are counted but dropped, which
+// keeps memory finite without invalidating any cursor.
+type pool struct {
+	mu   sync.Mutex
+	max  int
+	log  []sharedClause
+	seen map[uint64]int // clause fingerprint → index in log
+
+	exported int64 // clauses accepted into the log
+	dropped  int64 // clauses rejected (duplicate or log full)
+}
+
+type sharedClause struct {
+	lits cnf.Clause
+	// origins lists every worker known to hold this clause already (the
+	// first exporter plus any worker whose own export was deduplicated
+	// against it); drain skips them so nobody re-imports a clause it
+	// derived itself.
+	origins []int
+	lbd     int
+}
+
+func newPool(max int) *pool {
+	if max <= 0 {
+		max = 4096
+	}
+	return &pool{max: max, seen: make(map[uint64]int)}
+}
+
+// fingerprint hashes the clause as a literal set (FNV-1a over sorted
+// literals) so permutations of the same clause deduplicate.
+func fingerprint(lits []cnf.Lit) uint64 {
+	sorted := append([]cnf.Lit(nil), lits...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	h := uint64(14695981039346656037)
+	for _, l := range sorted {
+		h ^= uint64(uint32(l))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// add publishes a clause exported by worker origin. The slice is owned
+// by the pool from here on (the solver hands over a fresh copy). The
+// return value reports whether the pool accepts further clauses; false
+// (log full) lets exporters stop paying the per-conflict copy and lock.
+func (p *pool) add(origin int, lits []cnf.Lit, lbd int) bool {
+	fp := fingerprint(lits)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, dup := p.seen[fp]; dup {
+		// This worker derived the clause independently: remember it as
+		// an owner so drain never hands the sibling's copy back to it.
+		sc := &p.log[idx]
+		if !slices.Contains(sc.origins, origin) {
+			sc.origins = append(sc.origins, origin)
+		}
+		p.dropped++
+		return len(p.log) < p.max
+	}
+	if len(p.log) >= p.max {
+		p.dropped++
+		return false
+	}
+	p.seen[fp] = len(p.log)
+	p.log = append(p.log, sharedClause{lits: cnf.Clause(lits), origins: []int{origin}, lbd: lbd})
+	p.exported++
+	return len(p.log) < p.max
+}
+
+// drain returns every clause published since *cursor by workers other
+// than id, advancing the cursor. The returned clause slices are shared
+// and must not be mutated (Solver.injectLearnt copies them).
+func (p *pool) drain(id int, cursor *int) []cnf.Clause {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []cnf.Clause
+	for ; *cursor < len(p.log); *cursor++ {
+		if slices.Contains(p.log[*cursor].origins, id) {
+			continue
+		}
+		out = append(out, p.log[*cursor].lits)
+	}
+	return out
+}
+
+func (p *pool) stats() (exported, dropped int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.exported, p.dropped
+}

@@ -1,0 +1,198 @@
+// Package portfolio races diversified configurations of the CDCL solver
+// over the same formula on separate goroutines, answering with the first
+// definitive verdict (algorithm portfolio parallelism). The paper's §6
+// observation — that restart policy, randomization and decision
+// heuristics dramatically change solver behavior on the same EDA
+// instance — is exactly the variance a portfolio exploits: on SAT
+// instances some lucky configuration finds a model quickly, on UNSAT
+// instances workers cooperate by exchanging short learned clauses
+// through a shared pool, so every worker prunes with lemmas its siblings
+// derived.
+//
+// Typical use:
+//
+//	p := portfolio.New(f, portfolio.Options{Workers: 4})
+//	res := p.Solve(context.Background())
+//	if res.Status == solver.Sat { use(res.Model) }
+//
+// Determinism: worker 0 always runs the base configuration unchanged,
+// so Options{Workers: 1} reproduces the sequential solver bit for bit.
+package portfolio
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// Options configures a Portfolio. The zero value is usable: GOMAXPROCS
+// workers, clause sharing on, default diversification.
+type Options struct {
+	// Workers is the number of racing solver goroutines (0 = GOMAXPROCS,
+	// 1 = the sequential base configuration).
+	Workers int
+
+	// NoShare disables learned-clause exchange between workers.
+	NoShare bool
+
+	// ShareMaxLen / ShareMaxLBD bound which learned clauses are exported
+	// to the shared pool (0 = the solver defaults, 8 and 4).
+	ShareMaxLen int
+	ShareMaxLBD int
+
+	// PoolCap bounds the shared pool (0 = 4096 clauses).
+	PoolCap int
+
+	// Base is the configuration worker 0 runs verbatim and later workers
+	// diversify from.
+	Base solver.Options
+
+	// Seed perturbs the per-worker PRNG seeds (combined with Base.Seed),
+	// so distinct portfolio runs can be made to explore differently
+	// while each remains deterministic.
+	Seed int64
+}
+
+// WorkerReport is one worker's outcome and search statistics.
+type WorkerReport struct {
+	ID     int
+	Recipe string
+	Status solver.Status
+	Stats  solver.Stats
+}
+
+// Result aggregates a portfolio run.
+type Result struct {
+	// Status is the winning verdict (Unknown if every worker was
+	// interrupted or exhausted its budget).
+	Status solver.Status
+	// Model is the winner's satisfying assignment when Status is Sat.
+	Model cnf.Assignment
+	// Core is the winner's inconsistent assumption subset when Status is
+	// Unsat and assumptions were given.
+	Core []cnf.Lit
+	// Winner is the index of the first worker to answer (-1 if none).
+	Winner int
+	// Recipe names the winner's configuration ("" if none).
+	Recipe string
+	// Workers reports every worker, including interrupted losers.
+	Workers []WorkerReport
+	// SharedExported / SharedDropped count clauses accepted into and
+	// rejected from the shared pool (duplicates or pool full).
+	SharedExported, SharedDropped int64
+}
+
+// Portfolio is a reusable parallel solving harness over one formula.
+type Portfolio struct {
+	f    *cnf.Formula
+	opts Options
+}
+
+// New creates a portfolio over f. The formula is read, never mutated;
+// each worker builds its own private clause database from it.
+func New(f *cnf.Formula, opts Options) *Portfolio {
+	return &Portfolio{f: f, opts: opts}
+}
+
+// Solve races the workers under ctx and returns the first definitive
+// answer, interrupting the losers. Cancelling ctx interrupts everyone
+// and yields Status Unknown.
+func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := p.opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+
+	shared := newPool(p.opts.PoolCap)
+	solvers := make([]*solver.Solver, n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		o, name := diversify(i, p.opts.Base, p.opts.Seed)
+		if !p.opts.NoShare && n > 1 {
+			id := i
+			cursor := new(int)
+			o.ExportClause = func(lits []cnf.Lit, lbd int) bool { return shared.add(id, lits, lbd) }
+			o.ImportClauses = func() []cnf.Clause { return shared.drain(id, cursor) }
+			if p.opts.ShareMaxLen > 0 {
+				o.ShareMaxLen = p.opts.ShareMaxLen
+			}
+			if p.opts.ShareMaxLBD > 0 {
+				o.ShareMaxLBD = p.opts.ShareMaxLBD
+			}
+		}
+		solvers[i] = solver.FromFormula(p.f, o)
+		names[i] = name
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Interrupt only touches an atomic flag, so the callback may safely
+	// overlap the stats collection below.
+	stopWatch := context.AfterFunc(ctx, func() {
+		for _, s := range solvers {
+			s.Interrupt()
+		}
+	})
+	defer stopWatch()
+
+	type outcome struct {
+		id int
+		st solver.Status
+	}
+	ch := make(chan outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch <- outcome{i, solvers[i].Solve(assumptions...)}
+		}(i)
+	}
+
+	res := &Result{Status: solver.Unknown, Winner: -1}
+	statuses := make([]solver.Status, n)
+	for done := 0; done < n; done++ {
+		oc := <-ch
+		statuses[oc.id] = oc.st
+		if res.Winner < 0 && oc.st != solver.Unknown {
+			res.Winner = oc.id
+			res.Status = oc.st
+			cancel() // first definitive answer wins; interrupt the losers
+		}
+	}
+	wg.Wait()
+
+	if res.Winner >= 0 {
+		w := solvers[res.Winner]
+		res.Recipe = names[res.Winner]
+		switch res.Status {
+		case solver.Sat:
+			res.Model = w.Model()
+		case solver.Unsat:
+			if len(assumptions) > 0 {
+				res.Core = w.Core()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		res.Workers = append(res.Workers, WorkerReport{
+			ID:     i,
+			Recipe: names[i],
+			Status: statuses[i],
+			Stats:  solvers[i].Stats,
+		})
+	}
+	res.SharedExported, res.SharedDropped = shared.stats()
+	return res
+}
+
+// Solve is a one-shot convenience: build a portfolio over f and race it.
+func Solve(ctx context.Context, f *cnf.Formula, opts Options, assumptions ...cnf.Lit) *Result {
+	return New(f, opts).Solve(ctx, assumptions...)
+}

@@ -1,0 +1,290 @@
+package portfolio
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/solver"
+)
+
+// TestAgreementBruteForce: the portfolio verdict matches exhaustive
+// enumeration on small random formulas, and returned models satisfy the
+// formula. Run under -race this also exercises the sharing pool.
+func TestAgreementBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		n := 6 + int(seed%7)
+		f := gen.RandomKSAT(n, int(float64(n)*4.3), 3, seed)
+		want, _ := cnf.BruteForce(f)
+		res := Solve(context.Background(), f, Options{Workers: 4, Seed: seed})
+		if res.Status == solver.Unknown {
+			t.Fatalf("seed %d: portfolio returned Unknown without budget or cancel", seed)
+		}
+		if got := res.Status == solver.Sat; got != want {
+			t.Fatalf("seed %d: portfolio=%v brute=%v", seed, res.Status, want)
+		}
+		if res.Status == solver.Sat && !res.Model.Satisfies(f) {
+			t.Fatalf("seed %d: returned model does not satisfy the formula", seed)
+		}
+		if res.Winner < 0 || res.Recipe == "" {
+			t.Fatalf("seed %d: missing winner attribution: %+v", seed, res)
+		}
+	}
+}
+
+// TestDeterminismSingleWorker: Workers=1 reproduces the sequential
+// solver exactly — verdict, model and search statistics.
+func TestDeterminismSingleWorker(t *testing.T) {
+	base := solver.Options{Seed: 42, RandomFreq: 0.05}
+	f := gen.Queens(10)
+	seq := solver.FromFormula(f, base)
+	seqSt := seq.Solve()
+
+	res := Solve(context.Background(), f, Options{Workers: 1, Base: base})
+	if res.Status != seqSt {
+		t.Fatalf("portfolio=%v sequential=%v", res.Status, seqSt)
+	}
+	if res.Winner != 0 || res.Workers[0].Recipe != "base" {
+		t.Fatalf("worker 0 must win with the base recipe: %+v", res)
+	}
+	ws, ss := res.Workers[0].Stats, seq.Stats
+	if ws != ss {
+		t.Fatalf("stats diverge:\nportfolio:  %+v\nsequential: %+v", ws, ss)
+	}
+	seqModel := seq.Model()
+	for v := cnf.Var(1); int(v) <= f.NumVars(); v++ {
+		if res.Model.Value(v) != seqModel.Value(v) {
+			t.Fatalf("model diverges at variable %d", v)
+		}
+	}
+	// And the same run twice is bit-identical.
+	res2 := Solve(context.Background(), f, Options{Workers: 1, Base: base})
+	if res2.Workers[0].Stats != ws {
+		t.Fatal("two identical single-worker runs diverged")
+	}
+}
+
+// TestUnsatRace: every worker ultimately agrees UNSAT; first answer
+// wins and losers are interrupted, not left running.
+func TestUnsatRace(t *testing.T) {
+	f := gen.Pigeonhole(7)
+	start := time.Now()
+	res := Solve(context.Background(), f, Options{Workers: 4})
+	if res.Status != solver.Unsat {
+		t.Fatalf("PHP(7) must be UNSAT, got %v", res.Status)
+	}
+	if len(res.Workers) != 4 {
+		t.Fatalf("expected 4 worker reports, got %d", len(res.Workers))
+	}
+	for _, w := range res.Workers {
+		if w.Status == solver.Sat {
+			t.Fatalf("worker %d claims SAT on an UNSAT instance", w.ID)
+		}
+	}
+	if time.Since(start) > time.Minute {
+		t.Fatal("losers were not cancelled in a reasonable time")
+	}
+}
+
+// TestClauseSharing: on a conflict-heavy instance with restarts, the
+// pool sees exports and at least one worker imports foreign clauses.
+func TestClauseSharing(t *testing.T) {
+	f := gen.Pigeonhole(7)
+	res := Solve(context.Background(), f, Options{
+		Workers: 4,
+		Base:    solver.Options{RestartBase: 30},
+	})
+	if res.Status != solver.Unsat {
+		t.Fatalf("PHP(7) must be UNSAT, got %v", res.Status)
+	}
+	if res.SharedExported == 0 {
+		t.Fatal("no clauses reached the shared pool")
+	}
+	var imported int64
+	for _, w := range res.Workers {
+		imported += w.Stats.Imported
+	}
+	if imported == 0 {
+		t.Fatal("no worker imported any shared clause")
+	}
+	// NoShare must keep the pool empty.
+	res = Solve(context.Background(), f, Options{Workers: 2, NoShare: true})
+	if res.SharedExported != 0 {
+		t.Fatal("NoShare still exported clauses")
+	}
+}
+
+// TestAssumptionsAndCore: portfolio solving under assumptions returns
+// the winner's conflict core over the assumptions.
+func TestAssumptionsAndCore(t *testing.T) {
+	// (x1 ∨ x2) with assumptions ¬x1, ¬x2: UNSAT with both in the core.
+	f := cnf.New(3)
+	f.AddDIMACS(1, 2)
+	res := Solve(context.Background(), f, Options{Workers: 2},
+		cnf.NegLit(1), cnf.NegLit(2))
+	if res.Status != solver.Unsat {
+		t.Fatalf("got %v, want Unsat under assumptions", res.Status)
+	}
+	if len(res.Core) == 0 {
+		t.Fatal("missing conflict core")
+	}
+	for _, l := range res.Core {
+		if l != cnf.NegLit(1) && l != cnf.NegLit(2) {
+			t.Fatalf("core literal %v is not an assumption", l)
+		}
+	}
+	// Satisfiable under the opposite assumptions.
+	res = Solve(context.Background(), f, Options{Workers: 2}, cnf.PosLit(1))
+	if res.Status != solver.Sat || res.Model.Value(1) != cnf.True {
+		t.Fatalf("expected SAT with x1=true, got %v", res.Status)
+	}
+}
+
+// TestCancellation: a cancelled context interrupts every worker and the
+// portfolio reports Unknown.
+func TestCancellation(t *testing.T) {
+	f := gen.Pigeonhole(10) // too hard to finish before the cancel
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := Solve(ctx, f, Options{Workers: 4})
+	if res.Status != solver.Unknown || res.Winner != -1 {
+		t.Fatalf("cancelled run must be Unknown with no winner: %+v", res.Status)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Fatal("cancellation did not propagate promptly")
+	}
+
+	// Already-cancelled context: immediate Unknown.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	res = Solve(done, f, Options{Workers: 2})
+	if res.Status != solver.Unknown {
+		t.Fatalf("pre-cancelled run returned %v", res.Status)
+	}
+}
+
+// TestBudgetExhaustion: per-worker conflict budgets yield Unknown
+// without hanging when nobody can answer.
+func TestBudgetExhaustion(t *testing.T) {
+	f := gen.Pigeonhole(9)
+	res := Solve(context.Background(), f, Options{
+		Workers: 3,
+		Base:    solver.Options{MaxConflicts: 50},
+	})
+	if res.Status != solver.Unknown {
+		t.Fatalf("got %v, want Unknown on exhausted budgets", res.Status)
+	}
+	for _, w := range res.Workers {
+		if w.Status != solver.Unknown {
+			t.Fatalf("worker %d returned %v under a 50-conflict budget", w.ID, w.Status)
+		}
+	}
+}
+
+// TestDefaultWorkerCount: Workers=0 resolves to GOMAXPROCS and still
+// answers correctly.
+func TestDefaultWorkerCount(t *testing.T) {
+	f := gen.XorChain(20, true, 3) // UNSAT xor chain
+	res := Solve(context.Background(), f, Options{})
+	if res.Status != solver.Unsat {
+		t.Fatalf("xor chain must be UNSAT, got %v", res.Status)
+	}
+	if len(res.Workers) == 0 {
+		t.Fatal("no worker reports")
+	}
+}
+
+// TestDiversifyStable: recipes are deterministic in the worker index
+// and leave worker 0 untouched.
+func TestDiversifyStable(t *testing.T) {
+	base := solver.Options{Seed: 5}
+	o0, name0 := diversify(0, base, 9)
+	if name0 != "base" || !reflect.DeepEqual(o0, base) {
+		t.Fatalf("worker 0 must run the base options unchanged (%s)", name0)
+	}
+	for i := 1; i < 20; i++ {
+		a, an := diversify(i, base, 9)
+		b, bn := diversify(i, base, 9)
+		if !reflect.DeepEqual(a, b) || an != bn {
+			t.Fatalf("diversify(%d) is not deterministic", i)
+		}
+		if a.Seed == base.Seed {
+			t.Fatalf("worker %d did not get a distinct seed", i)
+		}
+	}
+}
+
+// TestDiversifyWrapAround: workers beyond the recipe table must not
+// duplicate their first-lap twin — PRNG-free recipes gain a nonzero
+// RandomFreq so the fresh seed changes the search.
+func TestDiversifyWrapAround(t *testing.T) {
+	base := solver.Options{}
+	for _, i := range []int{8, 9, 11, 14, 16} {
+		o, _ := diversify(i, base, 0)
+		twin, _ := diversify(i%8, base, 0)
+		if o.RandomFreq == 0 {
+			t.Fatalf("wrap-around worker %d has RandomFreq 0: identical to worker %d", i, i%8)
+		}
+		if reflect.DeepEqual(o, twin) {
+			t.Fatalf("worker %d duplicates worker %d exactly", i, i%8)
+		}
+	}
+}
+
+// TestBaseWorkerShares: with the zero-value Base the base worker must
+// restart (Luby default) and therefore import sibling clauses — sharing
+// must not be inert for worker 0.
+func TestBaseWorkerShares(t *testing.T) {
+	res := Solve(context.Background(), gen.Pigeonhole(7), Options{Workers: 4})
+	if res.Status != solver.Unsat {
+		t.Fatalf("PHP(7) must be UNSAT, got %v", res.Status)
+	}
+	w0 := res.Workers[0]
+	if w0.Stats.Restarts == 0 {
+		t.Fatal("base worker never restarted under the default options " +
+			"(zero-value Restart must be Luby, or worker 0 never imports)")
+	}
+}
+
+// TestWrapAroundRecipeNames: winner attribution must distinguish
+// wrap-around workers from their first-lap twins.
+func TestWrapAroundRecipeNames(t *testing.T) {
+	_, lap0 := diversify(1, solver.Options{}, 0)
+	_, lap1 := diversify(9, solver.Options{}, 0)
+	if lap0 == lap1 {
+		t.Fatalf("worker 9 reports recipe %q, indistinguishable from worker 1", lap1)
+	}
+	if lap1 != "geometric+rnd#1" {
+		t.Fatalf("unexpected wrap-around name %q", lap1)
+	}
+}
+
+// TestPoolDuplicateOriginSkip: a worker whose export deduplicated
+// against a sibling's earlier copy must not be handed that copy back.
+func TestPoolDuplicateOriginSkip(t *testing.T) {
+	p := newPool(0)
+	c := cnf.NewClause(1, 2)
+	p.add(0, c, 2)
+	p.add(1, c.Clone(), 2) // worker 1 derived the same clause itself
+	var cur0, cur1, cur2 int
+	if got := p.drain(0, &cur0); len(got) != 0 {
+		t.Fatalf("worker 0 re-imported its own clause: %v", got)
+	}
+	if got := p.drain(1, &cur1); len(got) != 0 {
+		t.Fatalf("worker 1 re-imported a clause it derived: %v", got)
+	}
+	if got := p.drain(2, &cur2); len(got) != 1 {
+		t.Fatalf("worker 2 must see the clause once, got %v", got)
+	}
+	ex, dr := p.stats()
+	if ex != 1 || dr != 1 {
+		t.Fatalf("exported=%d dropped=%d, want 1 and 1", ex, dr)
+	}
+}

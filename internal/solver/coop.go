@@ -1,0 +1,146 @@
+package solver
+
+import "repro/internal/cnf"
+
+// This file holds the cooperation hooks a parallel portfolio needs from
+// the sequential engine: an asynchronous interrupt, an export path for
+// freshly recorded conflict clauses, and an import path that injects
+// clauses learned elsewhere at decision level 0.
+
+// Interrupt asynchronously requests that the current (or next) Solve
+// call stop and return Unknown. It is the only Solver method that is
+// safe to call from another goroutine while Solve runs. The request is
+// sticky: it persists across Solve calls until ClearInterrupt.
+func (s *Solver) Interrupt() { s.stop.Store(true) }
+
+// Interrupted reports whether an interrupt has been requested and not
+// yet cleared.
+func (s *Solver) Interrupted() bool { return s.stop.Load() }
+
+// ClearInterrupt rearms the solver after an Interrupt so it can be
+// reused for further Solve calls.
+func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
+
+// exportLearnt offers a just-recorded conflict clause to the ExportClause
+// hook when it passes the length/LBD quality filter. Unit clauses are
+// always exported (they are top-level facts every worker wants).
+func (s *Solver) exportLearnt(learnt []cnf.Lit) {
+	if s.opts.ExportClause == nil {
+		return
+	}
+	if len(learnt) > 1 && len(learnt) > s.opts.ShareMaxLen {
+		return // cheap length filter first: skip the LBD scan entirely
+	}
+	lbd := s.lbd(learnt)
+	if len(learnt) > 1 && lbd > s.opts.ShareMaxLBD {
+		return
+	}
+	s.Stats.Exported++
+	if !s.opts.ExportClause(append([]cnf.Lit(nil), learnt...), lbd) {
+		// The consumer (e.g. a full shared pool) wants no more: stop
+		// paying the copy and callback for the rest of this solve.
+		s.opts.ExportClause = nil
+	}
+}
+
+// lbd computes the literal-block distance of a clause under the current
+// assignment: the number of distinct decision levels among its literals.
+// Lower is better; LBD 2 ("glue") clauses connect exactly two levels.
+func (s *Solver) lbd(lits []cnf.Lit) int {
+	n := 0
+	var small uint64
+	var levels []int32
+	for _, l := range lits {
+		lvl := s.level[l.Var()]
+		if lvl < 64 {
+			if small&(1<<uint(lvl)) != 0 {
+				continue
+			}
+			small |= 1 << uint(lvl)
+		} else {
+			dup := false
+			for _, x := range levels {
+				if x == lvl {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			levels = append(levels, lvl)
+		}
+		n++
+	}
+	return n
+}
+
+// importShared drains the ImportClauses hook, injecting every foreign
+// clause at decision level 0. It must be called with an empty trail
+// queue at level 0. It returns false if an imported clause (all of which
+// are consequences of the problem clauses) closes the formula — i.e. the
+// database became unsatisfiable. Import is suppressed under LogProof:
+// foreign clauses are not RUP steps of this solver's lemma sequence, so
+// they would poison an otherwise verifiable refutation.
+func (s *Solver) importShared() bool {
+	if s.opts.ImportClauses == nil || s.proofLog != nil {
+		return true
+	}
+	for _, c := range s.opts.ImportClauses() {
+		if !s.injectLearnt(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// injectLearnt installs one foreign clause at decision level 0. The
+// clause must be implied by the problem clauses; lits is copied, never
+// mutated (it may be shared with concurrent readers). Returns false on a
+// top-level contradiction.
+func (s *Solver) injectLearnt(lits cnf.Clause) bool {
+	if s.decisionLevel() != 0 {
+		s.cancelUntil(0)
+	}
+	out := make([]cnf.Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) > s.NumVars() {
+			// A worker with a private extension variable leaked a clause
+			// mentioning it; growing is sound but such clauses should not
+			// normally reach us. Accept and grow.
+			s.growTo(int(l.Var()))
+		}
+		switch s.LitValue(l) {
+		case cnf.True:
+			return true // satisfied at level 0 forever
+		case cnf.False:
+			continue // permanently false literal
+		default:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+	default:
+		if s.opts.NoLearning {
+			// A no-learning configuration must not acquire pruning
+			// clauses through the back door; only unit facts (which
+			// even NoLearning asserts at top level) are adopted.
+			return true
+		}
+		c := &clause{lits: out, learnt: true}
+		s.learnts = append(s.learnts, c)
+		s.attach(c)
+		s.bumpClause(c)
+	}
+	s.Stats.Imported++
+	return true
+}

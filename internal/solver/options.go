@@ -19,6 +19,8 @@
 //   - a structural "theory" hook used by the circuit layer of §5.
 package solver
 
+import "repro/internal/cnf"
+
 // DecisionHeuristic selects how Decide() picks the next branching variable.
 type DecisionHeuristic int
 
@@ -44,16 +46,20 @@ const (
 // decisions is reached").
 type RestartPolicy int
 
-// Supported restart policies.
+// Supported restart policies. RestartLuby is the zero value so that the
+// zero Options really is the documented modern default — it also keeps
+// default-configured portfolio workers reaching the restart boundaries
+// where shared clauses are imported.
 const (
-	// RestartNone never restarts.
-	RestartNone RestartPolicy = iota
-	// RestartLuby restarts after RestartBase * luby(i) conflicts.
-	RestartLuby
+	// RestartLuby restarts after RestartBase * luby(i) conflicts (the
+	// modern default).
+	RestartLuby RestartPolicy = iota
 	// RestartGeometric restarts after RestartBase * 1.5^i conflicts.
 	RestartGeometric
 	// RestartFixed restarts every RestartBase conflicts.
 	RestartFixed
+	// RestartNone never restarts.
+	RestartNone
 )
 
 // DeletionPolicy selects how recorded clauses are eventually deleted
@@ -135,8 +141,38 @@ type Options struct {
 
 	// LogProof records every conflict clause into a DRUP-style proof
 	// log retrievable via Proof(); VerifyUnsat can then independently
-	// validate an (assumption-free) Unsat answer.
+	// validate an (assumption-free) Unsat answer. LogProof disables
+	// ImportClauses (see there): a verifiable proof must be derived
+	// entirely by this solver.
 	LogProof bool
+
+	// ExportClause, when non-nil, is invoked from the solving goroutine
+	// for every recorded conflict clause of length at most ShareMaxLen
+	// and literal-block distance (LBD: the number of distinct decision
+	// levels among its literals) at most ShareMaxLBD. The literal slice
+	// is a fresh copy owned by the callee. This is the cooperation hook
+	// a portfolio uses to publish learned clauses to sibling workers.
+	// Returning false permanently disables further export for this
+	// solver (e.g. the shared pool is full), saving the per-conflict
+	// copy and callback.
+	ExportClause func(lits []cnf.Lit, lbd int) bool
+
+	// ShareMaxLen and ShareMaxLBD bound which recorded clauses are
+	// offered to ExportClause (0 = defaults 8 and 4). Unit clauses are
+	// always exported: they are top-level facts.
+	ShareMaxLen int
+	ShareMaxLBD int
+
+	// ImportClauses, when non-nil, is polled at restart boundaries (and
+	// once at the start of each Solve call). Every returned clause must
+	// be a logical consequence of the problem clauses — e.g. a clause
+	// learned by a sibling portfolio worker over the same formula — and
+	// is injected at decision level 0 as a learned clause. The solver
+	// copies the literals, so returned slices may be shared across
+	// workers. Ignored when LogProof is set: foreign clauses are not
+	// RUP-derivable in this solver's own lemma sequence, so importing
+	// them would make a correct Unsat answer fail VerifyUnsat.
+	ImportClauses func() []cnf.Clause
 }
 
 func (o *Options) withDefaults() Options {
@@ -152,6 +188,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.RelevanceBound == 0 {
 		out.RelevanceBound = 4
+	}
+	if out.ShareMaxLen == 0 {
+		out.ShareMaxLen = 8
+	}
+	if out.ShareMaxLBD == 0 {
+		out.ShareMaxLBD = 4
 	}
 	return out
 }
@@ -192,6 +234,8 @@ type Stats struct {
 	Restarts     int64
 	Learned      int64 // clauses recorded
 	Deleted      int64 // learned clauses deleted
+	Exported     int64 // clauses offered to the ExportClause hook
+	Imported     int64 // foreign clauses injected via ImportClauses
 	MaxLearnts   int64 // high-water mark of the learned database
 	MinimizedLit int64 // literals removed by clause minimization
 	MaxJump      int   // largest non-chronological backjump (levels skipped)

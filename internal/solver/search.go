@@ -30,6 +30,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		s.ok = false
 		return Unsat
 	}
+	// Pick up clauses shared by sibling workers before searching.
+	if !s.importShared() {
+		return Unsat
+	}
 	s.maxLearn = float64(s.opts.MaxLearnts)
 	if s.maxLearn == 0 {
 		s.maxLearn = float64(len(s.clauses)) / 3
@@ -50,12 +54,17 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		if st != Unknown {
 			return st
 		}
-		if s.budgetExhausted() {
+		if s.stop.Load() || s.budgetExhausted() {
 			return Unknown
 		}
 		restart++
 		s.Stats.Restarts++
 		s.cancelUntil(0)
+		// Restart boundary: the natural moment to adopt foreign clauses
+		// (the trail is empty, so level-0 injection is trivially safe).
+		if !s.importShared() {
+			return Unsat
+		}
 	}
 }
 
@@ -117,6 +126,9 @@ func (s *Solver) budgetExhausted() bool {
 func (s *Solver) search(maxConfl int64) Status {
 	var conflictsHere int64
 	for {
+		if s.stop.Load() {
+			return Unknown // asynchronous Interrupt
+		}
 		confl := s.propagate()
 		if confl != nil {
 			// Deduce() returned CONFLICT: run Diagnose().
@@ -127,6 +139,7 @@ func (s *Solver) search(maxConfl int64) Status {
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			s.exportLearnt(learnt) // before backtracking: levels are live
 			if s.opts.Chronological && len(learnt) > 1 {
 				// Chronological search strategies backtrack to the
 				// immediately preceding level regardless of diagnosis.

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/cnf"
 )
@@ -76,6 +77,8 @@ type Solver struct {
 	// Assumption handling.
 	assumptions []cnf.Lit
 	conflictSet []cnf.Lit // final conflict core over assumptions
+
+	stop atomic.Bool // asynchronous interrupt request (Interrupt)
 
 	ok      bool // false once the clause set is trivially unsat
 	theory  Theory

@@ -40,6 +40,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/funcvec"
 	"repro/internal/gen"
+	"repro/internal/portfolio"
 	"repro/internal/redund"
 	"repro/internal/route"
 	"repro/internal/solver"
@@ -108,6 +109,28 @@ func NewSolver(f *Formula, opts SolverOptions) *Solver {
 	return solver.FromFormula(f, opts)
 }
 
+// Parallel portfolio layer: diversified solver configurations racing on
+// goroutines with learned-clause sharing (§6 randomization/restart
+// diversity turned into multicore speedup).
+type (
+	// Portfolio races diversified solvers over one formula.
+	Portfolio = portfolio.Portfolio
+	// PortfolioOptions configures worker count, sharing and recipes.
+	PortfolioOptions = portfolio.Options
+	// PortfolioResult is the aggregate outcome with per-worker stats.
+	PortfolioResult = portfolio.Result
+	// PortfolioWorkerReport is one worker's verdict and statistics.
+	PortfolioWorkerReport = portfolio.WorkerReport
+)
+
+// NewPortfolio builds a reusable portfolio over f; SolvePortfolio is the
+// one-shot convenience (pass context.Background() when no cancellation
+// or deadline is needed).
+var (
+	NewPortfolio   = portfolio.New
+	SolvePortfolio = portfolio.Solve
+)
+
 // Pipeline is the full Preprocess+Learn+Search stack of Figure 2.
 type (
 	// PipelineOptions configures core.Solve.
@@ -116,8 +139,12 @@ type (
 	PipelineAnswer = core.Answer
 )
 
-// SolvePipeline runs preprocessing, recursive learning and search.
-var SolvePipeline = core.Solve
+// SolvePipeline runs preprocessing, recursive learning and search;
+// SolvePipelineContext is the cancellable/deadline-aware variant.
+var (
+	SolvePipeline        = core.Solve
+	SolvePipelineContext = core.SolveContext
+)
 
 // Circuit layer (paper §2, §5).
 type (

@@ -1,6 +1,7 @@
 package sateda_test
 
 import (
+	"context"
 	"fmt"
 
 	sateda "repro"
@@ -42,4 +43,17 @@ func ExampleSolvePipeline() {
 	fmt.Println(ans.Status)
 	// Output:
 	// SATISFIABLE
+}
+
+// Racing diversified solver configurations with clause sharing: the
+// verdict is deterministic even though the winning worker is not.
+func ExampleSolvePortfolio() {
+	f := sateda.Pigeonhole(6) // 7 pigeons, 6 holes: UNSAT
+	res := sateda.SolvePortfolio(context.Background(), f,
+		sateda.PortfolioOptions{Workers: 2})
+	fmt.Println(res.Status)
+	fmt.Println("workers reporting:", len(res.Workers))
+	// Output:
+	// UNSATISFIABLE
+	// workers reporting: 2
 }
