@@ -155,35 +155,34 @@ func checkPlain(a, b *circuit.Circuit, opts Options) (*Result, error) {
 	sopts := opts.Solver
 	sopts.MaxConflicts = opts.MaxConflicts
 	res := &Result{SATCalls: 1}
+	// Decide the miter with whichever engine is configured; the
+	// verdict→Result mapping below is shared by both branches.
+	var verdict solver.Status
+	var model cnf.Assignment
 	if opts.PortfolioWorkers > 1 {
 		pres := portfolio.Solve(context.Background(), f, portfolio.Options{
 			Workers: opts.PortfolioWorkers,
 			Base:    sopts,
 			Seed:    opts.Seed,
 		})
-		switch pres.Status {
-		case solver.Unsat:
-			res.Equivalent = true
-			res.Decided = true
-		case solver.Sat:
-			res.Decided = true
-			res.Counterexample = extractInputs(m, enc, pres.Model)
-		}
+		verdict, model = pres.Status, pres.Model
 		for _, w := range pres.Workers {
 			res.Conflicts += w.Stats.Conflicts
 		}
-		return res, nil
+	} else {
+		s := solver.FromFormula(f, sopts)
+		verdict = s.Solve()
+		model = s.Model()
+		res.Conflicts = s.Stats.Conflicts
 	}
-	s := solver.FromFormula(f, sopts)
-	switch s.Solve() {
+	switch verdict {
 	case solver.Unsat:
 		res.Equivalent = true
 		res.Decided = true
 	case solver.Sat:
 		res.Decided = true
-		res.Counterexample = extractInputs(m, enc, s.Model())
+		res.Counterexample = extractInputs(m, enc, model)
 	}
-	res.Conflicts = s.Stats.Conflicts
 	return res, nil
 }
 

@@ -13,6 +13,11 @@ import (
 // other worker imports it at its next restart boundary. The log is
 // bounded; once full, further exports are counted but dropped, which
 // keeps memory finite without invalidating any cursor.
+//
+// Ownership follows the ExportClause contract: the literal slice handed
+// to add is valid only during the call, so the pool copies it exactly
+// once — on acceptance into the log. Duplicate or overflowing offers
+// allocate nothing.
 type pool struct {
 	mu   sync.Mutex
 	max  int
@@ -41,9 +46,13 @@ func newPool(max int) *pool {
 }
 
 // fingerprint hashes the clause as a literal set (FNV-1a over sorted
-// literals) so permutations of the same clause deduplicate.
-func fingerprint(lits []cnf.Lit) uint64 {
-	sorted := append([]cnf.Lit(nil), lits...)
+// literals) so permutations of the same clause deduplicate. The sort
+// runs in the caller-owned scratch buffer, which is returned (possibly
+// grown) for reuse: each exporting worker keeps its own, so hashing
+// happens outside the pool lock and the caller's slice is never
+// mutated. Nothing is allocated once the buffer has grown.
+func fingerprint(lits []cnf.Lit, scratch []cnf.Lit) (uint64, []cnf.Lit) {
+	sorted := append(scratch[:0], lits...)
 	for i := 1; i < len(sorted); i++ {
 		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
@@ -54,15 +63,16 @@ func fingerprint(lits []cnf.Lit) uint64 {
 		h ^= uint64(uint32(l))
 		h *= 1099511628211
 	}
-	return h
+	return h, sorted
 }
 
-// add publishes a clause exported by worker origin. The slice is owned
-// by the pool from here on (the solver hands over a fresh copy). The
-// return value reports whether the pool accepts further clauses; false
-// (log full) lets exporters stop paying the per-conflict copy and lock.
-func (p *pool) add(origin int, lits []cnf.Lit, lbd int) bool {
-	fp := fingerprint(lits)
+// add publishes a clause exported by worker origin, pre-hashed by the
+// caller with fingerprint (computed outside the lock). lits is borrowed
+// for the duration of the call; the pool copies it only if the log
+// accepts it. The return value reports whether the pool accepts further
+// clauses; false (log full) lets exporters stop paying the per-conflict
+// callback.
+func (p *pool) add(origin int, lits []cnf.Lit, lbd int, fp uint64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if idx, dup := p.seen[fp]; dup {
@@ -80,7 +90,11 @@ func (p *pool) add(origin int, lits []cnf.Lit, lbd int) bool {
 		return false
 	}
 	p.seen[fp] = len(p.log)
-	p.log = append(p.log, sharedClause{lits: cnf.Clause(lits), origins: []int{origin}, lbd: lbd})
+	p.log = append(p.log, sharedClause{
+		lits:    append(cnf.Clause(nil), lits...), // copy on acceptance
+		origins: []int{origin},
+		lbd:     lbd,
+	})
 	p.exported++
 	return len(p.log) < p.max
 }

@@ -117,7 +117,12 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 		if !p.opts.NoShare && n > 1 {
 			id := i
 			cursor := new(int)
-			o.ExportClause = func(lits []cnf.Lit, lbd int) bool { return shared.add(id, lits, lbd) }
+			var fpBuf []cnf.Lit // per-worker fingerprint scratch: hash outside the pool lock
+			o.ExportClause = func(lits []cnf.Lit, lbd int) bool {
+				var fp uint64
+				fp, fpBuf = fingerprint(lits, fpBuf)
+				return shared.add(id, lits, lbd, fp)
+			}
 			o.ImportClauses = func() []cnf.Clause { return shared.drain(id, cursor) }
 			if p.opts.ShareMaxLen > 0 {
 				o.ShareMaxLen = p.opts.ShareMaxLen

@@ -271,8 +271,16 @@ func TestWrapAroundRecipeNames(t *testing.T) {
 func TestPoolDuplicateOriginSkip(t *testing.T) {
 	p := newPool(0)
 	c := cnf.NewClause(1, 2)
-	p.add(0, c, 2)
-	p.add(1, c.Clone(), 2) // worker 1 derived the same clause itself
+	fp, _ := fingerprint(c, nil)
+	p.add(0, c, 2, fp)
+	// Worker 1 derived the same clause itself, permuted: the literal-set
+	// fingerprint must deduplicate it.
+	perm := cnf.Clause{c[1], c[0]}
+	fp2, _ := fingerprint(perm, nil)
+	if fp2 != fp {
+		t.Fatal("fingerprint must be permutation-invariant")
+	}
+	p.add(1, perm, 2, fp2)
 	var cur0, cur1, cur2 int
 	if got := p.drain(0, &cur0); len(got) != 0 {
 		t.Fatalf("worker 0 re-imported its own clause: %v", got)

@@ -8,24 +8,29 @@ import "repro/internal/cnf"
 // producing a conflict-induced clause — a new implicate of the function
 // associated with the CNF formula (§4.1). The clause's first literal is
 // the asserting literal (the conflict-induced necessary assignment of
-// GRASP); the returned level is the non-chronological backtrack level.
-func (s *Solver) analyze(confl *clause) (learnt []cnf.Lit, btLevel int) {
-	learnt = append(learnt, cnf.LitUndef) // slot for the asserting literal
+// GRASP); the returned level is the non-chronological backtrack level
+// and lbd the clause's literal-block distance under the pre-backtrack
+// assignment (computed here, at learn time, while levels are live).
+//
+// Reason clauses reached through an inline binary watcher keep their
+// literals in storage order (binary propagation never touches the
+// arena), so the implied literal is skipped by variable rather than by
+// assuming it sits at index 0.
+func (s *Solver) analyze(confl CRef) (learnt []cnf.Lit, btLevel, lbd int) {
+	learnt = append(s.learntBuf[:0], cnf.LitUndef) // slot for the asserting literal
 	pathC := 0
 	p := cnf.LitUndef
 	idx := len(s.trail) - 1
 
 	for {
-		start := 0
-		if p != cnf.LitUndef {
-			start = 1 // lits[0] of a reason clause is the literal it implied
-		}
-		if confl.learnt {
+		if s.db.learnt(confl) {
 			s.bumpClause(confl)
 		}
-		for j := start; j < len(confl.lits); j++ {
-			q := confl.lits[j]
+		for _, q := range s.db.lits(confl) {
 			v := q.Var()
+			if p != cnf.LitUndef && v == p.Var() {
+				continue // the literal this antecedent implied
+			}
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
 			}
@@ -62,7 +67,7 @@ func (s *Solver) analyze(confl *clause) (learnt []cnf.Lit, btLevel int) {
 		}
 		w := 1
 		for i := 1; i < len(learnt); i++ {
-			if s.reason[learnt[i].Var()] == nil || !s.litRedundant(learnt[i], abstract) {
+			if s.reason[learnt[i].Var()] == CRefUndef || !s.litRedundant(learnt[i], abstract) {
 				learnt[w] = learnt[i]
 				w++
 			} else {
@@ -89,7 +94,8 @@ func (s *Solver) analyze(confl *clause) (learnt []cnf.Lit, btLevel int) {
 	for _, l := range s.analyzeToClr {
 		s.seen[l.Var()] = 0
 	}
-	return learnt, btLevel
+	s.learntBuf = learnt // keep the (possibly grown) buffer for reuse
+	return learnt, btLevel, s.lbd(learnt)
 }
 
 // litRedundant reports whether the literal l is implied by the remaining
@@ -104,13 +110,15 @@ func (s *Solver) litRedundant(l cnf.Lit, abstract uint32) bool {
 		p := s.analyzeStack[len(s.analyzeStack)-1]
 		s.analyzeStack = s.analyzeStack[:len(s.analyzeStack)-1]
 		c := s.reason[p.Var()]
-		for j := 1; j < len(c.lits); j++ {
-			q := c.lits[j]
+		for _, q := range s.db.lits(c) {
 			v := q.Var()
+			if v == p.Var() {
+				continue // the literal this antecedent implied
+			}
 			if s.seen[v] != 0 || s.level[v] == 0 {
 				continue
 			}
-			if s.reason[v] == nil || (1<<(uint(s.level[v])&31))&abstract == 0 {
+			if s.reason[v] == CRefUndef || (1<<(uint(s.level[v])&31))&abstract == 0 {
 				// Reached a decision or a level outside the clause:
 				// l is not redundant. Undo marks made during this probe.
 				for len(s.analyzeToClr) > top {
@@ -142,12 +150,12 @@ func (s *Solver) analyzeFinal(p cnf.Lit) {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if r := s.reason[v]; r == nil {
+		if r := s.reason[v]; r == CRefUndef {
 			// A decision below the assumption levels is an assumption.
 			s.conflictSet = append(s.conflictSet, s.trail[i])
 		} else {
-			for _, l := range r.lits[1:] {
-				if s.level[l.Var()] > 0 {
+			for _, l := range s.db.lits(r) {
+				if l.Var() != v && s.level[l.Var()] > 0 {
 					s.seen[l.Var()] = 1
 				}
 			}

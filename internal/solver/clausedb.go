@@ -1,0 +1,123 @@
+package solver
+
+import (
+	"math"
+
+	"repro/internal/cnf"
+)
+
+// This file implements the flat clause arena that backs the solver's
+// clause database. Clauses are not individual heap objects: every clause
+// lives inside one contiguous slice, addressed by a CRef word offset.
+// The representation removes pointer chasing from the BCP hot loop and
+// takes the entire clause database out of the Go garbage collector's
+// scan set (the arena is a single pointer-free allocation).
+//
+// Arena layout of one clause starting at offset c:
+//
+//	word c+0: size<<3 | learnt<<0 | temp<<1 | deleted<<2
+//	word c+1: LBD (literal-block distance at learn time; 0 = problem clause)
+//	word c+2: activity (compressed float, see actEncode)
+//	word c+3 … c+3+size-1: the literals
+//
+// The arena is []cnf.Lit rather than []uint32 purely so that lits() can
+// return a zero-copy typed sub-slice without unsafe; header words store
+// uint32 bit patterns through lossless int32 casts.
+
+// CRef addresses a clause as a word offset into the solver's clause
+// arena. CRefUndef means "no clause" (a decision or a top-level fact).
+type CRef uint32
+
+// CRefUndef is the null clause reference.
+const CRefUndef CRef = ^CRef(0)
+
+const (
+	clsHdrWords = 3
+	flagLearnt  = 1 << 0
+	flagTemp    = 1 << 1
+	flagDeleted = 1 << 2
+	flagBits    = 3
+)
+
+// clauseDB is the arena plus the bookkeeping its relocating garbage
+// collector needs. Deleted clauses stay in place (their headers keep the
+// traversal intact) until compact() squeezes them out.
+type clauseDB struct {
+	arena  []cnf.Lit
+	wasted int // words occupied by deleted clauses; the GC trigger
+}
+
+// alloc appends a clause to the arena and returns its reference.
+func (db *clauseDB) alloc(lits []cnf.Lit, learnt, temp bool, lbd int) CRef {
+	c := CRef(len(db.arena))
+	hdr := uint32(len(lits)) << flagBits
+	if learnt {
+		hdr |= flagLearnt
+	}
+	if temp {
+		hdr |= flagTemp
+	}
+	db.arena = append(db.arena, cnf.Lit(int32(hdr)), cnf.Lit(int32(uint32(lbd))), 0)
+	db.arena = append(db.arena, lits...)
+	return c
+}
+
+func (db *clauseDB) header(c CRef) uint32 { return uint32(db.arena[c]) }
+
+// size returns the number of literals of clause c.
+func (db *clauseDB) size(c CRef) int { return int(db.header(c) >> flagBits) }
+
+// lits returns the clause's literal slice, aliasing the arena: writes
+// through it (watched-literal swaps) update the clause in place. The
+// slice is invalidated by the next alloc or garbageCollect.
+func (db *clauseDB) lits(c CRef) []cnf.Lit {
+	i := int(c) + clsHdrWords
+	return db.arena[i : i+int(db.header(c)>>flagBits) : i+int(db.header(c)>>flagBits)]
+}
+
+func (db *clauseDB) learnt(c CRef) bool  { return db.header(c)&flagLearnt != 0 }
+func (db *clauseDB) temp(c CRef) bool    { return db.header(c)&flagTemp != 0 }
+func (db *clauseDB) deleted(c CRef) bool { return db.header(c)&flagDeleted != 0 }
+
+// markDeleted tombstones the clause; the words are reclaimed by the next
+// compaction. Watchers referencing it are dropped lazily.
+func (db *clauseDB) markDeleted(c CRef) {
+	db.arena[c] = cnf.Lit(int32(db.header(c) | flagDeleted))
+	db.wasted += clsHdrWords + db.size(c)
+}
+
+// lbd returns the literal-block distance recorded at learn time.
+func (db *clauseDB) lbd(c CRef) int { return int(uint32(db.arena[c+1])) }
+
+// Clause activities are stored as float32 bit patterns in one header
+// word; float32 resolution is ample for a deletion-ordering heuristic.
+func (db *clauseDB) act(c CRef) float64 {
+	return float64(math.Float32frombits(uint32(db.arena[c+2])))
+}
+
+func (db *clauseDB) setAct(c CRef, a float64) {
+	db.arena[c+2] = cnf.Lit(int32(math.Float32bits(float32(a))))
+}
+
+// compact copies every live clause into a fresh arena and leaves a
+// forwarding address in the old clause's LBD slot (the copy is taken
+// first, so the new clause keeps its real LBD). The caller patches all
+// outstanding CRefs through forward() and then installs the new arena.
+func (db *clauseDB) compact() []cnf.Lit {
+	newArena := make([]cnf.Lit, 0, len(db.arena)-db.wasted)
+	for c := 0; c < len(db.arena); {
+		span := clsHdrWords + int(uint32(db.arena[c])>>flagBits)
+		if uint32(db.arena[c])&flagDeleted == 0 {
+			nc := len(newArena)
+			newArena = append(newArena, db.arena[c:c+span]...)
+			db.arena[c+1] = cnf.Lit(int32(uint32(nc)))
+		}
+		c += span
+	}
+	return newArena
+}
+
+// forward returns the post-compaction address of a live clause. Valid
+// only between compact() and the arena swap, and only for clauses that
+// were not deleted.
+func (db *clauseDB) forward(c CRef) CRef { return CRef(uint32(db.arena[c+1])) }

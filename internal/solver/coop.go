@@ -23,22 +23,22 @@ func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
 
 // exportLearnt offers a just-recorded conflict clause to the ExportClause
 // hook when it passes the length/LBD quality filter. Unit clauses are
-// always exported (they are top-level facts every worker wants).
-func (s *Solver) exportLearnt(learnt []cnf.Lit) {
+// always exported (they are top-level facts every worker wants). The
+// literal slice is lent to the hook for the duration of the call only —
+// no copy is made here; a consumer that keeps the clause (e.g. a shared
+// pool accepting it) copies on acceptance. lbd was computed at learn
+// time by analyze, so no level scan happens on the export path either.
+func (s *Solver) exportLearnt(learnt []cnf.Lit, lbd int) {
 	if s.opts.ExportClause == nil {
 		return
 	}
-	if len(learnt) > 1 && len(learnt) > s.opts.ShareMaxLen {
-		return // cheap length filter first: skip the LBD scan entirely
-	}
-	lbd := s.lbd(learnt)
-	if len(learnt) > 1 && lbd > s.opts.ShareMaxLBD {
+	if len(learnt) > 1 && (len(learnt) > s.opts.ShareMaxLen || lbd > s.opts.ShareMaxLBD) {
 		return
 	}
 	s.Stats.Exported++
-	if !s.opts.ExportClause(append([]cnf.Lit(nil), learnt...), lbd) {
+	if !s.opts.ExportClause(learnt, lbd) {
 		// The consumer (e.g. a full shared pool) wants no more: stop
-		// paying the copy and callback for the rest of this solve.
+		// paying the callback for the rest of this solve.
 		s.opts.ExportClause = nil
 	}
 }
@@ -124,8 +124,8 @@ func (s *Solver) injectLearnt(lits cnf.Clause) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.uncheckedEnqueue(out[0], CRefUndef)
+		if s.propagate() != CRefUndef {
 			s.ok = false
 			return false
 		}
@@ -136,7 +136,9 @@ func (s *Solver) injectLearnt(lits cnf.Clause) bool {
 			// even NoLearning asserts at top level) are adopted.
 			return true
 		}
-		c := &clause{lits: out, learnt: true}
+		// Foreign clauses carry no learn-time LBD; rate them by their
+		// level-0 length so tiered deletion treats short imports kindly.
+		c := s.db.alloc(out, true, false, len(out))
 		s.learnts = append(s.learnts, c)
 		s.attach(c)
 		s.bumpClause(c)

@@ -47,7 +47,8 @@ func TestInterruptBeforeSolve(t *testing.T) {
 }
 
 // TestExportHook: solving a conflict-rich instance with an export hook
-// yields copies of recorded clauses that are implied by the formula.
+// yields recorded clauses implied by the formula. The hook copies what
+// it keeps: the lent slice is valid only during the call.
 func TestExportHook(t *testing.T) {
 	f := gen.Pigeonhole(5)
 	var got []cnf.Clause
@@ -59,7 +60,7 @@ func TestExportHook(t *testing.T) {
 			if lbd < 0 || lbd > len(lits) {
 				t.Fatalf("implausible LBD %d for clause of length %d", lbd, len(lits))
 			}
-			got = append(got, lits)
+			got = append(got, append(cnf.Clause(nil), lits...))
 			return true
 		},
 	})
@@ -111,7 +112,10 @@ func TestImportConsequences(t *testing.T) {
 	f := gen.Pigeonhole(6)
 	var lemmas []cnf.Clause
 	teacher := FromFormula(f, Options{
-		ExportClause: func(lits []cnf.Lit, lbd int) bool { lemmas = append(lemmas, lits); return true },
+		ExportClause: func(lits []cnf.Lit, lbd int) bool {
+			lemmas = append(lemmas, append(cnf.Clause(nil), lits...))
+			return true
+		},
 	})
 	if teacher.Solve() != Unsat {
 		t.Fatal("PHP(6) must be UNSAT")
@@ -136,8 +140,11 @@ func TestImportConsequences(t *testing.T) {
 	sat := gen.Queens(8)
 	lemmas = nil
 	teacher2 := FromFormula(sat, Options{
-		ExportClause: func(lits []cnf.Lit, lbd int) bool { lemmas = append(lemmas, lits); return true },
-		RandomFreq:   0.1, Seed: 7,
+		ExportClause: func(lits []cnf.Lit, lbd int) bool {
+			lemmas = append(lemmas, append(cnf.Clause(nil), lits...))
+			return true
+		},
+		RandomFreq: 0.1, Seed: 7,
 	})
 	if teacher2.Solve() != Sat {
 		t.Fatal("queens(8) is SAT")
@@ -184,7 +191,10 @@ func TestLogProofSuppressesImport(t *testing.T) {
 	f := gen.Pigeonhole(5)
 	var lemmas []cnf.Clause
 	teacher := FromFormula(f, Options{
-		ExportClause: func(lits []cnf.Lit, lbd int) bool { lemmas = append(lemmas, lits); return true },
+		ExportClause: func(lits []cnf.Lit, lbd int) bool {
+			lemmas = append(lemmas, append(cnf.Clause(nil), lits...))
+			return true
+		},
 	})
 	if teacher.Solve() != Unsat {
 		t.Fatal("PHP(5) must be UNSAT")
@@ -211,7 +221,10 @@ func TestNoLearningRejectsImport(t *testing.T) {
 	f := gen.Pigeonhole(5)
 	var lemmas []cnf.Clause
 	teacher := FromFormula(f, Options{
-		ExportClause: func(lits []cnf.Lit, lbd int) bool { lemmas = append(lemmas, lits); return true },
+		ExportClause: func(lits []cnf.Lit, lbd int) bool {
+			lemmas = append(lemmas, append(cnf.Clause(nil), lits...))
+			return true
+		},
 	})
 	if teacher.Solve() != Unsat {
 		t.Fatal("PHP(5) must be UNSAT")

@@ -68,8 +68,11 @@ type DeletionPolicy int
 
 // Supported learned-clause deletion policies.
 const (
-	// DeleteByActivity periodically removes the less active half of the
-	// learned-clause database (Minisat-style).
+	// DeleteByActivity periodically reduces the learned-clause database
+	// with a glue-tiered policy: clauses with learn-time LBD ≤ 2 (core)
+	// are kept forever, LBD ≤ 6 (mid) survive while minimally active,
+	// and the rest (local) compete on activity, at most half of the
+	// database deleted per round (Minisat-style halving).
 	DeleteByActivity DeletionPolicy = iota
 	// DeleteByRelevance implements relevance-based learning [Bayardo &
 	// Schrag]: a recorded clause is kept while at most RelevanceBound of
@@ -150,11 +153,12 @@ type Options struct {
 	// for every recorded conflict clause of length at most ShareMaxLen
 	// and literal-block distance (LBD: the number of distinct decision
 	// levels among its literals) at most ShareMaxLBD. The literal slice
-	// is a fresh copy owned by the callee. This is the cooperation hook
-	// a portfolio uses to publish learned clauses to sibling workers.
-	// Returning false permanently disables further export for this
-	// solver (e.g. the shared pool is full), saving the per-conflict
-	// copy and callback.
+	// is valid only for the duration of the call and must not be
+	// retained or mutated: a consumer that keeps the clause copies it on
+	// acceptance. This is the cooperation hook a portfolio uses to
+	// publish learned clauses to sibling workers. Returning false
+	// permanently disables further export for this solver (e.g. the
+	// shared pool is full), saving the per-conflict callback.
 	ExportClause func(lits []cnf.Lit, lbd int) bool
 
 	// ShareMaxLen and ShareMaxLBD bound which recorded clauses are
@@ -238,5 +242,6 @@ type Stats struct {
 	Imported     int64 // foreign clauses injected via ImportClauses
 	MaxLearnts   int64 // high-water mark of the learned database
 	MinimizedLit int64 // literals removed by clause minimization
+	ArenaGCs     int64 // relocating compactions of the clause arena
 	MaxJump      int   // largest non-chronological backjump (levels skipped)
 }

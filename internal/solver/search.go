@@ -2,6 +2,15 @@ package solver
 
 import "repro/internal/cnf"
 
+// Glue tier bounds for the LBD-tiered reduction (reduceDB). Clauses with
+// LBD ≤ coreLBDMax are "core" and live forever; LBD ≤ midLBDMax is the
+// "mid" tier, kept unless nearly inactive; everything above is "local"
+// and competes on activity every reduction.
+const (
+	coreLBDMax = 2
+	midLBDMax  = 6
+)
+
 // Solve decides satisfiability of the loaded clauses under the given
 // assumption literals. It may be called repeatedly; clauses and variables
 // can be added between calls (incremental SAT, §6). On Unsat under
@@ -26,7 +35,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		s.buildOccLists()
 	}
 	// Top-level deduction before the search proper.
-	if s.propagate() != nil {
+	if s.propagate() != CRefUndef {
 		s.ok = false
 		return Unsat
 	}
@@ -130,7 +139,7 @@ func (s *Solver) search(maxConfl int64) Status {
 			return Unknown // asynchronous Interrupt
 		}
 		confl := s.propagate()
-		if confl != nil {
+		if confl != CRefUndef {
 			// Deduce() returned CONFLICT: run Diagnose().
 			s.Stats.Conflicts++
 			conflictsHere++
@@ -138,17 +147,21 @@ func (s *Solver) search(maxConfl int64) Status {
 				s.ok = false
 				return Unsat
 			}
-			learnt, btLevel := s.analyze(confl)
-			s.exportLearnt(learnt) // before backtracking: levels are live
-			if s.opts.Chronological && len(learnt) > 1 {
+			learnt, btLevel, lbd := s.analyze(confl)
+			s.exportLearnt(learnt, lbd) // before backtracking: levels are live
+			if s.opts.Chronological {
 				// Chronological search strategies backtrack to the
-				// immediately preceding level regardless of diagnosis.
-				btLevel = s.decisionLevel() - 1
+				// immediately preceding level regardless of diagnosis
+				// (unit implicates still go to the top level in record;
+				// that forced reset is not a diagnosed backjump).
+				if len(learnt) > 1 {
+					btLevel = s.decisionLevel() - 1
+				}
 			} else if jump := s.decisionLevel() - 1 - btLevel; jump > s.Stats.MaxJump {
 				s.Stats.MaxJump = jump
 			}
 			s.cancelUntil(btLevel)
-			s.record(learnt)
+			s.record(learnt, lbd)
 			s.decayVar()
 			s.decayClause()
 			continue
@@ -171,6 +184,9 @@ func (s *Solver) search(maxConfl int64) Status {
 			s.reduceDB()
 			s.maxLearn *= 1.1
 		}
+		// Compact the arena once deletions (reduceDB tombstones, dead
+		// NoLearning temp clauses) waste enough of it.
+		s.maybeGC()
 
 		// Decide(): assumptions first, then theory suggestion, then the
 		// configured heuristic.
@@ -201,13 +217,14 @@ func (s *Solver) search(maxConfl int64) Status {
 			s.Stats.Decisions++
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, CRefUndef)
 	}
 }
 
 // record installs a conflict-induced clause and asserts its first literal
-// (the conflict-induced necessary assignment).
-func (s *Solver) record(learnt []cnf.Lit) {
+// (the conflict-induced necessary assignment). lbd is the clause's
+// literal-block distance computed at learn time by analyze.
+func (s *Solver) record(learnt []cnf.Lit, lbd int) {
 	if s.proofLog != nil {
 		s.proofLog.Lemmas = append(s.proofLog.Lemmas, append(cnf.Clause(nil), learnt...))
 	}
@@ -219,16 +236,12 @@ func (s *Solver) record(learnt []cnf.Lit) {
 			return
 		}
 		if s.LitValue(learnt[0]) == cnf.Undef {
-			s.uncheckedEnqueue(learnt[0], nil)
+			s.uncheckedEnqueue(learnt[0], CRefUndef)
 		}
 		return
 	}
-	c := &clause{lits: append([]cnf.Lit(nil), learnt...), learnt: true}
-	if s.opts.NoLearning {
-		// The clause exists only as the antecedent of its assertion; it
-		// is never attached, so it cannot prune future search.
-		c.temp = true
-	} else {
+	c := s.db.alloc(learnt, true, s.opts.NoLearning, lbd)
+	if !s.opts.NoLearning {
 		s.learnts = append(s.learnts, c)
 		s.Stats.Learned++
 		if int64(len(s.learnts)) > s.Stats.MaxLearnts {
@@ -237,14 +250,17 @@ func (s *Solver) record(learnt []cnf.Lit) {
 		s.attach(c)
 		s.bumpClause(c)
 	}
+	// Under NoLearning the clause exists only as the antecedent of its
+	// assertion; it is never attached, so it cannot prune future search.
 	s.uncheckedEnqueue(learnt[0], c)
 }
 
 // reduceDB deletes recorded clauses according to the configured policy
 // (§4.1: "in most cases large recorded clauses are eventually deleted").
 func (s *Solver) reduceDB() {
-	locked := func(c *clause) bool {
-		return s.reason[c.lits[0].Var()] == c && s.LitValue(c.lits[0]) == cnf.True
+	locked := func(c CRef) bool {
+		first := s.db.lits(c)[0]
+		return s.reason[first.Var()] == c && s.LitValue(first) == cnf.True
 	}
 	switch s.opts.Deletion {
 	case DeleteNever:
@@ -254,29 +270,44 @@ func (s *Solver) reduceDB() {
 		// RelevanceBound of its literals are unassigned.
 		w := 0
 		for _, c := range s.learnts {
-			if locked(c) || len(c.lits) <= 2 || s.unassignedCount(c) <= s.opts.RelevanceBound {
+			if locked(c) || s.db.size(c) <= 2 || s.unassignedCount(c) <= s.opts.RelevanceBound {
 				s.learnts[w] = c
 				w++
 				continue
 			}
-			c.deleted = true
-			s.detach(c)
+			// Tombstone only: stale watchers are dropped lazily by
+			// propagate and swept by the arena GC.
+			s.db.markDeleted(c)
 			s.Stats.Deleted++
 		}
 		s.learnts = s.learnts[:w]
 	case DeleteByActivity:
-		// Remove the less-active half, keeping binary and locked clauses.
+		// Glue-tiered reduction. Binary, locked and core (LBD ≤ 2)
+		// clauses always survive; mid-tier clauses (LBD ≤ 6) are kept
+		// while they retain a whiff of activity; local-tier clauses
+		// compete on activity against the database mean, capped at half
+		// the database per round (the classic Minisat halving).
 		if len(s.learnts) == 0 {
 			return
 		}
-		med := s.medianActivity()
+		mean := s.meanActivity()
 		w := 0
 		removed := 0
 		target := len(s.learnts) / 2
 		for _, c := range s.learnts {
-			if removed < target && !locked(c) && len(c.lits) > 2 && c.act < med {
-				c.deleted = true
-				s.detach(c)
+			del := false
+			if removed < target && !locked(c) && s.db.size(c) > 2 {
+				switch lbd := s.db.lbd(c); {
+				case lbd <= coreLBDMax:
+					// core: keep forever
+				case lbd <= midLBDMax:
+					del = s.db.act(c) < mean*0.1
+				default:
+					del = s.db.act(c) < mean
+				}
+			}
+			if del {
+				s.db.markDeleted(c)
 				s.Stats.Deleted++
 				removed++
 				continue
@@ -288,9 +319,9 @@ func (s *Solver) reduceDB() {
 	}
 }
 
-func (s *Solver) unassignedCount(c *clause) int {
+func (s *Solver) unassignedCount(c CRef) int {
 	n := 0
-	for _, l := range c.lits {
+	for _, l := range s.db.lits(c) {
 		if s.LitValue(l) == cnf.Undef {
 			n++
 		}
@@ -298,13 +329,13 @@ func (s *Solver) unassignedCount(c *clause) int {
 	return n
 }
 
-// medianActivity approximates the median learned-clause activity by
-// averaging; Minisat uses a sort, but the average is adequate as a
-// threshold and avoids the sort cost.
-func (s *Solver) medianActivity() float64 {
+// meanActivity returns the average learned-clause activity, used as the
+// deletion threshold. (Minisat sorts and takes the median; the mean is
+// an adequate threshold and avoids the sort cost.)
+func (s *Solver) meanActivity() float64 {
 	sum := 0.0
 	for _, c := range s.learnts {
-		sum += c.act
+		sum += s.db.act(c)
 	}
 	return sum / float64(len(s.learnts))
 }
@@ -362,9 +393,9 @@ func (s *Solver) randomLit() cnf.Lit {
 }
 
 func (s *Solver) buildOccLists() {
-	s.occList = make([][]*clause, 2*(s.NumVars()+1))
+	s.occList = make([][]CRef, 2*(s.NumVars()+1))
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.db.lits(c) {
 			s.occList[l.Index()] = append(s.occList[l.Index()], c)
 		}
 	}
@@ -383,11 +414,11 @@ func (s *Solver) dlisLit() cnf.Lit {
 		for _, l := range []cnf.Lit{cnf.PosLit(v), cnf.NegLit(v)} {
 			count := 0
 			for _, c := range s.occList[l.Index()] {
-				if c.deleted {
+				if s.db.deleted(c) {
 					continue
 				}
 				resolved := false
-				for _, m := range c.lits {
+				for _, m := range s.db.lits(c) {
 					if s.LitValue(m) == cnf.True {
 						resolved = true
 						break

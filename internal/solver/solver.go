@@ -7,20 +7,22 @@ import (
 	"repro/internal/cnf"
 )
 
-// clause is the internal representation of an (original or recorded)
-// clause. The literal at index 0 is the one the clause asserted when it
-// acted as an antecedent; watched literals are always at indices 0 and 1.
-type clause struct {
-	lits    []cnf.Lit
-	act     float64
-	learnt  bool
-	temp    bool // discard when its asserted literal is erased (NoLearning)
-	deleted bool
+// watcher guards one long (size ≥ 3) clause for a watched literal. The
+// blocker is some other literal of the clause: if it is already true the
+// clause is satisfied and the arena is never touched.
+type watcher struct {
+	cref    CRef
+	blocker cnf.Lit
 }
 
-type watcher struct {
-	c       *clause
-	blocker cnf.Lit
+// binWatcher specializes binary clauses: the watcher itself carries the
+// clause's other literal, so binary propagation performs zero arena
+// reads — the implied literal and the reason reference are both inline.
+// Binary clauses are never deleted by any reduction policy, so these
+// lists need no lazy-deletion filtering (only GC relocation patching).
+type binWatcher struct {
+	other cnf.Lit
+	cref  CRef
 }
 
 // Theory is the hook through which a structural layer (the circuit-SAT
@@ -49,16 +51,19 @@ type Solver struct {
 	opts Options
 	rng  *rand.Rand
 
-	// Problem state.
-	clauses []*clause // original problem clauses
-	learnts []*clause // recorded (conflict) clauses
-	watches [][]watcher
-	occList [][]*clause // static occurrence lists (DLIS only), by lit index
+	// Problem state. All clauses live in the flat arena db; the rosters
+	// and watch lists hold CRef offsets into it.
+	db         clauseDB
+	clauses    []CRef      // original problem clauses
+	learnts    []CRef      // recorded (conflict) clauses
+	watches    [][]watcher // long-clause watchers, by literal index
+	binWatches [][]binWatcher
+	occList    [][]CRef // static occurrence lists (DLIS only), by lit index
 
 	// Assignment state, indexed by variable.
 	assigns  []cnf.LBool
 	level    []int32
-	reason   []*clause
+	reason   []CRef
 	phase    []bool // saved polarity
 	activity []float64
 	seen     []byte
@@ -90,9 +95,12 @@ type Solver struct {
 
 	proofLog *Proof // recorded conflict clauses (Options.LogProof)
 
-	// Scratch buffers for analyze.
+	// Scratch buffers for analyze. learntBuf backs the learnt clause
+	// itself: record copies it into the arena and exportLearnt only
+	// lends it out, so one buffer serves every conflict.
 	analyzeStack []cnf.Lit
 	analyzeToClr []cnf.Lit
+	learntBuf    []cnf.Lit
 
 	Stats Stats
 }
@@ -136,11 +144,12 @@ func (s *Solver) growTo(n int) {
 	for len(s.assigns) < n+1 {
 		s.assigns = append(s.assigns, cnf.Undef)
 		s.level = append(s.level, 0)
-		s.reason = append(s.reason, nil)
+		s.reason = append(s.reason, CRefUndef)
 		s.phase = append(s.phase, false)
 		s.activity = append(s.activity, 0)
 		s.seen = append(s.seen, 0)
 		s.watches = append(s.watches, nil, nil)
+		s.binWatches = append(s.binWatches, nil, nil)
 		v := cnf.Var(len(s.assigns) - 1)
 		if v >= 1 {
 			s.order.push(v)
@@ -148,6 +157,7 @@ func (s *Solver) growTo(n int) {
 	}
 	for len(s.watches) < 2*(n+1) {
 		s.watches = append(s.watches, nil)
+		s.binWatches = append(s.binWatches, nil)
 	}
 }
 
@@ -239,49 +249,44 @@ func (s *Solver) AddClause(lits cnf.Clause) bool {
 			return false
 		}
 		if s.LitValue(out[0]) == cnf.Undef {
-			s.uncheckedEnqueue(out[0], nil)
-			if s.propagate() != nil {
+			s.uncheckedEnqueue(out[0], CRefUndef)
+			if s.propagate() != CRefUndef {
 				s.ok = false
 				return false
 			}
 		}
 		return true
 	}
-	c := &clause{lits: append([]cnf.Lit(nil), out...)}
+	c := s.db.alloc(out, false, false, 0)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	if s.dlisOcc {
-		for _, l := range c.lits {
+		for _, l := range s.db.lits(c) {
 			s.occList[l.Index()] = append(s.occList[l.Index()], c)
 		}
 	}
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].Not().Index()] = append(s.watches[c.lits[0].Not().Index()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].Not().Index()] = append(s.watches[c.lits[1].Not().Index()], watcher{c, c.lits[0]})
-}
-
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].Not(), c)
-	s.removeWatch(c.lits[1].Not(), c)
-}
-
-func (s *Solver) removeWatch(l cnf.Lit, c *clause) {
-	ws := s.watches[l.Index()]
-	for i := range ws {
-		if ws[i].c == c {
-			ws[i] = ws[len(ws)-1]
-			s.watches[l.Index()] = ws[:len(ws)-1]
-			return
-		}
+func (s *Solver) attach(c CRef) {
+	lits := s.db.lits(c)
+	if len(lits) == 2 {
+		s.binWatches[lits[0].Not().Index()] = append(s.binWatches[lits[0].Not().Index()], binWatcher{lits[1], c})
+		s.binWatches[lits[1].Not().Index()] = append(s.binWatches[lits[1].Not().Index()], binWatcher{lits[0], c})
+		return
 	}
+	s.watches[lits[0].Not().Index()] = append(s.watches[lits[0].Not().Index()], watcher{c, lits[1]})
+	s.watches[lits[1].Not().Index()] = append(s.watches[lits[1].Not().Index()], watcher{c, lits[0]})
 }
+
+// Clause deletion is fully lazy: reduceDB only tombstones headers
+// (markDeleted); propagate drops a stale watcher when it meets one, and
+// garbageCollect sweeps the rest. There is deliberately no eager detach
+// — it would cost two linear watch-list scans per deleted clause.
 
 // uncheckedEnqueue places l on the trail as true with the given
-// antecedent (nil for decisions and top-level facts).
-func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
+// antecedent (CRefUndef for decisions and top-level facts).
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from CRef) {
 	v := l.Var()
 	s.assigns[v] = cnf.FromBool(!l.IsNeg())
 	s.level[v] = int32(s.decisionLevel())
@@ -294,70 +299,84 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from *clause) {
 
 // propagate is the Deduce() function of Figure 2: it performs Boolean
 // constraint propagation from the current queue head and returns the
-// conflicting clause, or nil if no clause became unsatisfied.
-func (s *Solver) propagate() *clause {
+// conflicting clause, or CRefUndef if no clause became unsatisfied.
+func (s *Solver) propagate() CRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
-		ws := s.watches[p.Index()]
 		s.Stats.Propagations++
+
+		// Binary clauses first: the implied literal lives inside the
+		// watcher, so this loop never dereferences the arena.
+		for _, bw := range s.binWatches[p.Index()] {
+			switch s.LitValue(bw.other) {
+			case cnf.True:
+			case cnf.False:
+				s.qhead = len(s.trail)
+				return bw.cref
+			default:
+				s.uncheckedEnqueue(bw.other, bw.cref)
+			}
+		}
+
+		ws := s.watches[p.Index()]
 		i, j := 0, 0
-		var confl *clause
+		var confl CRef = CRefUndef
 	watchLoop:
 		for i < len(ws) {
 			w := ws[i]
-			if w.c.deleted {
-				i++
-				continue // drop lazily
-			}
 			if s.LitValue(w.blocker) == cnf.True {
 				ws[j] = w
 				i++
 				j++
 				continue
 			}
-			c := w.c
-			// Ensure the false literal (¬p) is at index 1.
-			if c.lits[0] == p.Not() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if s.db.deleted(w.cref) {
+				i++
+				continue // drop lazily
 			}
-			first := c.lits[0]
+			lits := s.db.lits(w.cref)
+			// Ensure the false literal (¬p) is at index 1.
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
 			if first != w.blocker && s.LitValue(first) == cnf.True {
-				ws[j] = watcher{c, first}
+				ws[j] = watcher{w.cref, first}
 				i++
 				j++
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.LitValue(c.lits[k]) != cnf.False {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not().Index()] = append(s.watches[c.lits[1].Not().Index()], watcher{c, first})
+			for k := 2; k < len(lits); k++ {
+				if s.LitValue(lits[k]) != cnf.False {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Not().Index()] = append(s.watches[lits[1].Not().Index()], watcher{w.cref, first})
 					i++
 					continue watchLoop
 				}
 			}
 			// Clause is unit or conflicting.
-			ws[j] = watcher{c, first}
+			ws[j] = watcher{w.cref, first}
 			i++
 			j++
 			if s.LitValue(first) == cnf.False {
-				confl = c
+				confl = w.cref
 				s.qhead = len(s.trail)
 				break
 			}
-			s.uncheckedEnqueue(first, c)
+			s.uncheckedEnqueue(first, w.cref)
 		}
 		for ; i < len(ws); i++ {
 			ws[j] = ws[i]
 			j++
 		}
 		s.watches[p.Index()] = ws[:j]
-		if confl != nil {
+		if confl != CRefUndef {
 			return confl
 		}
 	}
-	return nil
+	return CRefUndef
 }
 
 // cancelUntil is the Erase() function of Figure 2: it undoes all
@@ -373,14 +392,14 @@ func (s *Solver) cancelUntil(lvl int) {
 		if !s.opts.NoPhaseSaving {
 			s.phase[v] = !l.IsNeg()
 		}
-		if r := s.reason[v]; r != nil && r.temp && !r.deleted {
+		if r := s.reason[v]; r != CRefUndef && s.db.temp(r) && !s.db.deleted(r) {
 			// NoLearning: the recorded clause dies with its assignment.
-			// Temp clauses are never attached to watch lists, so marking
-			// suffices; the GC reclaims them once the reason is cleared.
-			r.deleted = true
+			// Temp clauses are never attached to watch lists, so the
+			// tombstone suffices; the arena GC reclaims the words.
+			s.db.markDeleted(r)
 		}
 		s.assigns[v] = cnf.Undef
-		s.reason[v] = nil
+		s.reason[v] = CRefUndef
 		s.order.pushIfAbsent(v)
 		if s.theory != nil {
 			s.theory.OnUnassign(l)
@@ -389,6 +408,71 @@ func (s *Solver) cancelUntil(lvl int) {
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:lvl]
 	s.qhead = len(s.trail)
+}
+
+// maybeGC runs the relocating arena collector once tombstoned clauses
+// waste a quarter of the arena (with a floor so tiny instances never
+// bother). Callers must hold no CRef in a local across the call.
+func (s *Solver) maybeGC() {
+	if s.db.wasted > 1024 && s.db.wasted*4 >= len(s.db.arena) {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect compacts the clause arena, dropping tombstoned clauses,
+// and patches every live reference: the clause rosters, long and binary
+// watch lists, reason antecedents and the DLIS occurrence lists. Safe at
+// any point where no caller holds an unpatched CRef.
+func (s *Solver) garbageCollect() {
+	newArena := s.db.compact()
+	for i, c := range s.clauses {
+		s.clauses[i] = s.db.forward(c)
+	}
+	for i, c := range s.learnts {
+		s.learnts[i] = s.db.forward(c)
+	}
+	// Long watch lists may still reference tombstoned clauses (lazy
+	// deletion): those watchers die here.
+	for li := range s.watches {
+		ws := s.watches[li]
+		w := 0
+		for _, x := range ws {
+			if s.db.deleted(x.cref) {
+				continue
+			}
+			x.cref = s.db.forward(x.cref)
+			ws[w] = x
+			w++
+		}
+		s.watches[li] = ws[:w]
+	}
+	// Binary clauses are never deleted; patch in place.
+	for li := range s.binWatches {
+		ws := s.binWatches[li]
+		for i := range ws {
+			ws[i].cref = s.db.forward(ws[i].cref)
+		}
+	}
+	// Locked antecedents survive by construction (reduceDB never deletes
+	// them, and temp reasons are tombstoned only after being cleared).
+	for v := range s.reason {
+		if s.reason[v] != CRefUndef {
+			s.reason[v] = s.db.forward(s.reason[v])
+		}
+	}
+	if s.dlisOcc {
+		// Occurrence lists hold only problem clauses, which are never
+		// deleted; patch in place.
+		for li := range s.occList {
+			oc := s.occList[li]
+			for i := range oc {
+				oc[i] = s.db.forward(oc[i])
+			}
+		}
+	}
+	s.db.arena = newArena
+	s.db.wasted = 0
+	s.Stats.ArenaGCs++
 }
 
 func (s *Solver) bumpVar(v cnf.Var) {
@@ -404,11 +488,12 @@ func (s *Solver) bumpVar(v cnf.Var) {
 
 func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.act += s.claInc
-	if c.act > 1e20 {
+func (s *Solver) bumpClause(c CRef) {
+	a := s.db.act(c) + s.claInc
+	s.db.setAct(c, a)
+	if a > 1e20 {
 		for _, lc := range s.learnts {
-			lc.act *= 1e-20
+			s.db.setAct(lc, s.db.act(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}

@@ -298,11 +298,11 @@ func TestLearnedClausesAreImplicates(t *testing.T) {
 	checked := 0
 	for _, c := range s.learnts {
 		g := f.Clone()
-		for _, l := range c.lits {
+		for _, l := range s.db.lits(c) {
 			g.AddUnit(l.Not())
 		}
 		if sat, _ := cnf.BruteForce(g); sat {
-			t.Fatalf("learned clause %v is not an implicate", c.lits)
+			t.Fatalf("learned clause %v is not an implicate", s.db.lits(c))
 		}
 		checked++
 		if checked >= 25 {
