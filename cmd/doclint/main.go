@@ -1,0 +1,108 @@
+// Command doclint enforces the repository's documentation floor: every
+// Go package under internal/ and cmd/, plus the root facade package,
+// must carry a package-level doc comment (a comment block immediately
+// preceding the package clause in at least one non-test file). CI runs
+// it next to go vet; it exits non-zero listing every offending package.
+//
+// The check is deliberately narrow — it verifies the comment exists and
+// is attached (a blank line between comment and package clause detaches
+// it in godoc), not that it is good prose. Reviewers own the prose.
+//
+// Usage:
+//
+//	go run ./cmd/doclint [root]
+//
+// root defaults to the current directory.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	// Collect every directory containing non-test .go files under the
+	// audited roots.
+	dirs := map[string]bool{}
+	addGoFiles := func(path string, d fs.DirEntry) {
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+	}
+	for _, sub := range []string{"internal", "cmd"} {
+		tree := filepath.Join(root, sub)
+		if _, err := os.Stat(tree); os.IsNotExist(err) {
+			continue
+		}
+		err := filepath.WalkDir(tree, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			addGoFiles(path, d)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+	}
+	// The facade package: only the root directory itself, when it holds
+	// Go files.
+	if entries, err := os.ReadDir(root); err == nil {
+		for _, e := range entries {
+			addGoFiles(filepath.Join(root, e.Name()), e)
+		}
+	}
+
+	var missing []string
+	for dir := range dirs {
+		ok, pkg, err := hasPackageComment(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			missing = append(missing, fmt.Sprintf("%s (package %s)", dir, pkg))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		fmt.Fprintf(os.Stderr, "doclint: no package doc comment: %s\n", m)
+	}
+	if len(missing) > 0 {
+		os.Exit(1)
+	}
+}
+
+// hasPackageComment reports whether any non-test Go file in dir carries
+// a doc comment attached to its package clause.
+func hasPackageComment(dir string) (bool, string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return false, "", err
+	}
+	name := ""
+	for pkgName, pkg := range pkgs {
+		name = pkgName
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return true, pkgName, nil
+			}
+		}
+	}
+	return false, name, nil
+}

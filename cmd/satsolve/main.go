@@ -40,6 +40,7 @@ func main() {
 		reclearn  = flag.Int("reclearn", 0, "recursive learning depth (0 = off)")
 		local     = flag.Bool("local-search", false, "use WalkSAT (incomplete)")
 		maxConfl  = flag.Int64("max-conflicts", 0, "conflict budget (0 = unlimited)")
+		watchPage = flag.Int("watch-page", 0, "min page capacity of the paged watcher store, rounded up to a power of two (values below 2 select the default of 4)")
 		workers   = flag.Int("workers", 1, "portfolio workers racing in parallel (0 = all CPUs, 1 = sequential)")
 		share     = flag.Bool("share", true, "share short learned clauses between portfolio workers")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget, e.g. 10s (0 = none); exhaustion exits 40 with s UNKNOWN")
@@ -74,6 +75,7 @@ func main() {
 			RandomFreq:    *rnd,
 			Seed:          *seed,
 			MaxConflicts:  *maxConfl,
+			WatchPageSize: *watchPage,
 		},
 	}
 	if *relevance > 0 {
@@ -138,8 +140,8 @@ func main() {
 		}
 		if ans.SolverStats != nil {
 			s := ans.SolverStats
-			fmt.Printf("c decisions %d conflicts %d propagations %d learned %d deleted %d restarts %d maxjump %d\n",
-				s.Decisions, s.Conflicts, s.Propagations, s.Learned, s.Deleted, s.Restarts, s.MaxJump)
+			fmt.Printf("c decisions %d conflicts %d propagations %d learned %d deleted %d demoted %d restarts %d maxjump %d\n",
+				s.Decisions, s.Conflicts, s.Propagations, s.Learned, s.Deleted, s.Demoted, s.Restarts, s.MaxJump)
 		}
 		if p := ans.Portfolio; p != nil {
 			fmt.Printf("c portfolio workers %d winner %d recipe %s shared %d\n",

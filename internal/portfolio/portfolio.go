@@ -56,15 +56,25 @@ type Options struct {
 	Seed int64
 }
 
-// WorkerReport is one worker's outcome and search statistics.
+// WorkerReport is one worker's outcome and search statistics. Reports
+// are value copies taken after every worker has stopped; holding them
+// keeps no solver alive.
 type WorkerReport struct {
-	ID     int
+	// ID is the worker index (0 = the undiversified base configuration).
+	ID int
+	// Recipe names the diversification applied to this worker.
 	Recipe string
+	// Status is this worker's own verdict (Unknown for interrupted
+	// losers and exhausted budgets).
 	Status solver.Status
-	Stats  solver.Stats
+	// Stats is the worker's final search statistics, including clauses
+	// imported/exported through the shared pool.
+	Stats solver.Stats
 }
 
-// Result aggregates a portfolio run.
+// Result aggregates a portfolio run. All fields are owned by the
+// caller: Model and Core are copies, and no field aliases a worker's
+// internal state.
 type Result struct {
 	// Status is the winning verdict (Unknown if every worker was
 	// interrupted or exhausted its budget).

@@ -15,7 +15,7 @@ import (
 //
 // Arena layout of one clause starting at offset c:
 //
-//	word c+0: size<<3 | learnt<<0 | temp<<1 | deleted<<2
+//	word c+0: size<<6 | learnt<<0 | temp<<1 | deleted<<2 | touched<<3 | tier<<4
 //	word c+1: LBD (literal-block distance at learn time; 0 = problem clause)
 //	word c+2: activity (compressed float, see actEncode)
 //	word c+3 … c+3+size-1: the literals
@@ -23,9 +23,20 @@ import (
 // The arena is []cnf.Lit rather than []uint32 purely so that lits() can
 // return a zero-copy typed sub-slice without unsafe; header words store
 // uint32 bit patterns through lossless int32 casts.
+//
+// Besides the arena proper, the clauseDB owns the learnt-clause rosters:
+// three flat CRef segments, one per glue tier (core/mid/local), which
+// reduceDB iterates instead of one mixed roster. Roster membership is
+// derivable from the packed headers (learnt && !temp, tier bits), so the
+// relocating collector rebuilds all three segments in place during its
+// single compaction sweep — rosters need no separate patching pass and
+// can never drift out of sync with the arena.
 
 // CRef addresses a clause as a word offset into the solver's clause
 // arena. CRefUndef means "no clause" (a decision or a top-level fact).
+// A CRef is only valid until the next arena compaction (garbageCollect);
+// code that must hold a clause across a possible compaction holds it in
+// a structure the collector patches (rosters, watcher pages, reason[]).
 type CRef uint32
 
 // CRefUndef is the null clause reference.
@@ -36,8 +47,34 @@ const (
 	flagLearnt  = 1 << 0
 	flagTemp    = 1 << 1
 	flagDeleted = 1 << 2
-	flagBits    = 3
+	flagTouched = 1 << 3 // bumped since the last reduceDB round
+	tierShift   = 4
+	tierMask    = 3 << tierShift
+	flagBits    = 6
 )
+
+// Learnt-clause roster tiers. A clause's tier is assigned from its
+// learn-time LBD (tierOfLBD) and only ever moves downward: reduceDB
+// demotes a mid clause that was not touched since the last reduction to
+// the local tier, where it competes on activity.
+const (
+	tierCore  = iota // LBD ≤ coreLBDMax: kept forever, never scanned by reduceDB
+	tierMid          // LBD ≤ midLBDMax: kept while touched between reductions
+	tierLocal        // the rest: compete on activity every reduction
+	numTiers
+)
+
+// tierOfLBD maps a learn-time LBD to its roster tier.
+func tierOfLBD(lbd int) int {
+	switch {
+	case lbd <= coreLBDMax:
+		return tierCore
+	case lbd <= midLBDMax:
+		return tierMid
+	default:
+		return tierLocal
+	}
+}
 
 // clauseDB is the arena plus the bookkeeping its relocating garbage
 // collector needs. Deleted clauses stay in place (their headers keep the
@@ -45,14 +82,22 @@ const (
 type clauseDB struct {
 	arena  []cnf.Lit
 	wasted int // words occupied by deleted clauses; the GC trigger
+
+	// roster holds every live learnt (non-temp) clause, segmented by
+	// glue tier. Compaction rebuilds the segments from clause headers;
+	// reduceDB compacts them in place as it tombstones.
+	roster [numTiers][]CRef
 }
 
-// alloc appends a clause to the arena and returns its reference.
+// alloc appends a clause to the arena and returns its reference. Learnt
+// clauses start in the tier their learn-time LBD selects and with the
+// touched bit set, so a clause recorded just before a reduction is not
+// instantly demoted as "idle".
 func (db *clauseDB) alloc(lits []cnf.Lit, learnt, temp bool, lbd int) CRef {
 	c := CRef(len(db.arena))
 	hdr := uint32(len(lits)) << flagBits
 	if learnt {
-		hdr |= flagLearnt
+		hdr |= flagLearnt | flagTouched | uint32(tierOfLBD(lbd))<<tierShift
 	}
 	if temp {
 		hdr |= flagTemp
@@ -60,6 +105,19 @@ func (db *clauseDB) alloc(lits []cnf.Lit, learnt, temp bool, lbd int) CRef {
 	db.arena = append(db.arena, cnf.Lit(int32(hdr)), cnf.Lit(int32(uint32(lbd))), 0)
 	db.arena = append(db.arena, lits...)
 	return c
+}
+
+// addLearnt enters a freshly allocated learnt clause into the roster
+// segment of its tier. The caller must not add temp clauses (NoLearning
+// antecedents live outside the rosters and die with their assignment).
+func (db *clauseDB) addLearnt(c CRef) {
+	db.roster[db.tier(c)] = append(db.roster[db.tier(c)], c)
+}
+
+// learntCount returns the number of live learnt clauses across all
+// roster tiers (the quantity MaxLearnts-style growth policies bound).
+func (db *clauseDB) learntCount() int {
+	return len(db.roster[tierCore]) + len(db.roster[tierMid]) + len(db.roster[tierLocal])
 }
 
 func (db *clauseDB) header(c CRef) uint32 { return uint32(db.arena[c]) }
@@ -78,6 +136,27 @@ func (db *clauseDB) lits(c CRef) []cnf.Lit {
 func (db *clauseDB) learnt(c CRef) bool  { return db.header(c)&flagLearnt != 0 }
 func (db *clauseDB) temp(c CRef) bool    { return db.header(c)&flagTemp != 0 }
 func (db *clauseDB) deleted(c CRef) bool { return db.header(c)&flagDeleted != 0 }
+
+// touched reports whether the clause was bumped (used as an antecedent
+// in conflict analysis) since the last reduceDB round.
+func (db *clauseDB) touched(c CRef) bool { return db.header(c)&flagTouched != 0 }
+
+func (db *clauseDB) setTouched(c CRef) {
+	db.arena[c] = cnf.Lit(int32(db.header(c) | flagTouched))
+}
+
+func (db *clauseDB) clearTouched(c CRef) {
+	db.arena[c] = cnf.Lit(int32(db.header(c) &^ uint32(flagTouched)))
+}
+
+// tier returns the clause's roster tier (meaningful for learnt clauses).
+func (db *clauseDB) tier(c CRef) int { return int(db.header(c)&tierMask) >> tierShift }
+
+// setTier rewrites the clause's tier bits (reduceDB demotion). The
+// caller also moves the CRef between roster segments.
+func (db *clauseDB) setTier(c CRef, t int) {
+	db.arena[c] = cnf.Lit(int32(db.header(c)&^uint32(tierMask) | uint32(t)<<tierShift))
+}
 
 // markDeleted tombstones the clause; the words are reclaimed by the next
 // compaction. Watchers referencing it are dropped lazily.
@@ -103,14 +182,28 @@ func (db *clauseDB) setAct(c CRef, a float64) {
 // forwarding address in the old clause's LBD slot (the copy is taken
 // first, so the new clause keeps its real LBD). The caller patches all
 // outstanding CRefs through forward() and then installs the new arena.
+//
+// The learnt rosters are rebuilt in place during the same sweep: every
+// surviving learnt (non-temp) clause is re-entered into its tier segment
+// at its post-compaction address, so the segments come out compacted,
+// patched and ordered by arena position in one pass — the caller never
+// patches rosters itself.
 func (db *clauseDB) compact() []cnf.Lit {
 	newArena := make([]cnf.Lit, 0, len(db.arena)-db.wasted)
+	for t := range db.roster {
+		db.roster[t] = db.roster[t][:0]
+	}
 	for c := 0; c < len(db.arena); {
-		span := clsHdrWords + int(uint32(db.arena[c])>>flagBits)
-		if uint32(db.arena[c])&flagDeleted == 0 {
+		hdr := uint32(db.arena[c])
+		span := clsHdrWords + int(hdr>>flagBits)
+		if hdr&flagDeleted == 0 {
 			nc := len(newArena)
 			newArena = append(newArena, db.arena[c:c+span]...)
 			db.arena[c+1] = cnf.Lit(int32(uint32(nc)))
+			if hdr&flagLearnt != 0 && hdr&flagTemp == 0 {
+				t := int(hdr&tierMask) >> tierShift
+				db.roster[t] = append(db.roster[t], CRef(nc))
+			}
 		}
 		c += span
 	}

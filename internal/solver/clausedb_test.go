@@ -14,9 +14,9 @@ import (
 // propagate is not mid-flight (i.e. between Solve/propagate calls).
 func checkWatchConsistency(t *testing.T, s *Solver) {
 	t.Helper()
-	for li := range s.watches {
+	for li := range s.watches.ref {
 		l := cnf.Lit(li)
-		for _, w := range s.watches[li] {
+		for _, w := range s.watches.list(li) {
 			if s.db.deleted(w.cref) {
 				continue // lazily dropped; must still be addressable
 			}
@@ -28,7 +28,7 @@ func checkWatchConsistency(t *testing.T, s *Solver) {
 				t.Fatalf("watcher of %v references clause %v that does not watch it", l, lits)
 			}
 		}
-		for _, bw := range s.binWatches[li] {
+		for _, bw := range s.binWatches.list(li) {
 			if s.db.deleted(bw.cref) {
 				t.Fatalf("deleted clause in binary watch list of %v", l)
 			}
@@ -37,10 +37,10 @@ func checkWatchConsistency(t *testing.T, s *Solver) {
 				t.Fatalf("non-binary clause %v in binary watch list of %v", lits, l)
 			}
 			switch {
-			case lits[0] == l.Not() && lits[1] == bw.other:
-			case lits[1] == l.Not() && lits[0] == bw.other:
+			case lits[0] == l.Not() && lits[1] == bw.blocker:
+			case lits[1] == l.Not() && lits[0] == bw.blocker:
 			default:
-				t.Fatalf("binary watcher (%v → %v) does not match clause %v", l, bw.other, lits)
+				t.Fatalf("binary watcher (%v → %v) does not match clause %v", l, bw.blocker, lits)
 			}
 		}
 	}
@@ -207,8 +207,8 @@ func TestArenaBinaryWatcherChain(t *testing.T) {
 			t.Fatalf("var %d must be implied true", v)
 		}
 	}
-	for li := range s.watches {
-		if len(s.watches[li]) != 0 {
+	for li := range s.watches.ref {
+		if len(s.watches.list(li)) != 0 {
 			t.Fatalf("binary-only formula grew long watchers for lit %v", cnf.Lit(li))
 		}
 	}

@@ -139,7 +139,7 @@ func (s *Solver) injectLearnt(lits cnf.Clause) bool {
 		// Foreign clauses carry no learn-time LBD; rate them by their
 		// level-0 length so tiered deletion treats short imports kindly.
 		c := s.db.alloc(out, true, false, len(out))
-		s.learnts = append(s.learnts, c)
+		s.db.addLearnt(c)
 		s.attach(c)
 		s.bumpClause(c)
 	}

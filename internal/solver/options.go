@@ -133,6 +133,23 @@ type Options struct {
 	// NoPhaseSaving disables progress saving of variable polarities.
 	NoPhaseSaving bool
 
+	// WatchPageSize is the minimum page capacity, in watchers, of the
+	// paged watcher store: every per-literal watch list occupies one
+	// page of capacity WatchPageSize<<k inside a single flat backing
+	// slice, and freed pages are recycled through per-size-class free
+	// chains. Values are rounded up to a power of two; values below 2
+	// (including 0) select the default of 4, and absurdly large values
+	// are clamped. Larger pages trade memory slack for fewer page
+	// relocations on instances with long watch lists.
+	WatchPageSize int
+
+	// LegacyWatcherStore selects the pre-paging watcher representation
+	// (one individually heap-allocated slice per literal). It exists
+	// solely as the measured baseline for BenchmarkE32's watcher-store
+	// variant and the differential tests that pin the paged store's
+	// semantics; it is not a production configuration.
+	LegacyWatcherStore bool
+
 	// VarDecay and ClauseDecay control activity decay (0 = defaults
 	// 0.95 and 0.999).
 	VarDecay, ClauseDecay float64
@@ -199,6 +216,9 @@ func (o *Options) withDefaults() Options {
 	if out.ShareMaxLBD == 0 {
 		out.ShareMaxLBD = 4
 	}
+	if out.WatchPageSize == 0 {
+		out.WatchPageSize = 4
+	}
 	return out
 }
 
@@ -238,6 +258,7 @@ type Stats struct {
 	Restarts     int64
 	Learned      int64 // clauses recorded
 	Deleted      int64 // learned clauses deleted
+	Demoted      int64 // mid-tier clauses demoted to the local tier (untouched between reductions)
 	Exported     int64 // clauses offered to the ExportClause hook
 	Imported     int64 // foreign clauses injected via ImportClauses
 	MaxLearnts   int64 // high-water mark of the learned database

@@ -180,7 +180,7 @@ func (s *Solver) search(maxConfl int64) Status {
 		if maxConfl >= 0 && conflictsHere >= maxConfl {
 			return Unknown // restart
 		}
-		if !s.opts.NoLearning && float64(len(s.learnts)) >= s.maxLearn+float64(len(s.trail)) {
+		if !s.opts.NoLearning && float64(s.db.learntCount()) >= s.maxLearn+float64(len(s.trail)) {
 			s.reduceDB()
 			s.maxLearn *= 1.1
 		}
@@ -242,10 +242,10 @@ func (s *Solver) record(learnt []cnf.Lit, lbd int) {
 	}
 	c := s.db.alloc(learnt, true, s.opts.NoLearning, lbd)
 	if !s.opts.NoLearning {
-		s.learnts = append(s.learnts, c)
+		s.db.addLearnt(c)
 		s.Stats.Learned++
-		if int64(len(s.learnts)) > s.Stats.MaxLearnts {
-			s.Stats.MaxLearnts = int64(len(s.learnts))
+		if n := int64(s.db.learntCount()); n > s.Stats.MaxLearnts {
+			s.Stats.MaxLearnts = n
 		}
 		s.attach(c)
 		s.bumpClause(c)
@@ -257,6 +257,9 @@ func (s *Solver) record(learnt []cnf.Lit, lbd int) {
 
 // reduceDB deletes recorded clauses according to the configured policy
 // (§4.1: "in most cases large recorded clauses are eventually deleted").
+// It iterates the clause DB's per-tier roster segments; tombstoned
+// clauses are removed from their segment here and reclaimed by the
+// arena GC (stale watchers are dropped lazily by propagate).
 func (s *Solver) reduceDB() {
 	locked := func(c CRef) bool {
 		first := s.db.lits(c)[0]
@@ -267,55 +270,68 @@ func (s *Solver) reduceDB() {
 		return
 	case DeleteByRelevance:
 		// Relevance-based learning: a clause stays while at most
-		// RelevanceBound of its literals are unassigned.
+		// RelevanceBound of its literals are unassigned. Tiers do not
+		// matter to this policy; every segment is filtered.
+		for t := range s.db.roster {
+			rs := s.db.roster[t]
+			w := 0
+			for _, c := range rs {
+				if locked(c) || s.db.size(c) <= 2 || s.unassignedCount(c) <= s.opts.RelevanceBound {
+					rs[w] = c
+					w++
+					continue
+				}
+				s.db.markDeleted(c)
+				s.Stats.Deleted++
+			}
+			s.db.roster[t] = rs[:w]
+		}
+	case DeleteByActivity:
+		// Glue-tiered reduction over the roster segments. The core
+		// segment (learn-time LBD ≤ 2) is never even scanned — those
+		// clauses live forever. Mid-tier clauses survive while their
+		// touched header bit shows they were used in conflict analysis
+		// since the last reduction; idle ones are demoted to the local
+		// tier. Local-tier clauses (including fresh demotees) compete
+		// on activity against the local mean, capped at half the
+		// segment per round (the classic Minisat halving). Touched
+		// bits of surviving mid/local clauses are cleared so the next
+		// round measures a fresh interval.
+		mid := s.db.roster[tierMid]
 		w := 0
-		for _, c := range s.learnts {
-			if locked(c) || s.db.size(c) <= 2 || s.unassignedCount(c) <= s.opts.RelevanceBound {
-				s.learnts[w] = c
+		for _, c := range mid {
+			if s.db.touched(c) || locked(c) || s.db.size(c) <= 2 {
+				s.db.clearTouched(c)
+				mid[w] = c
 				w++
 				continue
 			}
-			// Tombstone only: stale watchers are dropped lazily by
-			// propagate and swept by the arena GC.
-			s.db.markDeleted(c)
-			s.Stats.Deleted++
+			s.db.setTier(c, tierLocal)
+			s.db.roster[tierLocal] = append(s.db.roster[tierLocal], c)
+			s.Stats.Demoted++
 		}
-		s.learnts = s.learnts[:w]
-	case DeleteByActivity:
-		// Glue-tiered reduction. Binary, locked and core (LBD ≤ 2)
-		// clauses always survive; mid-tier clauses (LBD ≤ 6) are kept
-		// while they retain a whiff of activity; local-tier clauses
-		// compete on activity against the database mean, capped at half
-		// the database per round (the classic Minisat halving).
-		if len(s.learnts) == 0 {
+		s.db.roster[tierMid] = mid[:w]
+
+		local := s.db.roster[tierLocal]
+		if len(local) == 0 {
 			return
 		}
-		mean := s.meanActivity()
-		w := 0
+		mean := s.meanActivity(local)
+		w = 0
 		removed := 0
-		target := len(s.learnts) / 2
-		for _, c := range s.learnts {
-			del := false
-			if removed < target && !locked(c) && s.db.size(c) > 2 {
-				switch lbd := s.db.lbd(c); {
-				case lbd <= coreLBDMax:
-					// core: keep forever
-				case lbd <= midLBDMax:
-					del = s.db.act(c) < mean*0.1
-				default:
-					del = s.db.act(c) < mean
-				}
-			}
-			if del {
+		target := len(local) / 2
+		for _, c := range local {
+			if removed < target && !locked(c) && s.db.size(c) > 2 && s.db.act(c) < mean {
 				s.db.markDeleted(c)
 				s.Stats.Deleted++
 				removed++
 				continue
 			}
-			s.learnts[w] = c
+			s.db.clearTouched(c)
+			local[w] = c
 			w++
 		}
-		s.learnts = s.learnts[:w]
+		s.db.roster[tierLocal] = local[:w]
 	}
 }
 
@@ -329,15 +345,16 @@ func (s *Solver) unassignedCount(c CRef) int {
 	return n
 }
 
-// meanActivity returns the average learned-clause activity, used as the
-// deletion threshold. (Minisat sorts and takes the median; the mean is
-// an adequate threshold and avoids the sort cost.)
-func (s *Solver) meanActivity() float64 {
+// meanActivity returns the average activity over one roster segment,
+// used as the local tier's deletion threshold. (Minisat sorts and takes
+// the median; the mean is an adequate threshold and avoids the sort
+// cost.) refs must be non-empty.
+func (s *Solver) meanActivity(refs []CRef) float64 {
 	sum := 0.0
-	for _, c := range s.learnts {
+	for _, c := range refs {
 		sum += s.db.act(c)
 	}
-	return sum / float64(len(s.learnts))
+	return sum / float64(len(refs))
 }
 
 // pickBranchLit implements the configured Decide() heuristic.

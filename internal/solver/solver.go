@@ -7,22 +7,17 @@ import (
 	"repro/internal/cnf"
 )
 
-// watcher guards one long (size ≥ 3) clause for a watched literal. The
-// blocker is some other literal of the clause: if it is already true the
-// clause is satisfied and the arena is never touched.
+// watcher guards one clause for a watched literal. In the long-clause
+// store (size ≥ 3) blocker is some other literal of the clause: if it is
+// already true the clause is satisfied and the arena is never touched.
+// In the binary store the same struct specializes two-literal clauses:
+// blocker IS the clause's other (implied) literal and cref the reason
+// reference, so binary propagation performs zero arena reads. Binary
+// clauses are never deleted by any reduction policy, so binary lists
+// need no lazy-deletion filtering (only GC relocation patching).
 type watcher struct {
 	cref    CRef
 	blocker cnf.Lit
-}
-
-// binWatcher specializes binary clauses: the watcher itself carries the
-// clause's other literal, so binary propagation performs zero arena
-// reads — the implied literal and the reason reference are both inline.
-// Binary clauses are never deleted by any reduction policy, so these
-// lists need no lazy-deletion filtering (only GC relocation patching).
-type binWatcher struct {
-	other cnf.Lit
-	cref  CRef
 }
 
 // Theory is the hook through which a structural layer (the circuit-SAT
@@ -51,14 +46,19 @@ type Solver struct {
 	opts Options
 	rng  *rand.Rand
 
-	// Problem state. All clauses live in the flat arena db; the rosters
-	// and watch lists hold CRef offsets into it.
+	// Problem state. All clauses live in the flat arena db (which also
+	// owns the per-tier learnt rosters); the watcher stores and the
+	// clause roster hold CRef offsets into it.
 	db         clauseDB
-	clauses    []CRef      // original problem clauses
-	learnts    []CRef      // recorded (conflict) clauses
-	watches    [][]watcher // long-clause watchers, by literal index
-	binWatches [][]binWatcher
-	occList    [][]CRef // static occurrence lists (DLIS only), by lit index
+	clauses    []CRef     // original problem clauses
+	watches    watchStore // long-clause watcher pages, by literal index
+	binWatches watchStore // binary watcher pages (blocker = the implied literal)
+	occList    [][]CRef   // static occurrence lists (DLIS only), by lit index
+
+	// Slice-of-slices watcher lists, used only under
+	// Options.LegacyWatcherStore (the BenchmarkE32 baseline).
+	legacyWatches [][]watcher
+	legacyBin     [][]watcher
 
 	// Assignment state, indexed by variable.
 	assigns  []cnf.LBool
@@ -118,6 +118,8 @@ func New(n int, opts Options) *Solver {
 	if s.opts.LogProof {
 		s.proofLog = &Proof{}
 	}
+	s.watches.init(s.opts.WatchPageSize)
+	s.binWatches.init(s.opts.WatchPageSize)
 	s.growTo(n)
 	return s
 }
@@ -148,17 +150,20 @@ func (s *Solver) growTo(n int) {
 		s.phase = append(s.phase, false)
 		s.activity = append(s.activity, 0)
 		s.seen = append(s.seen, 0)
-		s.watches = append(s.watches, nil, nil)
-		s.binWatches = append(s.binWatches, nil, nil)
 		v := cnf.Var(len(s.assigns) - 1)
 		if v >= 1 {
 			s.order.push(v)
 		}
 	}
-	for len(s.watches) < 2*(n+1) {
-		s.watches = append(s.watches, nil)
-		s.binWatches = append(s.binWatches, nil)
+	if s.opts.LegacyWatcherStore {
+		for len(s.legacyWatches) < 2*(n+1) {
+			s.legacyWatches = append(s.legacyWatches, nil)
+			s.legacyBin = append(s.legacyBin, nil)
+		}
+		return
 	}
+	s.watches.growLits(2 * (n + 1))
+	s.binWatches.growLits(2 * (n + 1))
 }
 
 // SetTheory installs a structural theory layer. It must be installed
@@ -169,10 +174,14 @@ func (s *Solver) SetTheory(t Theory) { s.theory = t }
 // (false after a top-level contradiction was added).
 func (s *Solver) Okay() bool { return s.ok }
 
-// Value returns the current/model value of variable v.
+// Value returns the value of variable v: the live (possibly partial)
+// assignment while Solve runs, the model after a Sat answer. For a
+// value that outlives further Solve/AddClause calls use Model, which
+// copies.
 func (s *Solver) Value(v cnf.Var) cnf.LBool { return s.assigns[v] }
 
-// LitValue returns the current/model value of literal l.
+// LitValue returns the value of literal l under the same live-state
+// rules as Value.
 func (s *Solver) LitValue(l cnf.Lit) cnf.LBool {
 	v := s.assigns[l.Var()]
 	if l.IsNeg() {
@@ -196,7 +205,9 @@ func (s *Solver) Model() cnf.Assignment {
 func (s *Solver) PartialModel() bool { return s.partial }
 
 // Core returns the subset of the assumption literals proven jointly
-// inconsistent by the last Unsat answer (the "conflict core").
+// inconsistent by the last Unsat answer (the "conflict core"). The
+// returned slice is a fresh copy owned by the caller; it stays valid
+// across further Solve calls.
 func (s *Solver) Core() []cnf.Lit {
 	out := make([]cnf.Lit, len(s.conflictSet))
 	copy(out, s.conflictSet)
@@ -269,14 +280,18 @@ func (s *Solver) AddClause(lits cnf.Clause) bool {
 }
 
 func (s *Solver) attach(c CRef) {
-	lits := s.db.lits(c)
-	if len(lits) == 2 {
-		s.binWatches[lits[0].Not().Index()] = append(s.binWatches[lits[0].Not().Index()], binWatcher{lits[1], c})
-		s.binWatches[lits[1].Not().Index()] = append(s.binWatches[lits[1].Not().Index()], binWatcher{lits[0], c})
+	if s.opts.LegacyWatcherStore {
+		s.attachLegacy(c)
 		return
 	}
-	s.watches[lits[0].Not().Index()] = append(s.watches[lits[0].Not().Index()], watcher{c, lits[1]})
-	s.watches[lits[1].Not().Index()] = append(s.watches[lits[1].Not().Index()], watcher{c, lits[0]})
+	lits := s.db.lits(c)
+	if len(lits) == 2 {
+		s.binWatches.push(lits[0].Not().Index(), watcher{c, lits[1]})
+		s.binWatches.push(lits[1].Not().Index(), watcher{c, lits[0]})
+		return
+	}
+	s.watches.push(lits[0].Not().Index(), watcher{c, lits[1]})
+	s.watches.push(lits[1].Not().Index(), watcher{c, lits[0]})
 }
 
 // Clause deletion is fully lazy: reduceDB only tombstones headers
@@ -300,26 +315,40 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from CRef) {
 // propagate is the Deduce() function of Figure 2: it performs Boolean
 // constraint propagation from the current queue head and returns the
 // conflicting clause, or CRefUndef if no clause became unsatisfied.
+//
+// The long-clause loop walks the propagated literal's page in the
+// paged watcher store by offset, compacting kept watchers in place. A
+// replacement watch is pushed onto ANOTHER literal's page (never the one
+// being walked — the new watch is a non-false literal, the walked one is
+// false), which may reallocate the store's backing slice; the cached
+// data slice is therefore reloaded after every push. Page offsets are
+// stable across pushes, so the walk itself never restarts.
 func (s *Solver) propagate() CRef {
+	if s.opts.LegacyWatcherStore {
+		return s.propagateLegacy()
+	}
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.Stats.Propagations++
+		pi := p.Index()
 
 		// Binary clauses first: the implied literal lives inside the
-		// watcher, so this loop never dereferences the arena.
-		for _, bw := range s.binWatches[p.Index()] {
-			switch s.LitValue(bw.other) {
+		// watcher, so this loop never dereferences the arena. No pushes
+		// happen here, so holding the page slice is safe.
+		for _, bw := range s.binWatches.list(pi) {
+			switch s.LitValue(bw.blocker) {
 			case cnf.True:
 			case cnf.False:
 				s.qhead = len(s.trail)
 				return bw.cref
 			default:
-				s.uncheckedEnqueue(bw.other, bw.cref)
+				s.uncheckedEnqueue(bw.blocker, bw.cref)
 			}
 		}
 
-		ws := s.watches[p.Index()]
+		r := s.watches.ref[pi] // header copy; only our truncate below mutates it
+		ws := s.watches.data[r.off : r.off+r.n : r.off+r.n]
 		i, j := 0, 0
 		var confl CRef = CRefUndef
 	watchLoop:
@@ -347,11 +376,21 @@ func (s *Solver) propagate() CRef {
 				j++
 				continue
 			}
-			// Look for a new literal to watch.
+			// Look for a new literal to watch. The push is hand-inlined
+			// (watchStore.push is just over the compiler's inline
+			// budget and this is the one hot call site).
 			for k := 2; k < len(lits); k++ {
 				if s.LitValue(lits[k]) != cnf.False {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1].Not().Index()] = append(s.watches[lits[1].Not().Index()], watcher{w.cref, first})
+					nr := &s.watches.ref[lits[1].Not().Index()]
+					if nr.n == nr.cap {
+						s.watches.grow(nr)
+					}
+					s.watches.data[nr.off+nr.n] = watcher{w.cref, first}
+					nr.n++
+					// The push may have relocated the backing slice; our
+					// page offset is stable, so re-derive the window.
+					ws = s.watches.data[r.off : r.off+r.n : r.off+r.n]
 					i++
 					continue watchLoop
 				}
@@ -371,7 +410,7 @@ func (s *Solver) propagate() CRef {
 			ws[j] = ws[i]
 			j++
 		}
-		s.watches[p.Index()] = ws[:j]
+		s.watches.truncate(pi, uint32(j))
 		if confl != CRefUndef {
 			return confl
 		}
@@ -420,37 +459,45 @@ func (s *Solver) maybeGC() {
 }
 
 // garbageCollect compacts the clause arena, dropping tombstoned clauses,
-// and patches every live reference: the clause rosters, long and binary
-// watch lists, reason antecedents and the DLIS occurrence lists. Safe at
-// any point where no caller holds an unpatched CRef.
+// and patches every live reference: long and binary watcher pages,
+// reason antecedents and the DLIS occurrence lists. The learnt rosters
+// are rebuilt by compact itself (tier membership lives in the clause
+// headers), so they need no patching here. Safe at any point where no
+// caller holds an unpatched CRef.
 func (s *Solver) garbageCollect() {
 	newArena := s.db.compact()
 	for i, c := range s.clauses {
 		s.clauses[i] = s.db.forward(c)
 	}
-	for i, c := range s.learnts {
-		s.learnts[i] = s.db.forward(c)
-	}
-	// Long watch lists may still reference tombstoned clauses (lazy
-	// deletion): those watchers die here.
-	for li := range s.watches {
-		ws := s.watches[li]
-		w := 0
-		for _, x := range ws {
-			if s.db.deleted(x.cref) {
-				continue
+	if s.opts.LegacyWatcherStore {
+		s.patchWatchesLegacy()
+	} else {
+		// Long watcher pages may still reference tombstoned clauses
+		// (lazy deletion): those watchers die here, and mostly-empty
+		// pages are exchanged for smaller ones (old page onto the free
+		// chain) by shrink — the GC sweep is the one place pages give
+		// memory back.
+		for li := range s.watches.ref {
+			r := s.watches.ref[li]
+			data := s.watches.data
+			w := uint32(0)
+			for i := uint32(0); i < r.n; i++ {
+				x := data[r.off+i]
+				if s.db.deleted(x.cref) {
+					continue
+				}
+				x.cref = s.db.forward(x.cref)
+				data[r.off+w] = x
+				w++
 			}
-			x.cref = s.db.forward(x.cref)
-			ws[w] = x
-			w++
+			s.watches.shrink(li, w)
 		}
-		s.watches[li] = ws[:w]
-	}
-	// Binary clauses are never deleted; patch in place.
-	for li := range s.binWatches {
-		ws := s.binWatches[li]
-		for i := range ws {
-			ws[i].cref = s.db.forward(ws[i].cref)
+		// Binary clauses are never deleted; patch pages in place.
+		for li := range s.binWatches.ref {
+			ws := s.binWatches.list(li)
+			for i := range ws {
+				ws[i].cref = s.db.forward(ws[i].cref)
+			}
 		}
 	}
 	// Locked antecedents survive by construction (reduceDB never deletes
@@ -488,12 +535,18 @@ func (s *Solver) bumpVar(v cnf.Var) {
 
 func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
 
+// bumpClause raises a learnt clause's activity and marks it touched:
+// reduceDB's mid-tier demotion keeps exactly the clauses that were
+// bumped (used in conflict analysis) since the previous reduction.
 func (s *Solver) bumpClause(c CRef) {
 	a := s.db.act(c) + s.claInc
 	s.db.setAct(c, a)
+	s.db.setTouched(c)
 	if a > 1e20 {
-		for _, lc := range s.learnts {
-			s.db.setAct(lc, s.db.act(lc)*1e-20)
+		for t := range s.db.roster {
+			for _, lc := range s.db.roster[t] {
+				s.db.setAct(lc, s.db.act(lc)*1e-20)
+			}
 		}
 		s.claInc *= 1e-20
 	}

@@ -268,7 +268,7 @@ func TestNoLearningRecordsNothing(t *testing.T) {
 	if s.Stats.Learned != 0 {
 		t.Fatalf("NoLearning recorded %d clauses", s.Stats.Learned)
 	}
-	if len(s.learnts) != 0 {
+	if s.db.learntCount() != 0 {
 		t.Fatal("learnt database should be empty")
 	}
 }
@@ -296,7 +296,11 @@ func TestLearnedClausesAreImplicates(t *testing.T) {
 	s := FromFormula(f, Options{Deletion: DeleteNever})
 	s.Solve()
 	checked := 0
-	for _, c := range s.learnts {
+	var learnts []CRef
+	for t := range s.db.roster {
+		learnts = append(learnts, s.db.roster[t]...)
+	}
+	for _, c := range learnts {
 		g := f.Clone()
 		for _, l := range s.db.lits(c) {
 			g.AddUnit(l.Not())

@@ -1,0 +1,128 @@
+package solver
+
+import "repro/internal/cnf"
+
+// This file keeps the pre-paging watcher representation — one
+// individually heap-allocated Go slice per literal — alive behind
+// Options.LegacyWatcherStore. It exists for two reasons only:
+//
+//   - BenchmarkE32_ClauseArena's watcher-store variant measures the
+//     paged store against this slice-of-slices baseline on identical
+//     workloads (allocs/op, props/s);
+//   - the differential tests drive both representations with the same
+//     seed and assert identical search statistics, which pins the paged
+//     store's semantics to the well-understood baseline.
+//
+// It is not a production configuration and receives no optimization.
+
+func (s *Solver) attachLegacy(c CRef) {
+	lits := s.db.lits(c)
+	if len(lits) == 2 {
+		s.legacyBin[lits[0].Not().Index()] = append(s.legacyBin[lits[0].Not().Index()], watcher{c, lits[1]})
+		s.legacyBin[lits[1].Not().Index()] = append(s.legacyBin[lits[1].Not().Index()], watcher{c, lits[0]})
+		return
+	}
+	s.legacyWatches[lits[0].Not().Index()] = append(s.legacyWatches[lits[0].Not().Index()], watcher{c, lits[1]})
+	s.legacyWatches[lits[1].Not().Index()] = append(s.legacyWatches[lits[1].Not().Index()], watcher{c, lits[0]})
+}
+
+// propagateLegacy is propagate over the slice-of-slices lists; the
+// algorithm is identical (same visit order, same blocker handling), so
+// the two representations produce bit-identical searches.
+func (s *Solver) propagateLegacy() CRef {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+
+		for _, bw := range s.legacyBin[p.Index()] {
+			switch s.LitValue(bw.blocker) {
+			case cnf.True:
+			case cnf.False:
+				s.qhead = len(s.trail)
+				return bw.cref
+			default:
+				s.uncheckedEnqueue(bw.blocker, bw.cref)
+			}
+		}
+
+		ws := s.legacyWatches[p.Index()]
+		i, j := 0, 0
+		var confl CRef = CRefUndef
+	watchLoop:
+		for i < len(ws) {
+			w := ws[i]
+			if s.LitValue(w.blocker) == cnf.True {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			if s.db.deleted(w.cref) {
+				i++
+				continue
+			}
+			lits := s.db.lits(w.cref)
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.LitValue(first) == cnf.True {
+				ws[j] = watcher{w.cref, first}
+				i++
+				j++
+				continue
+			}
+			for k := 2; k < len(lits); k++ {
+				if s.LitValue(lits[k]) != cnf.False {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.legacyWatches[lits[1].Not().Index()] = append(s.legacyWatches[lits[1].Not().Index()], watcher{w.cref, first})
+					i++
+					continue watchLoop
+				}
+			}
+			ws[j] = watcher{w.cref, first}
+			i++
+			j++
+			if s.LitValue(first) == cnf.False {
+				confl = w.cref
+				s.qhead = len(s.trail)
+				break
+			}
+			s.uncheckedEnqueue(first, w.cref)
+		}
+		for ; i < len(ws); i++ {
+			ws[j] = ws[i]
+			j++
+		}
+		s.legacyWatches[p.Index()] = ws[:j]
+		if confl != CRefUndef {
+			return confl
+		}
+	}
+	return CRefUndef
+}
+
+// patchWatchesLegacy is garbageCollect's relocation pass over the
+// slice-of-slices lists.
+func (s *Solver) patchWatchesLegacy() {
+	for li := range s.legacyWatches {
+		ws := s.legacyWatches[li]
+		w := 0
+		for _, x := range ws {
+			if s.db.deleted(x.cref) {
+				continue
+			}
+			x.cref = s.db.forward(x.cref)
+			ws[w] = x
+			w++
+		}
+		s.legacyWatches[li] = ws[:w]
+	}
+	for li := range s.legacyBin {
+		ws := s.legacyBin[li]
+		for i := range ws {
+			ws[i].cref = s.db.forward(ws[i].cref)
+		}
+	}
+}
