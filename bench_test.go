@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/bmc"
@@ -986,6 +987,73 @@ func BenchmarkE32_ClauseArena(b *testing.B) {
 					props += s.Stats.Propagations
 				}
 				b.ReportMetric(float64(props)/b.Elapsed().Seconds(), "props/s")
+			})
+		}
+	}
+}
+
+// E33 (adaptive portfolio scheduling): wall-clock of the static recipe
+// table vs the adaptive supervisor on a 4-worker portfolio over the
+// instance mix the paper's EDA framing implies is heterogeneous: hard
+// random 3-SAT in both phases, a structured UNSAT proof (pigeonhole)
+// and a CEC miter (ripple-carry vs carry-skip adder). Adaptive
+// scheduling kills recipes whose progress score (conflicts/s ×
+// learnt-LBD quality) falls clearly behind the leader once a grace
+// period passes. Two adaptive variants: sched=adaptive respawns killed
+// slots from the explore/exploit schedule (fresh lottery tickets, the
+// multi-core configuration); sched=adaptive-retire (MaxRespawns < 0)
+// only retires them, shrinking the portfolio toward the leaders — on a
+// CPU-starved host the win comes from the cycles the losers stop
+// burning. Instances faster than the grace period run bit-identically
+// to static. Compare per instance across BENCH captures: adaptive must
+// be wall-clock no worse everywhere and strictly better where the
+// static table has a systematic loser.
+func BenchmarkE33_Adaptive(b *testing.B) {
+	adderMiter := func(bits int) *cnf.Formula {
+		m, out, err := cec.BuildMiter(circuit.RippleCarryAdder(bits), circuit.CarrySkipAdder(bits, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, _ := circuit.EncodeProperty(m, out, true)
+		return f
+	}
+	instances := []struct {
+		name string
+		f    *cnf.Formula
+	}{
+		{"rand220sat", gen.Random3SATHard(220, 5)},
+		{"rand150unsat", gen.Random3SATHard(150, 9)},
+		{"php8", gen.Pigeonhole(8)},
+		{"miter-adder12", adderMiter(12)},
+	}
+	for _, inst := range instances {
+		for _, sched := range []struct {
+			name        string
+			adaptive    bool
+			maxRespawns int
+		}{
+			{"static", false, 0},
+			{"adaptive", true, 0},
+			{"adaptive-retire", true, -1},
+		} {
+			b.Run(fmt.Sprintf("%s/sched=%s", inst.name, sched.name), func(b *testing.B) {
+				var res *portfolio.Result
+				for i := 0; i < b.N; i++ {
+					res = portfolio.Solve(context.Background(), inst.f, portfolio.Options{
+						Workers:     4,
+						Adaptive:    sched.adaptive,
+						Grace:       100 * time.Millisecond,
+						MaxRespawns: sched.maxRespawns,
+					})
+					if res.Status == solver.Unknown {
+						b.Fatal("portfolio must decide")
+					}
+				}
+				b.ReportMetric(float64(res.Kills), "kills")
+				b.ReportMetric(float64(res.Respawns), "respawns")
+				b.ReportMetric(float64(res.Pool.Admitted), "poolAdmitted")
+				b.ReportMetric(float64(res.Pool.Evicted), "poolEvicted")
+				b.ReportMetric(float64(res.Winner), "winnerID")
 			})
 		}
 	}

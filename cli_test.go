@@ -103,6 +103,15 @@ func TestCLIEndToEnd(t *testing.T) {
 	if code != 10 || !strings.Contains(out, "s SATISFIABLE") {
 		t.Fatalf("portfolio SAT: code %d\n%s", code, out)
 	}
+	// Adaptive scheduling: same verdict; -stats reports the pool's
+	// dynamic-admission counters and per-worker lineage columns.
+	out, code = run(t, satsolve, php, "-workers", "4", "-adaptive", "-grace", "5ms", "-pool-quantile", "0.7", "-stats")
+	if code != 20 || !strings.Contains(out, "s UNSATISFIABLE") {
+		t.Fatalf("adaptive portfolio UNSAT: code %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "c pool admitted") || !strings.Contains(out, "slot") {
+		t.Fatalf("-adaptive -stats missing pool/lineage report:\n%s", out)
+	}
 
 	// Wall-clock timeout: a hard instance must give up with s UNKNOWN
 	// and the distinct exit code 40.

@@ -43,6 +43,9 @@ func main() {
 		watchPage = flag.Int("watch-page", 0, "min page capacity of the paged watcher store, rounded up to a power of two (values below 2 select the default of 4)")
 		workers   = flag.Int("workers", 1, "portfolio workers racing in parallel (0 = all CPUs, 1 = sequential)")
 		share     = flag.Bool("share", true, "share short learned clauses between portfolio workers")
+		adaptive  = flag.Bool("adaptive", false, "adaptive portfolio scheduling: kill clearly-losing recipes and respawn with fresh seeds (needs -workers > 1)")
+		grace     = flag.Duration("grace", 0, "adaptive scheduling: minimum worker age before it may be killed (0 = 2s)")
+		poolQuant = flag.Float64("pool-quantile", 0, "shared-pool dynamic admission quantile in (0,1]: lower admits only the best-LBD clauses (0 = 0.5)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget, e.g. 10s (0 = none); exhaustion exits 40 with s UNKNOWN")
 		stats     = flag.Bool("stats", false, "print search statistics")
 		quiet     = flag.Bool("q", false, "suppress model output")
@@ -121,6 +124,11 @@ func main() {
 		}
 		opts.PortfolioWorkers = *workers
 		opts.PortfolioNoShare = !*share
+		opts.PortfolioAdaptive = *adaptive
+		opts.PortfolioGrace = *grace
+		opts.PortfolioPoolQuantile = *poolQuant
+	} else if *adaptive {
+		fmt.Fprintln(os.Stderr, "satsolve: -adaptive needs -workers > 1; ignored")
 	}
 
 	ctx := context.Background()
@@ -144,11 +152,17 @@ func main() {
 				s.Decisions, s.Conflicts, s.Propagations, s.Learned, s.Deleted, s.Demoted, s.Restarts, s.MaxJump)
 		}
 		if p := ans.Portfolio; p != nil {
-			fmt.Printf("c portfolio workers %d winner %d recipe %s shared %d\n",
-				len(p.Workers), p.Winner, p.Recipe, p.SharedExported)
+			fmt.Printf("c portfolio workers %d winner %d recipe %s kills %d respawns %d\n",
+				len(p.Workers), p.Winner, p.Recipe, p.Kills, p.Respawns)
+			fmt.Printf("c pool admitted %d rejected %d duplicates %d evicted %d held %d threshold %d\n",
+				p.Pool.Admitted, p.Pool.Rejected, p.Pool.Duplicates, p.Pool.Evicted, p.Pool.Held, p.Pool.Threshold)
 			for _, w := range p.Workers {
-				fmt.Printf("c   worker %d %-12s %-13s conflicts %d imported %d exported %d\n",
-					w.ID, w.Recipe, w.Status, w.Stats.Conflicts, w.Stats.Imported, w.Stats.Exported)
+				reason := w.Reason
+				if reason == "" {
+					reason = "-"
+				}
+				fmt.Printf("c   worker %d slot %d gen %d %-20s %-13s %-12s conflicts %d imported %d exported %d\n",
+					w.ID, w.Slot, w.Gen, w.Recipe, w.Status, reason, w.Stats.Conflicts, w.Stats.Imported, w.Stats.Exported)
 			}
 		}
 	}

@@ -8,11 +8,18 @@ import (
 	"strings"
 )
 
+// MaxDIMACSVar bounds the variable index ParseDIMACS accepts. Lit packs
+// var<<1|sign into an int32, so a larger variable would overflow into a
+// wrong (possibly negative) literal silently; the parser rejects such
+// input as malformed instead. (Found by FuzzDIMACS.)
+const MaxDIMACSVar = 1<<29 - 1
+
 // ParseDIMACS reads a formula in DIMACS CNF format. It tolerates missing
 // or inconsistent "p cnf" headers (the variable count is grown to the
 // maximum variable seen) but rejects malformed tokens, unterminated
-// clauses at EOF, and literals exceeding the declared variable count are
-// accepted with the count adjusted upward.
+// clauses at EOF, and literals beyond MaxDIMACSVar; literals exceeding
+// the declared variable count are accepted with the count adjusted
+// upward.
 func ParseDIMACS(r io.Reader) (*Formula, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -36,7 +43,7 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 			}
 			nv, err1 := strconv.Atoi(fields[2])
 			_, err2 := strconv.Atoi(fields[3])
-			if err1 != nil || err2 != nil || nv < 0 {
+			if err1 != nil || err2 != nil || nv < 0 || nv > MaxDIMACSVar {
 				return nil, litErr("line %d: malformed problem line %q", line, text)
 			}
 			f.EnsureVars(nv)
@@ -48,7 +55,7 @@ func ParseDIMACS(r io.Reader) (*Formula, error) {
 		}
 		for _, tok := range strings.Fields(text) {
 			n, err := strconv.Atoi(tok)
-			if err != nil {
+			if err != nil || n > MaxDIMACSVar || n < -MaxDIMACSVar {
 				return nil, litErr("line %d: bad literal %q", line, tok)
 			}
 			if n == 0 {

@@ -1,0 +1,71 @@
+package cnf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDIMACS feeds arbitrary bytes to the DIMACS parser. The properties
+// pinned down:
+//
+//  1. ParseDIMACS never panics — malformed input is rejected with an
+//     error, nothing else.
+//  2. Anything the parser accepts round-trips: serializing the parsed
+//     formula with WriteDIMACS and reparsing yields the identical
+//     formula (clauses are stored as given, no normalization).
+//
+// The seed corpus under testdata/fuzz/FuzzDIMACS covers headers,
+// comments, clauses split across lines, empty clauses and the
+// MaxDIMACSVar overflow guard.
+func FuzzDIMACS(f *testing.F) {
+	for _, s := range []string{
+		"p cnf 3 2\n1 -2 0\n2 3 0\n",
+		"c comment line\np cnf 2 1\n1 2 0\n",
+		"1 -1 0\n",                         // no header: vars grown from literals
+		"p cnf 0 0\n",                      // empty formula
+		"p cnf 4 2\n1 2\n3 0 4 -1 0\n",     // clause split across lines, two clauses on one
+		"% terminator style\n0\n",          // empty clause
+		"p cnf 536870911 1\n536870911 0\n", // exactly MaxDIMACSVar
+		"p cnf 2 1\n536870912 0\n",         // one past the bound: must be rejected
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		f1, err := ParseDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is the correct outcome
+		}
+		for _, c := range f1.Clauses {
+			for _, l := range c {
+				if l.IsUndef() || l.Var() <= 0 || int(l.Var()) > f1.NumVars() {
+					t.Fatalf("parser accepted out-of-range literal %v (numVars %d)", l, f1.NumVars())
+				}
+			}
+		}
+		out := DIMACSString(f1)
+		f2, err := ParseDIMACSString(out)
+		if err != nil {
+			t.Fatalf("round-trip reparse failed: %v\nserialized:\n%s", err, out)
+		}
+		if f2.NumVars() != f1.NumVars() {
+			t.Fatalf("round-trip changed NumVars: %d -> %d", f1.NumVars(), f2.NumVars())
+		}
+		if f2.NumClauses() != f1.NumClauses() {
+			t.Fatalf("round-trip changed NumClauses: %d -> %d", f1.NumClauses(), f2.NumClauses())
+		}
+		for i := range f1.Clauses {
+			a, b := f1.Clauses[i], f2.Clauses[i]
+			if len(a) != len(b) {
+				t.Fatalf("round-trip changed clause %d length: %v -> %v", i, a, b)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("round-trip changed clause %d: %v -> %v", i, a, b)
+				}
+			}
+		}
+	})
+}

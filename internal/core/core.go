@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/cnf"
 	"repro/internal/localsearch"
@@ -53,6 +54,17 @@ type Options struct {
 	// PortfolioNoShare disables learned-clause exchange between
 	// portfolio workers.
 	PortfolioNoShare bool
+	// PortfolioAdaptive enables the adaptive scheduling supervisor:
+	// clearly-losing recipes are killed after PortfolioGrace and their
+	// slots respawned with fresh-seeded recipes (portfolio.Options.
+	// Adaptive). Ignored unless PortfolioWorkers > 1.
+	PortfolioAdaptive bool
+	// PortfolioGrace is the minimum worker age before the supervisor
+	// may kill it (0 = the portfolio default, 2s).
+	PortfolioGrace time.Duration
+	// PortfolioPoolQuantile tunes the shared pool's dynamic LBD
+	// admission threshold (0 = the portfolio default, 0.5).
+	PortfolioPoolQuantile float64
 }
 
 // Answer is a pipeline verdict.
@@ -137,9 +149,12 @@ func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 	default:
 		if opts.PortfolioWorkers > 1 {
 			res := portfolio.Solve(ctx, work, portfolio.Options{
-				Workers: opts.PortfolioWorkers,
-				NoShare: opts.PortfolioNoShare,
-				Base:    opts.Solver,
+				Workers:      opts.PortfolioWorkers,
+				NoShare:      opts.PortfolioNoShare,
+				Adaptive:     opts.PortfolioAdaptive,
+				Grace:        opts.PortfolioGrace,
+				PoolQuantile: opts.PortfolioPoolQuantile,
+				Base:         opts.Solver,
 			})
 			ans.Portfolio = res
 			ans.Status = res.Status

@@ -7,42 +7,142 @@ import (
 	"repro/internal/cnf"
 )
 
-// pool is the lock-guarded learned-clause exchange between workers. It
-// is an append-only log with per-worker read cursors: a worker exports
-// a clause once (deduplicated by a literal-set fingerprint) and every
-// other worker imports it at its next restart boundary. The log is
-// bounded; once full, further exports are counted but dropped, which
-// keeps memory finite without invalidating any cursor.
+// Dynamic-admission tuning. The pool decides acceptance from a sliding
+// window of recently admitted LBDs and the pressure of its unread
+// backlog; see (*pool).thresholdLocked for the state machine.
+const (
+	// admissionWindow is how many recently admitted clause LBDs the
+	// quantile is computed over.
+	admissionWindow = 128
+	// admissionMinSamples is the minimum window fill before the
+	// threshold engages; below it every offer is admitted (cold start).
+	admissionMinSamples = 16
+	// lowWaterFrac: a backlog below cap/lowWaterFrac means the log has
+	// drained — admission fully relaxes (every offer admitted), which
+	// refreshes the window with the true offer distribution and stops
+	// the quantile from ratcheting permanently downward.
+	lowWaterFrac = 4
+	// windowMaxLBD clamps window entries so the quantile can be read
+	// from a fixed bucket-count histogram (an O(windowMaxLBD) walk per
+	// offer instead of sorting the window under the pool lock). Shared
+	// clauses pass solver-side LBD caps far below this.
+	windowMaxLBD = 32
+)
+
+// PoolStats is a snapshot of the shared pool's admission counters,
+// reported on Result.Pool.
+type PoolStats struct {
+	// Admitted counts clauses accepted into the log.
+	Admitted int64
+	// Rejected counts offers refused by the dynamic LBD threshold or by
+	// the closed-slot teardown guard.
+	Rejected int64
+	// Duplicates counts offers deduplicated against an existing entry.
+	Duplicates int64
+	// Evicted counts entries dropped from the head of the log to make
+	// room for newer admissions once the log hit its cap.
+	Evicted int64
+	// Held is the number of entries currently in the log.
+	Held int
+	// Threshold is the last admission LBD bound that engaged (0 =
+	// admission never tightened). It is a high-water diagnostic, not
+	// the live bound: by the time a Result is assembled every slot has
+	// closed and the live bound is trivially relaxed.
+	Threshold int
+}
+
+// pool is the learned-clause exchange between portfolio workers: a
+// bounded, lock-guarded log with per-slot read cursors and dynamic
+// admission.
+//
+// Slots, not workers, own cursors: the adaptive scheduler kills and
+// respawns workers in place, so each scheduling slot carries an (open,
+// generation, cursor) triple. A worker's export/import closures carry
+// the (slot, generation) they were spawned with; offers from a closed
+// slot or a stale generation — a dying solver's in-flight export after
+// the supervisor tore its slot down — are refused without touching the
+// log or any cursor. A respawned worker's cursor rewinds to the oldest
+// held entry, so a fresh recipe starts by inheriting the pool's
+// accumulated lemmas.
+//
+// Admission is by dynamic LBD threshold instead of fixed caps: the pool
+// keeps a sliding window of recently admitted LBDs and admits a clause
+// iff its LBD clears the current quantile of that window, with the
+// effective quantile tightening toward 0 as the unread backlog
+// approaches the cap and relaxing to admit-everything when the log
+// drains. Once the log is full, an admission evicts the oldest entry
+// (cursors behind the eviction point skip ahead; they were not keeping
+// up anyway).
 //
 // Ownership follows the ExportClause contract: the literal slice handed
 // to add is valid only during the call, so the pool copies it exactly
-// once — on acceptance into the log. Duplicate or overflowing offers
-// allocate nothing.
+// once — on admission. Rejected, duplicate and late (closed-slot)
+// offers allocate nothing.
 type pool struct {
 	mu   sync.Mutex
 	max  int
+	q    float64 // admission quantile at zero pressure, in (0, 1]
+	base int     // global sequence index of log[0]
 	log  []sharedClause
-	seen map[uint64]int // clause fingerprint → index in log
+	seen map[uint64]int // clause fingerprint → global sequence index
 
-	exported int64 // clauses accepted into the log
-	dropped  int64 // clauses rejected (duplicate or log full)
+	slots []slotState
+
+	window [admissionWindow]int  // LBDs of recently admitted clauses (ring)
+	wcount [windowMaxLBD + 1]int // histogram of window entries, by LBD
+	wlen   int                   // filled portion of window
+	wpos   int                   // next write position (ring)
+
+	admitted   int64
+	rejected   int64
+	duplicates int64
+	evicted    int64
+
+	// lastThreshold remembers the most recent engaged admission bound
+	// for end-of-run stats: the live bound is meaningless once every
+	// slot has closed (backlog 0 → always relaxed).
+	lastThreshold int
 }
+
+type slotState struct {
+	open   bool
+	gen    int
+	cursor int // global sequence index of the next unread entry
+}
+
+type origin struct{ slot, gen int }
 
 type sharedClause struct {
 	lits cnf.Clause
-	// origins lists every worker known to hold this clause already (the
-	// first exporter plus any worker whose own export was deduplicated
-	// against it); drain skips them so nobody re-imports a clause it
-	// derived itself.
-	origins []int
+	fp   uint64
+	// origins lists every (slot, generation) known to hold this clause
+	// already (the first exporter plus any worker whose own export was
+	// deduplicated against it); drain skips them so nobody re-imports a
+	// clause it derived itself. A respawned worker (same slot, later
+	// generation) is a different solver and does import its
+	// predecessor's clauses.
+	origins []origin
 	lbd     int
 }
 
-func newPool(max int) *pool {
+// newPool creates a pool with the given cap (0 = 4096) over nSlots
+// scheduling slots, admitting at the given quantile (0 or out of range
+// = 0.5). Quantile 1 disables the dynamic threshold entirely: every
+// offer passing the solver-side caps is admitted, with eviction the
+// only backpressure.
+func newPool(max, nSlots int, quantile float64) *pool {
 	if max <= 0 {
 		max = 4096
 	}
-	return &pool{max: max, seen: make(map[uint64]int)}
+	if quantile <= 0 || quantile > 1 {
+		quantile = 0.5
+	}
+	return &pool{
+		max:   max,
+		q:     quantile,
+		seen:  make(map[uint64]int),
+		slots: make([]slotState, nSlots),
+	}
 }
 
 // fingerprint hashes the clause as a literal set (FNV-1a over sorted
@@ -66,57 +166,208 @@ func fingerprint(lits []cnf.Lit, scratch []cnf.Lit) (uint64, []cnf.Lit) {
 	return h, sorted
 }
 
-// add publishes a clause exported by worker origin, pre-hashed by the
-// caller with fingerprint (computed outside the lock). lits is borrowed
-// for the duration of the call; the pool copies it only if the log
-// accepts it. The return value reports whether the pool accepts further
-// clauses; false (log full) lets exporters stop paying the per-conflict
-// callback.
-func (p *pool) add(origin int, lits []cnf.Lit, lbd int, fp uint64) bool {
+// openSlot (re)opens a scheduling slot for a worker of the given
+// generation. The cursor rewinds to the oldest held entry so the new
+// worker imports the pool's accumulated clauses at its first restart.
+func (p *pool) openSlot(slot, gen int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.slots[slot] = slotState{open: true, gen: gen, cursor: p.base}
+}
+
+// closeSlot marks a slot closed. The supervisor calls this the moment
+// it decides to kill a worker — before the worker's goroutine has
+// necessarily noticed the interrupt — so every subsequent add/drain
+// from the dying worker bounces off the guard instead of racing a
+// respawn.
+func (p *pool) closeSlot(slot int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.slots[slot].open = false
+}
+
+// backlogLocked is the number of held entries not yet read by the
+// slowest open slot — the "pressure" the admission threshold reacts to.
+func (p *pool) backlogLocked() int {
+	head := p.base + len(p.log)
+	minCur := head
+	any := false
+	for i := range p.slots {
+		if !p.slots[i].open {
+			continue
+		}
+		any = true
+		c := p.slots[i].cursor
+		if c < p.base {
+			c = p.base
+		}
+		if c < minCur {
+			minCur = c
+		}
+	}
+	if !any {
+		return 0
+	}
+	return head - minCur
+}
+
+// thresholdLocked computes the admission LBD bound currently in force
+// (0 = relaxed, admit everything). Three regimes:
+//
+//	cold:    fewer than admissionMinSamples admitted recently → 0
+//	drained: backlog below max/lowWaterFrac → 0
+//	loaded:  quantile q·(1−fill) of the admitted-LBD window, so the
+//	         bound tightens from the q-quantile toward the very best
+//	         recent LBD as the backlog fills
+//
+// Quantile 1 is the off-switch: the threshold never engages. The
+// quantile is read from the wcount histogram — an O(windowMaxLBD) walk,
+// cheap enough to run under the lock on every offer.
+func (p *pool) thresholdLocked() int {
+	if p.q >= 1 {
+		return 0
+	}
+	if p.wlen < admissionMinSamples {
+		return 0
+	}
+	backlog := p.backlogLocked()
+	if backlog*lowWaterFrac < p.max {
+		return 0
+	}
+	fill := float64(backlog) / float64(p.max)
+	if fill > 1 {
+		fill = 1
+	}
+	qeff := p.q * (1 - fill)
+	idx := int(qeff * float64(p.wlen))
+	if idx >= p.wlen {
+		idx = p.wlen - 1
+	}
+	// The LBD of the idx-th smallest window entry.
+	cum := 0
+	for lbd := 1; lbd <= windowMaxLBD; lbd++ {
+		cum += p.wcount[lbd]
+		if cum > idx {
+			return lbd
+		}
+	}
+	return windowMaxLBD
+}
+
+// add offers a clause exported by the worker occupying (slot, gen),
+// pre-hashed by the caller with fingerprint (computed outside the
+// lock). lits is borrowed for the duration of the call; the pool copies
+// it only on admission. The return value reports whether the exporter
+// should keep offering: false only for a closed or superseded slot (the
+// worker is being torn down — stop paying the per-conflict callback).
+func (p *pool) add(slot, gen int, lits []cnf.Lit, lbd int, fp uint64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if slot < 0 || slot >= len(p.slots) || !p.slots[slot].open || p.slots[slot].gen != gen {
+		// Teardown guard: a dying worker's in-flight export arriving
+		// after its slot closed (or was respawned at a later
+		// generation). Refuse without touching log, window or cursors.
+		p.rejected++
+		return false
+	}
 	if idx, dup := p.seen[fp]; dup {
 		// This worker derived the clause independently: remember it as
 		// an owner so drain never hands the sibling's copy back to it.
-		sc := &p.log[idx]
-		if !slices.Contains(sc.origins, origin) {
-			sc.origins = append(sc.origins, origin)
+		sc := &p.log[idx-p.base]
+		if me := (origin{slot, gen}); !slices.Contains(sc.origins, me) {
+			sc.origins = append(sc.origins, me)
 		}
-		p.dropped++
-		return len(p.log) < p.max
+		p.duplicates++
+		return true
+	}
+	if len(lits) > 1 {
+		if t := p.thresholdLocked(); t > 0 {
+			p.lastThreshold = t // survives slot teardown for stats
+			if lbd > t {
+				p.rejected++
+				return true // threshold adapts; keep offering
+			}
+		}
 	}
 	if len(p.log) >= p.max {
-		p.dropped++
-		return false
+		// Evict the oldest entry. Cursors behind the eviction point are
+		// clamped forward at drain time; the fingerprint is forgotten so
+		// the clause may be re-admitted later.
+		delete(p.seen, p.log[0].fp)
+		p.log[0] = sharedClause{} // release the literal slice
+		p.log = p.log[1:]
+		p.base++
+		p.evicted++
 	}
-	p.seen[fp] = len(p.log)
+	p.seen[fp] = p.base + len(p.log)
 	p.log = append(p.log, sharedClause{
-		lits:    append(cnf.Clause(nil), lits...), // copy on acceptance
-		origins: []int{origin},
+		lits:    append(cnf.Clause(nil), lits...), // copy on admission
+		fp:      fp,
+		origins: []origin{{slot, gen}},
 		lbd:     lbd,
 	})
-	p.exported++
-	return len(p.log) < p.max
+	p.admitted++
+	if len(lits) > 1 {
+		// Units are always admitted and would only drag the window
+		// down; the distribution tracks competitive clauses.
+		w := lbd
+		if w < 1 {
+			w = 1
+		}
+		if w > windowMaxLBD {
+			w = windowMaxLBD
+		}
+		if p.wlen == admissionWindow {
+			p.wcount[p.window[p.wpos]]-- // overwrite the oldest entry
+		} else {
+			p.wlen++
+		}
+		p.window[p.wpos] = w
+		p.wcount[w]++
+		p.wpos = (p.wpos + 1) % admissionWindow
+	}
+	return true
 }
 
-// drain returns every clause published since *cursor by workers other
-// than id, advancing the cursor. The returned clause slices are shared
-// and must not be mutated (Solver.injectLearnt copies them).
-func (p *pool) drain(id int, cursor *int) []cnf.Clause {
+// drain returns every clause published since the slot's cursor by
+// other workers, advancing the cursor. A closed or superseded slot
+// drains nothing (teardown guard). The returned clause slices are
+// shared and must not be mutated (Solver.injectLearnt copies them).
+func (p *pool) drain(slot, gen int) []cnf.Clause {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if slot < 0 || slot >= len(p.slots) {
+		return nil
+	}
+	st := &p.slots[slot]
+	if !st.open || st.gen != gen {
+		return nil
+	}
+	if st.cursor < p.base {
+		st.cursor = p.base // entries evicted underneath a slow reader
+	}
 	var out []cnf.Clause
-	for ; *cursor < len(p.log); *cursor++ {
-		if slices.Contains(p.log[*cursor].origins, id) {
+	me := origin{slot, gen}
+	for ; st.cursor < p.base+len(p.log); st.cursor++ {
+		sc := &p.log[st.cursor-p.base]
+		if slices.Contains(sc.origins, me) {
 			continue
 		}
-		out = append(out, p.log[*cursor].lits)
+		out = append(out, sc.lits)
 	}
 	return out
 }
 
-func (p *pool) stats() (exported, dropped int64) {
+// stats snapshots the admission counters.
+func (p *pool) stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.exported, p.dropped
+	return PoolStats{
+		Admitted:   p.admitted,
+		Rejected:   p.rejected,
+		Duplicates: p.duplicates,
+		Evicted:    p.evicted,
+		Held:       len(p.log),
+		Threshold:  p.lastThreshold,
+	}
 }

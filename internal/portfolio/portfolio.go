@@ -9,27 +9,45 @@
 // through a shared pool, so every worker prunes with lemmas its siblings
 // derived.
 //
+// With Options.Adaptive the portfolio stops being a static recipe table:
+// a supervisor samples every worker's progress (conflict rate and
+// learnt-clause LBD quality, via the solver's race-free Snapshot hook),
+// kills recipes that are clearly losing once a grace period has passed,
+// and respawns the freed slot with a fresh-seeded recipe drawn from an
+// explore/exploit schedule. Result.Workers then records the full
+// lineage: every worker that ever ran, its slot, generation and reason
+// for death.
+//
 // Typical use:
 //
-//	p := portfolio.New(f, portfolio.Options{Workers: 4})
+//	p := portfolio.New(f, portfolio.Options{Workers: 4, Adaptive: true})
 //	res := p.Solve(context.Background())
 //	if res.Status == solver.Sat { use(res.Model) }
 //
 // Determinism: worker 0 always runs the base configuration unchanged,
-// so Options{Workers: 1} reproduces the sequential solver bit for bit.
+// so Options{Workers: 1} reproduces the sequential solver bit for bit
+// (the supervisor and the sharing pool are disabled for a single
+// worker, Adaptive or not). Adaptive kill timing depends on wall
+// clock, so run-to-run lineages differ; each individual respawn draw,
+// however, is a pure function of its inputs (global spawn index,
+// generation, exploit hint and the seeds), so a recorded lineage
+// identifies every recipe and seed it ran exactly.
 package portfolio
 
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/cnf"
 	"repro/internal/solver"
 )
 
 // Options configures a Portfolio. The zero value is usable: GOMAXPROCS
-// workers, clause sharing on, default diversification.
+// workers, clause sharing on, default diversification, static
+// scheduling.
 type Options struct {
 	// Workers is the number of racing solver goroutines (0 = GOMAXPROCS,
 	// 1 = the sequential base configuration).
@@ -38,13 +56,53 @@ type Options struct {
 	// NoShare disables learned-clause exchange between workers.
 	NoShare bool
 
-	// ShareMaxLen / ShareMaxLBD bound which learned clauses are exported
-	// to the shared pool (0 = the solver defaults, 8 and 4).
+	// ShareMaxLen / ShareMaxLBD bound which learned clauses each worker
+	// offers to the shared pool (0 = the solver defaults, 8 and 4).
+	// Final admission is the pool's dynamic LBD threshold; see
+	// PoolQuantile.
 	ShareMaxLen int
 	ShareMaxLBD int
 
-	// PoolCap bounds the shared pool (0 = 4096 clauses).
+	// PoolCap bounds the shared pool (0 = 4096 clauses). Once full, an
+	// admission evicts the oldest entry.
 	PoolCap int
+
+	// PoolQuantile tunes the pool's dynamic admission: at low pressure
+	// a clause is admitted when its LBD is at or below this quantile of
+	// recently admitted LBDs, and the effective quantile tightens
+	// toward 0 as the unread backlog approaches PoolCap (0 = 0.5).
+	// 1 disables the dynamic threshold: everything the solver-side
+	// caps let through is admitted, with eviction the only
+	// backpressure (the pre-adaptive fixed-cap behavior).
+	PoolQuantile float64
+
+	// Adaptive enables the scheduling supervisor: worker progress is
+	// sampled (solver.Snapshot), clearly-losing recipes are killed
+	// after Grace and their slots respawned with fresh-seeded recipes
+	// from an explore/exploit schedule. Ignored with a single worker —
+	// Workers: 1 stays bit-for-bit the sequential solver.
+	Adaptive bool
+
+	// Grace is the minimum age of a worker (since its spawn or respawn)
+	// before the supervisor may kill it (0 = 2s). The sampling period
+	// is derived from it (Grace/8, clamped to [1ms, 250ms]).
+	Grace time.Duration
+
+	// KillBelow is the relative-progress threshold: a worker past its
+	// grace period is killed when its progress score — conflicts/s
+	// scaled by learnt-LBD quality — falls below KillBelow times the
+	// best live worker's score (0 = 0.25). Values ≥ 1 kill everything
+	// but the leader at every sample, the respawn-churn stress
+	// configuration. The last live worker is never killed.
+	KillBelow float64
+
+	// MaxRespawns bounds respawns per slot (0 = 4). A slot killed with
+	// its budget spent retires instead: its CPU share falls to the
+	// surviving workers. Negative disables respawning entirely — every
+	// kill retires its slot, shrinking the portfolio toward the
+	// leaders, the natural configuration on CPU-starved hosts where a
+	// fresh recipe would only steal cycles from the winner.
+	MaxRespawns int
 
 	// Base is the configuration worker 0 runs verbatim and later workers
 	// diversify from.
@@ -58,17 +116,33 @@ type Options struct {
 
 // WorkerReport is one worker's outcome and search statistics. Reports
 // are value copies taken after every worker has stopped; holding them
-// keeps no solver alive.
+// keeps no solver alive. Under adaptive scheduling there is one report
+// per worker that EVER ran — the lineage — not one per slot.
 type WorkerReport struct {
-	// ID is the worker index (0 = the undiversified base configuration).
+	// ID is the spawn-order index (0 = the undiversified base
+	// configuration) and equals this report's index in Result.Workers.
 	ID int
+	// Slot is the scheduling slot the worker occupied; Gen counts
+	// respawns into that slot (0 = the original recipe). Static runs
+	// have Gen 0 and Slot == ID.
+	Slot int
+	Gen  int
 	// Recipe names the diversification applied to this worker.
 	Recipe string
 	// Status is this worker's own verdict (Unknown for interrupted
-	// losers and exhausted budgets).
+	// losers, killed workers and exhausted budgets).
 	Status solver.Status
+	// Reason records why the worker stopped: "winner" for the worker
+	// whose verdict was adopted, "killed-slow" for a supervisor kill
+	// that respawned the slot, "retired" for a kill after the slot's
+	// respawn budget was spent, "interrupted" for workers cancelled
+	// because a sibling won or the context was cancelled, and "" for a
+	// worker that stopped on its own (a second definitive finisher or
+	// an exhausted per-worker budget).
+	Reason string
 	// Stats is the worker's final search statistics, including clauses
-	// imported/exported through the shared pool.
+	// imported/exported through the shared pool and the learn-time LBD
+	// histogram.
 	Stats solver.Stats
 }
 
@@ -84,14 +158,23 @@ type Result struct {
 	// Core is the winner's inconsistent assumption subset when Status is
 	// Unsat and assumptions were given.
 	Core []cnf.Lit
-	// Winner is the index of the first worker to answer (-1 if none).
+	// Winner is the index into Workers of the first worker to answer
+	// (-1 if none).
 	Winner int
 	// Recipe names the winner's configuration ("" if none).
 	Recipe string
-	// Workers reports every worker, including interrupted losers.
+	// Workers reports every worker that ever ran, in spawn order —
+	// under adaptive scheduling this is the full kill/respawn lineage.
 	Workers []WorkerReport
-	// SharedExported / SharedDropped count clauses accepted into and
-	// rejected from the shared pool (duplicates or pool full).
+	// Kills counts supervisor kill decisions; Respawns counts the
+	// replacements actually spawned (a kill past the slot's respawn
+	// budget retires the slot instead).
+	Kills, Respawns int
+	// Pool reports the shared pool's dynamic-admission counters.
+	Pool PoolStats
+	// SharedExported / SharedDropped are legacy aliases: clauses
+	// admitted into the shared pool, and offers that did not make it
+	// (dynamic-admission rejections plus duplicates).
 	SharedExported, SharedDropped int64
 }
 
@@ -107,9 +190,54 @@ func New(f *cnf.Formula, opts Options) *Portfolio {
 	return &Portfolio{f: f, opts: opts}
 }
 
+// runningWorker is the scheduling loop's bookkeeping for one spawned
+// solver. Only the loop goroutine touches it (the solver itself is
+// reached through race-safe methods: Interrupt, Snapshot).
+type runningWorker struct {
+	id        int // spawn order; index into Result.Workers
+	slot, gen int
+	name      string
+	recipeIdx int // index into the recipe table (for exploit cloning)
+	s         *solver.Solver
+	spawned   time.Time
+	stopWatch func() bool // cancels the ctx→Interrupt watcher
+	killed    bool        // the supervisor decided to kill it
+	respawn   bool        // ...and the slot's budget allows a successor
+	reason    string      // reason-for-death recorded at kill time
+}
+
+// score rates a live worker for the supervisor: conflicts per second
+// since spawn, scaled by learnt-clause quality (0.5 + glue share of
+// the LBD histogram, so a worker learning mostly glue counts up to
+// 1.5×, one learning only junk 0.5×).
+func (w *runningWorker) score(now time.Time) float64 {
+	age := now.Sub(w.spawned).Seconds()
+	if age <= 0 {
+		return 0
+	}
+	snap := w.s.Snapshot()
+	return float64(snap.Conflicts) / age * (0.5 + snap.GlueShare())
+}
+
+// bestLive returns the live worker with the highest progress score.
+func bestLive(running []*runningWorker, now time.Time) (*runningWorker, float64) {
+	var best *runningWorker
+	bestScore := 0.0
+	for _, w := range running {
+		if w == nil {
+			continue
+		}
+		if sc := w.score(now); best == nil || sc > bestScore {
+			best, bestScore = w, sc
+		}
+	}
+	return best, bestScore
+}
+
 // Solve races the workers under ctx and returns the first definitive
 // answer, interrupting the losers. Cancelling ctx interrupts everyone
-// and yields Status Unknown.
+// and yields Status Unknown. Solve returns only after every spawned
+// worker goroutine has exited.
 func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 	if ctx == nil {
 		ctx = context.Background()
@@ -118,22 +246,53 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	adaptive := p.opts.Adaptive && n > 1
+	grace := p.opts.Grace
+	if grace <= 0 {
+		grace = 2 * time.Second
+	}
+	killBelow := p.opts.KillBelow
+	if killBelow <= 0 {
+		killBelow = 0.25
+	}
+	maxRespawns := p.opts.MaxRespawns
+	if maxRespawns == 0 {
+		maxRespawns = 4
+	}
+	// A proof-logging base configuration suppresses ImportClauses in
+	// every worker (foreign clauses would poison VerifyUnsat), so no
+	// cursor would ever advance: the pool would fill, pin its backlog
+	// and make every export pure overhead. Don't install the hooks at
+	// all.
+	share := !p.opts.NoShare && n > 1 && !p.opts.Base.LogProof
+	shared := newPool(p.opts.PoolCap, n, p.opts.PoolQuantile)
 
-	shared := newPool(p.opts.PoolCap)
-	solvers := make([]*solver.Solver, n)
-	names := make([]string, n)
-	for i := 0; i < n; i++ {
-		o, name := diversify(i, p.opts.Base, p.opts.Seed)
-		if !p.opts.NoShare && n > 1 {
-			id := i
-			cursor := new(int)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		w  *runningWorker
+		st solver.Status
+	}
+	ch := make(chan outcome, n)
+
+	res := &Result{Status: solver.Unknown, Winner: -1}
+	running := make([]*runningWorker, n) // live worker per slot (nil = free/closed)
+	respawnsUsed := make([]int, n)
+	spawnIdx := 0
+	live := 0
+	var wg sync.WaitGroup
+
+	spawn := func(slot, gen int, o solver.Options, name string, recipeIdx int) {
+		if share {
+			shared.openSlot(slot, gen)
 			var fpBuf []cnf.Lit // per-worker fingerprint scratch: hash outside the pool lock
 			o.ExportClause = func(lits []cnf.Lit, lbd int) bool {
 				var fp uint64
 				fp, fpBuf = fingerprint(lits, fpBuf)
-				return shared.add(id, lits, lbd, fp)
+				return shared.add(slot, gen, lits, lbd, fp)
 			}
-			o.ImportClauses = func() []cnf.Clause { return shared.drain(id, cursor) }
+			o.ImportClauses = func() []cnf.Clause { return shared.drain(slot, gen) }
 			if p.opts.ShareMaxLen > 0 {
 				o.ShareMaxLen = p.opts.ShareMaxLen
 			}
@@ -141,69 +300,153 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 				o.ShareMaxLBD = p.opts.ShareMaxLBD
 			}
 		}
-		solvers[i] = solver.FromFormula(p.f, o)
-		names[i] = name
-	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	// Interrupt only touches an atomic flag, so the callback may safely
-	// overlap the stats collection below.
-	stopWatch := context.AfterFunc(ctx, func() {
-		for _, s := range solvers {
-			s.Interrupt()
+		w := &runningWorker{
+			id: spawnIdx, slot: slot, gen: gen, name: name, recipeIdx: recipeIdx,
+			s: solver.FromFormula(p.f, o), spawned: time.Now(),
 		}
-	})
-	defer stopWatch()
-
-	type outcome struct {
-		id int
-		st solver.Status
-	}
-	ch := make(chan outcome, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+		spawnIdx++
+		// Interrupt only touches an atomic flag, so the watcher may
+		// safely overlap the solve and the final stats copy.
+		w.stopWatch = context.AfterFunc(ctx, w.s.Interrupt)
+		running[slot] = w
+		live++
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			ch <- outcome{i, solvers[i].Solve(assumptions...)}
-		}(i)
+			ch <- outcome{w, w.s.Solve(assumptions...)}
+		}()
 	}
 
-	res := &Result{Status: solver.Unknown, Winner: -1}
-	statuses := make([]solver.Status, n)
-	for done := 0; done < n; done++ {
-		oc := <-ch
-		statuses[oc.id] = oc.st
-		if res.Winner < 0 && oc.st != solver.Unknown {
-			res.Winner = oc.id
-			res.Status = oc.st
-			cancel() // first definitive answer wins; interrupt the losers
+	for i := 0; i < n; i++ {
+		o, name := diversify(i, p.opts.Base, p.opts.Seed)
+		spawn(i, 0, o, name, i%len(recipes))
+	}
+
+	var tickC <-chan time.Time
+	if adaptive {
+		tick := grace / 8
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		if tick > 250*time.Millisecond {
+			tick = 250 * time.Millisecond
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+
+	var winner *runningWorker
+	for live > 0 {
+		select {
+		case oc := <-ch:
+			live--
+			w := oc.w
+			w.stopWatch()
+			if running[w.slot] == w {
+				running[w.slot] = nil
+				shared.closeSlot(w.slot)
+			}
+			reason := w.reason
+			if oc.st != solver.Unknown {
+				// A definitive answer always stands, even when the
+				// supervisor had just decided to kill this worker: a
+				// kill/respawn-heavy schedule can never lose a winner.
+				reason = ""
+				if winner == nil {
+					winner = w
+					res.Status = oc.st
+					res.Recipe = w.name
+					switch oc.st {
+					case solver.Sat:
+						res.Model = w.s.Model()
+					case solver.Unsat:
+						if len(assumptions) > 0 {
+							res.Core = w.s.Core()
+						}
+					}
+					cancel() // first definitive answer wins; interrupt the losers
+				}
+				if winner == w {
+					reason = "winner"
+				}
+			} else if reason == "" && (winner != nil || ctx.Err() != nil) {
+				reason = "interrupted"
+			}
+			res.Workers = append(res.Workers, WorkerReport{
+				ID: w.id, Slot: w.slot, Gen: w.gen, Recipe: w.name,
+				Status: oc.st, Reason: reason, Stats: w.s.Stats,
+			})
+			if w.killed && w.respawn && winner == nil && ctx.Err() == nil {
+				// The slot is free (its goroutine just exited): respawn
+				// it with a fresh-seeded recipe from the explore/exploit
+				// schedule, exploiting the current best live recipe.
+				exploitIdx := -1
+				if best, sc := bestLive(running, time.Now()); best != nil && sc > 0 {
+					exploitIdx = best.recipeIdx
+				}
+				o, name, idx := respawn(spawnIdx, w.slot, w.gen+1, p.opts.Base, p.opts.Seed, exploitIdx)
+				spawn(w.slot, w.gen+1, o, name, idx)
+				res.Respawns++
+			}
+
+		case <-tickC:
+			if winner != nil || ctx.Err() != nil {
+				continue // already cancelled; just draining outcomes
+			}
+			now := time.Now()
+			best, bestScore := bestLive(running, now)
+			if best == nil || bestScore <= 0 {
+				continue // no measurable progress anywhere yet
+			}
+			liveNow := 0
+			for _, w := range running {
+				if w != nil {
+					liveNow++
+				}
+			}
+			for _, w := range running {
+				if w == nil || w == best || liveNow <= 1 {
+					continue // never kill the last live worker or the leader
+				}
+				if now.Sub(w.spawned) < grace {
+					continue
+				}
+				if w.score(now) >= killBelow*bestScore {
+					continue
+				}
+				// Kill: close the pool slot first so the dying worker's
+				// in-flight exports/imports bounce off the teardown
+				// guard, then interrupt. The respawn (or retirement)
+				// happens when its outcome arrives.
+				w.killed = true
+				if respawnsUsed[w.slot] < maxRespawns { // maxRespawns < 0: retire-only
+					respawnsUsed[w.slot]++
+					w.respawn = true
+					w.reason = "killed-slow"
+				} else {
+					w.reason = "retired"
+				}
+				res.Kills++
+				running[w.slot] = nil
+				shared.closeSlot(w.slot)
+				w.s.Interrupt()
+				liveNow--
+			}
 		}
 	}
 	wg.Wait()
 
-	if res.Winner >= 0 {
-		w := solvers[res.Winner]
-		res.Recipe = names[res.Winner]
-		switch res.Status {
-		case solver.Sat:
-			res.Model = w.Model()
-		case solver.Unsat:
-			if len(assumptions) > 0 {
-				res.Core = w.Core()
-			}
-		}
+	// Reports were appended in completion order; lineage and the Winner
+	// index are by spawn order.
+	sort.Slice(res.Workers, func(i, j int) bool { return res.Workers[i].ID < res.Workers[j].ID })
+	if winner != nil {
+		res.Winner = winner.id
 	}
-	for i := 0; i < n; i++ {
-		res.Workers = append(res.Workers, WorkerReport{
-			ID:     i,
-			Recipe: names[i],
-			Status: statuses[i],
-			Stats:  solvers[i].Stats,
-		})
-	}
-	res.SharedExported, res.SharedDropped = shared.stats()
+	ps := shared.stats()
+	res.Pool = ps
+	res.SharedExported = ps.Admitted
+	res.SharedDropped = ps.Rejected + ps.Duplicates
 	return res
 }
 

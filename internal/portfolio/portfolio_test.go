@@ -269,10 +269,13 @@ func TestWrapAroundRecipeNames(t *testing.T) {
 // TestPoolDuplicateOriginSkip: a worker whose export deduplicated
 // against a sibling's earlier copy must not be handed that copy back.
 func TestPoolDuplicateOriginSkip(t *testing.T) {
-	p := newPool(0)
+	p := newPool(0, 3, 0)
+	for slot := 0; slot < 3; slot++ {
+		p.openSlot(slot, 0)
+	}
 	c := cnf.NewClause(1, 2)
 	fp, _ := fingerprint(c, nil)
-	p.add(0, c, 2, fp)
+	p.add(0, 0, c, 2, fp)
 	// Worker 1 derived the same clause itself, permuted: the literal-set
 	// fingerprint must deduplicate it.
 	perm := cnf.Clause{c[1], c[0]}
@@ -280,19 +283,24 @@ func TestPoolDuplicateOriginSkip(t *testing.T) {
 	if fp2 != fp {
 		t.Fatal("fingerprint must be permutation-invariant")
 	}
-	p.add(1, perm, 2, fp2)
-	var cur0, cur1, cur2 int
-	if got := p.drain(0, &cur0); len(got) != 0 {
+	p.add(1, 0, perm, 2, fp2)
+	if got := p.drain(0, 0); len(got) != 0 {
 		t.Fatalf("worker 0 re-imported its own clause: %v", got)
 	}
-	if got := p.drain(1, &cur1); len(got) != 0 {
+	if got := p.drain(1, 0); len(got) != 0 {
 		t.Fatalf("worker 1 re-imported a clause it derived: %v", got)
 	}
-	if got := p.drain(2, &cur2); len(got) != 1 {
+	if got := p.drain(2, 0); len(got) != 1 {
 		t.Fatalf("worker 2 must see the clause once, got %v", got)
 	}
-	ex, dr := p.stats()
-	if ex != 1 || dr != 1 {
-		t.Fatalf("exported=%d dropped=%d, want 1 and 1", ex, dr)
+	st := p.stats()
+	if st.Admitted != 1 || st.Duplicates != 1 {
+		t.Fatalf("admitted=%d duplicates=%d, want 1 and 1", st.Admitted, st.Duplicates)
+	}
+	// A respawned occupant of slot 1 (generation 1) is a different
+	// solver: it DOES import its predecessor's clause.
+	p.openSlot(1, 1)
+	if got := p.drain(1, 1); len(got) != 1 {
+		t.Fatalf("respawned slot 1 must inherit the pool, got %v", got)
 	}
 }

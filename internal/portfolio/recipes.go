@@ -57,6 +57,44 @@ var recipes = []recipe{
 	}},
 }
 
+// respawn returns the options, display name and recipe-table index for
+// the worker respawned into slot at generation gen, after the
+// supervisor killed the previous occupant. The schedule alternates:
+//
+//   - exploit (odd generations, when a best live recipe is known):
+//     clone the recipe of the current best-scoring worker with a fresh
+//     seed — the diversification axis that is winning keeps a second
+//     rider on a different trajectory;
+//   - explore (even generations, or no known best): walk the recipe
+//     table at the global spawn counter, reaching configurations the
+//     initial lineup never ran.
+//
+// spawnIdx is the portfolio-wide spawn counter, so every respawned
+// worker gets a PRNG seed distinct from every worker before it (same
+// scheme as diversify); a pinch of randomization is forced for
+// PRNG-free recipes so the fresh seed actually changes the search. The
+// result is a pure function of (spawnIdx, slot, gen, exploitIdx,
+// seeds): which draws happen — and in what order — still depends on
+// wall-clock kill timing, but a recorded lineage pins every recipe and
+// seed that ran.
+func respawn(spawnIdx, slot, gen int, base solver.Options, seed int64, exploitIdx int) (solver.Options, string, int) {
+	idx := spawnIdx % len(recipes)
+	mode := "explore"
+	if gen%2 == 1 && exploitIdx >= 0 && exploitIdx < len(recipes) {
+		idx = exploitIdx
+		mode = "exploit"
+	}
+	r := recipes[idx]
+	o := base
+	r.apply(&o)
+	o.Seed = base.Seed + seed + int64(spawnIdx)*0x9e3779b9
+	if o.RandomFreq == 0 {
+		o.RandomFreq = 0.02
+	}
+	name := fmt.Sprintf("%s/%s#s%dg%d", r.name, mode, slot, gen)
+	return o, name, idx
+}
+
 // diversify returns the options and human-readable recipe name for
 // worker i. Beyond the recipe table, workers wrap around with fresh
 // seeds, so any worker count stays diversified.

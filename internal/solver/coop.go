@@ -1,11 +1,95 @@
 package solver
 
-import "repro/internal/cnf"
+import (
+	"sync/atomic"
+
+	"repro/internal/cnf"
+)
 
 // This file holds the cooperation hooks a parallel portfolio needs from
 // the sequential engine: an asynchronous interrupt, an export path for
-// freshly recorded conflict clauses, and an import path that injects
-// clauses learned elsewhere at decision level 0.
+// freshly recorded conflict clauses, an import path that injects
+// clauses learned elsewhere at decision level 0, and the Snapshot
+// progress probe an adaptive scheduler samples while Solve runs.
+
+// progressCounters is the atomic mirror of the scheduling-relevant
+// Stats, written by the solving goroutine and read by Snapshot.
+type progressCounters struct {
+	conflicts atomic.Int64
+	restarts  atomic.Int64
+	learned   atomic.Int64
+	lbdHist   [LBDHistBuckets]atomic.Int64
+}
+
+// noteConflict buckets the learn-time LBD of a just-derived conflict
+// clause into both the plain Stats histogram and the atomic progress
+// mirror. (The conflict count itself is bumped at the conflict site,
+// which also covers level-0 conflicts that never reach analyze.)
+func (s *Solver) noteConflict(lbd int) {
+	b := lbd - 1
+	if b < 0 {
+		b = 0
+	}
+	if b >= LBDHistBuckets {
+		b = LBDHistBuckets - 1
+	}
+	s.Stats.LBDHist[b]++
+	s.prog.lbdHist[b].Add(1)
+}
+
+// Progress is a point-in-time view of a running search. Unlike Stats —
+// which may only be read after Solve returns — a Progress snapshot is
+// race-free while Solve runs: Snapshot reads atomics the solving
+// goroutine maintains alongside the plain counters. It carries exactly
+// what an adaptive portfolio supervisor needs to rank workers:
+// throughput (Conflicts, Restarts) and learnt-clause quality (the
+// learn-time LBD histogram).
+type Progress struct {
+	// Conflicts and Restarts count since the solver was created (NOT
+	// since the current Solve call): a scheduler rates a fresh worker
+	// against its spawn time, so per-solver-lifetime totals are the
+	// natural unit.
+	Conflicts int64
+	Restarts  int64
+	// Learned counts recorded (non-unit, learning-enabled) clauses.
+	Learned int64
+	// LBDHist buckets every conflict clause by learn-time LBD: bucket i
+	// holds LBD i+1, the last bucket LBD ≥ LBDHistBuckets.
+	LBDHist [LBDHistBuckets]int64
+}
+
+// GlueShare returns the fraction of conflict clauses with learn-time
+// LBD ≤ 3 — the "glue" mass of the histogram, in [0, 1]. It reports 0
+// when no conflicts have happened yet.
+func (p *Progress) GlueShare() float64 {
+	var total, glue int64
+	for i, n := range p.LBDHist {
+		total += n
+		if i < 3 {
+			glue += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(glue) / float64(total)
+}
+
+// Snapshot samples the running search. Like Interrupt it is safe to
+// call from another goroutine at any time; the fields are individually
+// atomic (the snapshot is not a single consistent cut, which a
+// scheduler sampling rates does not need).
+func (s *Solver) Snapshot() Progress {
+	p := Progress{
+		Conflicts: s.prog.conflicts.Load(),
+		Restarts:  s.prog.restarts.Load(),
+		Learned:   s.prog.learned.Load(),
+	}
+	for i := range p.LBDHist {
+		p.LBDHist[i] = s.prog.lbdHist[i].Load()
+	}
+	return p
+}
 
 // Interrupt asynchronously requests that the current (or next) Solve
 // call stop and return Unknown. It is the only Solver method that is
@@ -37,8 +121,9 @@ func (s *Solver) exportLearnt(learnt []cnf.Lit, lbd int) {
 	}
 	s.Stats.Exported++
 	if !s.opts.ExportClause(learnt, lbd) {
-		// The consumer (e.g. a full shared pool) wants no more: stop
-		// paying the callback for the rest of this solve.
+		// Terminal stop from the consumer (it is being torn down and
+		// will never accept again): stop paying the callback for the
+		// rest of this solve.
 		s.opts.ExportClause = nil
 	}
 }

@@ -1,0 +1,115 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// fuzzConfigs is the configuration palette FuzzSolverVsBrute draws
+// from: every individually-switchable technique, with no resource
+// budgets (each configuration is a complete decision procedure, so
+// Unknown is always a bug).
+var fuzzConfigs = []Options{
+	{},
+	{Chronological: true},
+	{NoLearning: true},
+	{NoMinimize: true},
+	{Deletion: DeleteByRelevance, RelevanceBound: 2, MaxLearnts: 10},
+	{Deletion: DeleteNever},
+	{Restart: RestartFixed, RestartBase: 4, RandomFreq: 0.3, Seed: 7},
+	{Restart: RestartNone},
+	{Decide: DecideDLIS},
+	{Decide: DecideOrdered, Restart: RestartGeometric, RestartBase: 8},
+	{Decide: DecideRandom, Seed: 3},
+	{NoPhaseSaving: true, Restart: RestartLuby, RestartBase: 2},
+	{LegacyWatcherStore: true},
+	{LogProof: true},
+	{MaxLearnts: 1},
+}
+
+// decodeFuzzFormula interprets fuzz bytes as a bounded CNF instance
+// plus a configuration pick:
+//
+//	data[0] → variable count in [1, 12]
+//	data[1] → index into fuzzConfigs
+//	rest    → one literal per byte: 0 terminates a clause, otherwise
+//	          bit 7 is the polarity and the low bits pick the variable
+//
+// Bounds (≤ 12 vars, ≤ 64 clauses, ≤ 8 literals per clause) keep the
+// brute-force oracle instant while still reaching empty clauses,
+// duplicate literals, tautologies and both verdicts.
+func decodeFuzzFormula(data []byte) (*cnf.Formula, Options) {
+	if len(data) < 3 {
+		return nil, Options{}
+	}
+	nVars := int(data[0])%12 + 1
+	opts := fuzzConfigs[int(data[1])%len(fuzzConfigs)]
+	f := cnf.New(nVars)
+	var cur cnf.Clause
+	for _, b := range data[2:] {
+		if f.NumClauses() >= 64 {
+			break
+		}
+		if b == 0 {
+			f.AddClause(cur) // may be empty: trivially unsat, still legal
+			cur = nil
+			continue
+		}
+		if len(cur) >= 8 {
+			continue
+		}
+		v := cnf.Var(int(b&0x7f)%nVars + 1)
+		cur = append(cur, cnf.NewLit(v, b&0x80 != 0))
+	}
+	// An unterminated trailing clause is dropped, mirroring DIMACS
+	// strictness.
+	if f.NumClauses() == 0 {
+		return nil, Options{}
+	}
+	return f, opts
+}
+
+// FuzzSolverVsBrute generates small CNF instances from fuzz bytes,
+// solves them with a fuzz-chosen CDCL configuration and checks the
+// verdict against exhaustive enumeration (cnf.BruteForce). Sat models
+// are verified clause by clause; Unsat answers from the proof-logging
+// configuration are verified against the recorded DRUP-style proof.
+// This is the ground-truth harness every scheduling or heuristic change
+// must keep green: heuristics may change how the search walks, never
+// what it answers.
+func FuzzSolverVsBrute(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 2, 0, 0x81, 3, 0, 0x82, 0x83, 0})
+	f.Add([]byte{1, 1, 1, 0, 0x81, 0})          // x ∧ ¬x: unsat
+	f.Add([]byte{7, 2, 1, 2, 3, 0, 4, 5, 0, 6}) // mixed, trailing garbage
+	f.Add([]byte{11, 13, 1, 0, 2, 0, 3, 0, 0x81, 0x82, 0x83, 0})
+	f.Add([]byte{5, 4, 0}) // a single empty clause
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		formula, opts := decodeFuzzFormula(data)
+		if formula == nil {
+			t.Skip("undecodable")
+		}
+		want, _ := cnf.BruteForce(formula)
+		s := FromFormula(formula, opts)
+		st := s.Solve()
+		if st == Unknown {
+			t.Fatalf("complete configuration %+v returned Unknown on %v", opts, formula)
+		}
+		if got := st == Sat; got != want {
+			t.Fatalf("solver=%v brute=%v on %v (opts %+v)", st, want, formula, opts)
+		}
+		if st == Sat {
+			// Model verified clause by clause against the formula.
+			if err := VerifyModel(formula, s.Model()); err != nil {
+				t.Fatalf("model rejected: %v on %v (opts %+v)", err, formula, opts)
+			}
+		} else if opts.LogProof {
+			if err := VerifyUnsat(formula, s.Proof()); err != nil {
+				t.Fatalf("proof rejected: %v on %v", err, formula)
+			}
+		}
+	})
+}

@@ -173,9 +173,12 @@ type Options struct {
 	// is valid only for the duration of the call and must not be
 	// retained or mutated: a consumer that keeps the clause copies it on
 	// acceptance. This is the cooperation hook a portfolio uses to
-	// publish learned clauses to sibling workers. Returning false
-	// permanently disables further export for this solver (e.g. the
-	// shared pool is full), saving the per-conflict callback.
+	// publish learned clauses to sibling workers. Returning false is a
+	// terminal stop: it permanently disables further export for this
+	// solver (the consumer is being torn down and will never accept
+	// again), saving the per-conflict callback. A consumer that merely
+	// rejects an offer (admission threshold, transient pressure) must
+	// return true.
 	ExportClause func(lits []cnf.Lit, lbd int) bool
 
 	// ShareMaxLen and ShareMaxLBD bound which recorded clauses are
@@ -248,6 +251,12 @@ func (s Status) String() string {
 	return "UNKNOWN"
 }
 
+// LBDHistBuckets is the size of the learn-time LBD histogram kept in
+// Stats and Progress: bucket i counts conflict clauses learnt with
+// LBD i+1, and the last bucket collects everything at or above
+// LBDHistBuckets.
+const LBDHistBuckets = 8
+
 // Stats collects search statistics, used by the benchmark harness to
 // report the quantities the paper argues about (decisions, conflicts,
 // recorded clauses, restarts…).
@@ -265,4 +274,12 @@ type Stats struct {
 	MinimizedLit int64 // literals removed by clause minimization
 	ArenaGCs     int64 // relocating compactions of the clause arena
 	MaxJump      int   // largest non-chronological backjump (levels skipped)
+
+	// LBDHist is the learn-time LBD histogram of every conflict clause
+	// derived by analyze (including units and NoLearning temp clauses):
+	// bucket i counts clauses with LBD i+1, the last bucket LBD ≥
+	// LBDHistBuckets. It is the quality signal an adaptive scheduler
+	// reads: a worker whose histogram mass sits in the low buckets is
+	// producing glue, one whose mass sits high is thrashing.
+	LBDHist [LBDHistBuckets]int64
 }

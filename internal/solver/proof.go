@@ -48,11 +48,22 @@ func (c *rupChecker) growTo(v int) {
 	}
 }
 
+// add registers a clause, normalized first: duplicate literals would
+// inflate the checker's unassigned count — (x x x) is semantically unit
+// but would never seed propagation — and tautologies can never
+// propagate anything, so they are dropped outright. (The duplicate
+// case was found by FuzzSolverVsBrute: a proof-logging solve of a
+// formula containing (1 1 1)(-1 -1) is correctly Unsat, but the
+// unnormalized checker failed to re-derive the conflict.)
 func (c *rupChecker) add(cl cnf.Clause) {
-	c.growTo(int(cl.MaxVar()))
+	norm, taut := cl.Normalize()
+	if taut {
+		return
+	}
+	c.growTo(int(norm.MaxVar()))
 	idx := len(c.clauses)
-	c.clauses = append(c.clauses, cl)
-	for _, l := range cl {
+	c.clauses = append(c.clauses, norm)
+	for _, l := range norm {
 		c.occ[l.Not().Index()] = append(c.occ[l.Not().Index()], idx)
 	}
 }

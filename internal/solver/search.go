@@ -68,6 +68,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		}
 		restart++
 		s.Stats.Restarts++
+		s.prog.restarts.Add(1)
 		s.cancelUntil(0)
 		// Restart boundary: the natural moment to adopt foreign clauses
 		// (the trail is empty, so level-0 injection is trivially safe).
@@ -142,12 +143,14 @@ func (s *Solver) search(maxConfl int64) Status {
 		if confl != CRefUndef {
 			// Deduce() returned CONFLICT: run Diagnose().
 			s.Stats.Conflicts++
+			s.prog.conflicts.Add(1)
 			conflictsHere++
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
 			}
 			learnt, btLevel, lbd := s.analyze(confl)
+			s.noteConflict(lbd)
 			s.exportLearnt(learnt, lbd) // before backtracking: levels are live
 			if s.opts.Chronological {
 				// Chronological search strategies backtrack to the
@@ -244,6 +247,7 @@ func (s *Solver) record(learnt []cnf.Lit, lbd int) {
 	if !s.opts.NoLearning {
 		s.db.addLearnt(c)
 		s.Stats.Learned++
+		s.prog.learned.Add(1)
 		if n := int64(s.db.learntCount()); n > s.Stats.MaxLearnts {
 			s.Stats.MaxLearnts = n
 		}

@@ -95,6 +95,12 @@ type Solver struct {
 
 	proofLog *Proof // recorded conflict clauses (Options.LogProof)
 
+	// prog mirrors the scheduling-relevant subset of Stats in atomics so
+	// Snapshot can sample a RUNNING search from another goroutine (the
+	// adaptive portfolio supervisor). Updated at conflict granularity —
+	// a few atomic adds per conflict, noise next to conflict analysis.
+	prog progressCounters
+
 	// Scratch buffers for analyze. learntBuf backs the learnt clause
 	// itself: record copies it into the arena and exportLearnt only
 	// lends it out, so one buffer serves every conflict.

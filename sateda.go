@@ -93,6 +93,9 @@ type (
 	SolverOptions = solver.Options
 	// Status is a solve verdict.
 	Status = solver.Status
+	// SolverProgress is a race-free snapshot of a running search
+	// (Solver.Snapshot), the probe adaptive scheduling samples.
+	SolverProgress = solver.Progress
 	// Theory is the structural-layer hook of §5.
 	Theory = solver.Theory
 )
@@ -119,8 +122,13 @@ type (
 	PortfolioOptions = portfolio.Options
 	// PortfolioResult is the aggregate outcome with per-worker stats.
 	PortfolioResult = portfolio.Result
-	// PortfolioWorkerReport is one worker's verdict and statistics.
+	// PortfolioWorkerReport is one worker's verdict and statistics
+	// (under adaptive scheduling: one lineage entry per worker ever
+	// run, with slot, generation and reason-for-death).
 	PortfolioWorkerReport = portfolio.WorkerReport
+	// PortfolioPoolStats reports the shared pool's dynamic-admission
+	// counters.
+	PortfolioPoolStats = portfolio.PoolStats
 )
 
 // NewPortfolio builds a reusable portfolio over f; SolvePortfolio is the

@@ -1,11 +1,15 @@
 package sateda
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cnf"
 	"repro/internal/dpll"
 	"repro/internal/gen"
+	"repro/internal/portfolio"
 	"repro/internal/solver"
 )
 
@@ -46,6 +50,86 @@ func TestSoakSolverConfigs(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSoakPortfolioChurn cycles adaptive portfolio solves with a
+// kill/respawn-heavy schedule and asserts the process stays stable:
+// verdicts agree with the DPLL reference every cycle, every spawned
+// goroutine is joined (the goroutine count cannot creep), and the
+// shared pool never outgrows its cap.
+func TestSoakPortfolioChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	// Settle and measure the baseline goroutine count.
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	opts := portfolio.Options{
+		Workers:     4,
+		Adaptive:    true,
+		Grace:       2 * time.Millisecond, // churn hard
+		KillBelow:   2,
+		MaxRespawns: 6,
+		PoolCap:     256,
+	}
+	var kills, respawns int
+	for cycle := 0; cycle < 24; cycle++ {
+		// Instances sized to outlive a few supervisor samples (grace
+		// 2ms), so kills and respawns actually happen; the sequential
+		// CDCL solver is the agreement reference (DPLL would dominate
+		// the soak's runtime at these sizes).
+		var f *cnf.Formula
+		switch cycle % 3 {
+		case 0:
+			f = gen.Random3SATHard(110, int64(cycle))
+		case 1:
+			f = gen.Pigeonhole(6)
+		default:
+			f = gen.XorChain(26, cycle%2 == 0, int64(cycle))
+		}
+		want := solver.FromFormula(f, solver.Options{}).Solve()
+		opts.Seed = int64(cycle)
+		res := portfolio.Solve(context.Background(), f, opts)
+		if res.Status == solver.Unknown {
+			t.Fatalf("cycle %d: adaptive portfolio returned Unknown without budget or cancel", cycle)
+		}
+		if res.Status != want {
+			t.Fatalf("cycle %d: portfolio=%v sequential=%v", cycle, res.Status, want)
+		}
+		if res.Status == solver.Sat && !res.Model.Satisfies(f) {
+			t.Fatalf("cycle %d: model does not satisfy the formula", cycle)
+		}
+		if res.Pool.Held > 256 {
+			t.Fatalf("cycle %d: pool outgrew its cap: %+v", cycle, res.Pool)
+		}
+		if len(res.Workers) != opts.Workers+res.Respawns {
+			t.Fatalf("cycle %d: lineage incomplete: %d reports for %d slots + %d respawns",
+				cycle, len(res.Workers), opts.Workers, res.Respawns)
+		}
+		kills += res.Kills
+		respawns += res.Respawns
+	}
+	// Not every cycle churns (fast instances finish before the first
+	// sample), but across the mix the stress schedule must have
+	// scheduled — otherwise this test is not testing adaptive teardown.
+	if kills == 0 && respawns == 0 {
+		t.Fatal("no churn across the soak: every instance finished before the first supervisor sample")
+	}
+
+	// Every worker goroutine must have been joined: allow scheduler
+	// slack, but a per-cycle leak of even one goroutine would show.
+	runtime.GC()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across churn cycles: baseline %d, now %d", baseline, n)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 
