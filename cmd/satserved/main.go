@@ -1,0 +1,90 @@
+// Command satserved serves the repository's SAT engines over HTTP: a
+// concurrent solve scheduler (internal/serve) with fair-share
+// admission, a canonical-fingerprint result cache with singleflight
+// coalescing, three job kinds (raw DIMACS solve, CEC miter check, BMC
+// to a depth) and live streaming progress.
+//
+// Usage:
+//
+//	satserved [flags]
+//
+// The server prints one line — "satserved listening on HOST:PORT" — to
+// stdout once the listener is up (use -addr :0 for an ephemeral port;
+// the printed line carries the real one), then runs until SIGINT or
+// SIGTERM, shutting down gracefully: in-flight jobs are cancelled
+// cooperatively and every worker is drained.
+//
+// Endpoints: POST /v1/jobs (sync by default, "async": true for a job
+// handle), GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, SSE progress on
+// GET /v1/jobs/{id}/watch, plus /healthz and /metrics. See the README
+// quickstart for curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8723", "listen address (use :0 for an ephemeral port)")
+		cpu        = flag.Int("cpu", 0, "total portfolio workers across running jobs (0 = all CPUs)")
+		maxRunning = flag.Int("max-running", 0, "jobs solving concurrently (0 = min(4, cpu))")
+		queue      = flag.Int("queue", 0, "queued-job backlog before submissions shed with 429 (0 = 64)")
+		cacheCap   = flag.Int("cache", 0, "result-cache entries (0 = 256)")
+		deadline   = flag.Duration("deadline", 0, "default per-job deadline (0 = 30s)")
+		maxDead    = flag.Duration("max-deadline", 0, "hard per-job deadline ceiling (0 = 5m)")
+	)
+	flag.Parse()
+
+	sched := serve.NewScheduler(serve.Config{
+		CPUBudget:      *cpu,
+		MaxRunning:     *maxRunning,
+		QueueDepth:     *queue,
+		CacheCap:       *cacheCap,
+		DefaultTimeout: *deadline,
+		MaxTimeout:     *maxDead,
+	})
+	srv := &http.Server{
+		Handler: serve.NewServer(sched),
+		// Submit is synchronous by default and /watch streams for a
+		// job's whole life, so no blanket write/idle timeouts; the
+		// header read timeout still sheds dead or trickling clients.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "satserved:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("satserved listening on %s\n", ln.Addr())
+
+	errC := make(chan error, 1)
+	go func() { errC <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+	case err := <-errC:
+		fmt.Fprintln(os.Stderr, "satserved:", err)
+		sched.Close()
+		os.Exit(1)
+	}
+
+	// Graceful stop: stop accepting, cancel in-flight jobs, drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	sched.Close()
+}

@@ -12,11 +12,13 @@
 package bmc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/portfolio"
 	"repro/internal/solver"
 )
 
@@ -133,8 +135,15 @@ type Trace struct {
 	States [][]bool // [frame][latch] (includes the initial state)
 }
 
-// Depth returns the number of steps to the violation.
-func (t *Trace) Depth() int { return len(t.Inputs) }
+// Depth returns the number of steps to the violation. A depth-k trace
+// carries k+1 input vectors — the violating frame's inputs feed the
+// combinational bad signal — so this is one less than len(Inputs).
+func (t *Trace) Depth() int {
+	if len(t.Inputs) == 0 {
+		return 0
+	}
+	return len(t.Inputs) - 1
+}
 
 // Result reports a BMC run.
 type Result struct {
@@ -156,6 +165,10 @@ type Options struct {
 	MaxConflicts int64
 	// Solver carries base solver options.
 	Solver solver.Options
+	// Monitor, when non-nil, receives the incremental unrolling solver
+	// for live progress sampling while CheckContext runs (conflicts,
+	// restarts, glue share). The Monitor must be private to this run.
+	Monitor *portfolio.Monitor
 }
 
 // unroller incrementally adds time frames to one solver.
@@ -209,8 +222,21 @@ func (u *unroller) addFrame() cnf.Lit {
 
 // Check runs BMC for depths 0..maxDepth and returns the first violation.
 func Check(q *Sequential, maxDepth int, opts Options) *Result {
+	return CheckContext(context.Background(), q, maxDepth, opts)
+}
+
+// CheckContext is Check under a context: cancelling ctx interrupts the
+// current SAT query cooperatively (solver.Interrupt) and the run
+// returns with Decided false. When opts.Monitor is set, the unrolling
+// solver is attached to it for the duration of the run, so another
+// goroutine can sample live progress.
+func CheckContext(ctx context.Context, q *Sequential, maxDepth int, opts Options) *Result {
 	res := &Result{}
 	u := newUnroller(q, opts)
+	stopWatch := context.AfterFunc(ctx, u.s.Interrupt)
+	defer stopWatch()
+	detach := opts.Monitor.Attach(0, 0, "bmc-unroll", u.s)
+	defer detach("")
 	for k := 0; k <= maxDepth; k++ {
 		bad := u.addFrame()
 		res.SATCalls++
@@ -238,23 +264,22 @@ func (u *unroller) extractTrace(k int) *Trace {
 	m := u.s.Model()
 	tr := &Trace{}
 	free := u.q.FreeInputs()
+	// Every frame 0..k contributes one state and one input vector: the
+	// inputs at the violating frame itself matter too (bad is
+	// combinational in frame k), so the trace carries k+1 input vectors
+	// while reporting depth k.
 	for t := 0; t <= k; t++ {
 		st := make([]bool, len(u.q.Latches))
 		for i, l := range u.q.Latches {
 			st[i] = m.Value(u.varOf[t][l.Output]) == cnf.True
 		}
 		tr.States = append(tr.States, st)
-		if t < k || true {
-			in := make([]bool, len(free))
-			for i, id := range free {
-				in[i] = m.Value(u.varOf[t][id]) == cnf.True
-			}
-			tr.Inputs = append(tr.Inputs, in)
+		in := make([]bool, len(free))
+		for i, id := range free {
+			in[i] = m.Value(u.varOf[t][id]) == cnf.True
 		}
+		tr.Inputs = append(tr.Inputs, in)
 	}
-	// Inputs at the violating frame itself matter (bad is combinational
-	// in frame k), so we keep k+1 input vectors but report depth k.
-	tr.Inputs = tr.Inputs[:k+1]
 	return tr
 }
 

@@ -1,6 +1,7 @@
 package bmc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -238,5 +239,43 @@ bad = AND(q0, q1)
 	r3 := Check(q3, 8, Options{})
 	if r2.Violated != r3.Violated || r2.Depth != r3.Depth {
 		t.Fatalf("round trip changed behaviour: %+v vs %+v", r2, r3)
+	}
+}
+
+// TestTraceInputVectorCount pins the "k+1 input vectors" contract of
+// extractTrace: a depth-k counterexample carries exactly k+1 input
+// vectors and k+1 states (the violating frame's inputs matter — bad is
+// combinational in frame k), and the trace replays to a violation.
+func TestTraceInputVectorCount(t *testing.T) {
+	q := NewLoadableCounter(3, 5)
+	res := Check(q, 8, Options{})
+	if !res.Violated {
+		t.Fatal("expected a violation")
+	}
+	tr := res.Trace
+	if len(tr.Inputs) != res.Depth+1 {
+		t.Fatalf("%d input vectors for depth %d, want %d", len(tr.Inputs), res.Depth, res.Depth+1)
+	}
+	if len(tr.States) != res.Depth+1 {
+		t.Fatalf("%d states for depth %d, want %d", len(tr.States), res.Depth, res.Depth+1)
+	}
+	if tr.Depth() != res.Depth {
+		t.Fatalf("Trace.Depth() = %d, want %d", tr.Depth(), res.Depth)
+	}
+	if !ReplayTrace(q, tr) {
+		t.Fatal("trace replay does not hit bad")
+	}
+}
+
+// TestCheckContextCancel checks cooperative cancellation: a cancelled
+// context makes CheckContext return undecided instead of running the
+// full unrolling.
+func TestCheckContextCancel(t *testing.T) {
+	q := NewCounter(12, 4000) // deep enough that 4000 frames take a while
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := CheckContext(ctx, q, 4000, Options{})
+	if res.Decided {
+		t.Fatal("cancelled run should be undecided")
 	}
 }

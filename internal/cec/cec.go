@@ -44,10 +44,22 @@ type Options struct {
 	// to the monolithic check (the Internal engine's many incremental
 	// queries stay sequential).
 	PortfolioWorkers int
+	// PreferRecipe seeds the portfolio's diversification toward a
+	// recipe family a cross-run memory expects to win
+	// (portfolio.Options.PreferRecipe); "" leaves it unbiased.
+	PreferRecipe string
+	// PortfolioAdaptive enables the portfolio's adaptive scheduling
+	// supervisor for the miter race (portfolio.Options.Adaptive).
+	PortfolioAdaptive bool
 	// Solver carries base solver options.
 	Solver solver.Options
 	// Seed drives random simulation.
 	Seed int64
+	// Monitor, when non-nil, receives every solver this check spawns
+	// (the monolithic miter solver or the Internal engine's incremental
+	// solver, and each portfolio worker) for live progress sampling
+	// while CheckContext runs. The Monitor must be private to this run.
+	Monitor *portfolio.Monitor
 }
 
 // Result reports an equivalence check.
@@ -65,6 +77,9 @@ type Result struct {
 	Candidates, Proven int
 	SATCalls           int
 	Conflicts          int64
+	// Recipe names the winning portfolio recipe when the miter was
+	// decided by a portfolio ("" for the sequential engines).
+	Recipe string
 }
 
 // BuildMiter combines two circuits over shared inputs and returns the
@@ -135,13 +150,19 @@ func BuildMiter(a, b *circuit.Circuit) (*circuit.Circuit, circuit.NodeID, error)
 
 // Check decides whether a and b are combinationally equivalent.
 func Check(a, b *circuit.Circuit, opts Options) (*Result, error) {
-	if opts.Internal {
-		return checkInternal(a, b, opts)
-	}
-	return checkPlain(a, b, opts)
+	return CheckContext(context.Background(), a, b, opts)
 }
 
-func checkPlain(a, b *circuit.Circuit, opts Options) (*Result, error) {
+// CheckContext is Check under a context: cancelling ctx interrupts the
+// SAT queries cooperatively and the run returns with Decided false.
+func CheckContext(ctx context.Context, a, b *circuit.Circuit, opts Options) (*Result, error) {
+	if opts.Internal {
+		return checkInternal(ctx, a, b, opts)
+	}
+	return checkPlain(ctx, a, b, opts)
+}
+
+func checkPlain(ctx context.Context, a, b *circuit.Circuit, opts Options) (*Result, error) {
 	m, out, err := BuildMiter(a, b)
 	if err != nil {
 		return nil, err
@@ -160,17 +181,25 @@ func checkPlain(a, b *circuit.Circuit, opts Options) (*Result, error) {
 	var verdict solver.Status
 	var model cnf.Assignment
 	if opts.PortfolioWorkers > 1 {
-		pres := portfolio.Solve(context.Background(), f, portfolio.Options{
-			Workers: opts.PortfolioWorkers,
-			Base:    sopts,
-			Seed:    opts.Seed,
+		pres := portfolio.Solve(ctx, f, portfolio.Options{
+			Workers:      opts.PortfolioWorkers,
+			Base:         sopts,
+			Seed:         opts.Seed,
+			Monitor:      opts.Monitor,
+			PreferRecipe: opts.PreferRecipe,
+			Adaptive:     opts.PortfolioAdaptive,
 		})
 		verdict, model = pres.Status, pres.Model
+		res.Recipe = pres.Recipe
 		for _, w := range pres.Workers {
 			res.Conflicts += w.Stats.Conflicts
 		}
 	} else {
 		s := solver.FromFormula(f, sopts)
+		stopWatch := context.AfterFunc(ctx, s.Interrupt)
+		defer stopWatch()
+		detach := opts.Monitor.Attach(0, 0, "cec-miter", s)
+		defer detach("")
 		verdict = s.Solve()
 		model = s.Model()
 		res.Conflicts = s.Stats.Conflicts
@@ -195,7 +224,7 @@ func extractInputs(m *circuit.Circuit, enc *circuit.Encoding, model cnf.Assignme
 }
 
 // checkInternal implements the simulation-guided engine.
-func checkInternal(a, b *circuit.Circuit, opts Options) (*Result, error) {
+func checkInternal(ctx context.Context, a, b *circuit.Circuit, opts Options) (*Result, error) {
 	if opts.SimWords == 0 {
 		opts.SimWords = 4
 	}
@@ -261,6 +290,10 @@ func checkInternal(a, b *circuit.Circuit, opts Options) (*Result, error) {
 	sopts := opts.Solver
 	sopts.MaxConflicts = opts.MaxConflicts
 	s := solver.FromFormula(enc.F, sopts)
+	stopWatch := context.AfterFunc(ctx, s.Interrupt)
+	defer stopWatch()
+	detach := opts.Monitor.Attach(0, 0, "cec-internal", s)
+	defer detach("")
 
 	// Prove candidates: u≠v is queried by assuming a fresh XOR output.
 	for _, p := range pairs {

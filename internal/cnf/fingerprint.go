@@ -1,0 +1,66 @@
+package cnf
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"slices"
+	"sort"
+)
+
+// Fingerprint is a 256-bit canonical hash of a formula, suitable as a
+// cache key: two formulas that differ only in clause order, literal
+// order within clauses, duplicate literals inside a clause, duplicate
+// clauses or comments hash identically. Formulas with different
+// variable counts hash differently even when their clause sets agree
+// (the variable count determines the shape of a reported model).
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (fp Fingerprint) String() string { return hex.EncodeToString(fp[:]) }
+
+// FormulaFingerprint computes the canonical Fingerprint of f.
+//
+// Canonicalization: every clause is normalized (literals sorted,
+// duplicates removed), tautological clauses are dropped entirely (a
+// tautology is the conjunct "true" — no constraint — and must NOT be
+// encoded as anything that could collide with a genuine clause, in
+// particular the empty clause, which means "false"), the normalized
+// clauses are sorted lexicographically and deduplicated, and the
+// result — preceded by the variable count — is hashed with SHA-256.
+// The formula itself is never mutated; the function allocates scratch
+// proportional to the formula size.
+func FormulaFingerprint(f *Formula) Fingerprint {
+	norm := make([]Clause, 0, len(f.Clauses))
+	for _, c := range f.Clauses {
+		nc, taut := c.Normalize()
+		if taut {
+			continue // "true" conjunct: contributes nothing
+		}
+		norm = append(norm, nc)
+	}
+	sort.Slice(norm, func(i, j int) bool { return slices.Compare(norm[i], norm[j]) < 0 })
+
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(f.NumVars()))
+	h.Write(buf[:])
+	var prev Clause
+	first := true
+	for _, c := range norm {
+		if !first && slices.Equal(prev, c) {
+			continue // duplicate clause
+		}
+		first = false
+		prev = c
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(c)))
+		h.Write(buf[:])
+		for _, l := range c {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(l))
+			h.Write(buf[:4])
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}

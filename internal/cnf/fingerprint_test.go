@@ -1,0 +1,73 @@
+package cnf
+
+import "testing"
+
+func TestFingerprintInvariances(t *testing.T) {
+	base, err := ParseDIMACSString("p cnf 4 3\n1 -2 3 0\n-1 4 0\n2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := FormulaFingerprint(base)
+
+	variants := []string{
+		// Clause order permuted.
+		"p cnf 4 3\n2 0\n-1 4 0\n1 -2 3 0\n",
+		// Literal order permuted within clauses.
+		"p cnf 4 3\n3 1 -2 0\n4 -1 0\n2 0\n",
+		// Duplicate literals inside a clause.
+		"p cnf 4 3\n1 1 -2 3 0\n-1 4 4 0\n2 0\n",
+		// Duplicate clause.
+		"p cnf 4 4\n1 -2 3 0\n-1 4 0\n2 0\n2 0\n",
+		// Comments and whitespace.
+		"c a comment\np cnf 4 3\n 1  -2 3 0\nc mid\n-1 4 0\n2 0\n",
+	}
+	for i, s := range variants {
+		g, err := ParseDIMACSString(s)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if got := FormulaFingerprint(g); got != fp {
+			t.Fatalf("variant %d: fingerprint %s != base %s", i, got, fp)
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a, _ := ParseDIMACSString("p cnf 3 2\n1 2 0\n-3 0\n")
+	fp := FormulaFingerprint(a)
+
+	// Different clause set.
+	b, _ := ParseDIMACSString("p cnf 3 2\n1 2 0\n3 0\n")
+	if FormulaFingerprint(b) == fp {
+		t.Fatal("negated unit should change the fingerprint")
+	}
+	// Same clauses, more declared variables: the model shape differs.
+	c, _ := ParseDIMACSString("p cnf 5 2\n1 2 0\n-3 0\n")
+	if FormulaFingerprint(c) == fp {
+		t.Fatal("variable count should be part of the fingerprint")
+	}
+	// Tautologies are dropped: they are the conjunct "true", so a
+	// formula with one added is semantically — and canonically — the
+	// same formula.
+	d1, _ := ParseDIMACSString("p cnf 3 3\n1 2 0\n-3 0\n1 -1 0\n")
+	d2, _ := ParseDIMACSString("p cnf 3 3\n1 2 0\n-3 0\n2 -2 3 0\n")
+	if FormulaFingerprint(d1) != fp || FormulaFingerprint(d2) != fp {
+		t.Fatal("a tautological conjunct must not change the fingerprint")
+	}
+	// A genuine empty clause ("false") must NOT collide with a
+	// tautology ("true"): one formula is UNSAT, the other SAT.
+	empty, _ := ParseDIMACSString("p cnf 1 1\n0\n")
+	taut, _ := ParseDIMACSString("p cnf 1 1\n1 -1 0\n")
+	if FormulaFingerprint(empty) == FormulaFingerprint(taut) {
+		t.Fatal("empty clause and tautology must fingerprint differently")
+	}
+}
+
+func TestFingerprintStringHex(t *testing.T) {
+	f := New(2)
+	f.AddDIMACS(1, 2)
+	s := FormulaFingerprint(f).String()
+	if len(s) != 64 {
+		t.Fatalf("hex fingerprint length %d, want 64", len(s))
+	}
+}

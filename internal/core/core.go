@@ -65,6 +65,17 @@ type Options struct {
 	// PortfolioPoolQuantile tunes the shared pool's dynamic LBD
 	// admission threshold (0 = the portfolio default, 0.5).
 	PortfolioPoolQuantile float64
+	// PortfolioPrefer names a recipe family a cross-run memory expects
+	// to win this instance class (portfolio.Options.PreferRecipe); ""
+	// leaves the schedule unbiased.
+	PortfolioPrefer string
+	// PortfolioMonitor, when non-nil, receives every search-stage
+	// solver for live progress sampling (portfolio.Options.Monitor).
+	// Setting it routes even a 1-worker search through the portfolio
+	// harness — bit-identical to the sequential solver — so the probe
+	// works for every CDCL job. The Monitor must be private to this
+	// call.
+	PortfolioMonitor *portfolio.Monitor
 }
 
 // Answer is a pipeline verdict.
@@ -147,13 +158,19 @@ func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 		return ans
 
 	default:
-		if opts.PortfolioWorkers > 1 {
+		if opts.PortfolioWorkers > 1 || opts.PortfolioMonitor != nil {
+			workers := opts.PortfolioWorkers
+			if workers < 1 {
+				workers = 1 // monitored sequential solve: 1-worker portfolio
+			}
 			res := portfolio.Solve(ctx, work, portfolio.Options{
-				Workers:      opts.PortfolioWorkers,
+				Workers:      workers,
 				NoShare:      opts.PortfolioNoShare,
 				Adaptive:     opts.PortfolioAdaptive,
 				Grace:        opts.PortfolioGrace,
 				PoolQuantile: opts.PortfolioPoolQuantile,
+				PreferRecipe: opts.PortfolioPrefer,
+				Monitor:      opts.PortfolioMonitor,
 				Base:         opts.Solver,
 			})
 			ans.Portfolio = res

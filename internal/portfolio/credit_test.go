@@ -1,0 +1,205 @@
+package portfolio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/solver"
+)
+
+// TestSupervisorCreditsPoolContribution pins the ROADMAP follow-up: the
+// kill criterion credits a worker's admitted pool exports, not just its
+// own conflict rate. A worker with few conflicts of its own but a large
+// admitted-export contribution must clear the default KillBelow
+// threshold against a high-conflict leader — i.e. it survives — while
+// the same worker without the credit would be killed.
+func TestSupervisorCreditsPoolContribution(t *testing.T) {
+	const age = 10.0 // seconds; identical for both workers
+	killBelow := 0.25
+
+	leader := solver.Progress{Conflicts: 1000}
+	hub := solver.Progress{Conflicts: 50} // barely searching on its own
+
+	leaderScore := progressScore(leader, 0, age)
+	// Without any contribution the hub is clearly below the bar.
+	if s := progressScore(hub, 0, age); s >= killBelow*leaderScore {
+		t.Fatalf("uncredited hub score %.2f should fall below %.2f", s, killBelow*leaderScore)
+	}
+	// With 300 admitted exports the credit lifts it above the bar.
+	if s := progressScore(hub, 300, age); s < killBelow*leaderScore {
+		t.Fatalf("credited hub score %.2f should survive the %.2f bar", s, killBelow*leaderScore)
+	}
+	// Glue quality still scales the credited score the same way it
+	// scales raw conflicts.
+	glueHub := hub
+	glueHub.LBDHist[0] = 50 // every clause glue
+	if progressScore(glueHub, 300, age) <= progressScore(hub, 300, age) {
+		t.Fatal("glue share should scale a credited score upward")
+	}
+}
+
+// TestPoolSlotAdmittedCounters pins what the supervisor credit reads:
+// only genuinely admitted clauses count, the counter is scoped to the
+// slot's current (open, generation) occupant, and reopening resets it.
+func TestPoolSlotAdmittedCounters(t *testing.T) {
+	p := newPool(8, 2, 1) // quantile 1: no dynamic threshold in the way
+	p.openSlot(0, 0)
+	p.openSlot(1, 0)
+
+	var scratch []cnf.Lit
+	offer := func(slot int, lits ...int) bool {
+		c := cnf.NewClause(lits...)
+		fp, s := fingerprint(c, scratch)
+		scratch = s
+		return p.add(slot, 0, c, 2, fp)
+	}
+
+	offer(0, 1, 2)
+	offer(0, 3, 4)
+	offer(1, 1, 2) // duplicate of slot 0's export: not an admission
+	if got := p.slotAdmitted(0, 0); got != 2 {
+		t.Fatalf("slot 0 admitted = %d, want 2", got)
+	}
+	if got := p.slotAdmitted(1, 0); got != 0 {
+		t.Fatalf("slot 1 admitted = %d, want 0 (duplicate only)", got)
+	}
+
+	// Closed slot reads 0 (the supervisor only rates live workers).
+	p.closeSlot(0)
+	if got := p.slotAdmitted(0, 0); got != 0 {
+		t.Fatalf("closed slot admitted = %d, want 0", got)
+	}
+	// A respawned occupant starts from zero and a stale generation
+	// cannot read the new occupant's counter.
+	p.openSlot(0, 1)
+	if got := p.slotAdmitted(0, 1); got != 0 {
+		t.Fatalf("reopened slot admitted = %d, want 0", got)
+	}
+	offer2 := func(slot, gen int, lits ...int) {
+		c := cnf.NewClause(lits...)
+		fp, s := fingerprint(c, scratch)
+		scratch = s
+		p.add(slot, gen, c, 2, fp)
+	}
+	offer2(0, 1, 5, 6)
+	if got := p.slotAdmitted(0, 1); got != 1 {
+		t.Fatalf("gen-1 admitted = %d, want 1", got)
+	}
+	if got := p.slotAdmitted(0, 0); got != 0 {
+		t.Fatalf("stale generation admitted = %d, want 0", got)
+	}
+}
+
+func TestRecipeFamily(t *testing.T) {
+	cases := map[string]string{
+		"base":                     "base",
+		"luby-agile":               "luby-agile",
+		"luby-agile+rnd#1":         "luby-agile",
+		"geometric/exploit#s2g1":   "geometric",
+		"keepall/explore-mem#s0g2": "keepall",
+		"relevance/mem":            "relevance",
+	}
+	for in, want := range cases {
+		if got := RecipeFamily(in); got != want {
+			t.Errorf("RecipeFamily(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPreferRecipeSeedsSchedule pins the cross-run memory hook: a
+// preferred family shows up in worker 1's initial draw and in the
+// explore arm of the respawn schedule, while worker 0 and the exploit
+// arm are untouched.
+func TestPreferRecipeSeedsSchedule(t *testing.T) {
+	base := solver.Options{}
+	preferIdx := recipeIndex("keepall")
+	if preferIdx < 0 {
+		t.Fatal("keepall should be a table recipe")
+	}
+
+	// Worker 0 is never redirected — the determinism anchor.
+	o0, name0, idx0 := diversifyPrefer(0, base, 7, preferIdx)
+	plain0, plainName0 := diversify(0, base, 7)
+	if idx0 != 0 || name0 != plainName0 || o0.Seed != plain0.Seed || o0.Restart != plain0.Restart {
+		t.Fatal("worker 0 must ignore the preference")
+	}
+
+	// Worker 1 runs the remembered family, marked as a memory draw.
+	_, name1, idx1 := diversifyPrefer(1, base, 7, preferIdx)
+	if idx1 != preferIdx || RecipeFamily(name1) != "keepall" || !strings.Contains(name1, "/mem") {
+		t.Fatalf("worker 1 draw = %q (idx %d), want keepall/mem", name1, idx1)
+	}
+	// Everyone else keeps the table walk.
+	_, _, idx2 := diversifyPrefer(2, base, 7, preferIdx)
+	if idx2 != 2 {
+		t.Fatalf("worker 2 idx = %d, want its table entry 2", idx2)
+	}
+
+	// Explore arm (even generations): even spawn indices draw the
+	// preferred family, odd ones keep walking the table.
+	_, nameE, idxE := respawnPrefer(10, 3, 2, base, 7, -1, preferIdx)
+	if idxE != preferIdx || !strings.Contains(nameE, "explore-mem") {
+		t.Fatalf("even explore draw = %q (idx %d), want preferred family", nameE, idxE)
+	}
+	_, nameO, idxO := respawnPrefer(11, 3, 2, base, 7, -1, preferIdx)
+	if idxO != (11/2)%len(recipes) || strings.Contains(nameO, "explore-mem") {
+		t.Fatalf("odd explore draw = %q (idx %d), want half-speed table walk", nameO, idxO)
+	}
+	// The half-speed walk must reach EVERY table index — the even
+	// residues too, which a naive spawnIdx%len walk would never hit
+	// from odd spawn indices on an even-length table.
+	seen := make(map[int]bool)
+	for spawn := 1; spawn < 4*len(recipes); spawn += 2 {
+		_, _, idx := respawnPrefer(spawn, 3, 2, base, 7, -1, preferIdx)
+		seen[idx] = true
+	}
+	for i := range recipes {
+		if !seen[i] {
+			t.Fatalf("explore walk under a hint never reaches recipe %d (%s)", i, recipes[i].name)
+		}
+	}
+	// Exploit arm beats the memory hint: in-run evidence wins.
+	_, nameX, idxX := respawnPrefer(10, 3, 1, base, 7, 2, preferIdx)
+	if idxX != 2 || !strings.Contains(nameX, "exploit") {
+		t.Fatalf("exploit draw = %q (idx %d), want recipe 2", nameX, idxX)
+	}
+	// No preference: identical to the historical schedule.
+	a, an, ai := respawnPrefer(10, 3, 2, base, 7, -1, -1)
+	b, bn, bi := respawn(10, 3, 2, base, 7, -1)
+	if a.Seed != b.Seed || a.Restart != b.Restart || a.RandomFreq != b.RandomFreq || an != bn || ai != bi {
+		t.Fatal("preferIdx -1 must reproduce the plain respawn schedule")
+	}
+}
+
+// TestPreferRecipeEndToEnd runs a small portfolio with a preference and
+// checks the lineage actually contains the seeded family on worker 1,
+// and that a Monitor attached to the run saw the workers.
+func TestPreferRecipeEndToEnd(t *testing.T) {
+	f, err := cnf.ParseDIMACSString("p cnf 6 4\n1 2 0\n-1 3 0\n-3 -2 6 0\n4 5 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor()
+	res := Solve(t.Context(), f, Options{
+		Workers:      3,
+		PreferRecipe: "keepall",
+		Monitor:      mon,
+	})
+	if res.Status != solver.Sat {
+		t.Fatalf("status %v, want SAT", res.Status)
+	}
+	var w1 *WorkerReport
+	for i := range res.Workers {
+		if res.Workers[i].ID == 1 {
+			w1 = &res.Workers[i]
+		}
+	}
+	if w1 == nil || RecipeFamily(w1.Recipe) != "keepall" {
+		t.Fatalf("worker 1 recipe = %+v, want keepall family", w1)
+	}
+	// All workers detached once the run finished.
+	if snap := mon.Snapshot(); len(snap.Live) != 0 {
+		t.Fatalf("monitor still holds %d live workers after Solve", len(snap.Live))
+	}
+}

@@ -1,0 +1,199 @@
+package portfolio
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/solver"
+)
+
+// monitorEventCap bounds the event ring a Monitor retains; older events
+// are dropped from the front.
+const monitorEventCap = 64
+
+// Monitor is a live progress window onto a running solve. Engines that
+// accept one (portfolio.Options.Monitor, and the bmc/cec options that
+// forward to their internal solvers) attach every solver they spawn;
+// any other goroutine may call Snapshot at any time to observe
+// conflict throughput, learnt-clause quality and the kill/respawn
+// history while the solve is still running. This is the probe the
+// serving layer's status endpoints sample.
+//
+// A Monitor is safe for concurrent use. Attach/detach only registers
+// the solver pointer; sampling goes through solver.Snapshot, which is
+// race-free by construction, so a Snapshot never blocks the search.
+// A Monitor must not be shared between concurrent solves — give each
+// job its own.
+type Monitor struct {
+	mu       sync.Mutex
+	seq      int
+	live     map[int]*monitorEntry
+	events   []string
+	kills    int
+	respawns int
+	// retiredConflicts accumulates the final conflict counts of
+	// detached workers, so a run's total conflict view stays monotonic
+	// across kills and respawns.
+	retiredConflicts int64
+}
+
+type monitorEntry struct {
+	slot, gen int
+	label     string
+	s         *solver.Solver
+	since     time.Time
+}
+
+// NewMonitor creates an empty Monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{live: make(map[int]*monitorEntry)}
+}
+
+// Attach registers a running solver under a display label and a
+// (slot, gen) scheduling coordinate (0, 0 for single-solver engines).
+// The returned detach func removes the registration; a non-empty
+// reason is recorded in the event history ("label: reason"). Detach is
+// idempotent.
+func (m *Monitor) Attach(slot, gen int, label string, s *solver.Solver) func(reason string) {
+	if m == nil {
+		return func(string) {}
+	}
+	m.mu.Lock()
+	id := m.seq
+	m.seq++
+	m.live[id] = &monitorEntry{slot: slot, gen: gen, label: label, s: s, since: time.Now()}
+	m.mu.Unlock()
+	var once sync.Once
+	return func(reason string) {
+		once.Do(func() {
+			final := s.Snapshot().Conflicts // race-free at any time
+			m.mu.Lock()
+			delete(m.live, id)
+			m.retiredConflicts += final
+			if reason != "" {
+				m.noteLocked(fmt.Sprintf("%s: %s", label, reason))
+			}
+			m.mu.Unlock()
+		})
+	}
+}
+
+// Note appends a free-form event to the bounded history.
+func (m *Monitor) Note(event string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.noteLocked(event)
+	m.mu.Unlock()
+}
+
+func (m *Monitor) noteLocked(event string) {
+	if len(m.events) >= monitorEventCap {
+		m.events = append(m.events[:0], m.events[len(m.events)-monitorEventCap+1:]...)
+	}
+	m.events = append(m.events, event)
+}
+
+// NoteKill records a supervisor kill in the history and counters.
+func (m *Monitor) NoteKill(label string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.kills++
+	m.noteLocked("kill " + label)
+	m.mu.Unlock()
+}
+
+// NoteRespawn records a slot respawn in the history and counters.
+func (m *Monitor) NoteRespawn(label string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.respawns++
+	m.noteLocked("respawn " + label)
+	m.mu.Unlock()
+}
+
+// LiveWorker is one attached solver's progress at Snapshot time.
+type LiveWorker struct {
+	Slot, Gen int
+	Label     string
+	Age       time.Duration
+	Conflicts int64
+	Restarts  int64
+	Learned   int64
+	// GlueShare is the fraction of learnt clauses with LBD ≤ 3.
+	GlueShare float64
+}
+
+// MonitorSnapshot is a point-in-time view of a monitored solve.
+type MonitorSnapshot struct {
+	// Live lists the currently attached solvers in attach order.
+	Live []LiveWorker
+	// RetiredConflicts is the summed final conflict count of workers
+	// that have already detached (killed, retired or finished), so
+	// Conflicts() stays monotonic across kills and respawns.
+	RetiredConflicts int64
+	// Kills / Respawns mirror the supervisor counters so far.
+	Kills, Respawns int
+	// Events is the bounded history of kills, respawns and detach
+	// reasons, oldest first.
+	Events []string
+}
+
+// Conflicts totals the run's conflicts so far: every live worker's
+// count plus the final counts of already-detached workers.
+func (s *MonitorSnapshot) Conflicts() int64 {
+	n := s.RetiredConflicts
+	for _, w := range s.Live {
+		n += w.Conflicts
+	}
+	return n
+}
+
+// Snapshot samples every attached solver. Safe to call from any
+// goroutine while the solve runs; the per-worker numbers come from
+// solver.Snapshot and are individually race-free.
+func (m *Monitor) Snapshot() MonitorSnapshot {
+	if m == nil {
+		return MonitorSnapshot{}
+	}
+	m.mu.Lock()
+	ids := make([]int, 0, len(m.live))
+	for id := range m.live {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids) // attach order == id order
+	entries := make([]*monitorEntry, len(ids))
+	for i, id := range ids {
+		entries[i] = m.live[id]
+	}
+	out := MonitorSnapshot{
+		RetiredConflicts: m.retiredConflicts,
+		Kills:            m.kills,
+		Respawns:         m.respawns,
+		Events:           append([]string(nil), m.events...),
+	}
+	m.mu.Unlock()
+
+	// Sample outside the monitor lock: solver.Snapshot is atomic-based
+	// and never blocks, but there is no reason to serialize it either.
+	now := time.Now()
+	for _, e := range entries {
+		snap := e.s.Snapshot()
+		out.Live = append(out.Live, LiveWorker{
+			Slot: e.slot, Gen: e.gen, Label: e.label,
+			Age:       now.Sub(e.since),
+			Conflicts: snap.Conflicts,
+			Restarts:  snap.Restarts,
+			Learned:   snap.Learned,
+			GlueShare: snap.GlueShare(),
+		})
+	}
+	return out
+}

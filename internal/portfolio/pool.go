@@ -108,6 +108,11 @@ type slotState struct {
 	open   bool
 	gen    int
 	cursor int // global sequence index of the next unread entry
+	// admitted counts clauses from this slot's current occupant that
+	// the pool accepted — the worker's "contribution" the adaptive
+	// supervisor credits alongside its own conflict rate. Reset on
+	// openSlot (a respawned worker starts from zero).
+	admitted int64
 }
 
 type origin struct{ slot, gen int }
@@ -184,6 +189,19 @@ func (p *pool) closeSlot(slot int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.slots[slot].open = false
+}
+
+// slotAdmitted reports how many clauses the pool admitted from the
+// worker currently occupying (slot, gen) — 0 for a closed slot, a
+// stale generation or an out-of-range slot. The supervisor reads this
+// to credit a worker's pool contributions in its progress score.
+func (p *pool) slotAdmitted(slot, gen int) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if slot < 0 || slot >= len(p.slots) || !p.slots[slot].open || p.slots[slot].gen != gen {
+		return 0
+	}
+	return p.slots[slot].admitted
 }
 
 // backlogLocked is the number of held entries not yet read by the
@@ -299,6 +317,7 @@ func (p *pool) add(slot, gen int, lits []cnf.Lit, lbd int, fp uint64) bool {
 		p.base++
 		p.evicted++
 	}
+	p.slots[slot].admitted++
 	p.seen[fp] = p.base + len(p.log)
 	p.log = append(p.log, sharedClause{
 		lits:    append(cnf.Clause(nil), lits...), // copy on admission

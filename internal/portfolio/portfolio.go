@@ -89,11 +89,14 @@ type Options struct {
 	Grace time.Duration
 
 	// KillBelow is the relative-progress threshold: a worker past its
-	// grace period is killed when its progress score — conflicts/s
-	// scaled by learnt-LBD quality — falls below KillBelow times the
-	// best live worker's score (0 = 0.25). Values ≥ 1 kill everything
-	// but the leader at every sample, the respawn-churn stress
-	// configuration. The last live worker is never killed.
+	// grace period is killed when its progress score — conflicts/s plus
+	// a credit for clauses the shared pool admitted from it, scaled by
+	// learnt-LBD quality — falls below KillBelow times the best live
+	// worker's score (0 = 0.25). The pool credit keeps a low-conflict
+	// worker alive while it is feeding the fleet lemmas the pool judges
+	// competitive. Values ≥ 1 kill everything but the leader at every
+	// sample, the respawn-churn stress configuration. The last live
+	// worker is never killed.
 	KillBelow float64
 
 	// MaxRespawns bounds respawns per slot (0 = 4). A slot killed with
@@ -112,6 +115,22 @@ type Options struct {
 	// so distinct portfolio runs can be made to explore differently
 	// while each remains deterministic.
 	Seed int64
+
+	// PreferRecipe names a recipe family (see RecipeFamily) that a
+	// cross-run memory expects to win this instance class. When set and
+	// valid, worker 1's initial draw runs that family and the adaptive
+	// respawn schedule's explore arm alternates toward it. Unknown
+	// names — and "base", which worker 0 permanently runs anyway — are
+	// ignored. Worker 0 is never affected, so a one-worker portfolio
+	// stays bit-identical to the sequential solver.
+	PreferRecipe string
+
+	// Monitor, when non-nil, receives every spawned worker for live
+	// progress sampling (conflicts/s, glue share) plus the supervisor's
+	// kill/respawn events — the probe a serving layer's status
+	// endpoint reads while the job runs. The Monitor must be private
+	// to this run.
+	Monitor *Monitor
 }
 
 // WorkerReport is one worker's outcome and search statistics. Reports
@@ -200,34 +219,50 @@ type runningWorker struct {
 	recipeIdx int // index into the recipe table (for exploit cloning)
 	s         *solver.Solver
 	spawned   time.Time
-	stopWatch func() bool // cancels the ctx→Interrupt watcher
-	killed    bool        // the supervisor decided to kill it
-	respawn   bool        // ...and the slot's budget allows a successor
-	reason    string      // reason-for-death recorded at kill time
+	stopWatch func() bool         // cancels the ctx→Interrupt watcher
+	detach    func(reason string) // removes the worker from the run's Monitor
+	killed    bool                // the supervisor decided to kill it
+	respawn   bool                // ...and the slot's budget allows a successor
+	reason    string              // reason-for-death recorded at kill time
 }
 
-// score rates a live worker for the supervisor: conflicts per second
-// since spawn, scaled by learnt-clause quality (0.5 + glue share of
-// the LBD histogram, so a worker learning mostly glue counts up to
-// 1.5×, one learning only junk 0.5×).
-func (w *runningWorker) score(now time.Time) float64 {
-	age := now.Sub(w.spawned).Seconds()
+// exportCredit is how many of a worker's own conflicts one pool-admitted
+// export is worth in the supervisor's progress score. Admissions are
+// pool-filtered for LBD quality, so each one is evidence the worker is
+// producing lemmas the whole fleet prunes with — worth more than a
+// private conflict, but bounded so a sharing hub that finds nothing
+// itself cannot shadow a worker that is actually closing the search.
+const exportCredit = 4
+
+// progressScore rates a worker from a progress snapshot, the number of
+// its clauses the shared pool admitted, and its age in seconds:
+// (conflicts + exportCredit·admitted) per second, scaled by
+// learnt-clause quality (0.5 + glue share of the LBD histogram, so a
+// worker learning mostly glue counts up to 1.5×, one learning only
+// junk 0.5×). Pure function; the supervisor kill test exercises it
+// directly.
+func progressScore(snap solver.Progress, admitted int64, age float64) float64 {
 	if age <= 0 {
 		return 0
 	}
-	snap := w.s.Snapshot()
-	return float64(snap.Conflicts) / age * (0.5 + snap.GlueShare())
+	return (float64(snap.Conflicts) + exportCredit*float64(admitted)) / age * (0.5 + snap.GlueShare())
+}
+
+// score rates a live worker for the supervisor, crediting the clauses
+// the shared pool admitted from it on top of its own conflict rate.
+func (w *runningWorker) score(now time.Time, shared *pool) float64 {
+	return progressScore(w.s.Snapshot(), shared.slotAdmitted(w.slot, w.gen), now.Sub(w.spawned).Seconds())
 }
 
 // bestLive returns the live worker with the highest progress score.
-func bestLive(running []*runningWorker, now time.Time) (*runningWorker, float64) {
+func bestLive(running []*runningWorker, now time.Time, shared *pool) (*runningWorker, float64) {
 	var best *runningWorker
 	bestScore := 0.0
 	for _, w := range running {
 		if w == nil {
 			continue
 		}
-		if sc := w.score(now); best == nil || sc > bestScore {
+		if sc := w.score(now, shared); best == nil || sc > bestScore {
 			best, bestScore = w, sc
 		}
 	}
@@ -258,6 +293,15 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 	maxRespawns := p.opts.MaxRespawns
 	if maxRespawns == 0 {
 		maxRespawns = 4
+	}
+	// Cross-run memory hint: resolve the preferred recipe family once;
+	// -1 (unknown or unset) leaves every draw on the plain schedule.
+	// The base family is worker 0's permanent configuration, so
+	// preferring it is inherently satisfied — treating it as a hint
+	// would only make explore draws duplicate worker 0.
+	preferIdx := recipeIndex(RecipeFamily(p.opts.PreferRecipe))
+	if preferIdx == 0 {
+		preferIdx = -1
 	}
 	// A proof-logging base configuration suppresses ImportClauses in
 	// every worker (foreign clauses would poison VerifyUnsat), so no
@@ -304,6 +348,7 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 			id: spawnIdx, slot: slot, gen: gen, name: name, recipeIdx: recipeIdx,
 			s: solver.FromFormula(p.f, o), spawned: time.Now(),
 		}
+		w.detach = p.opts.Monitor.Attach(slot, gen, name, w.s)
 		spawnIdx++
 		// Interrupt only touches an atomic flag, so the watcher may
 		// safely overlap the solve and the final stats copy.
@@ -318,11 +363,12 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 	}
 
 	for i := 0; i < n; i++ {
-		o, name := diversify(i, p.opts.Base, p.opts.Seed)
-		spawn(i, 0, o, name, i%len(recipes))
+		o, name, idx := diversifyPrefer(i, p.opts.Base, p.opts.Seed, preferIdx)
+		spawn(i, 0, o, name, idx)
 	}
 
 	var tickC <-chan time.Time
+	scores := make([]float64, n) // per-tick score vector, reused across ticks
 	if adaptive {
 		tick := grace / 8
 		if tick < time.Millisecond {
@@ -373,6 +419,14 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 			} else if reason == "" && (winner != nil || ctx.Err() != nil) {
 				reason = "interrupted"
 			}
+			// Supervisor kills were already recorded by NoteKill at
+			// decision time; passing the reason again would duplicate
+			// the event in the Monitor's bounded history.
+			if w.killed {
+				w.detach("")
+			} else {
+				w.detach(reason)
+			}
 			res.Workers = append(res.Workers, WorkerReport{
 				ID: w.id, Slot: w.slot, Gen: w.gen, Recipe: w.name,
 				Status: oc.st, Reason: reason, Stats: w.s.Stats,
@@ -380,12 +434,14 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 			if w.killed && w.respawn && winner == nil && ctx.Err() == nil {
 				// The slot is free (its goroutine just exited): respawn
 				// it with a fresh-seeded recipe from the explore/exploit
-				// schedule, exploiting the current best live recipe.
+				// schedule, exploiting the current best live recipe and
+				// biasing the explore arm toward the remembered family.
 				exploitIdx := -1
-				if best, sc := bestLive(running, time.Now()); best != nil && sc > 0 {
+				if best, sc := bestLive(running, time.Now(), shared); best != nil && sc > 0 {
 					exploitIdx = best.recipeIdx
 				}
-				o, name, idx := respawn(spawnIdx, w.slot, w.gen+1, p.opts.Base, p.opts.Seed, exploitIdx)
+				o, name, idx := respawnPrefer(spawnIdx, w.slot, w.gen+1, p.opts.Base, p.opts.Seed, exploitIdx, preferIdx)
+				p.opts.Monitor.NoteRespawn(name)
 				spawn(w.slot, w.gen+1, o, name, idx)
 				res.Respawns++
 			}
@@ -394,25 +450,35 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 			if winner != nil || ctx.Err() != nil {
 				continue // already cancelled; just draining outcomes
 			}
+			// One scoring pass per tick: each score costs a solver
+			// snapshot and a pool-mutex acquisition (slotAdmitted), and
+			// the pool mutex is contended by every worker's per-conflict
+			// exports — don't pay it twice per worker.
 			now := time.Now()
-			best, bestScore := bestLive(running, now)
+			var best *runningWorker
+			bestScore := 0.0
+			liveNow := 0
+			for slot, w := range running {
+				if w == nil {
+					continue
+				}
+				liveNow++
+				scores[slot] = w.score(now, shared)
+				if best == nil || scores[slot] > bestScore {
+					best, bestScore = w, scores[slot]
+				}
+			}
 			if best == nil || bestScore <= 0 {
 				continue // no measurable progress anywhere yet
 			}
-			liveNow := 0
-			for _, w := range running {
-				if w != nil {
-					liveNow++
-				}
-			}
-			for _, w := range running {
+			for slot, w := range running {
 				if w == nil || w == best || liveNow <= 1 {
 					continue // never kill the last live worker or the leader
 				}
 				if now.Sub(w.spawned) < grace {
 					continue
 				}
-				if w.score(now) >= killBelow*bestScore {
+				if scores[slot] >= killBelow*bestScore {
 					continue
 				}
 				// Kill: close the pool slot first so the dying worker's
@@ -428,6 +494,7 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 					w.reason = "retired"
 				}
 				res.Kills++
+				p.opts.Monitor.NoteKill(w.name)
 				running[w.slot] = nil
 				shared.closeSlot(w.slot)
 				w.s.Interrupt()

@@ -2,9 +2,32 @@ package portfolio
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/solver"
 )
+
+// RecipeFamily reduces a worker's reported recipe name to its family —
+// the recipe-table entry it was derived from. Display names decorate
+// the family with lap markers ("luby-agile+rnd#1") and respawn
+// coordinates ("geometric/exploit#s2g1"); the family is the stable
+// cross-run identity a recipe memory keys on.
+func RecipeFamily(name string) string {
+	if i := strings.IndexAny(name, "+/#"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// recipeIndex returns the recipe-table index of a family name, or -1.
+func recipeIndex(family string) int {
+	for i, r := range recipes {
+		if r.name == family {
+			return i
+		}
+	}
+	return -1
+}
 
 // A recipe deterministically diversifies the base solver options for one
 // worker. Worker 0 always runs the base configuration unchanged, so a
@@ -78,8 +101,36 @@ var recipes = []recipe{
 // wall-clock kill timing, but a recorded lineage pins every recipe and
 // seed that ran.
 func respawn(spawnIdx, slot, gen int, base solver.Options, seed int64, exploitIdx int) (solver.Options, string, int) {
+	return respawnPrefer(spawnIdx, slot, gen, base, seed, exploitIdx, -1)
+}
+
+// respawnPrefer is respawn with a cross-run memory hint: when
+// preferIdx names a recipe family that historically won this instance
+// class, the EXPLORE arm alternates between that family (even spawn
+// indices, mode "explore-mem") and a plain table walk advancing at
+// half speed (odd ones, index spawnIdx/2 mod table), so the schedule
+// is seeded toward the remembered winner while every table entry —
+// even and odd residues alike — stays reachable. The exploit arm is unchanged —
+// it already chases the in-run leader. Determinism is preserved: the
+// draw stays a pure function of (spawnIdx, slot, gen, exploitIdx,
+// preferIdx, seeds).
+func respawnPrefer(spawnIdx, slot, gen int, base solver.Options, seed int64, exploitIdx, preferIdx int) (solver.Options, string, int) {
 	idx := spawnIdx % len(recipes)
 	mode := "explore"
+	if preferIdx >= 0 && preferIdx < len(recipes) {
+		if spawnIdx%2 == 0 {
+			idx = preferIdx
+			mode = "explore-mem"
+		} else {
+			// The plain walk advances by its own counter, NOT spawnIdx
+			// % len(recipes): with the table length even, odd spawn
+			// indices alone would only ever reach odd residues,
+			// silently halving table coverage whenever a hint is
+			// active — exactly the blind spot that would stop the
+			// memory from ever observing a better family win.
+			idx = (spawnIdx / 2) % len(recipes)
+		}
+	}
 	if gen%2 == 1 && exploitIdx >= 0 && exploitIdx < len(recipes) {
 		idx = exploitIdx
 		mode = "exploit"
@@ -99,9 +150,28 @@ func respawn(spawnIdx, slot, gen int, base solver.Options, seed int64, exploitId
 // worker i. Beyond the recipe table, workers wrap around with fresh
 // seeds, so any worker count stays diversified.
 func diversify(i int, base solver.Options, seed int64) (solver.Options, string) {
+	o, name, _ := diversifyPrefer(i, base, seed, -1)
+	return o, name
+}
+
+// diversifyPrefer is diversify with a cross-run memory hint: when
+// preferIdx is a valid recipe index, worker 1 runs that family (with
+// worker 1's usual fresh seed) instead of its table entry, so the
+// remembered winner is racing from the first lineup, not only after a
+// kill. Worker 0 stays the undiversified base — the determinism anchor
+// — and every other worker keeps its table draw. The third return is
+// the recipe-table index actually used.
+func diversifyPrefer(i int, base solver.Options, seed int64, preferIdx int) (solver.Options, string, int) {
 	o := base
-	r := recipes[i%len(recipes)]
+	idx := i % len(recipes)
+	if i == 1 && preferIdx >= 0 && preferIdx < len(recipes) && preferIdx != 0 {
+		idx = preferIdx
+	}
+	r := recipes[idx]
 	name := r.name
+	if i == 1 && idx == preferIdx {
+		name = r.name + "/mem"
+	}
 	if i > 0 {
 		r.apply(&o)
 		// Distinct deterministic seed per worker.
@@ -119,5 +189,5 @@ func diversify(i int, base solver.Options, seed int64) (solver.Options, string) 
 			name = fmt.Sprintf("%s+rnd#%d", r.name, i/len(recipes))
 		}
 	}
-	return o, name
+	return o, name, idx
 }

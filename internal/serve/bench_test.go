@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// BenchmarkE34_Serve measures service throughput (jobs/s) for the three
+// workload shapes the serving layer distinguishes:
+//
+//	cold      — every job is a new formula: every job pays a solve
+//	cached    — one warm formula resubmitted: pure result-cache hits
+//	coalesced — bursts of an identical fresh formula: one solve per
+//	            burst, the rest fan out from the singleflight leader
+//
+// Comparing the three quantifies what the cache and coalescing buy over
+// solving everything.
+func BenchmarkE34_Serve(b *testing.B) {
+	solveWait := func(b *testing.B, s *Scheduler, sp Spec) Result {
+		b.Helper()
+		j, err := s.Submit(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		res, err := j.Wait(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	freshSpec := func(i int) Spec {
+		return dimacsSpec(gen.XorChain(20, i%2 == 0, int64(i)))
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 1 << 16})
+		defer s.Close()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			solveWait(b, s, freshSpec(i))
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 1 << 16})
+		defer s.Close()
+		warm := freshSpec(0)
+		solveWait(b, s, warm)
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if res := solveWait(b, s, warm); !res.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+		b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/s")
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		const burst = 8
+		s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 1 << 16})
+		defer s.Close()
+		start := time.Now()
+		jobs := 0
+		for i := 0; i < b.N; i++ {
+			// A fresh formula per burst keeps the cache out of the
+			// picture; within the burst, followers coalesce onto the
+			// first submission.
+			sp := dimacsSpec(gen.XorChain(20, true, int64(1_000_000+i)))
+			handles := make([]*Job, burst)
+			for k := range handles {
+				j, err := s.Submit(sp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles[k] = j
+			}
+			for _, j := range handles {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+				if _, err := j.Wait(ctx); err != nil {
+					cancel()
+					b.Fatal(err)
+				}
+				cancel()
+			}
+			jobs += burst
+		}
+		st := s.Stats()
+		if st.Solves > int64(b.N) {
+			b.Fatalf("%d solves for %d bursts: coalescing failed", st.Solves, b.N)
+		}
+		b.ReportMetric(float64(jobs)/time.Since(start).Seconds(), "jobs/s")
+	})
+}

@@ -1,0 +1,97 @@
+package serve
+
+import "sync"
+
+// resultCache is the scheduler's LRU result cache, keyed by the
+// canonical job key. Only decided verdicts are stored (an UNKNOWN is a
+// budget artifact, not a property of the formula), so a hit can be
+// served for any budget without re-checking it. Entries are value
+// copies in both directions: the cache never aliases a caller's
+// Result.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[jobKey]*cacheNode
+	// Intrusive LRU list: head = most recent, tail = eviction victim.
+	head, tail *cacheNode
+}
+
+type cacheNode struct {
+	key        jobKey
+	res        Result
+	prev, next *cacheNode
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &resultCache{cap: capacity, entries: make(map[jobKey]*cacheNode)}
+}
+
+// get returns a copy of the cached result and true on a hit, promoting
+// the entry to most-recently-used.
+func (c *resultCache) get(key jobKey) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.entries[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.unlink(n)
+	c.pushFront(n)
+	return n.res.clone(), true
+}
+
+// put stores a copy of res under key, evicting the least-recently-used
+// entry at capacity. Storing an existing key refreshes it.
+func (c *resultCache) put(key jobKey, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.entries[key]; ok {
+		n.res = res.clone()
+		c.unlink(n)
+		c.pushFront(n)
+		return
+	}
+	if len(c.entries) >= c.cap {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+	}
+	n := &cacheNode{key: key, res: res.clone()}
+	c.entries[key] = n
+	c.pushFront(n)
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+func (c *resultCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if c.head == n {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if c.tail == n {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *resultCache) pushFront(n *cacheNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}

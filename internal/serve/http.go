@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server is the HTTP/JSON front end over a Scheduler. Routes:
+//
+//	POST   /v1/jobs            submit (sync by default; "async": true
+//	                           returns immediately with the job ID)
+//	GET    /v1/jobs/{id}       status + result + live progress
+//	DELETE /v1/jobs/{id}       cooperative cancel
+//	GET    /v1/jobs/{id}/watch server-sent events: progress samples
+//	                           while running, final view on completion
+//	GET    /healthz            liveness + occupancy
+//	GET    /metrics            Prometheus-style text counters
+//
+// A full queue answers 429 with a Retry-After hint; malformed specs
+// answer 400.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+	// watchPeriod is the SSE sampling period (test hook; 0 = 250ms).
+	watchPeriod time.Duration
+}
+
+// NewServer wraps sched in the HTTP API.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// submitRequest is the POST /v1/jobs body: a Spec plus delivery mode.
+type submitRequest struct {
+	Spec
+	// Async returns immediately after admission instead of waiting for
+	// the result.
+	Async bool `json:"async,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// maxRequestBytes bounds a submit body: big enough for multi-million
+// clause DIMACS payloads, small enough that one request cannot OOM the
+// long-lived service.
+const maxRequestBytes = 64 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			// Distinguishable from malformed JSON: the client should
+			// shrink or split the payload, not fix its encoding.
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", maxRequestBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	job, err := s.sched.Submit(req.Spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrBadJob):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if req.Async {
+		// 202 means "still processing"; a job that is already terminal
+		// (a cache hit finalizes before Submit returns) carries its
+		// full result now and must say 200.
+		switch job.Status() {
+		case StatusQueued, StatusRunning:
+			writeJSON(w, http.StatusAccepted, job.View())
+		default:
+			writeJSON(w, http.StatusOK, job.View())
+		}
+		return
+	}
+	// Sync delivery: wait under the client's connection context. A
+	// dropped connection cancels the wait, not the job — an identical
+	// resubmission will coalesce onto it. Any non-terminal state at
+	// that point (queued OR still running) is a 202, never a 200: the
+	// solve has not produced a result.
+	_, waitErr := job.Wait(r.Context())
+	st := job.Status()
+	if waitErr != nil && (st == StatusQueued || st == StatusRunning) {
+		writeJSON(w, http.StatusAccepted, job.View())
+		return
+	}
+	if errors.Is(waitErr, ErrQueueFull) {
+		// A follower that lost its leader and found the queue full:
+		// overload, and retryable — unlike a genuine failure.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, job.View())
+		return
+	}
+	switch st {
+	case StatusFailed:
+		// The spec parsed but the engine rejected it (e.g. a CEC miter
+		// over mismatched netlists): the request itself is at fault,
+		// not the server.
+		writeJSON(w, http.StatusUnprocessableEntity, job.View())
+	case StatusCancelled:
+		// Cancelled out from under the waiter (a concurrent DELETE or
+		// scheduler shutdown): no verdict was produced, so a 2xx would
+		// mislead clients gating on the status code.
+		writeJSON(w, http.StatusConflict, job.View())
+	default:
+		writeJSON(w, http.StatusOK, job.View())
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.sched.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.sched.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	switch job.Status() {
+	case StatusDone, StatusFailed, StatusCancelled:
+		// Nothing is (or will be) cancelled; tell the client what the
+		// job actually became instead of a phantom "cancelling".
+		writeJSON(w, http.StatusConflict, job.View())
+	default:
+		job.Cancel()
+		writeJSON(w, http.StatusOK, map[string]string{"id": job.ID, "cancelling": "true"})
+	}
+}
+
+// handleWatch streams progress as server-sent events until the job
+// finishes (or the client goes away). Each event is a full job View.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	job := s.sched.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	period := s.watchPeriod
+	if period <= 0 {
+		period = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	terminal := func(st Status) bool {
+		return st == StatusDone || st == StatusFailed || st == StatusCancelled
+	}
+	emit := func() Status {
+		v := job.View()
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "data: %s\n\n", data)
+		flusher.Flush()
+		return v.Status
+	}
+	// Every emit checks for a terminal view so the final state is
+	// streamed exactly once — a job that finished before (or between)
+	// samples must not produce a duplicate closing event.
+	if terminal(emit()) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			emit()
+			return
+		case <-ticker.C:
+			if terminal(emit()) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.sched.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": st.QueueDepth,
+		"running":     st.Running,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.sched.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "satserved_jobs_submitted_total %d\n", st.Submitted)
+	fmt.Fprintf(w, "satserved_jobs_completed_total %d\n", st.Completed)
+	fmt.Fprintf(w, "satserved_jobs_failed_total %d\n", st.Failed)
+	fmt.Fprintf(w, "satserved_jobs_cancelled_total %d\n", st.Cancelled)
+	fmt.Fprintf(w, "satserved_jobs_shed_total %d\n", st.Shed)
+	fmt.Fprintf(w, "satserved_solves_total %d\n", st.Solves)
+	fmt.Fprintf(w, "satserved_cache_hits_total %d\n", st.CacheHits)
+	fmt.Fprintf(w, "satserved_coalesced_total %d\n", st.Coalesced)
+	fmt.Fprintf(w, "satserved_queue_depth %d\n", st.QueueDepth)
+	fmt.Fprintf(w, "satserved_running %d\n", st.Running)
+	fmt.Fprintf(w, "satserved_cache_entries %d\n", st.CacheEntries)
+}

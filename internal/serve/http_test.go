@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	sched := NewScheduler(cfg)
+	srv := NewServer(sched)
+	srv.watchPeriod = 20 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Close()
+	})
+	return ts, sched
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body any) (*http.Response, View) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	_ = json.NewDecoder(resp.Body).Decode(&v)
+	return resp, v
+}
+
+func TestHTTPSubmitSync(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 2})
+
+	resp, v := postJob(t, ts, submitRequest{Spec: satSpec(10, 1)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if v.Status != StatusDone || v.Result == nil || v.Result.Verdict != "SAT" {
+		t.Fatalf("view %+v, want done SAT", v)
+	}
+	if len(v.Result.Model) == 0 {
+		t.Fatal("SAT result should carry a model")
+	}
+	// The model must satisfy the formula.
+	f := gen.XorChain(10, false, 1)
+	m := cnf.NewAssignment(f.NumVars())
+	for _, l := range v.Result.Model {
+		lit := cnf.FromDIMACS(l)
+		if lit.IsNeg() {
+			m[lit.Var()] = cnf.False
+		} else {
+			m[lit.Var()] = cnf.True
+		}
+	}
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if m.LitValue(l) == cnf.True {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			t.Fatalf("returned model does not satisfy clause %v", c)
+		}
+	}
+}
+
+func TestHTTPSubmitAsyncAndStatus(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 2})
+
+	resp, v := postJob(t, ts, submitRequest{Spec: bmcSpec(8), Async: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if v.ID == "" {
+		t.Fatal("async submit should return a job ID")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got View
+		_ = json.NewDecoder(r.Body).Decode(&got)
+		r.Body.Close()
+		if got.Status == StatusDone {
+			if got.Result.Verdict != "VIOLATED" || got.Result.Depth != 7 {
+				t.Fatalf("result %+v, want VIOLATED at depth 7", got.Result)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if r, err := http.Get(ts.URL + "/v1/jobs/nope"); err != nil || r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v %d, want 404", err, r.StatusCode)
+	}
+}
+
+func TestHTTPBadRequest(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 1, MaxRunning: 1})
+	resp, _ := postJob(t, ts, submitRequest{Spec: Spec{Kind: KindDIMACS, DIMACS: "p cnf broken"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	r, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	ts, sched := newTestServer(t, Config{CPUBudget: 1, MaxRunning: 1, QueueDepth: 1})
+
+	_, blocker := postJob(t, ts, submitRequest{Spec: blockerSpec(), Async: true})
+	waitStatus(t, sched.Get(blocker.ID), StatusRunning)
+	if resp, _ := postJob(t, ts, submitRequest{Spec: satSpec(10, 1), Async: true}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("filler status %d, want 202", resp.StatusCode)
+	}
+	resp, _ := postJob(t, ts, submitRequest{Spec: satSpec(10, 2), Async: true})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 should carry Retry-After")
+	}
+	sched.Get(blocker.ID).Cancel()
+}
+
+func TestHTTPCancel(t *testing.T) {
+	ts, sched := newTestServer(t, Config{CPUBudget: 1, MaxRunning: 1})
+
+	_, v := postJob(t, ts, submitRequest{Spec: blockerSpec(), Async: true})
+	waitStatus(t, sched.Get(v.ID), StatusRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d, want 200", resp.StatusCode)
+	}
+	waitStatus(t, sched.Get(v.ID), StatusCancelled)
+}
+
+// TestHTTPWatchStreams reads the SSE progress stream of a running job
+// and checks it carries live conflict counters, then a terminal event.
+func TestHTTPWatchStreams(t *testing.T) {
+	ts, sched := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 1})
+
+	_, v := postJob(t, ts, submitRequest{Spec: blockerSpec(), Async: true})
+	job := sched.Get(v.ID)
+	waitStatus(t, job, StatusRunning)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+
+	// Cancel the job after a few samples so the stream terminates.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		job.Cancel()
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var views []View
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev View
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		views = append(views, ev)
+	}
+	if len(views) < 2 {
+		t.Fatalf("got %d events, want at least a progress sample and a terminal view", len(views))
+	}
+	sawProgress := false
+	for _, ev := range views {
+		if ev.Status == StatusRunning && ev.Progress != nil && len(ev.Progress.Workers) > 0 {
+			sawProgress = true
+		}
+	}
+	if !sawProgress {
+		t.Error("no running event carried live worker progress")
+	}
+	if last := views[len(views)-1]; last.Status != StatusCancelled {
+		t.Errorf("final event status %s, want cancelled", last.Status)
+	}
+}
+
+func TestHTTPHealthzMetrics(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 1, MaxRunning: 1})
+	postJob(t, ts, submitRequest{Spec: satSpec(10, 1)})
+
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&hz)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || hz["status"] != "ok" {
+		t.Fatalf("healthz %d %v", r.StatusCode, hz)
+	}
+
+	r, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(r.Body)
+	r.Body.Close()
+	body := buf.String()
+	for _, want := range []string{
+		"satserved_jobs_submitted_total 1",
+		"satserved_jobs_completed_total 1",
+		"satserved_solves_total 1",
+		"satserved_queue_depth 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestHTTPCoalescedAndCachedFlags drives the dedup path end to end over
+// HTTP: two concurrent identical submissions produce one solve, and a
+// third later submission is served from the cache.
+func TestHTTPCoalescedAndCachedFlags(t *testing.T) {
+	ts, sched := newTestServer(t, Config{CPUBudget: 1, MaxRunning: 1, QueueDepth: 8})
+
+	_, blocker := postJob(t, ts, submitRequest{Spec: blockerSpec(), Async: true})
+	waitStatus(t, sched.Get(blocker.ID), StatusRunning)
+
+	spec := unsatSpec(10, 7)
+	_, lead := postJob(t, ts, submitRequest{Spec: spec, Async: true})
+	_, follow := postJob(t, ts, submitRequest{Spec: spec, Async: true})
+	sched.Get(blocker.ID).Cancel()
+
+	get := func(id string) View {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var v View
+		_ = json.NewDecoder(r.Body).Decode(&v)
+		return v
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		lv, fv := get(lead.ID), get(follow.ID)
+		if lv.Status == StatusDone && fv.Status == StatusDone {
+			if lv.Result.Coalesced || !fv.Result.Coalesced {
+				t.Fatalf("coalesced flags: leader %v follower %v", lv.Result.Coalesced, fv.Result.Coalesced)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs stuck: %s / %s", lv.Status, fv.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, v := postJob(t, ts, submitRequest{Spec: spec})
+	if resp.StatusCode != http.StatusOK || v.Result == nil || !v.Result.Cached {
+		t.Fatalf("third submission should be a cache hit, got %d %+v", resp.StatusCode, v)
+	}
+	st := sched.Stats()
+	if st.Coalesced != 1 || st.CacheHits != 1 {
+		t.Fatalf("coalesced %d cacheHits %d, want 1 and 1", st.Coalesced, st.CacheHits)
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import "sync"
+
+// recipeMemory is the service's cross-run memory of which portfolio
+// recipe family wins which instance class (the ROADMAP "explore arm
+// biased toward recipe families that historically win the instance
+// class" follow-up, which only a long-lived service can host). It
+// counts portfolio wins per (class, family) and answers the
+// best-supported family for a class; the scheduler feeds the answer
+// into portfolio.Options.PreferRecipe so the respawn schedule's
+// explore arm — and worker 1's first draw — are seeded toward the
+// remembered winner. Classes are the coarse buckets Spec.parse
+// derives (kind, size magnitude, clause density), so the memory keys
+// on fingerprint CLASSES, not exact formulas: an exact repeat is a
+// cache hit and never reaches the solver at all.
+type recipeMemory struct {
+	mu  sync.Mutex
+	cap int
+	// classes maps class label → family → win count.
+	classes map[string]map[string]int
+	// order is insertion order for a crude bound on retained classes.
+	order []string
+}
+
+func newRecipeMemory(capacity int) *recipeMemory {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &recipeMemory{cap: capacity, classes: make(map[string]map[string]int)}
+}
+
+// record credits family with a win on class.
+func (m *recipeMemory) record(class, family string) {
+	if class == "" || family == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fams, ok := m.classes[class]
+	if !ok {
+		if len(m.order) >= m.cap {
+			delete(m.classes, m.order[0])
+			m.order = m.order[1:]
+		}
+		fams = make(map[string]int)
+		m.classes[class] = fams
+		m.order = append(m.order, class)
+	}
+	fams[family]++
+}
+
+// best returns the family with the most recorded wins for class, or ""
+// when the class is unknown. Ties break lexicographically so the
+// answer is deterministic.
+func (m *recipeMemory) best(class string) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best string
+	bestWins := 0
+	for fam, wins := range m.classes[class] {
+		if wins > bestWins || (wins == bestWins && bestWins > 0 && fam < best) {
+			best, bestWins = fam, wins
+		}
+	}
+	return best
+}

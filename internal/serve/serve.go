@@ -1,0 +1,655 @@
+// Package serve is the SAT-as-a-service layer: a concurrent solve
+// scheduler that multiplexes a bounded CPU budget across many
+// heterogeneous jobs, fronted by cmd/satserved's HTTP API. The paper
+// frames SAT as the shared engine behind many EDA workloads
+// (equivalence checking, ATPG, BMC, routing); operationally that means
+// one solver fleet serving many concurrent queries, which is exactly
+// what this package implements on top of the repository's engines:
+//
+//   - a job scheduler with fair-share admission: a bounded queue that
+//     sheds (ErrQueueFull → HTTP 429) instead of blocking when full,
+//     per-job deadlines and conflict budgets, cooperative cancellation
+//     through core.SolveContext / cec.CheckContext / bmc.CheckContext,
+//     and per-job portfolio sizing clamped to the fleet's current fair
+//     share so one giant instance cannot starve everyone else;
+//   - a result cache keyed by a canonical CNF fingerprint
+//     (cnf.FormulaFingerprint) with LRU eviction, plus singleflight
+//     coalescing: identical in-flight formulas are solved once and the
+//     result fans out to every waiter;
+//   - typed job kinds reusing the existing engines — raw DIMACS solve,
+//     CEC miter check, BMC up to a depth — behind one envelope (Spec);
+//   - streaming progress: every running job carries a
+//     portfolio.Monitor, so status endpoints sample conflicts/s, glue
+//     share and the kill/respawn lineage live while the job runs;
+//   - cross-run recipe memory: decided portfolio wins are recorded per
+//     instance class, and later jobs of the same class have their
+//     respawn schedule's explore arm seeded toward the remembered
+//     recipe family (portfolio.Options.PreferRecipe).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/portfolio"
+)
+
+// maxSheddablePayload is the payload size above which a submission may
+// be shed on a full queue WITHOUT being parsed first (losing only its
+// slim chance of a cache hit); see Submit.
+const maxSheddablePayload = 1 << 20
+
+// Submission errors.
+var (
+	// ErrQueueFull is load shedding: the backlog is at capacity. The
+	// HTTP layer maps it to 429.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrBadJob marks a malformed or unparseable job spec (HTTP 400).
+	ErrBadJob = errors.New("serve: bad job")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("serve: scheduler closed")
+	// ErrCancelled is the terminal error of a cancelled job.
+	ErrCancelled = errors.New("serve: job cancelled")
+)
+
+// Config sizes a Scheduler. The zero value is usable.
+type Config struct {
+	// CPUBudget is the total number of portfolio workers the scheduler
+	// may have solving at once, shared fairly across running jobs
+	// (0 = GOMAXPROCS). Grants are debited from the budget at job
+	// start; because every running job is guaranteed at least one
+	// worker, the instantaneous total can exceed CPUBudget by at most
+	// MaxRunning−1 when jobs arrive on an already-committed fleet.
+	CPUBudget int
+	// MaxRunning is the number of jobs solving concurrently — the
+	// executor count (0 = min(4, CPUBudget)). Each running job gets
+	// ~CPUBudget/running portfolio workers.
+	MaxRunning int
+	// QueueDepth bounds the backlog beyond the running jobs; a full
+	// queue sheds new submissions with ErrQueueFull (0 = 64).
+	QueueDepth int
+	// CacheCap bounds the result cache entries (0 = 256).
+	CacheCap int
+	// RetainDone bounds how many finished jobs stay queryable by ID
+	// (0 = 512). Older finished jobs are forgotten FIFO.
+	RetainDone int
+	// DefaultTimeout is the per-job deadline when the spec does not set
+	// one (0 = 30s); MaxTimeout caps every deadline (0 = 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) cpuBudget() int {
+	if c.CPUBudget > 0 {
+		return c.CPUBudget
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxRunning() int {
+	if c.MaxRunning > 0 {
+		return c.MaxRunning
+	}
+	if b := c.cpuBudget(); b < 4 {
+		return b
+	}
+	return 4
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) retainDone() int {
+	if c.RetainDone > 0 {
+		return c.RetainDone
+	}
+	return 512
+}
+
+func (c Config) defaultTimeout() time.Duration {
+	if c.DefaultTimeout > 0 {
+		return c.DefaultTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout > 0 {
+		return c.MaxTimeout
+	}
+	return 5 * time.Minute
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters.
+type Stats struct {
+	// Submitted counts accepted submissions (shed ones excluded);
+	// Completed / Failed / Cancelled partition the finished jobs.
+	Submitted, Completed, Failed, Cancelled int64
+	// Shed counts submissions rejected with ErrQueueFull.
+	Shed int64
+	// Solves counts jobs that actually reached an engine; CacheHits and
+	// Coalesced count jobs served without a fresh solve (from the
+	// result cache, resp. an identical in-flight job). The singleflight
+	// invariant under test: identical concurrent submissions yield
+	// Solves == 1 with the rest Coalesced.
+	Solves, CacheHits, Coalesced int64
+	// QueueDepth / Running are current occupancy; CacheEntries the
+	// current cache population.
+	QueueDepth, Running, CacheEntries int
+}
+
+// Scheduler multiplexes solve jobs over a bounded CPU budget. Create
+// with NewScheduler, submit with Submit, stop with Close (which
+// cancels running jobs and waits for every goroutine).
+type Scheduler struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+
+	cache *resultCache
+	mem   *recipeMemory
+
+	mu       sync.Mutex
+	closed   bool
+	seq      int64
+	jobs     map[string]*Job
+	doneIDs  []string // retention ring over finished jobs
+	inflight map[jobKey]*Job
+	running  int
+	// runningSingle counts the running jobs that can only ever use one
+	// worker (BMC's sequential unroller); the fair share divides the
+	// remaining budget over the portfolio-capable jobs only.
+	runningSingle int
+	// workersInUse is the debit ledger of granted portfolio workers:
+	// grants are clamped to the budget remaining after earlier grants,
+	// so running jobs can exceed CPUBudget only by the one-worker floor
+	// every job is guaranteed (at most MaxRunning−1 extra).
+	workersInUse int
+	// followers counts live coalesced waiters; bounded by QueueDepth so
+	// a flood of identical submissions cannot accumulate goroutines and
+	// Job records past the same limit the queue enforces.
+	followers int
+
+	submitted, completed, failed, cancelled int64
+	shed, solves, cacheHits, coalesced      int64
+}
+
+// NewScheduler starts a scheduler with cfg's executors running.
+func NewScheduler(cfg Config) *Scheduler {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:      cfg,
+		baseCtx:  ctx,
+		stop:     cancel,
+		queue:    make(chan *Job, cfg.queueDepth()),
+		cache:    newResultCache(cfg.CacheCap),
+		mem:      newRecipeMemory(0),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[jobKey]*Job),
+	}
+	for i := 0; i < cfg.maxRunning(); i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Submit validates and admits a job. It returns immediately: the job
+// solves asynchronously (Job.Wait blocks for the result). Admission
+// order: cache hit (no solve, returned finished), singleflight
+// coalescing onto an identical in-flight job, then the bounded queue —
+// which sheds with ErrQueueFull rather than blocking the caller.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	// Overload defense BEFORE the expensive parse+fingerprint: with the
+	// backlog already full, a large payload is almost certainly headed
+	// for the shed anyway, and parsing it first would let a burst of
+	// big submissions saturate CPU despite the 429s. Small payloads
+	// still parse, so cache hits and coalescing — which need no queue
+	// slot — keep being served under pressure. Deliberate tradeoff: a
+	// MALFORMED large payload is also answered 429-retryable here
+	// instead of its terminal 400 — it gets the 400 once the queue
+	// drains, and validating first would hand the overload vector
+	// right back.
+	if spec.payloadSize() > maxSheddablePayload && len(s.queue) >= cap(s.queue) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return nil, ErrClosed
+		}
+		s.shed++
+		return nil, ErrQueueFull
+	}
+	parsed, class, err := spec.parse()
+	if err != nil {
+		return nil, err
+	}
+	// The key — and for DIMACS the canonical fingerprint behind it —
+	// is only needed by the cache and singleflight; NoCache jobs skip
+	// the cost entirely (their zero key never enters the inflight map,
+	// and finalize's delete is identity-guarded). Probe the cache
+	// before taking the scheduler lock: get() clones the stored result
+	// (a model is one int per variable), and that copy must not stall
+	// every executor behind s.mu.
+	var key jobKey
+	var cached Result
+	cacheHit := false
+	if !spec.NoCache {
+		key = spec.cacheKey(parsed)
+		cached, cacheHit = s.cache.get(key)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%d", s.seq),
+		spec:      spec,
+		parsed:    parsed,
+		key:       key,
+		class:     class,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		submitted: time.Now(),
+	}
+	// The deadline covers the job's WHOLE lifetime — queue wait and
+	// coalesced waiting included, not just engine execution — so a
+	// short-deadline submission is answered within its budget even
+	// when stuck behind a slow leader or a deep backlog. Deadline
+	// expiry surfaces as context.DeadlineExceeded (→ an UNKNOWN
+	// result), distinct from context.Canceled (explicit cancel or
+	// shutdown → StatusCancelled).
+	j.ctx, j.cancel = context.WithTimeout(s.baseCtx, s.jobTimeout(&spec))
+	j.mon = portfolio.NewMonitor()
+
+	if cacheHit {
+		s.cacheHits++
+		s.submitted++
+		s.registerLocked(j)
+		s.mu.Unlock()
+		cached.Cached = true
+		cached.WallMS = 0
+		s.finalize(j, StatusDone, &cached, nil)
+		return j, nil
+	}
+	if !spec.NoCache {
+		if leader, ok := s.inflight[key]; ok {
+			if s.followers >= s.cfg.queueDepth() {
+				// Followers hold a goroutine and a Job each; unbounded,
+				// a flood of identical submissions would sidestep the
+				// queue bound entirely. Shed past the same depth.
+				s.shed++
+				s.mu.Unlock()
+				j.cancel()
+				return nil, ErrQueueFull
+			}
+			s.followers++
+			s.coalesced++
+			s.submitted++
+			s.registerLocked(j)
+			// Add under the lock: Close checks closed under the same
+			// lock before wg.Wait, so the follower goroutine is always
+			// inside the group Close waits on.
+			s.wg.Add(1)
+			s.mu.Unlock()
+			go s.follow(j, leader)
+			return j, nil
+		}
+	}
+
+	select {
+	case s.queue <- j:
+		if !spec.NoCache {
+			s.inflight[key] = j
+		}
+		s.submitted++
+		s.registerLocked(j)
+		s.mu.Unlock()
+		return j, nil
+	default:
+		s.shed++
+		s.mu.Unlock()
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+}
+
+// registerLocked records the job in the ID registry; caller holds mu.
+func (s *Scheduler) registerLocked(j *Job) {
+	s.jobs[j.ID] = j
+}
+
+// jobTimeout resolves a spec's lifetime deadline: the requested value,
+// defaulted and capped by the config.
+func (s *Scheduler) jobTimeout(spec *Spec) time.Duration {
+	timeout := s.cfg.defaultTimeout()
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	if max := s.cfg.maxTimeout(); timeout > max {
+		timeout = max
+	}
+	return timeout
+}
+
+// expired reports whether the job's context ended by DEADLINE — the
+// budget ran out, which is an UNKNOWN result — as opposed to being
+// cancelled (explicitly or by shutdown), which is StatusCancelled.
+func (j *Job) expired() bool {
+	return errors.Is(j.ctx.Err(), context.DeadlineExceeded)
+}
+
+// unknownResult builds the terminal result of a job whose deadline
+// expired before (or while) it solved.
+func (j *Job) unknownResult() *Result {
+	return &Result{Kind: j.spec.Kind, Verdict: "UNKNOWN"}
+}
+
+// Get returns the job with the given ID, or nil when unknown (never
+// submitted, or aged out of the finished-job retention window).
+func (s *Scheduler) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Cancel cooperatively cancels the job with the given ID; it reports
+// whether the ID was known.
+func (s *Scheduler) Cancel(id string) bool {
+	if j := s.Get(id); j != nil {
+		j.Cancel()
+		return true
+	}
+	return false
+}
+
+// Stats snapshots the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted: s.submitted, Completed: s.completed,
+		Failed: s.failed, Cancelled: s.cancelled,
+		Shed: s.shed, Solves: s.solves,
+		CacheHits: s.cacheHits, Coalesced: s.coalesced,
+		QueueDepth: len(s.queue), Running: s.running,
+		CacheEntries: s.cache.len(),
+	}
+}
+
+// Close stops the scheduler: running jobs are cancelled cooperatively,
+// queued jobs are finished as cancelled, and Close returns only after
+// every scheduler goroutine has exited. Submit afterwards returns
+// ErrClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stop() // cancels every job ctx (they derive from baseCtx)
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finalize(j, StatusCancelled, nil, ErrCancelled)
+		default:
+			return
+		}
+	}
+}
+
+// executor is one job-running goroutine; MaxRunning of them share the
+// queue.
+func (s *Scheduler) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Scheduler) runJob(j *Job) {
+	if j.ctx.Err() != nil {
+		if j.expired() {
+			// The lifetime deadline ran out while queued: an UNKNOWN
+			// result, not a cancellation.
+			s.finalize(j, StatusDone, j.unknownResult(), nil)
+		} else {
+			// Cancelled (or the scheduler closed) while queued.
+			s.finalize(j, StatusCancelled, nil, ErrCancelled)
+		}
+		return
+	}
+
+	single := j.spec.Kind.singleThreaded()
+	s.mu.Lock()
+	s.running++
+	if single {
+		s.runningSingle++
+	}
+	s.solves++
+	// Fair-share grant, debited from the remaining budget. The share —
+	// budget minus one CPU per single-threaded job, split over the
+	// portfolio-capable jobs running now — is the target; the grant is
+	// additionally clamped to what earlier grants left unspent, so the
+	// fleet never over-commits the budget beyond the one-worker floor
+	// each job is guaranteed. A job may ask for less; it never gets
+	// more, so a giant instance cannot starve its neighbours.
+	workers := 1
+	if !single {
+		share := 1
+		if wide := s.running - s.runningSingle; wide > 0 {
+			share = (s.cfg.cpuBudget() - s.runningSingle) / wide
+			if share < 1 {
+				share = 1
+			}
+		}
+		workers = j.spec.Workers
+		if workers <= 0 || workers > share {
+			workers = share
+		}
+		if avail := s.cfg.cpuBudget() - s.runningSingle - s.workersInUse; workers > avail {
+			workers = avail
+		}
+		if workers < 1 {
+			workers = 1 // the floor: every running job makes progress
+		}
+		s.workersInUse += workers
+	}
+	prefer := s.mem.best(j.class)
+	s.mu.Unlock()
+
+	j.setRunning(workers, prefer)
+	start := time.Now()
+	// j.ctx already carries the lifetime deadline set at Submit.
+	res, err := execute(j.ctx, j, workers, prefer)
+
+	s.mu.Lock()
+	s.running--
+	if single {
+		s.runningSingle--
+	} else {
+		s.workersInUse -= workers
+	}
+	s.mu.Unlock()
+
+	switch {
+	case err != nil:
+		s.finalize(j, StatusFailed, nil, err)
+	case j.ctx.Err() != nil && !j.expired() && !res.Decided:
+		// Explicit cancel (or shutdown) beat the engine; a deadline
+		// expiry stays a normal UNKNOWN result.
+		s.finalize(j, StatusCancelled, nil, ErrCancelled)
+	default:
+		res.WallMS = time.Since(start).Milliseconds()
+		if res.Decided {
+			if !j.spec.NoCache {
+				s.cache.put(j.key, *res)
+			}
+			// Only genuinely diversified wins are signal: a 1-worker
+			// portfolio always answers with the base recipe, and base
+			// wins generally are "no hint" — the portfolio discards a
+			// base preference anyway (worker 0 runs it permanently), so
+			// recording them would only shadow the diversified families
+			// the memory exists to surface.
+			if fam := portfolio.RecipeFamily(res.Recipe); res.Recipe != "" && workers > 1 && fam != "base" {
+				s.mem.record(j.class, fam)
+			}
+		}
+		s.finalize(j, StatusDone, res, nil)
+	}
+}
+
+// follow completes a coalesced job from its singleflight leader. A
+// decided leader result fans out to the follower; a failed or
+// cancelled leader propagates its outcome. An UNDECIDED leader result
+// (the leader's own deadline or conflict budget expired) does not bind
+// the follower — its budget may be larger, and the job key identifies
+// only the formula, never the budget knobs — so the follower re-enters
+// the queue as the key's new leader (or re-follows whoever beat it to
+// that), inheriting the UNKNOWN only as a last resort when the
+// scheduler is closing or the queue is full.
+func (s *Scheduler) follow(j *Job, leader *Job) {
+	defer s.wg.Done()
+	// Whatever path this goroutine exits by — fan-out, propagation or
+	// requeue (where the queue bound takes over) — the job stops being
+	// a live follower.
+	defer func() {
+		s.mu.Lock()
+		s.followers--
+		s.mu.Unlock()
+	}()
+	for {
+		select {
+		case <-leader.done:
+		case <-j.ctx.Done():
+			if j.expired() {
+				// The follower's own lifetime deadline ran out while
+				// waiting on a slower leader: its budget, its UNKNOWN.
+				s.finalize(j, StatusDone, j.unknownResult(), nil)
+			} else {
+				s.finalize(j, StatusCancelled, nil, ErrCancelled)
+			}
+			return
+		}
+		res, ok := leader.Result()
+		if ok && res.Decided {
+			res = res.clone()
+			res.Coalesced = true
+			s.finalize(j, StatusDone, &res, nil)
+			return
+		}
+		if !ok {
+			leader.mu.Lock()
+			st, err := leader.status, leader.err
+			leader.mu.Unlock()
+			if st == StatusFailed {
+				// An engine failure is a property of the formula/spec
+				// the followers share; propagate it faithfully.
+				s.finalize(j, StatusFailed, nil, err)
+				return
+			}
+			// The leader was cancelled — by ITS client, which must not
+			// cancel this one's job. Fall through to the requeue logic
+			// below so the follower takes over as the key's new leader.
+		}
+		// The leader's answer does not bind the follower (its own
+		// budget ran out, or it was cancelled by its own client): the
+		// follower re-enters the queue and solves for itself. When
+		// requeueing is impossible, the best available outcome is the
+		// leader's UNKNOWN when there is one; otherwise shutdown means
+		// cancellation and a full queue means a queue-full failure —
+		// NOT a cancellation, which this client never asked for.
+		fallback := func(shutdown bool) {
+			switch {
+			case ok:
+				r := res.clone()
+				r.Coalesced = true
+				s.finalize(j, StatusDone, &r, nil)
+			case shutdown:
+				s.finalize(j, StatusCancelled, nil, ErrCancelled)
+			default:
+				s.finalize(j, StatusFailed, nil,
+					fmt.Errorf("%w: cannot requeue after the coalesced leader was cancelled", ErrQueueFull))
+			}
+		}
+		s.mu.Lock()
+		if s.closed {
+			// Checked under the same lock Close takes: no window where
+			// shutdown masquerades as a queue-full failure.
+			s.mu.Unlock()
+			fallback(true)
+			return
+		}
+		if next, ok := s.inflight[j.key]; ok && next != leader {
+			// Another follower already took over as leader; chain onto
+			// it. Each round finalizes at least one job (the previous
+			// leader), so the chain is finite. next == leader means the
+			// finished leader's finalize has not yet cleared its
+			// inflight entry — re-adopting it would busy-spin on its
+			// closed done channel, so fall through and take over
+			// (finalize's delete is guarded by identity and will not
+			// clobber the new entry).
+			leader = next
+			s.mu.Unlock()
+			continue
+		}
+		select {
+		case s.queue <- j:
+			s.inflight[j.key] = j
+			// The job is no longer served by coalescing — it will pay
+			// a fresh solve — so give back its Coalesced count to keep
+			// the documented partition (Coalesced = served WITHOUT a
+			// fresh solve) true in /metrics.
+			s.coalesced--
+			s.mu.Unlock()
+			return // still StatusQueued; an executor will run it
+		default:
+			s.mu.Unlock()
+			fallback(false) // queue full: better than shedding a waited-on job
+			return
+		}
+	}
+}
+
+// finalize moves a job to a terminal state, updates the counters, and
+// releases its singleflight slot.
+func (s *Scheduler) finalize(j *Job, st Status, res *Result, err error) {
+	j.finish(st, res, err)
+	s.mu.Lock()
+	switch st {
+	case StatusDone:
+		s.completed++
+	case StatusFailed:
+		s.failed++
+	case StatusCancelled:
+		s.cancelled++
+	}
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.doneIDs = append(s.doneIDs, j.ID)
+	if over := len(s.doneIDs) - s.cfg.retainDone(); over > 0 {
+		for _, id := range s.doneIDs[:over] {
+			delete(s.jobs, id)
+		}
+		s.doneIDs = s.doneIDs[over:]
+	}
+	s.mu.Unlock()
+}
