@@ -3,10 +3,13 @@
 // (detected / redundant / aborted), overall fault coverage, and the
 // generated test set. The structural layer of §5 (-structural) yields
 // partially-specified patterns; -incremental shares one solver across
-// the fault list.
+// the fault list; -session runs the fault list as assumption queries
+// against one resident solve session (the same engine satserved
+// exposes over HTTP), with identical verdicts.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,12 +17,14 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/circuit"
 	"repro/internal/cnf"
+	"repro/internal/session"
 )
 
 func main() {
 	var (
 		structural = flag.Bool("structural", false, "use the justification-frontier layer (partial patterns)")
 		incr       = flag.Bool("incremental", false, "share one solver across faults")
+		useSession = flag.Bool("session", false, "run the fault list through one resident solve session")
 		faultSim   = flag.Bool("faultsim", true, "drop faults by parallel-pattern fault simulation")
 		collapse   = flag.Bool("collapse", true, "collapse equivalent faults")
 		maxConfl   = flag.Int64("max-conflicts", 0, "per-fault conflict budget")
@@ -47,14 +52,27 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := atpg.GenerateTests(c, atpg.Options{
+	opts := atpg.Options{
 		Structural:   *structural,
 		Incremental:  *incr,
 		FaultSim:     *faultSim,
 		NoCollapse:   !*collapse,
 		MaxConflicts: *maxConfl,
 		Seed:         *seed,
-	})
+	}
+	var rep *atpg.Report
+	if *useSession {
+		m := session.NewManager(session.Config{})
+		defer m.Close()
+		var err error
+		rep, err = atpg.GenerateTestsSession(context.Background(), m, c, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "atpg:", err)
+			os.Exit(1)
+		}
+	} else {
+		rep = atpg.GenerateTests(c, opts)
+	}
 	if *verbose {
 		for _, fr := range rep.Results {
 			how := "sat"

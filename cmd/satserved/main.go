@@ -2,7 +2,9 @@
 // concurrent solve scheduler (internal/serve) with fair-share
 // admission, a canonical-fingerprint result cache with singleflight
 // coalescing, three job kinds (raw DIMACS solve, CEC miter check, BMC
-// to a depth) and live streaming progress.
+// to a depth), live streaming progress, and incremental solve sessions
+// (a formula POSTed once stays resident; assumption queries stream
+// against the warm solver).
 //
 // Usage:
 //
@@ -16,8 +18,10 @@
 //
 // Endpoints: POST /v1/jobs (sync by default, "async": true for a job
 // handle), GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, SSE progress on
-// GET /v1/jobs/{id}/watch, plus /healthz and /metrics. See the README
-// quickstart for curl examples.
+// GET /v1/jobs/{id}/watch; POST /v1/sessions, GET/DELETE
+// /v1/sessions/{id}, POST /v1/sessions/{id}/query ("stream": true for
+// SSE progress); plus /healthz and /metrics. See the README quickstart
+// for curl examples.
 package main
 
 import (
@@ -43,16 +47,22 @@ func main() {
 		cacheCap   = flag.Int("cache", 0, "result-cache entries (0 = 256)")
 		deadline   = flag.Duration("deadline", 0, "default per-job deadline (0 = 30s)")
 		maxDead    = flag.Duration("max-deadline", 0, "hard per-job deadline ceiling (0 = 5m)")
+		sessMax    = flag.Int("session-max-resident", 0, "sessions kept solver-resident before LRU checkpointing (0 = 32)")
+		sessTTL    = flag.Duration("session-idle-ttl", 0, "idle time before a session is checkpointed to bytes (0 = 2m)")
+		sessQueue  = flag.Int("session-queue", 0, "pending queries per session before 429 (0 = 16)")
 	)
 	flag.Parse()
 
 	sched := serve.NewScheduler(serve.Config{
-		CPUBudget:      *cpu,
-		MaxRunning:     *maxRunning,
-		QueueDepth:     *queue,
-		CacheCap:       *cacheCap,
-		DefaultTimeout: *deadline,
-		MaxTimeout:     *maxDead,
+		CPUBudget:          *cpu,
+		MaxRunning:         *maxRunning,
+		QueueDepth:         *queue,
+		CacheCap:           *cacheCap,
+		DefaultTimeout:     *deadline,
+		MaxTimeout:         *maxDead,
+		SessionMaxResident: *sessMax,
+		SessionIdleTTL:     *sessTTL,
+		SessionQueueDepth:  *sessQueue,
 	})
 	srv := &http.Server{
 		Handler: serve.NewServer(sched),

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/circuit"
@@ -107,28 +108,63 @@ func GenerateTests(c *circuit.Circuit, opts Options) *Report {
 
 // GenerateTestsFor runs ATPG over an explicit fault list.
 func GenerateTestsFor(c *circuit.Circuit, faults []Fault, opts Options) *Report {
+	return TestFaultsContext(context.Background(), c, faults, opts)
+}
+
+// TestFaultsContext is GenerateTestsFor under a context, mirroring
+// cec.CheckContext / bmc.CheckContext: cancelling ctx interrupts the
+// running SAT query cooperatively and every remaining fault is
+// reported Aborted without further SAT calls.
+func TestFaultsContext(ctx context.Context, c *circuit.Circuit, faults []Fault, opts Options) *Report {
 	if opts.MaxConflicts == 0 {
 		opts.MaxConflicts = 20000
 	}
+	var eng faultEngine
+	if opts.Incremental {
+		eng = newIncremental(c, opts)
+	} else {
+		eng = oneShotEngine{c: c, opts: opts}
+	}
+	return runFaults(ctx, c, faults, opts, eng)
+}
+
+// faultEngine decides one fault. Implementations: a fresh solver per
+// fault (oneShotEngine), one shared in-process solver (incrementalATPG),
+// and one resident session (sessionATPG).
+type faultEngine interface {
+	testFault(ctx context.Context, flt Fault) FaultResult
+}
+
+// oneShotEngine builds a miter and a fresh solver for every fault.
+type oneShotEngine struct {
+	c    *circuit.Circuit
+	opts Options
+}
+
+func (e oneShotEngine) testFault(ctx context.Context, flt Fault) FaultResult {
+	return testFaultContext(ctx, e.c, flt, e.opts)
+}
+
+// runFaults is the fault loop shared by every engine: fault dropping by
+// simulation, per-fault stats aggregation, optional final compaction.
+// opts.MaxConflicts must already be resolved by the caller.
+func runFaults(ctx context.Context, c *circuit.Circuit, faults []Fault, opts Options, eng faultEngine) *Report {
 	rep := &Report{Total: len(faults)}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	dropped := make([]bool, len(faults))
-	var inc *incrementalATPG
-	if opts.Incremental {
-		inc = newIncremental(c, opts)
-	}
-
 	for i, flt := range faults {
 		if dropped[i] {
 			continue
 		}
-		var fr FaultResult
-		if inc != nil {
-			fr = inc.testFault(flt)
-		} else {
-			fr = TestFault(c, flt, opts)
+		if ctx.Err() != nil {
+			// Cancelled: everything still pending is an abort, with no
+			// SAT effort spent on it.
+			rep.Aborted++
+			rep.Results = append(rep.Results, FaultResult{Fault: flt, Status: Aborted})
+			continue
 		}
+		fr := eng.testFault(ctx, flt)
 		if s := fr.satStats; s != nil {
 			rep.Conflicts += s.Conflicts
 			rep.Decisions += s.Decisions
@@ -186,6 +222,12 @@ func (r *Report) dropWithPattern(c *circuit.Circuit, pat []cnf.LBool, faults []F
 
 // TestFault generates a test for one fault with a fresh solver.
 func TestFault(c *circuit.Circuit, flt Fault, opts Options) FaultResult {
+	return testFaultContext(context.Background(), c, flt, opts)
+}
+
+// testFaultContext is TestFault with cooperative interruption: a
+// cancelled ctx stops the solve and the fault reports Aborted.
+func testFaultContext(ctx context.Context, c *circuit.Circuit, flt Fault, opts Options) FaultResult {
 	if opts.MaxConflicts == 0 {
 		opts.MaxConflicts = 20000
 	}
@@ -199,6 +241,8 @@ func TestFault(c *circuit.Circuit, flt Fault, opts Options) FaultResult {
 	sopts := opts.Solver
 	sopts.MaxConflicts = opts.MaxConflicts
 	s := solver.FromFormula(f, sopts)
+	stopWatch := context.AfterFunc(ctx, s.Interrupt)
+	defer stopWatch()
 	var layer *csat.Layer
 	if opts.Structural {
 		layer = csat.Attach(m.C, enc, s, csat.Options{Backtrace: true})

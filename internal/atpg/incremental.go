@@ -1,10 +1,113 @@
 package atpg
 
 import (
+	"context"
+
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/solver"
 )
+
+// coneQuery is one fault's incremental SAT query: the faulty cone
+// re-encoded over fresh variables, every clause guarded by the negated
+// activation literal, plus the XOR objective over affected outputs.
+// The same query shape feeds both the in-process incremental engine
+// and the session-backed one.
+type coneQuery struct {
+	// act is the activation variable: solve under PosLit(act), retire
+	// the cone afterwards with the top-level unit ¬act.
+	act cnf.Var
+	// clauses carry the guard ¬act already appended.
+	clauses []cnf.Clause
+	// numVars is the variable space after this query; the target solver
+	// must be grown to it before the clauses are added.
+	numVars int
+}
+
+// buildConeQuery encodes flt's faulty cone against enc, allocating
+// fresh variables starting after numVars (the target solver's current
+// variable count). It returns nil when no output is reachable from the
+// fault site — the fault is trivially redundant and needs no SAT call.
+func buildConeQuery(c *circuit.Circuit, enc *circuit.Encoding, flt Fault, numVars int) *coneQuery {
+	cone := c.TransitiveFanoutOf(flt.Node)
+	inCone := make(map[circuit.NodeID]bool, len(cone))
+	for _, n := range cone {
+		inCone[n] = true
+	}
+	var affected []circuit.NodeID
+	for _, o := range c.Outputs {
+		if inCone[o] {
+			affected = append(affected, o)
+		}
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+
+	// Scratch formula aligned with the target solver's variable space:
+	// fresh variables allocated here are mirrored into the solver (or
+	// implicitly grown by the session) afterwards.
+	scratch := cnf.New(numVars)
+	base := scratch.NumClauses()
+	act := scratch.NewVar()
+
+	valueLit := func(v cnf.Var, val bool) cnf.Lit { return cnf.NewLit(v, !val) }
+
+	fv := make(map[circuit.NodeID]cnf.Var, len(cone))
+	for _, id := range cone {
+		n := &c.Nodes[id]
+		if id == flt.Node && flt.Pin < 0 {
+			v := scratch.NewVar()
+			fv[id] = v
+			scratch.Add(valueLit(v, flt.StuckAt))             // stem stuck value
+			scratch.Add(valueLit(enc.VarOf[id], !flt.StuckAt)) // activation: good site opposes
+			continue
+		}
+		var pinVar cnf.Var
+		if id == flt.Node && flt.Pin >= 0 {
+			pinVar = scratch.NewVar()
+			scratch.Add(valueLit(pinVar, flt.StuckAt))
+			w := n.Fanin[flt.Pin]
+			scratch.Add(valueLit(enc.VarOf[w], !flt.StuckAt)) // branch activation
+		}
+		ins := make([]cnf.Var, len(n.Fanin))
+		for pin, fn := range n.Fanin {
+			switch {
+			case id == flt.Node && pin == flt.Pin:
+				ins[pin] = pinVar
+			case hasKey(fv, fn):
+				ins[pin] = fv[fn]
+			default:
+				ins[pin] = enc.VarOf[fn]
+			}
+		}
+		out := scratch.NewVar()
+		fv[id] = out
+		circuit.AppendGateCNF(scratch, n.Type, out, ins)
+	}
+	objective := make(cnf.Clause, 0, len(affected)+1)
+	for _, o := range affected {
+		d := scratch.NewVar()
+		circuit.AppendGateCNF(scratch, circuit.Xor, d, []cnf.Var{enc.VarOf[o], fv[o]})
+		objective = append(objective, cnf.PosLit(d))
+	}
+	scratch.AddClause(objective)
+
+	q := &coneQuery{act: act, numVars: scratch.NumVars()}
+	for _, cl := range scratch.Clauses[base:] {
+		q.clauses = append(q.clauses, append(cl.Clone(), cnf.NegLit(act)))
+	}
+	return q
+}
+
+// extractPattern reads the primary-input assignment out of a model.
+func extractPattern(c *circuit.Circuit, enc *circuit.Encoding, model cnf.Assignment) []cnf.LBool {
+	pat := make([]cnf.LBool, len(c.Inputs))
+	for i, id := range c.Inputs {
+		pat[i] = model.Value(enc.VarOf[id])
+	}
+	return pat
+}
 
 // incrementalATPG shares one solver instance across the whole fault list
 // (§6: "in many applications SAT solvers tend to be used iteratively
@@ -30,96 +133,31 @@ func newIncremental(c *circuit.Circuit, opts Options) *incrementalATPG {
 	return &incrementalATPG{c: c, enc: enc, s: s, opts: opts}
 }
 
-func (ia *incrementalATPG) testFault(flt Fault) FaultResult {
+func (ia *incrementalATPG) testFault(ctx context.Context, flt Fault) FaultResult {
 	fr := FaultResult{Fault: flt}
-	cone := ia.c.TransitiveFanoutOf(flt.Node)
-	inCone := make(map[circuit.NodeID]bool, len(cone))
-	for _, n := range cone {
-		inCone[n] = true
-	}
-	var affected []circuit.NodeID
-	for _, o := range ia.c.Outputs {
-		if inCone[o] {
-			affected = append(affected, o)
-		}
-	}
-	if len(affected) == 0 {
+	q := buildConeQuery(ia.c, ia.enc, flt, ia.s.NumVars())
+	if q == nil {
 		fr.Status = Redundant
 		return fr
 	}
-
-	// Scratch formula aligned with the solver's variable space: fresh
-	// variables allocated here are mirrored into the solver afterwards.
-	scratch := cnf.New(ia.s.NumVars())
-	base := scratch.NumClauses()
-	act := scratch.NewVar()
-
-	valueLit := func(v cnf.Var, val bool) cnf.Lit { return cnf.NewLit(v, !val) }
-
-	fv := make(map[circuit.NodeID]cnf.Var, len(cone))
-	for _, id := range cone {
-		n := &ia.c.Nodes[id]
-		if id == flt.Node && flt.Pin < 0 {
-			v := scratch.NewVar()
-			fv[id] = v
-			scratch.Add(valueLit(v, flt.StuckAt))                 // stem stuck value
-			scratch.Add(valueLit(ia.enc.VarOf[id], !flt.StuckAt)) // activation: good site opposes
-			continue
-		}
-		var pinVar cnf.Var
-		if id == flt.Node && flt.Pin >= 0 {
-			pinVar = scratch.NewVar()
-			scratch.Add(valueLit(pinVar, flt.StuckAt))
-			w := n.Fanin[flt.Pin]
-			scratch.Add(valueLit(ia.enc.VarOf[w], !flt.StuckAt)) // branch activation
-		}
-		ins := make([]cnf.Var, len(n.Fanin))
-		for pin, fn := range n.Fanin {
-			switch {
-			case id == flt.Node && pin == flt.Pin:
-				ins[pin] = pinVar
-			case hasKey(fv, fn):
-				ins[pin] = fv[fn]
-			default:
-				ins[pin] = ia.enc.VarOf[fn]
-			}
-		}
-		out := scratch.NewVar()
-		fv[id] = out
-		circuit.AppendGateCNF(scratch, n.Type, out, ins)
-	}
-	objective := make(cnf.Clause, 0, len(affected)+1)
-	for _, o := range affected {
-		d := scratch.NewVar()
-		circuit.AppendGateCNF(scratch, circuit.Xor, d, []cnf.Var{ia.enc.VarOf[o], fv[o]})
-		objective = append(objective, cnf.PosLit(d))
-	}
-	scratch.AddClause(objective)
-
-	// Mirror fresh variables into the solver, then add every scratch
-	// clause guarded by ¬act.
-	for ia.s.NumVars() < scratch.NumVars() {
+	for ia.s.NumVars() < q.numVars {
 		ia.s.NewVar()
 	}
-	for _, cl := range scratch.Clauses[base:] {
-		guarded := append(cl.Clone(), cnf.NegLit(act))
-		ia.s.AddClause(guarded)
+	for _, cl := range q.clauses {
+		ia.s.AddClause(cl)
 	}
 
-	switch ia.s.Solve(cnf.PosLit(act)) {
+	stopWatch := context.AfterFunc(ctx, ia.s.Interrupt)
+	switch ia.s.Solve(cnf.PosLit(q.act)) {
 	case solver.Sat:
 		fr.Status = Detected
-		model := ia.s.Model()
-		pat := make([]cnf.LBool, len(ia.c.Inputs))
-		for i, id := range ia.c.Inputs {
-			pat[i] = model.Value(ia.enc.VarOf[id])
-		}
-		fr.Pattern = pat
+		fr.Pattern = extractPattern(ia.c, ia.enc, ia.s.Model())
 	case solver.Unsat:
 		fr.Status = Redundant
 	default:
 		fr.Status = Aborted
 	}
+	stopWatch()
 	st := ia.s.Stats
 	delta := solver.Stats{
 		Conflicts: st.Conflicts - ia.prev.Conflicts,
@@ -128,7 +166,7 @@ func (ia *incrementalATPG) testFault(flt Fault) FaultResult {
 	ia.prev = st
 	fr.satStats = &delta
 	// Retire this fault's cone permanently.
-	ia.s.AddClause(cnf.Clause{cnf.NegLit(act)})
+	ia.s.AddClause(cnf.Clause{cnf.NegLit(q.act)})
 	if fr.Status == Detected && fr.Pattern == nil {
 		fr.Status = Aborted
 	}

@@ -5,7 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cnf"
 	"repro/internal/gen"
+	"repro/internal/session"
 )
 
 // BenchmarkE34_Serve measures service throughput (jobs/s) for the three
@@ -98,3 +100,88 @@ func BenchmarkE34_Serve(b *testing.B) {
 		b.ReportMetric(float64(jobs)/time.Since(start).Seconds(), "jobs/s")
 	})
 }
+
+// BenchmarkE35_Session compares the per-query cost of assumption
+// queries against a resident session versus one-shot jobs over the
+// same formula. Both arms run the same query stream: the i-th query
+// asks "is the formula satisfiable with variable v pinned to a random
+// polarity?". The session arm ships two literals per query and reuses
+// the warm solver (arena, learnt clauses, VSIDS, phases); the one-shot
+// arm re-serializes the formula with the pin as an extra unit clause —
+// a fresh fingerprint every time, so the result cache cannot help, and
+// the service pays parse + solver construction + cold search per query.
+// The issue's acceptance bar is a ≥3× lower per-query latency for the
+// session arm.
+func BenchmarkE35_Session(b *testing.B) {
+	// Satisfiable and non-trivial: a 3-SAT instance below the phase
+	// transition, big enough that building a solver costs something.
+	const vars = 150
+	base := gen.RandomKSAT(vars, 4*vars, 3, 42)
+	// pins maps i to a distinct two-literal assumption set: one literal
+	// from the low half of the variable range, one from the high half
+	// (mixed-radix decomposition of i). Disjoint halves mean no set can
+	// equal another under reordering, so no two queries build the same
+	// formula and the one-shot arm can never be served from the result
+	// cache (its fingerprint is clause-order-insensitive).
+	const half = vars / 2
+	pins := func(i int) []cnf.Lit {
+		mk := func(v int, neg bool) cnf.Lit {
+			if neg {
+				return cnf.NegLit(cnf.Var(v))
+			}
+			return cnf.PosLit(cnf.Var(v))
+		}
+		return []cnf.Lit{
+			mk(i%half+1, (i/half)%2 == 0),
+			mk(half+(i/(2*half))%half+1, (i/(2*half*half))%2 == 0),
+		}
+	}
+
+	b.Run("session", func(b *testing.B) {
+		s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 1 << 16})
+		defer s.Close()
+		ss, err := s.Sessions().Open(base.Clone())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			q, err := ss.Submit(ctx, session.Request{Assume: pins(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := q.Wait(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/query")
+	})
+
+	b.Run("oneshot", func(b *testing.B) {
+		s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 1 << 16})
+		defer s.Close()
+		ctx := context.Background()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			f := base.Clone()
+			for _, l := range pins(i) {
+				f.AddClause(cnf.Clause{l})
+			}
+			j, err := s.Submit(Spec{Kind: KindDIMACS, DIMACS: cnf.DIMACSString(f)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := j.Wait(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Cached {
+				b.Fatal("one-shot arm must not hit the cache")
+			}
+		}
+		b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/query")
+	})
+}
+

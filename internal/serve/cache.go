@@ -14,6 +14,9 @@ type resultCache struct {
 	entries map[jobKey]*cacheNode
 	// Intrusive LRU list: head = most recent, tail = eviction victim.
 	head, tail *cacheNode
+	// evictions counts entries dropped at capacity (exported through
+	// the scheduler's Stats / the /metrics endpoint).
+	evictions int64
 }
 
 type cacheNode struct {
@@ -58,6 +61,7 @@ func (c *resultCache) put(key jobKey, res Result) {
 		victim := c.tail
 		c.unlink(victim)
 		delete(c.entries, victim.key)
+		c.evictions++
 	}
 	n := &cacheNode{key: key, res: res.clone()}
 	c.entries[key] = n
@@ -69,6 +73,13 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// evicted reports the lifetime eviction count.
+func (c *resultCache) evicted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 func (c *resultCache) unlink(n *cacheNode) {

@@ -35,6 +35,10 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/query", s.handleSessionQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -241,7 +245,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "satserved_solves_total %d\n", st.Solves)
 	fmt.Fprintf(w, "satserved_cache_hits_total %d\n", st.CacheHits)
 	fmt.Fprintf(w, "satserved_coalesced_total %d\n", st.Coalesced)
+	fmt.Fprintf(w, "satserved_cache_evictions_total %d\n", st.CacheEvictions)
 	fmt.Fprintf(w, "satserved_queue_depth %d\n", st.QueueDepth)
 	fmt.Fprintf(w, "satserved_running %d\n", st.Running)
+	fmt.Fprintf(w, "satserved_followers %d\n", st.Followers)
+	fmt.Fprintf(w, "satserved_workers_in_use %d\n", st.WorkersInUse)
 	fmt.Fprintf(w, "satserved_cache_entries %d\n", st.CacheEntries)
+	fmt.Fprintf(w, "satserved_sessions_opened_total %d\n", st.Sessions.Opened)
+	fmt.Fprintf(w, "satserved_sessions_deleted_total %d\n", st.Sessions.Deleted)
+	fmt.Fprintf(w, "satserved_session_queries_total %d\n", st.Sessions.Queries)
+	fmt.Fprintf(w, "satserved_session_evictions_total %d\n", st.Sessions.Evictions)
+	fmt.Fprintf(w, "satserved_session_revivals_total %d\n", st.Sessions.Revivals)
+	fmt.Fprintf(w, "satserved_sessions %d\n", st.Sessions.Sessions)
+	fmt.Fprintf(w, "satserved_sessions_resident %d\n", st.Sessions.Resident)
+	fmt.Fprintf(w, "satserved_sessions_checkpointed %d\n", st.Sessions.Checkpointed)
+	fmt.Fprintf(w, "satserved_session_checkpoint_bytes %d\n", st.Sessions.CheckpointBytes)
+	fmt.Fprintf(w, "satserved_session_busy %d\n", st.SessionBusy)
 }

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/portfolio"
+	"repro/internal/session"
 )
 
 // maxSheddablePayload is the payload size above which a submission may
@@ -81,6 +82,13 @@ type Config struct {
 	// one (0 = 30s); MaxTimeout caps every deadline (0 = 5m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// SessionMaxResident bounds sessions holding a live solver (0 = 32);
+	// SessionIdleTTL is the idle time before a resident session is
+	// demoted to its checkpoint (0 = 2m); SessionQueueDepth bounds each
+	// session's pending queries (0 = 16). See internal/session.
+	SessionMaxResident int
+	SessionIdleTTL     time.Duration
+	SessionQueueDepth  int
 }
 
 func (c Config) cpuBudget() int {
@@ -141,9 +149,17 @@ type Stats struct {
 	// invariant under test: identical concurrent submissions yield
 	// Solves == 1 with the rest Coalesced.
 	Solves, CacheHits, Coalesced int64
+	// CacheEvictions counts results dropped by the LRU at capacity.
+	CacheEvictions int64
 	// QueueDepth / Running are current occupancy; CacheEntries the
 	// current cache population.
 	QueueDepth, Running, CacheEntries int
+	// Followers is the current number of coalesced waiters;
+	// WorkersInUse the granted portfolio workers; SessionBusy the
+	// session queries currently executing against the same CPU budget.
+	Followers, WorkersInUse, SessionBusy int
+	// Sessions snapshots the session manager's gauges and counters.
+	Sessions session.Stats
 }
 
 // Scheduler multiplexes solve jobs over a bounded CPU budget. Create
@@ -158,6 +174,9 @@ type Scheduler struct {
 
 	cache *resultCache
 	mem   *recipeMemory
+	// sessions is the resident-formula session manager; its query
+	// execution is gated against this scheduler's CPU ledger.
+	sessions *session.Manager
 
 	mu       sync.Mutex
 	closed   bool
@@ -179,6 +198,11 @@ type Scheduler struct {
 	// a flood of identical submissions cannot accumulate goroutines and
 	// Job records past the same limit the queue enforces.
 	followers int
+	// sessionBusy counts session queries currently executing. Each holds
+	// one CPU (a session query is a single sequential solver), debited
+	// from the same budget the fair share divides — sessions and jobs
+	// draw from one ledger.
+	sessionBusy int
 
 	submitted, completed, failed, cancelled int64
 	shed, solves, cacheHits, coalesced      int64
@@ -197,11 +221,41 @@ func NewScheduler(cfg Config) *Scheduler {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[jobKey]*Job),
 	}
+	s.sessions = session.NewManager(session.Config{
+		MaxResident: cfg.SessionMaxResident,
+		IdleTTL:     cfg.SessionIdleTTL,
+		QueueDepth:  cfg.SessionQueueDepth,
+		Gate:        ledgerGate{s},
+	})
 	for i := 0; i < cfg.maxRunning(); i++ {
 		s.wg.Add(1)
 		go s.executor()
 	}
 	return s
+}
+
+// Sessions exposes the scheduler's session manager (the HTTP layer's
+// /v1/sessions routes and in-process consumers drive it directly).
+func (s *Scheduler) Sessions() *session.Manager { return s.sessions }
+
+// ledgerGate debits one CPU per executing session query from the
+// scheduler's fair-share ledger: while held, portfolio shares shrink
+// exactly as if another single-threaded job were running.
+type ledgerGate struct{ s *Scheduler }
+
+// Acquire implements session.Gate.
+func (g ledgerGate) Acquire() func() {
+	g.s.mu.Lock()
+	g.s.sessionBusy++
+	g.s.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.s.mu.Lock()
+			g.s.sessionBusy--
+			g.s.mu.Unlock()
+		})
+	}
 }
 
 // Submit validates and admits a job. It returns immediately: the job
@@ -377,6 +431,9 @@ func (s *Scheduler) Cancel(id string) bool {
 
 // Stats snapshots the scheduler counters.
 func (s *Scheduler) Stats() Stats {
+	// Sample the session manager outside s.mu: its Stats walks sessions
+	// under their own locks and must not stall executors behind ours.
+	sess := s.sessions.Stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -384,8 +441,12 @@ func (s *Scheduler) Stats() Stats {
 		Failed: s.failed, Cancelled: s.cancelled,
 		Shed: s.shed, Solves: s.solves,
 		CacheHits: s.cacheHits, Coalesced: s.coalesced,
-		QueueDepth: len(s.queue), Running: s.running,
+		CacheEvictions: s.cache.evicted(),
+		QueueDepth:     len(s.queue), Running: s.running,
 		CacheEntries: s.cache.len(),
+		Followers:    s.followers, WorkersInUse: s.workersInUse,
+		SessionBusy: s.sessionBusy,
+		Sessions:    sess,
 	}
 }
 
@@ -397,7 +458,8 @@ func (s *Scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
-	s.stop() // cancels every job ctx (they derive from baseCtx)
+	s.sessions.Close() // interrupts session queries, waits for runners
+	s.stop()           // cancels every job ctx (they derive from baseCtx)
 	s.wg.Wait()
 	for {
 		select {
@@ -453,9 +515,11 @@ func (s *Scheduler) runJob(j *Job) {
 	// more, so a giant instance cannot starve its neighbours.
 	workers := 1
 	if !single {
+		// Executing session queries hold one CPU each (sessionBusy) and
+		// shrink the divisible budget exactly like single-threaded jobs.
 		share := 1
 		if wide := s.running - s.runningSingle; wide > 0 {
-			share = (s.cfg.cpuBudget() - s.runningSingle) / wide
+			share = (s.cfg.cpuBudget() - s.runningSingle - s.sessionBusy) / wide
 			if share < 1 {
 				share = 1
 			}
@@ -464,7 +528,7 @@ func (s *Scheduler) runJob(j *Job) {
 		if workers <= 0 || workers > share {
 			workers = share
 		}
-		if avail := s.cfg.cpuBudget() - s.runningSingle - s.workersInUse; workers > avail {
+		if avail := s.cfg.cpuBudget() - s.runningSingle - s.sessionBusy - s.workersInUse; workers > avail {
 			workers = avail
 		}
 		if workers < 1 {

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/session"
+	"repro/internal/solver"
+)
+
+// This file is the HTTP face of the session layer:
+//
+//	POST   /v1/sessions             load a formula into a resident solver
+//	GET    /v1/sessions/{id}        session state + gauges
+//	DELETE /v1/sessions/{id}        evict the session
+//	POST   /v1/sessions/{id}/query  one assumption query (sync JSON by
+//	                                default; "stream": true answers SSE
+//	                                progress samples, final result last)
+//
+// Query payloads speak DIMACS literal conventions (signed non-zero
+// ints), matching the dimacs job kind.
+
+// sessionCreateRequest is the POST /v1/sessions body.
+type sessionCreateRequest struct {
+	// DIMACS is the CNF text of the resident formula.
+	DIMACS string `json:"dimacs"`
+}
+
+// sessionQueryRequest is the POST /v1/sessions/{id}/query body.
+type sessionQueryRequest struct {
+	// Assume are assumption literals in DIMACS form (e.g. [3, -7]).
+	Assume []int `json:"assume,omitempty"`
+	// Add are clauses (DIMACS literals) added to the resident formula
+	// before solving; they persist for later queries.
+	Add [][]int `json:"add,omitempty"`
+	// MaxConflicts bounds this query's search (0 = unlimited).
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// TimeoutMS bounds the query's lifetime — queue wait included
+	// (0 = the scheduler default; capped by the scheduler maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Stream answers server-sent events: progress samples while the
+	// query runs, the final result as the last event.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// sessionQueryResult is the JSON shape of a finished session query.
+type sessionQueryResult struct {
+	ID      string `json:"id"`
+	Verdict string `json:"verdict"`
+	Decided bool   `json:"decided"`
+	// Model is the satisfying assignment in DIMACS literals (SAT only);
+	// Core the refuting subset of the assumptions (UNSAT only).
+	Model     []int `json:"model,omitempty"`
+	Core      []int `json:"core,omitempty"`
+	Conflicts int64 `json:"conflicts"`
+	Decisions int64 `json:"decisions"`
+	WallMS    int64 `json:"wall_ms"`
+	Cancelled bool  `json:"cancelled,omitempty"`
+}
+
+func sessionResultView(q *session.Query, res session.Result) sessionQueryResult {
+	out := sessionQueryResult{
+		ID:        q.ID,
+		Conflicts: res.Conflicts,
+		Decisions: res.Decisions,
+		WallMS:    res.WallMS,
+		Cancelled: res.Cancelled,
+	}
+	switch res.Status {
+	case solver.Sat:
+		out.Verdict, out.Decided = "SAT", true
+		for v := cnf.Var(1); int(v) < len(res.Model); v++ {
+			l := int(v)
+			if res.Model.Value(v) != cnf.True {
+				l = -l
+			}
+			out.Model = append(out.Model, l)
+		}
+	case solver.Unsat:
+		out.Verdict, out.Decided = "UNSAT", true
+		for _, l := range res.Core {
+			out.Core = append(out.Core, l.DIMACS())
+		}
+	default:
+		out.Verdict = "UNKNOWN"
+	}
+	return out
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var req sessionCreateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	f, err := cnf.ParseDIMACSString(req.DIMACS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dimacs: %v", err))
+		return
+	}
+	if f.NumClauses() == 0 && f.NumVars() == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty formula"))
+		return
+	}
+	ss, err := s.sched.Sessions().Open(f)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, session.ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ss.Info())
+}
+
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	ss := s.sched.Sessions().Get(r.PathValue("id"))
+	if ss == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ss.Info())
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sched.Sessions().Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": r.PathValue("id"), "state": string(session.StateEvicted)})
+}
+
+func (s *Server) handleSessionQuery(w http.ResponseWriter, r *http.Request) {
+	ss := s.sched.Sessions().Get(r.PathValue("id"))
+	if ss == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown session"))
+		return
+	}
+	var req sessionQueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	sreq := session.Request{MaxConflicts: req.MaxConflicts}
+	for _, d := range req.Assume {
+		if d == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("assume: zero literal"))
+			return
+		}
+		sreq.Assume = append(sreq.Assume, cnf.FromDIMACS(d))
+	}
+	for _, cl := range req.Add {
+		c := make(cnf.Clause, 0, len(cl))
+		for _, d := range cl {
+			if d == 0 {
+				writeError(w, http.StatusBadRequest, errors.New("add: zero literal"))
+				return
+			}
+			c = append(c, cnf.FromDIMACS(d))
+		}
+		sreq.Add = append(sreq.Add, c)
+	}
+
+	// The timeout covers the query's whole lifetime (queue wait
+	// included), like job deadlines. Derive from the request context so
+	// a dropped client connection also cancels.
+	spec := Spec{TimeoutMS: req.TimeoutMS}
+	ctx, cancel := context.WithTimeout(r.Context(), s.sched.jobTimeout(&spec))
+	defer cancel()
+	q, err := ss.Submit(ctx, sreq)
+	switch {
+	case errors.Is(err, session.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, session.ErrSessionClosed):
+		writeError(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	if req.Stream {
+		s.streamSessionQuery(w, r, q)
+		return
+	}
+	res, err := q.Wait(ctx)
+	if err != nil {
+		// The lifetime deadline (or the client) ended the wait; the
+		// query itself keeps its slot and will be interrupted by the
+		// same context.
+		writeJSON(w, http.StatusOK, sessionQueryResult{ID: q.ID, Verdict: "UNKNOWN", Cancelled: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionResultView(q, res))
+}
+
+// streamSessionQuery answers SSE: "progress" events sampled from the
+// query's monitor while it runs, one final "result" event when it
+// finishes. Reuses the job watcher's sampling cadence.
+func (s *Server) streamSessionQuery(w http.ResponseWriter, r *http.Request, q *session.Query) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	period := s.watchPeriod
+	if period <= 0 {
+		period = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+
+	emitProgress := func() {
+		snap := q.Monitor().Snapshot()
+		var conflicts, restarts int64
+		for _, lw := range snap.Live {
+			conflicts += lw.Conflicts
+			restarts += lw.Restarts
+		}
+		data, _ := json.Marshal(map[string]any{
+			"id": q.ID, "conflicts": snap.RetiredConflicts + conflicts, "restarts": restarts,
+		})
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-q.Done():
+			res, _ := q.Result()
+			data, _ := json.Marshal(sessionResultView(q, res))
+			fmt.Fprintf(w, "event: result\ndata: %s\n\n", data)
+			flusher.Flush()
+			return
+		case <-ticker.C:
+			emitProgress()
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+	"repro/internal/session"
+)
+
+// sessionInfo mirrors session.Info for decoding HTTP responses.
+type sessionInfoView struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Vars    int    `json:"vars"`
+	Clauses int    `json:"clauses"`
+	Queries int64  `json:"queries"`
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp
+}
+
+func openSession(t *testing.T, ts *httptest.Server, f *cnf.Formula) sessionInfoView {
+	t.Helper()
+	var info sessionInfoView
+	resp := postJSON(t, ts.URL+"/v1/sessions", sessionCreateRequest{DIMACS: cnf.DIMACSString(f)}, &info)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d, want 201", resp.StatusCode)
+	}
+	if info.ID == "" || info.State != string(session.StateOpen) {
+		t.Fatalf("create info %+v", info)
+	}
+	return info
+}
+
+func TestHTTPSessionRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 2})
+
+	// (1 ∨ 2) ∧ (¬1 ∨ 3): assuming ¬2 ∧ ¬3 forces 1 then 3 — UNSAT;
+	// assuming 2 is trivially SAT.
+	f, err := cnf.ParseDIMACSString("p cnf 3 2\n1 2 0\n-1 3 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := openSession(t, ts, f)
+	base := ts.URL + "/v1/sessions/" + info.ID
+
+	var sat sessionQueryResult
+	if resp := postJSON(t, base+"/query", sessionQueryRequest{Assume: []int{2}}, &sat); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d, want 200", resp.StatusCode)
+	}
+	if sat.Verdict != "SAT" || !sat.Decided {
+		t.Fatalf("assume 2: %+v, want SAT", sat)
+	}
+	has := func(model []int, want int) bool {
+		for _, l := range model {
+			if l == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(sat.Model, 2) {
+		t.Fatalf("model %v should set literal 2", sat.Model)
+	}
+
+	var unsat sessionQueryResult
+	postJSON(t, base+"/query", sessionQueryRequest{Assume: []int{-2, -3}}, &unsat)
+	if unsat.Verdict != "UNSAT" {
+		t.Fatalf("assume -2 -3: %+v, want UNSAT", unsat)
+	}
+	if len(unsat.Core) == 0 {
+		t.Fatal("UNSAT under assumptions should carry a core")
+	}
+	for _, l := range unsat.Core {
+		if l != -2 && l != -3 {
+			t.Fatalf("core %v contains non-assumption literal %d", unsat.Core, l)
+		}
+	}
+
+	// Added clauses persist: pin ¬2, then the SAT query from before
+	// must flip its verdict under assume 2.
+	var pinned sessionQueryResult
+	postJSON(t, base+"/query", sessionQueryRequest{Assume: []int{2}, Add: [][]int{{-2}}}, &pinned)
+	if pinned.Verdict != "UNSAT" {
+		t.Fatalf("after adding unit -2, assume 2: %+v, want UNSAT", pinned)
+	}
+
+	// Status reflects the served queries.
+	var st sessionInfoView
+	resp, err := http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Queries != 3 {
+		t.Fatalf("status queries = %d, want 3", st.Queries)
+	}
+
+	// Delete, then every route must answer 404.
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d, want 200", resp.StatusCode)
+	}
+	if resp, err = http.Get(base); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status after delete %d, want 404", resp.StatusCode)
+		}
+	}
+	if resp := postJSON(t, base+"/query", sessionQueryRequest{Assume: []int{1}}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query after delete %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPSessionStream(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 2})
+
+	info := openSession(t, ts, gen.Pigeonhole(7))
+	data, _ := json.Marshal(sessionQueryRequest{Stream: true})
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+info.ID+"/query", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q, want text/event-stream", ct)
+	}
+	// Scan events; the last one must be a result carrying UNSAT.
+	var lastEvent string
+	var res sessionQueryResult
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			lastEvent = strings.TrimPrefix(line, "event: ")
+			continue
+		}
+		if strings.HasPrefix(line, "data: ") && lastEvent == "result" {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &res); err != nil {
+				t.Fatalf("bad result event: %v", err)
+			}
+		}
+	}
+	if lastEvent != "result" {
+		t.Fatalf("last event %q, want result", lastEvent)
+	}
+	if res.Verdict != "UNSAT" || res.Conflicts == 0 {
+		t.Fatalf("streamed result %+v, want UNSAT with conflicts", res)
+	}
+}
+
+func TestHTTPSessionBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 1, MaxRunning: 1})
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+		want int
+	}{
+		{"bad dimacs", "/v1/sessions", sessionCreateRequest{DIMACS: "p cnf broken"}, http.StatusBadRequest},
+		{"empty formula", "/v1/sessions", sessionCreateRequest{}, http.StatusBadRequest},
+		{"unknown session", "/v1/sessions/nope/query", sessionQueryRequest{}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		if resp := postJSON(t, ts.URL+tc.url, tc.body, nil); resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Zero literals are rejected before the query is enqueued.
+	info := openSession(t, ts, gen.XorChain(5, false, 1))
+	base := ts.URL + "/v1/sessions/" + info.ID
+	if resp := postJSON(t, base+"/query", sessionQueryRequest{Assume: []int{0}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero assume literal: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, base+"/query", sessionQueryRequest{Add: [][]int{{1, 0}}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("zero add literal: status %d, want 400", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/v1/sessions/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown status: %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestSchedulerSessionLedger checks that a busy session query is
+// debited from the shared CPU ledger: SessionBusy rises while the
+// query runs and returns to zero after, and the session gauges land in
+// /metrics.
+func TestSchedulerSessionLedger(t *testing.T) {
+	ts, sched := newTestServer(t, Config{CPUBudget: 4, MaxRunning: 4})
+
+	ss, err := sched.Sessions().Open(gen.Pigeonhole(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ss.Submit(t.Context(), session.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query holds one ledger slot while solving.
+	busy := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if sched.Stats().SessionBusy == 1 {
+			busy = true
+			break
+		}
+		select {
+		case <-q.Done():
+			t.Fatal("php9 finished before SessionBusy was observed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if !busy {
+		t.Fatal("SessionBusy never reached 1 while a session query ran")
+	}
+	if _, err := q.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if sched.Stats().SessionBusy == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := sched.Stats().SessionBusy; got != 0 {
+		t.Fatalf("SessionBusy = %d after query completion, want 0", got)
+	}
+
+	st := sched.Stats()
+	if st.Sessions.Sessions != 1 || st.Sessions.Queries != 1 {
+		t.Fatalf("session stats %+v, want 1 session / 1 query", st.Sessions)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range []string{
+		"satserved_sessions 1",
+		"satserved_session_queries_total 1",
+		"satserved_session_busy 0",
+		"satserved_sessions_resident 1",
+		"satserved_session_evictions_total 0",
+		"satserved_cache_evictions_total 0",
+		"satserved_workers_in_use",
+		"satserved_followers",
+		"satserved_session_checkpoint_bytes",
+	} {
+		if !strings.Contains(string(body), line) {
+			t.Errorf("/metrics missing %q\n%s", line, body)
+		}
+	}
+}

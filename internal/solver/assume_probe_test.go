@@ -1,0 +1,88 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/gen"
+)
+
+// Probe: interleave clause adds with assumption solves (the ATPG
+// activation-literal pattern) and cross-check against a fresh solver
+// built from the accumulated clause set.
+func TestAssumptionReuseWithAdds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := gen.RandomKSAT(20, 70, 3, seed)
+		reused := FromFormula(f, Options{Seed: seed})
+		acc := f.Clone()
+		rng := rand.New(rand.NewSource(seed*13 + 1))
+		for q := 0; q < 10; q++ {
+			if !reused.Okay() {
+				break // accumulated formula became unsat at top level
+			}
+			// Add a guarded random clause: act is a fresh variable.
+			act := acc.NewVar()
+			for reused.NumVars() < acc.NumVars() {
+				reused.NewVar()
+			}
+			var cl cnf.Clause
+			for k := 0; k < 2+rng.Intn(3); k++ {
+				v := cnf.Var(rng.Intn(20) + 1)
+				cl = append(cl, cnf.NewLit(v, rng.Intn(2) == 0))
+			}
+			cl = append(cl, cnf.NegLit(act))
+			acc.AddClause(cl)
+			if !reused.AddClause(cl) {
+				break // clause closed the formula at top level
+			}
+			var assume []cnf.Lit
+			assume = append(assume, cnf.PosLit(act))
+			for k := 0; k < rng.Intn(3); k++ {
+				v := cnf.Var(rng.Intn(20) + 1)
+				assume = append(assume, cnf.NewLit(v, rng.Intn(2) == 0))
+			}
+			if !reused.Okay() {
+				break
+			}
+			st1 := reused.Solve(assume...)
+			fresh := FromFormula(acc, Options{Seed: seed})
+			st2 := fresh.Solve(assume...)
+			if st1 != st2 {
+				t.Fatalf("seed %d q %d assume %v: reused %v fresh %v", seed, q, assume, st1, st2)
+			}
+			if st1 == Sat {
+				m := reused.Model()
+				for _, a := range assume {
+					if m.LitValue(a) != cnf.True {
+						t.Fatalf("seed %d q %d: model violates assumption", seed, q)
+					}
+				}
+				if !m.Satisfies(acc) {
+					t.Fatalf("seed %d q %d: model fails accumulated formula", seed, q)
+				}
+			}
+			// Retire the activation literal, as incremental ATPG does.
+			reused.AddClause(cnf.Clause{cnf.NegLit(act)})
+			acc.AddClause(cnf.Clause{cnf.NegLit(act)})
+		}
+	}
+}
+
+// Probe: budget-exhausted (Unknown) queries interleaved with decided
+// ones must not corrupt later answers or cores.
+func TestAssumptionReuseAfterUnknown(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		f := gen.Pigeonhole(6)
+		reused := FromFormula(f, Options{Seed: seed})
+		reused.SetBudget(5, 0) // tiny conflict budget → Unknown
+		if st := reused.Solve(cnf.PosLit(1)); st != Unknown {
+			t.Logf("seed %d: tiny budget still decided: %v", seed, st)
+		}
+		reused.SetBudget(0, 0)
+		st := reused.Solve(cnf.PosLit(1))
+		if st != Unsat {
+			t.Fatalf("seed %d: php6 under assumption: %v", seed, st)
+		}
+	}
+}
