@@ -40,6 +40,8 @@ func main() {
 		reclearn  = flag.Int("reclearn", 0, "recursive learning depth (0 = off)")
 		local     = flag.Bool("local-search", false, "use WalkSAT (incomplete)")
 		maxConfl  = flag.Int64("max-conflicts", 0, "conflict budget (0 = unlimited)")
+		inprocess = flag.Bool("inprocess", false, "in-search inprocessing at restart boundaries: clause vivification, on-the-fly subsumption and bounded variable elimination on the learnt database")
+		warmStart = flag.Int64("warm-start", 0, "run a probe solve with this conflict budget first and seed the main search's branching from the probe's most active variables (0 = off)")
 		watchPage = flag.Int("watch-page", 0, "min page capacity of the paged watcher store, rounded up to a power of two (values below 2 select the default of 4)")
 		workers   = flag.Int("workers", 1, "portfolio workers racing in parallel (0 = all CPUs, 1 = sequential)")
 		share     = flag.Bool("share", true, "share short learned clauses between portfolio workers")
@@ -80,6 +82,10 @@ func main() {
 			MaxConflicts:  *maxConfl,
 			WatchPageSize: *watchPage,
 		},
+	}
+	if *inprocess {
+		opts.Solver.Inprocess = true
+		opts.Solver.InprocessVarElim = true
 	}
 	if *relevance > 0 {
 		opts.Solver.Deletion = solver.DeleteByRelevance
@@ -138,7 +144,28 @@ func main() {
 		defer cancel()
 	}
 
-	ans := core.SolveContext(ctx, formula, opts)
+	var ans *core.Answer
+	if *warmStart > 0 && !*local {
+		// Probe solve: a short sequential run under its own conflict
+		// budget. A lucky probe decides the instance outright; otherwise
+		// its most active variables seed the main search's branching.
+		probeOpts := opts
+		probeOpts.PortfolioWorkers = 0
+		probeOpts.Solver.MaxConflicts = *warmStart
+		probe := core.SolveContext(ctx, formula, probeOpts)
+		if probe.Status != solver.Unknown {
+			ans = probe
+		} else {
+			opts.Solver.WarmStart = probe.Warm
+			if *stats {
+				fmt.Printf("c warm-start: probe spent %d conflicts, seeding %d variables\n",
+					probe.SolverStats.Conflicts, len(probe.Warm))
+			}
+		}
+	}
+	if ans == nil {
+		ans = core.SolveContext(ctx, formula, opts)
+	}
 	if *stats {
 		if ans.Pre != nil {
 			fmt.Printf("c preprocess: %+v\n", *ans.Pre)

@@ -92,6 +92,16 @@ type Answer struct {
 	SolverStats *solver.Stats
 	// Portfolio reports the full parallel run when PortfolioWorkers > 1.
 	Portfolio *portfolio.Result
+	// Warm is the branching warm-start profile of the solver that
+	// decided the instance (the winning worker's under a portfolio):
+	// its top variables by VSIDS activity with their saved phases, over
+	// the variable space the search actually ran on. A serving layer's
+	// recipe memory records it per instance class and replays it into
+	// Options.Solver.WarmStart on the next same-class solve. The
+	// sequential engine reports it even on Unknown (a budgeted probe
+	// harvests it); a portfolio only with a winner. Empty when the
+	// search stage never ran.
+	Warm []solver.WarmVar
 }
 
 // Solve runs the configured pipeline on f.
@@ -175,6 +185,7 @@ func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 			})
 			ans.Portfolio = res
 			ans.Status = res.Status
+			ans.Warm = res.Warm
 			if res.Winner >= 0 {
 				stats := res.Workers[res.Winner].Stats
 				ans.SolverStats = &stats
@@ -191,6 +202,10 @@ func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 		stats := s.Stats
 		ans.SolverStats = &stats
 		ans.Status = st
+		// Captured even on Unknown: a budget-bounded probe solve's whole
+		// point is harvesting the profile it accumulated before the
+		// budget ran out.
+		ans.Warm = s.WarmProfile(16)
 		if st == solver.Sat {
 			ans.Model = finishModel(f, pre, s.Model())
 		}

@@ -180,6 +180,12 @@ type Result struct {
 	// Winner is the index into Workers of the first worker to answer
 	// (-1 if none).
 	Winner int
+	// Warm is the winning worker's branching warm-start profile (its
+	// top variables by VSIDS activity with their saved phases), captured
+	// after every worker has stopped. A cross-run memory can feed it to
+	// the next same-class solve via Options.Base.WarmStart. Empty when no
+	// worker answered.
+	Warm []solver.WarmVar
 	// Recipe names the winner's configuration ("" if none).
 	Recipe string
 	// Workers reports every worker that ever ran, in spawn order —
@@ -233,6 +239,12 @@ type runningWorker struct {
 // private conflict, but bounded so a sharing hub that finds nothing
 // itself cannot shadow a worker that is actually closing the search.
 const exportCredit = 4
+
+// warmProfileSize is how many top-activity variables the winner's
+// warm-start profile records. Big enough to seed the first restarts'
+// worth of branching, small enough that a stale profile is overruled
+// within a few conflicts of bumping.
+const warmProfileSize = 16
 
 // progressScore rates a worker from a progress snapshot, the number of
 // its clauses the shared pool admitted, and its age in seconds:
@@ -509,6 +521,9 @@ func (p *Portfolio) Solve(ctx context.Context, assumptions ...cnf.Lit) *Result {
 	sort.Slice(res.Workers, func(i, j int) bool { return res.Workers[i].ID < res.Workers[j].ID })
 	if winner != nil {
 		res.Winner = winner.id
+		// Every worker goroutine has exited (wg.Wait above), so reading
+		// the winner's heuristic state is race-free here.
+		res.Warm = winner.s.WarmProfile(warmProfileSize)
 	}
 	ps := shared.stats()
 	res.Pool = ps

@@ -22,9 +22,20 @@ type Options struct {
 	// clauses of an eliminated variable are replaced by their
 	// resolvents when that does not grow the formula.
 	VarElim bool
-	// MaxRounds bounds the simplification fixpoint loop (0 = 10).
+	// MaxRounds bounds the simplification fixpoint loop: each round
+	// runs every enabled transform once, and the loop stops early the
+	// first round nothing changes. 0 selects DefaultMaxRounds. Negative
+	// values are not special-cased: the loop then runs zero rounds and
+	// Simplify returns the normalized input untouched.
 	MaxRounds int
 }
+
+// DefaultMaxRounds is the fixpoint-loop bound Simplify applies when
+// Options.MaxRounds is 0. Ten rounds is far past where real instances
+// stop changing (most converge in 2–4); the bound exists so a
+// pathological subsume/strengthen/eliminate interplay cannot loop the
+// preprocessor instead of the solver.
+const DefaultMaxRounds = 10
 
 // All returns options with every simplification enabled.
 func All() Options {
@@ -95,7 +106,7 @@ type undoStep struct {
 // result. The input formula is not modified.
 func Simplify(f *cnf.Formula, opts Options) *Result {
 	if opts.MaxRounds == 0 {
-		opts.MaxRounds = 10
+		opts.MaxRounds = DefaultMaxRounds
 	}
 	res := &Result{Subst: make(map[cnf.Var]cnf.Lit)}
 	work := normalizeClauses(f)

@@ -337,3 +337,60 @@ func TestVarElimDoesNotGrow(t *testing.T) {
 			before, res.Formula.NumClauses())
 	}
 }
+
+// TestMaxRoundsBound pins the Options.MaxRounds contract: 0 selects
+// DefaultMaxRounds (bit-identical outcome to passing the constant
+// explicitly), an explicit bound of 1 stops the fixpoint loop after one
+// round even when further rounds would simplify more, and the truncated
+// result is still equisatisfiable with the input.
+func TestMaxRoundsBound(t *testing.T) {
+	// A formula where one round is not a fixpoint: the failed-literal
+	// probe and subsumption feed each other across rounds on hard random
+	// instances, so at least one seed must run 2+ rounds by default.
+	multiRound := -1
+	for seed := int64(0); seed < 10; seed++ {
+		f := gen.Random3SATHard(22, seed)
+		if Simplify(f, All()).Stats.Rounds > 1 {
+			multiRound = int(seed)
+			break
+		}
+	}
+	if multiRound < 0 {
+		t.Skip("no seed needed more than one round; bound untestable here")
+	}
+	f := gen.Random3SATHard(22, int64(multiRound))
+
+	def := Simplify(f, All())
+	explicit := All()
+	explicit.MaxRounds = DefaultMaxRounds
+	if got := Simplify(f, explicit); got.Stats != def.Stats {
+		t.Fatalf("MaxRounds 0 and DefaultMaxRounds diverge:\n %+v\n %+v", def.Stats, got.Stats)
+	}
+
+	one := All()
+	one.MaxRounds = 1
+	capped := Simplify(f, one)
+	if capped.Stats.Rounds != 1 {
+		t.Fatalf("MaxRounds 1 ran %d rounds", capped.Stats.Rounds)
+	}
+	if def.Stats.Rounds <= 1 {
+		t.Fatalf("default run took %d rounds; selection above guaranteed > 1", def.Stats.Rounds)
+	}
+
+	// The capped result must still be equisatisfiable: brute-force both.
+	wantSat, _ := cnf.BruteForce(f)
+	if capped.Decided == cnf.Undef {
+		gotSat, m := cnf.BruteForce(capped.Formula)
+		if gotSat != wantSat {
+			t.Fatalf("capped preprocess changed satisfiability: %v vs %v", gotSat, wantSat)
+		}
+		if gotSat {
+			full := capped.ExtendModel(m)
+			if !full.Satisfies(f) {
+				t.Fatal("extended model of capped result does not satisfy original")
+			}
+		}
+	} else if (capped.Decided == cnf.True) != wantSat {
+		t.Fatalf("capped preprocess decided %v, brute force says sat=%v", capped.Decided, wantSat)
+	}
+}

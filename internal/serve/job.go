@@ -245,6 +245,12 @@ type Result struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// WallMS is the solve wall time in milliseconds (0 for cache hits).
 	WallMS int64 `json:"wall_ms"`
+
+	// warm is the deciding solver's branching warm-start profile,
+	// harvested for the scheduler's cross-run recipe memory (which
+	// replays it into the next same-class solve). Unexported: it is
+	// service-internal heuristic state, not part of the client result.
+	warm []solver.WarmVar
 }
 
 // clone deep-copies the result, including the slice-valued fields, so
@@ -254,6 +260,7 @@ func (r Result) clone() Result {
 	out := r
 	out.Model = append([]int(nil), r.Model...)
 	out.Counterexample = append([]bool(nil), r.Counterexample...)
+	out.warm = append([]solver.WarmVar(nil), r.warm...)
 	return out
 }
 
@@ -464,18 +471,20 @@ func (j *Job) View() View {
 
 // execute dispatches the job to its engine under rctx and maps the
 // engine answer onto a Result. workers is the granted portfolio size,
-// prefer the recipe-memory hint.
-func execute(rctx context.Context, j *Job, workers int, prefer string) (*Result, error) {
+// prefer the recipe-memory hint, warm the remembered branching
+// warm-start profile for the job's instance class (nil = cold start).
+func execute(rctx context.Context, j *Job, workers int, prefer string, warm []solver.WarmVar) (*Result, error) {
 	res := &Result{Kind: j.spec.Kind, Workers: workers, Preferred: prefer}
 	switch j.spec.Kind {
 	case KindDIMACS:
 		ans := core.SolveContext(rctx, j.parsed.formula, core.Options{
-			Solver:            solver.Options{MaxConflicts: j.spec.MaxConflicts},
+			Solver:            solver.Options{MaxConflicts: j.spec.MaxConflicts, WarmStart: warm},
 			PortfolioWorkers:  workers,
 			PortfolioAdaptive: j.spec.Adaptive && workers > 1,
 			PortfolioPrefer:   prefer,
 			PortfolioMonitor:  j.mon,
 		})
+		res.warm = ans.Warm
 		switch ans.Status {
 		case solver.Sat:
 			res.Verdict, res.Decided = "SAT", true

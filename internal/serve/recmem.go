@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/solver"
+)
 
 // recipeMemory is the service's cross-run memory of which portfolio
 // recipe family wins which instance class (the ROADMAP "explore arm
@@ -19,6 +23,14 @@ type recipeMemory struct {
 	cap int
 	// classes maps class label → family → win count.
 	classes map[string]map[string]int
+	// warm maps class label → the branching warm-start profile of the
+	// solver that most recently decided an instance of the class (latest
+	// win overwrites: the profile is a hint about CURRENT same-class
+	// traffic, not an aggregate — aggregating activity ranks across
+	// instances would average away exactly the instance-family structure
+	// the hint carries). Replayed into solver.Options.WarmStart on the
+	// next same-class solve.
+	warm map[string][]solver.WarmVar
 	// order is insertion order for a crude bound on retained classes.
 	order []string
 }
@@ -27,7 +39,29 @@ func newRecipeMemory(capacity int) *recipeMemory {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &recipeMemory{cap: capacity, classes: make(map[string]map[string]int)}
+	return &recipeMemory{
+		cap:     capacity,
+		classes: make(map[string]map[string]int),
+		warm:    make(map[string][]solver.WarmVar),
+	}
+}
+
+// ensureClass returns the class's family-count map, admitting the class
+// (and evicting the oldest one, with its warm profile) when new. Callers
+// hold m.mu.
+func (m *recipeMemory) ensureClass(class string) map[string]int {
+	fams, ok := m.classes[class]
+	if !ok {
+		if len(m.order) >= m.cap {
+			delete(m.classes, m.order[0])
+			delete(m.warm, m.order[0])
+			m.order = m.order[1:]
+		}
+		fams = make(map[string]int)
+		m.classes[class] = fams
+		m.order = append(m.order, class)
+	}
+	return fams
 }
 
 // record credits family with a win on class.
@@ -37,17 +71,32 @@ func (m *recipeMemory) record(class, family string) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	fams, ok := m.classes[class]
-	if !ok {
-		if len(m.order) >= m.cap {
-			delete(m.classes, m.order[0])
-			m.order = m.order[1:]
-		}
-		fams = make(map[string]int)
-		m.classes[class] = fams
-		m.order = append(m.order, class)
+	m.ensureClass(class)[family]++
+}
+
+// recordWarm stores the deciding solver's branching warm-start profile
+// for class, overwriting any previous one (latest win wins). The profile
+// is copied: the caller's slice stays caller-owned.
+func (m *recipeMemory) recordWarm(class string, prof []solver.WarmVar) {
+	if class == "" || len(prof) == 0 {
+		return
 	}
-	fams[family]++
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensureClass(class)
+	m.warm[class] = append([]solver.WarmVar(nil), prof...)
+}
+
+// warmFor returns a copy of the class's remembered warm-start profile,
+// or nil when the class has none.
+func (m *recipeMemory) warmFor(class string) []solver.WarmVar {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prof := m.warm[class]
+	if len(prof) == 0 {
+		return nil
+	}
+	return append([]solver.WarmVar(nil), prof...)
 }
 
 // best returns the family with the most recorded wins for class, or ""

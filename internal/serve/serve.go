@@ -35,8 +35,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cnf"
 	"repro/internal/portfolio"
 	"repro/internal/session"
+	"repro/internal/solver"
 )
 
 // maxSheddablePayload is the payload size above which a submission may
@@ -237,6 +239,15 @@ func NewScheduler(cfg Config) *Scheduler {
 // Sessions exposes the scheduler's session manager (the HTTP layer's
 // /v1/sessions routes and in-process consumers drive it directly).
 func (s *Scheduler) Sessions() *session.Manager { return s.sessions }
+
+// WarmHint returns the recipe memory's branching warm-start profile for
+// f's instance class (nil = cold start). The session-create path feeds
+// it into Manager.Open, so a resident solver opened over a class the
+// job path has already decided starts branching where that win's solver
+// left off.
+func (s *Scheduler) WarmHint(f *cnf.Formula) []solver.WarmVar {
+	return s.mem.warmFor(dimacsClass(f))
+}
 
 // ledgerGate debits one CPU per executing session query from the
 // scheduler's fair-share ledger: while held, portfolio shares shrink
@@ -537,12 +548,13 @@ func (s *Scheduler) runJob(j *Job) {
 		s.workersInUse += workers
 	}
 	prefer := s.mem.best(j.class)
+	warm := s.mem.warmFor(j.class)
 	s.mu.Unlock()
 
 	j.setRunning(workers, prefer)
 	start := time.Now()
 	// j.ctx already carries the lifetime deadline set at Submit.
-	res, err := execute(j.ctx, j, workers, prefer)
+	res, err := execute(j.ctx, j, workers, prefer, warm)
 
 	s.mu.Lock()
 	s.running--
@@ -575,6 +587,9 @@ func (s *Scheduler) runJob(j *Job) {
 			if fam := portfolio.RecipeFamily(res.Recipe); res.Recipe != "" && workers > 1 && fam != "base" {
 				s.mem.record(j.class, fam)
 			}
+			// The warm profile is useful signal even from a sequential
+			// win: it describes the instance class, not the recipe.
+			s.mem.recordWarm(j.class, res.warm)
 		}
 		s.finalize(j, StatusDone, res, nil)
 	}

@@ -107,7 +107,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty formula"))
 		return
 	}
-	ss, err := s.sched.Sessions().Open(f)
+	ss, err := s.sched.Sessions().Open(f, s.sched.WarmHint(f)...)
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, session.ErrClosed) {

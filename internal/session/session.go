@@ -180,13 +180,21 @@ func NewManager(cfg Config) *Manager {
 
 // Open creates a session resident over f and returns it. The formula is
 // loaded into a fresh solver once; every subsequent query reuses that
-// solver's state.
-func (m *Manager) Open(f *cnf.Formula) (*Session, error) {
+// solver's state. An optional warm profile (a cross-run memory's record
+// of the variables that mattered on this instance class) seeds the
+// resident solver's branching heuristic before its first query; the
+// seed survives checkpoint/revive cycles — the activities carry it —
+// and conflict bumps overrule it as the session accumulates its own
+// heuristic state.
+func (m *Manager) Open(f *cnf.Formula, warm ...solver.WarmVar) (*Session, error) {
 	opts := m.cfg.Solver
 	if opts.LogProof || opts.ExportClause != nil || opts.ImportClauses != nil {
 		// Checkpointing strips or rejects these; refuse up front instead
 		// of failing on the first idle demotion.
 		return nil, errors.New("session: solver options incompatible with checkpointing")
+	}
+	if len(warm) > 0 {
+		opts.WarmStart = warm
 	}
 	s := solver.FromFormula(f, opts)
 

@@ -15,7 +15,7 @@ import (
 //
 // Arena layout of one clause starting at offset c:
 //
-//	word c+0: size<<6 | learnt<<0 | temp<<1 | deleted<<2 | touched<<3 | tier<<4
+//	word c+0: size<<8 | learnt<<0 | temp<<1 | deleted<<2 | touched<<3 | tier<<4 | occidx<<6 | pad<<7
 //	word c+1: LBD (literal-block distance at learn time; 0 = problem clause)
 //	word c+2: activity (compressed float, see actEncode)
 //	word c+3 … c+3+size-1: the literals
@@ -50,7 +50,9 @@ const (
 	flagTouched = 1 << 3 // bumped since the last reduceDB round
 	tierShift   = 4
 	tierMask    = 3 << tierShift
-	flagBits    = 6
+	flagOccIdx  = 1 << 6 // entered into the inprocessing occurrence index
+	flagPad     = 1 << 7 // not a clause: filler left by an in-place shrink
+	flagBits    = 8
 )
 
 // Learnt-clause roster tiers. A clause's tier is assigned from its
@@ -149,6 +151,37 @@ func (db *clauseDB) clearTouched(c CRef) {
 	db.arena[c] = cnf.Lit(int32(db.header(c) &^ uint32(flagTouched)))
 }
 
+// occIndexed reports whether inprocessing entered the clause into its
+// occurrence index (the flag prevents double insertion across rounds;
+// compact clears it, because a relocation invalidates the whole index).
+func (db *clauseDB) occIndexed(c CRef) bool { return db.header(c)&flagOccIdx != 0 }
+
+func (db *clauseDB) setOccIndexed(c CRef) {
+	db.arena[c] = cnf.Lit(int32(db.header(c) | flagOccIdx))
+}
+
+// shrinkTo rewrites clause c in place to the m-literal prefix currently
+// stored at positions [0, m) (the caller has already compacted the kept
+// literals there). The freed tail words become a pad pseudo-entry — a
+// one-word header with flagPad whose size field counts the extra filler
+// words — so the arena stays linearly traversable; compact() reclaims the
+// pad like any tombstone. The recorded LBD is capped at the new size.
+func (db *clauseDB) shrinkTo(c CRef, m int) {
+	n := db.size(c)
+	if m >= n {
+		return
+	}
+	hdr := db.header(c)&((1<<flagBits)-1) | uint32(m)<<flagBits
+	db.arena[c] = cnf.Lit(int32(hdr))
+	if lbd := db.lbd(c); lbd > m && lbd != 0 {
+		db.arena[c+1] = cnf.Lit(int32(uint32(m)))
+	}
+	pad := int(c) + clsHdrWords + m
+	k := n - m
+	db.arena[pad] = cnf.Lit(int32(uint32(flagPad|flagDeleted) | uint32(k-1)<<flagBits))
+	db.wasted += k
+}
+
 // tier returns the clause's roster tier (meaningful for learnt clauses).
 func (db *clauseDB) tier(c CRef) int { return int(db.header(c)&tierMask) >> tierShift }
 
@@ -195,10 +228,19 @@ func (db *clauseDB) compact() []cnf.Lit {
 	}
 	for c := 0; c < len(db.arena); {
 		hdr := uint32(db.arena[c])
+		if hdr&flagPad != 0 {
+			// Filler left by an in-place shrink: one header word plus
+			// size extra words, never live.
+			c += 1 + int(hdr>>flagBits)
+			continue
+		}
 		span := clsHdrWords + int(hdr>>flagBits)
 		if hdr&flagDeleted == 0 {
 			nc := len(newArena)
 			newArena = append(newArena, db.arena[c:c+span]...)
+			// Relocation invalidates the inprocessing occurrence index
+			// (the caller drops it); clear the membership flag with it.
+			newArena[nc] = cnf.Lit(int32(hdr &^ uint32(flagOccIdx)))
 			db.arena[c+1] = cnf.Lit(int32(uint32(nc)))
 			if hdr&flagLearnt != 0 && hdr&flagTemp == 0 {
 				t := int(hdr&tierMask) >> tierShift

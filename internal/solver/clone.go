@@ -66,8 +66,17 @@ type Checkpoint struct {
 	varInc   float64
 	claInc   float64
 
+	// In-search variable-elimination state: logical solver state (the
+	// restored fork must reconstruct models and honor restore-on-contact
+	// exactly like the original). The transient inprocessing state (the
+	// occurrence index, the vivification cursor) is deliberately NOT
+	// part of the image — see Checkpoint.
+	elimVars []bool
+	elimRecs []elimRecord
+
 	stats Stats
 	ok    bool
+	warm  bool // Options.WarmStart already applied (activities carry it)
 }
 
 // Checkpoint captures the solver's level-0 image. Any in-progress
@@ -86,6 +95,15 @@ func (s *Solver) Checkpoint() (*Checkpoint, error) {
 		return nil, ErrCheckpointProof
 	}
 	s.cancelUntil(0)
+	// Flush the transient inprocessing state before imaging: the
+	// occurrence index aliases CRefs the compaction below is about to
+	// move, and the vivification cursor is mid-round scheduling state a
+	// fork must not inherit — a clone taken mid-inprocessing must search
+	// bit-identically to one taken after the round's state was flushed.
+	// (Both are rebuilt lazily: the index at the next subsumption round,
+	// the cursor from zero.)
+	s.inproc.dropOccIndex()
+	s.inproc.vivCur = 0
 	if s.db.wasted > 0 {
 		s.garbageCollect()
 	}
@@ -103,11 +121,23 @@ func (s *Solver) Checkpoint() (*Checkpoint, error) {
 		claInc: s.claInc,
 		stats:  s.Stats,
 		ok:     s.ok,
+		warm:   s.warmDone,
 	}
 	ck.opts.ExportClause = nil
 	ck.opts.ImportClauses = nil
 	for t := range s.db.roster {
 		ck.roster[t] = append([]CRef(nil), s.db.roster[t]...)
+	}
+	if len(s.inproc.elimRecs) > 0 {
+		ck.elimVars = append([]bool(nil), s.inproc.elimVars...)
+		ck.elimRecs = make([]elimRecord, len(s.inproc.elimRecs))
+		for i, rec := range s.inproc.elimRecs {
+			cp := elimRecord{v: rec.v, clauses: make([]cnf.Clause, len(rec.clauses))}
+			for j, cl := range rec.clauses {
+				cp.clauses[j] = append(cnf.Clause(nil), cl...)
+			}
+			ck.elimRecs[i] = cp
+		}
 	}
 	return ck, nil
 }
@@ -119,10 +149,11 @@ func (s *Solver) Checkpoint() (*Checkpoint, error) {
 // learnt tiers) of the image, and the level-0 trail already propagated.
 func (ck *Checkpoint) Restore() *Solver {
 	s := &Solver{
-		opts:   ck.opts,
-		varInc: ck.varInc,
-		claInc: ck.claInc,
-		ok:     ck.ok,
+		opts:     ck.opts,
+		varInc:   ck.varInc,
+		claInc:   ck.claInc,
+		ok:       ck.ok,
+		warmDone: ck.warm,
 	}
 	s.rng = rand.New(rand.NewSource(s.opts.Seed))
 	s.order = newVarHeap(&s.activity)
@@ -151,6 +182,25 @@ func (ck *Checkpoint) Restore() *Solver {
 	// is re-propagated.
 	s.trail = append([]cnf.Lit(nil), ck.trail...)
 	s.qhead = len(s.trail)
+
+	// In-search variable-elimination records (deep-copied: the restored
+	// fork may restoreEliminated or reconstruct models independently).
+	// The transient inprocessing state (occurrence index, vivification
+	// cursor) starts empty and is rebuilt lazily.
+	if len(ck.elimRecs) > 0 {
+		s.inproc.elimVars = append([]bool(nil), ck.elimVars...)
+		for len(s.inproc.elimVars) < len(s.assigns) {
+			s.inproc.elimVars = append(s.inproc.elimVars, false)
+		}
+		s.inproc.elimRecs = make([]elimRecord, len(ck.elimRecs))
+		for i, rec := range ck.elimRecs {
+			cp := elimRecord{v: rec.v, clauses: make([]cnf.Clause, len(rec.clauses))}
+			for j, cl := range rec.clauses {
+				cp.clauses[j] = append(cnf.Clause(nil), cl...)
+			}
+			s.inproc.elimRecs[i] = cp
+		}
+	}
 
 	// Rebuild the watcher pages from the arena: watched literals sit at
 	// clause positions 0 and 1 by propagate's invariant.
@@ -182,6 +232,12 @@ func (ck *Checkpoint) Bytes() int {
 		b += len(ck.roster[t]) * 4
 	}
 	b += len(ck.assigns) + len(ck.phase) + len(ck.activity)*8
+	b += len(ck.elimVars)
+	for _, rec := range ck.elimRecs {
+		for _, cl := range rec.clauses {
+			b += len(cl) * 4
+		}
+	}
 	return b
 }
 

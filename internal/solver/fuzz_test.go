@@ -26,6 +26,14 @@ var fuzzConfigs = []Options{
 	{LegacyWatcherStore: true},
 	{LogProof: true},
 	{MaxLearnts: 1},
+	// Inprocessing configurations (aggressive cadence so restart
+	// boundaries — and therefore rounds — happen even on tiny
+	// instances): every transform combination the engine supports.
+	{Inprocess: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
+	{Inprocess: true, InprocessNoSubsume: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
+	{Inprocess: true, InprocessNoVivify: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
+	{Inprocess: true, InprocessVarElim: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
+	{Inprocess: true, InprocessVarElim: true, InprocessNoVivify: true, InprocessNoSubsume: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
 }
 
 // decodeFuzzFormula interprets fuzz bytes as a bounded CNF instance
@@ -84,6 +92,10 @@ func FuzzSolverVsBrute(f *testing.F) {
 	f.Add([]byte{7, 2, 1, 2, 3, 0, 4, 5, 0, 6}) // mixed, trailing garbage
 	f.Add([]byte{11, 13, 1, 0, 2, 0, 3, 0, 0x81, 0x82, 0x83, 0})
 	f.Add([]byte{5, 4, 0}) // a single empty clause
+	// Inprocessing configurations over instances big enough to restart.
+	f.Add([]byte{9, 15, 1, 2, 0, 0x81, 3, 0, 0x82, 4, 0, 0x83, 0x84, 0, 5, 6, 0, 0x85, 7, 0, 0x86, 0x87, 0, 8, 9, 0, 1, 0x89, 0})
+	f.Add([]byte{10, 18, 1, 2, 3, 0, 0x81, 0x82, 0, 4, 5, 0, 0x84, 0x85, 0, 6, 7, 8, 0, 0x86, 0x88, 0, 9, 10, 0, 0x89, 0x8a, 0})
+	f.Add([]byte{8, 19, 1, 2, 0, 0x81, 0x82, 0, 3, 4, 0, 0x83, 0x84, 0, 5, 6, 0, 0x85, 0x86, 0, 7, 8, 0, 0x87, 0x88, 0, 1, 3, 5, 7, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {
 			t.Skip("oversized input")

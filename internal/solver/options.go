@@ -150,6 +150,46 @@ type Options struct {
 	// semantics; it is not a production configuration.
 	LegacyWatcherStore bool
 
+	// Inprocess enables the in-search inprocessing engine: at restart
+	// boundaries the solver vivifies mid/local learnt clauses
+	// (re-propagating each candidate's negated literals and shrinking or
+	// promoting it in place) and subsumes/strengthens learnt clauses
+	// against the core tier through an occurrence index rebuilt lazily
+	// from the arena headers. Inprocessing is skipped under NoLearning,
+	// LogProof (in-place strengthening is not part of the lemma
+	// sequence), LegacyWatcherStore (the baseline store has no eager
+	// detach path), and while a structural theory is attached.
+	Inprocess bool
+
+	// InprocessNoVivify and InprocessNoSubsume veto the individual
+	// transforms of an Inprocess-enabled solver (for differential
+	// testing and benchmarking of each transform in isolation).
+	InprocessNoVivify  bool
+	InprocessNoSubsume bool
+
+	// InprocessVarElim additionally runs bounded variable elimination
+	// (NiVER-style, as in internal/preprocess but arena-native) over the
+	// original clauses at deep restart boundaries — every fourth
+	// inprocessing round. Eliminated variables are reconstructed into
+	// the model at Sat time. Requires Inprocess; ignored otherwise.
+	InprocessVarElim bool
+
+	// InprocessEvery runs an inprocessing round every k-th restart
+	// (0 = 4). InprocessBudget bounds the work of one round, measured in
+	// propagations (vivification probes) plus occurrence-index steps
+	// (0 = 20000).
+	InprocessEvery  int
+	InprocessBudget int64
+
+	// WarmStart seeds the branching heuristic before the first search:
+	// entries are ranked most-important-first, and each seeds the
+	// variable's VSIDS activity (descending with rank) and saved phase.
+	// A portfolio's recipe memory feeds the previous winning worker's
+	// profile (WarmProfile) for the same instance class through this
+	// knob. Entries naming variables the solver does not know are
+	// ignored.
+	WarmStart []WarmVar
+
 	// VarDecay and ClauseDecay control activity decay (0 = defaults
 	// 0.95 and 0.999).
 	VarDecay, ClauseDecay float64
@@ -222,6 +262,12 @@ func (o *Options) withDefaults() Options {
 	if out.WatchPageSize == 0 {
 		out.WatchPageSize = 4
 	}
+	if out.InprocessEvery == 0 {
+		out.InprocessEvery = 4
+	}
+	if out.InprocessBudget == 0 {
+		out.InprocessBudget = 20000
+	}
 	return out
 }
 
@@ -274,6 +320,14 @@ type Stats struct {
 	MinimizedLit int64 // literals removed by clause minimization
 	ArenaGCs     int64 // relocating compactions of the clause arena
 	MaxJump      int   // largest non-chronological backjump (levels skipped)
+
+	// Inprocessing counters (Options.Inprocess).
+	InprocRounds     int64 // inprocessing rounds run at restart boundaries
+	Vivified         int64 // clauses shrunk or satisfied-and-dropped by vivification
+	VivifiedLits     int64 // literals removed by vivification
+	Subsumed         int64 // learnt clauses deleted as subsumed by a core clause
+	StrengthenedLits int64 // literals removed by self-subsuming resolution
+	ElimVars         int64 // variables eliminated in-search (InprocessVarElim)
 
 	// LBDHist is the learn-time LBD histogram of every conflict clause
 	// derived by analyze (including units and NoLearning temp clauses):

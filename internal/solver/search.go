@@ -23,11 +23,23 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		return Unsat
 	}
 	s.cancelUntil(0)
+	s.applyWarmStart()
 	s.startConflicts = s.Stats.Conflicts
 	s.startDecisions = s.Stats.Decisions
 	for _, a := range assumptions {
 		if int(a.Var()) > s.NumVars() {
 			s.growTo(int(a.Var()))
+		}
+	}
+	// An assumption over an in-search-eliminated variable re-constrains
+	// it; undo the eliminations (they are no longer model-preserving
+	// under this query) before searching.
+	for _, a := range assumptions {
+		if s.isEliminated(a.Var()) {
+			if !s.restoreEliminated() {
+				return Unsat
+			}
+			break
 		}
 	}
 	s.assumptions = assumptions
@@ -58,6 +70,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		if st == Sat {
 			s.model = make(cnf.Assignment, len(s.assigns))
 			copy(s.model, s.assigns)
+			// Variables eliminated in-search are unassigned in the
+			// search's model; reconstruct their values from the removed
+			// clauses (newest elimination first).
+			s.reconstructModel()
 			return st
 		}
 		if st != Unknown {
@@ -71,8 +87,12 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		s.prog.restarts.Add(1)
 		s.cancelUntil(0)
 		// Restart boundary: the natural moment to adopt foreign clauses
-		// (the trail is empty, so level-0 injection is trivially safe).
+		// (the trail is empty, so level-0 injection is trivially safe)
+		// and to run an inprocessing round over the clause DB.
 		if !s.importShared() {
+			return Unsat
+		}
+		if !s.inprocess(restart) {
 			return Unsat
 		}
 	}
@@ -375,7 +395,7 @@ func (s *Solver) pickBranchLit() cnf.Lit {
 		}
 	case DecideOrdered:
 		for v := cnf.Var(1); int(v) <= s.NumVars(); v++ {
-			if s.assigns[v] == cnf.Undef {
+			if s.assigns[v] == cnf.Undef && !s.isEliminated(v) {
 				return cnf.NegLit(v)
 			}
 		}
@@ -384,9 +404,11 @@ func (s *Solver) pickBranchLit() cnf.Lit {
 		return s.randomLit()
 	}
 	// VSIDS (default): most active unassigned variable, saved polarity.
+	// Variables eliminated in-search stay unassigned; the model
+	// reconstruction at Sat time supplies their values.
 	for !s.order.empty() {
 		v := s.order.pop()
-		if s.assigns[v] == cnf.Undef {
+		if s.assigns[v] == cnf.Undef && !s.isEliminated(v) {
 			return cnf.NewLit(v, !s.phase[v])
 		}
 	}
@@ -401,12 +423,12 @@ func (s *Solver) randomLit() cnf.Lit {
 	// Try random probes, then fall back to a scan.
 	for try := 0; try < 10; try++ {
 		v := cnf.Var(s.rng.Intn(n) + 1)
-		if s.assigns[v] == cnf.Undef {
+		if s.assigns[v] == cnf.Undef && !s.isEliminated(v) {
 			return cnf.NewLit(v, s.rng.Intn(2) == 0)
 		}
 	}
 	for v := cnf.Var(1); int(v) <= n; v++ {
-		if s.assigns[v] == cnf.Undef {
+		if s.assigns[v] == cnf.Undef && !s.isEliminated(v) {
 			return cnf.NewLit(v, s.rng.Intn(2) == 0)
 		}
 	}
@@ -429,7 +451,7 @@ func (s *Solver) dlisLit() cnf.Lit {
 	best := cnf.LitUndef
 	bestCount := -1
 	for v := cnf.Var(1); int(v) <= s.NumVars(); v++ {
-		if s.assigns[v] != cnf.Undef {
+		if s.assigns[v] != cnf.Undef || s.isEliminated(v) {
 			continue
 		}
 		for _, l := range []cnf.Lit{cnf.PosLit(v), cnf.NegLit(v)} {

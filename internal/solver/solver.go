@@ -93,6 +93,14 @@ type Solver struct {
 	startConflicts int64 // per-Solve budget baselines
 	startDecisions int64
 
+	// Inprocessing state (inprocess.go). The occurrence index and the
+	// vivification cursor are transient — dropped by the arena GC and
+	// never checkpointed; the variable-elimination records are logical
+	// solver state and survive checkpoints.
+	inproc inprocState
+
+	warmDone bool // Options.WarmStart has been applied (first Solve)
+
 	proofLog *Proof // recorded conflict clauses (Options.LogProof)
 
 	// prog mirrors the scheduling-relevant subset of Stats in atomics so
@@ -156,6 +164,9 @@ func (s *Solver) growTo(n int) {
 		s.phase = append(s.phase, false)
 		s.activity = append(s.activity, 0)
 		s.seen = append(s.seen, 0)
+		if s.inproc.elimVars != nil {
+			s.inproc.elimVars = append(s.inproc.elimVars, false)
+		}
 		v := cnf.Var(len(s.assigns) - 1)
 		if v >= 1 {
 			s.order.push(v)
@@ -238,6 +249,24 @@ func (s *Solver) AddClause(lits cnf.Clause) bool {
 	if taut {
 		return true
 	}
+	// A new clause over an in-search-eliminated variable re-constrains
+	// it: the elimination is no longer model-preserving, so undo it (all
+	// of them — records may chain through each other) before adding.
+	for _, l := range norm {
+		if s.isEliminated(l.Var()) {
+			if !s.restoreEliminated() {
+				return false
+			}
+			break
+		}
+	}
+	return s.addClauseCore(norm)
+}
+
+// addClauseCore installs an already-normalized clause at decision level
+// 0: the tail of AddClause, shared with restoreEliminated (which re-adds
+// recorded clauses whose variables are all known).
+func (s *Solver) addClauseCore(norm cnf.Clause) bool {
 	// Simplify against top-level assignments.
 	out := norm[:0]
 	for _, l := range norm {
@@ -514,15 +543,24 @@ func (s *Solver) garbageCollect() {
 		}
 	}
 	if s.dlisOcc {
-		// Occurrence lists hold only problem clauses, which are never
-		// deleted; patch in place.
+		// Occurrence lists hold problem clauses; in-search variable
+		// elimination may have tombstoned some, so filter while patching.
 		for li := range s.occList {
 			oc := s.occList[li]
-			for i := range oc {
-				oc[i] = s.db.forward(oc[i])
+			w := 0
+			for _, c := range oc {
+				if s.db.deleted(c) {
+					continue
+				}
+				oc[w] = s.db.forward(c)
+				w++
 			}
+			s.occList[li] = oc[:w]
 		}
 	}
+	// Relocation invalidates the inprocessing occurrence index (compact
+	// cleared the membership flags); it is rebuilt lazily next round.
+	s.inproc.dropOccIndex()
 	s.db.arena = newArena
 	s.db.wasted = 0
 	s.Stats.ArenaGCs++

@@ -1,0 +1,78 @@
+package solver
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// This file implements the branching warm-start path: a solver can
+// export its most active variables with their saved phases (WarmProfile)
+// and a fresh solver can seed its VSIDS heap and phase array from such a
+// profile before the first search (Options.WarmStart). A portfolio
+// records the winning worker's profile per instance class and feeds it
+// to the next same-class solve — initial branching quality learned
+// across runs instead of rediscovered from zero.
+
+// WarmVar is one entry of a branching warm-start profile: a variable
+// worth branching on early, with the polarity that served the recording
+// solver last.
+type WarmVar struct {
+	Var   cnf.Var `json:"v"`
+	Phase bool    `json:"phase"`
+}
+
+// WarmProfile returns the solver's top-k variables by VSIDS activity
+// (most active first, ties broken by variable index) with their saved
+// phases. Variables that never accumulated activity are omitted. It must
+// not be called while Solve runs.
+func (s *Solver) WarmProfile(k int) []WarmVar {
+	type ranked struct {
+		v   cnf.Var
+		act float64
+	}
+	all := make([]ranked, 0, s.NumVars())
+	for v := cnf.Var(1); int(v) <= s.NumVars(); v++ {
+		if s.activity[v] > 0 {
+			all = append(all, ranked{v, s.activity[v]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].act != all[j].act {
+			return all[i].act > all[j].act
+		}
+		return all[i].v < all[j].v
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]WarmVar, 0, k)
+	for _, r := range all[:k] {
+		out = append(out, WarmVar{Var: r.v, Phase: s.phase[r.v]})
+	}
+	return out
+}
+
+// applyWarmStart seeds the heuristic state from Options.WarmStart once,
+// at the start of the first Solve call (variables and clauses may still
+// be added between construction and solving). Each profile entry sets
+// the variable's saved phase and an activity seed descending with rank,
+// so the VSIDS heap initially pops the profile in order while conflict
+// bumps retain full authority to overrule it. Entries naming unknown
+// variables are ignored.
+func (s *Solver) applyWarmStart() {
+	if s.warmDone || len(s.opts.WarmStart) == 0 {
+		return
+	}
+	s.warmDone = true
+	n := len(s.opts.WarmStart)
+	for i, wv := range s.opts.WarmStart {
+		v := wv.Var
+		if int(v) < 1 || int(v) > s.NumVars() {
+			continue
+		}
+		s.phase[v] = wv.Phase
+		s.activity[v] += s.varInc * float64(n-i)
+		s.order.update(v)
+	}
+}

@@ -196,6 +196,24 @@ func (st *watchStore) shrink(li int, n uint32) {
 	}
 }
 
+// remove deletes the watcher guarding clause c from literal li's list,
+// preserving the order of the remaining watchers. This is the
+// inprocessing eager-detach path: a clause about to be probed or shrunk
+// in place must leave the watch index entirely (lazy tombstone dropping
+// would leave a re-attached clause with duplicate watchers). No-op when
+// c is not on the list. Never relocates the page.
+func (st *watchStore) remove(li int, c CRef) {
+	r := &st.ref[li]
+	ws := st.data[r.off : r.off+r.n]
+	for i := range ws {
+		if ws[i].cref == c {
+			copy(ws[i:], ws[i+1:])
+			r.n--
+			return
+		}
+	}
+}
+
 // list returns literal li's watchers, aliasing the backing slice: writes
 // through it update the store in place. The slice is invalidated by any
 // push or truncate (of any literal) — it is for bounded read/patch

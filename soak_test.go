@@ -30,6 +30,21 @@ func TestSoakSolverConfigs(t *testing.T) {
 		"proof":      {LogProof: true},
 		"tiny-db":    {MaxLearnts: 1},
 		"nominimize": {NoMinimize: true},
+		// Inprocessing at every restart boundary, so rounds fire even on
+		// these small instances: all transforms together, each alone, and
+		// a starvation budget (rounds scheduled but cut short mid-clause).
+		"inprocess": {Inprocess: true, InprocessVarElim: true,
+			InprocessEvery: 1, Restart: solver.RestartFixed, RestartBase: 2},
+		"inprocess-vivify": {Inprocess: true, InprocessNoSubsume: true,
+			InprocessEvery: 1, Restart: solver.RestartFixed, RestartBase: 2},
+		"inprocess-subsume": {Inprocess: true, InprocessNoVivify: true,
+			InprocessEvery: 1, Restart: solver.RestartFixed, RestartBase: 2},
+		"inprocess-varelim": {Inprocess: true, InprocessVarElim: true,
+			InprocessNoVivify: true, InprocessNoSubsume: true,
+			InprocessEvery: 1, Restart: solver.RestartFixed, RestartBase: 2},
+		"inprocess-starved": {Inprocess: true, InprocessVarElim: true,
+			InprocessBudget: 20, InprocessEvery: 1,
+			Restart: solver.RestartFixed, RestartBase: 2},
 	}
 	for seed := int64(0); seed < 25; seed++ {
 		f := gen.RandomKSAT(18, 76, 3, seed) // near threshold, mixed phase
