@@ -17,11 +17,17 @@
 // cooperatively and every worker is drained.
 //
 // Endpoints: POST /v1/jobs (sync by default, "async": true for a job
-// handle), GET /v1/jobs/{id}, DELETE /v1/jobs/{id}, SSE progress on
-// GET /v1/jobs/{id}/watch; POST /v1/sessions, GET/DELETE
+// handle), POST /v1/jobs/batch (NDJSON result stream), GET
+// /v1/jobs/{id}, DELETE /v1/jobs/{id}, SSE progress on GET
+// /v1/jobs/{id}/watch; POST /v1/sessions, GET/DELETE
 // /v1/sessions/{id}, POST /v1/sessions/{id}/query ("stream": true for
 // SSE progress); plus /healthz and /metrics. See the README quickstart
 // for curl examples.
+//
+// With -store-dir the result cache, recipe memory and warm-start
+// profiles survive restarts (snapshot+WAL, internal/store); with
+// -peers and -advertise the replica joins a consistent-hash fleet that
+// routes each formula to one owner (internal/serve fleet routing).
 package main
 
 import (
@@ -32,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -50,10 +58,29 @@ func main() {
 		sessMax    = flag.Int("session-max-resident", 0, "sessions kept solver-resident before LRU checkpointing (0 = 32)")
 		sessTTL    = flag.Duration("session-idle-ttl", 0, "idle time before a session is checkpointed to bytes (0 = 2m)")
 		sessQueue  = flag.Int("session-queue", 0, "pending queries per session before 429 (0 = 16)")
+
+		storeDir     = flag.String("store-dir", "", "durable store directory for cache/recipe/warm state (empty = in-memory only)")
+		storeSync    = flag.Int("store-sync", 0, "fsync the WAL every N records (0 = every record, <0 = let the OS decide)")
+		storeCompact = flag.Int64("store-compact", 0, "WAL bytes before auto-compaction into a snapshot (0 = 4MiB, <0 = never)")
+
+		peers     = flag.String("peers", "", "comma-separated base URLs of the OTHER fleet replicas (enables consistent-hash job routing)")
+		advertise = flag.String("advertise", "", "this replica's base URL exactly as it appears in peers' -peers lists (required with -peers)")
 	)
 	flag.Parse()
 
+	var st store.Store
+	if *storeDir != "" {
+		fs, err := store.OpenFile(*storeDir, store.FileOptions{SyncEvery: *storeSync, CompactBytes: *storeCompact})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "satserved: store:", err)
+			os.Exit(1)
+		}
+		st = fs
+		defer fs.Close() // after sched.Close has drained the write-behind queue
+	}
+
 	sched := serve.NewScheduler(serve.Config{
+		Store:              st,
 		CPUBudget:          *cpu,
 		MaxRunning:         *maxRunning,
 		QueueDepth:         *queue,
@@ -64,8 +91,27 @@ func main() {
 		SessionIdleTTL:     *sessTTL,
 		SessionQueueDepth:  *sessQueue,
 	})
+	api := serve.NewServer(sched)
+	if *peers != "" {
+		if *advertise == "" {
+			fmt.Fprintln(os.Stderr, "satserved: -peers requires -advertise (this replica's base URL as the fleet knows it)")
+			os.Exit(1)
+		}
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		fleet, err := serve.NewFleet(*advertise, list, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "satserved:", err)
+			os.Exit(1)
+		}
+		api.SetFleet(fleet)
+	}
 	srv := &http.Server{
-		Handler: serve.NewServer(sched),
+		Handler: api,
 		// Submit is synchronous by default and /watch streams for a
 		// job's whole life, so no blanket write/idle timeouts; the
 		// header read timeout still sheds dead or trickling clients.

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 	"slices"
 	"sort"
 )
@@ -18,6 +19,37 @@ type Fingerprint [sha256.Size]byte
 
 // String renders the fingerprint as lowercase hex.
 func (fp Fingerprint) String() string { return hex.EncodeToString(fp[:]) }
+
+// MarshalText implements encoding.TextMarshaler (lowercase hex), so a
+// fingerprint can ride in JSON payloads, HTTP headers and durable
+// store records without a custom codec at each site.
+func (fp Fingerprint) MarshalText() ([]byte, error) {
+	return []byte(fp.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler: the inverse of
+// MarshalText, accepting upper- or lowercase hex.
+func (fp *Fingerprint) UnmarshalText(text []byte) error {
+	parsed, err := ParseFingerprint(string(text))
+	if err != nil {
+		return err
+	}
+	*fp = parsed
+	return nil
+}
+
+// ParseFingerprint decodes the hex rendering produced by
+// Fingerprint.String / MarshalText.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var fp Fingerprint
+	if hex.DecodedLen(len(s)) != len(fp) {
+		return fp, fmt.Errorf("cnf: fingerprint must be %d hex chars, got %d", hex.EncodedLen(len(fp)), len(s))
+	}
+	if _, err := hex.Decode(fp[:], []byte(s)); err != nil {
+		return fp, fmt.Errorf("cnf: bad fingerprint: %w", err)
+	}
+	return fp, nil
+}
 
 // FormulaFingerprint computes the canonical Fingerprint of f.
 //

@@ -71,3 +71,39 @@ func TestFingerprintStringHex(t *testing.T) {
 		t.Fatalf("hex fingerprint length %d, want 64", len(s))
 	}
 }
+
+func TestFingerprintTextRoundTrip(t *testing.T) {
+	f, err := ParseDIMACSString("p cnf 4 3\n1 -2 3 0\n-1 4 0\n2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := FormulaFingerprint(f)
+
+	text, err := fp.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(text) != fp.String() {
+		t.Fatalf("MarshalText %q != String %q", text, fp)
+	}
+	back, err := ParseFingerprint(string(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != fp {
+		t.Fatalf("ParseFingerprint round trip: %s != %s", back, fp)
+	}
+	var um Fingerprint
+	if err := um.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if um != fp {
+		t.Fatalf("UnmarshalText round trip: %s != %s", um, fp)
+	}
+
+	for _, bad := range []string{"", "abc", fp.String() + "00", "zz" + fp.String()[2:]} {
+		if _, err := ParseFingerprint(bad); err == nil {
+			t.Errorf("ParseFingerprint(%q) accepted malformed input", bad)
+		}
+	}
+}

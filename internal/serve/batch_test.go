@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// newBatchServer is newTestServer with a fast batch flush, so tests
+// see streamed lines promptly.
+func newBatchServer(t *testing.T, cfg Config) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	sched := NewScheduler(cfg)
+	srv := NewServer(sched)
+	srv.batchFlushWait = 10 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		sched.Close()
+	})
+	return ts, sched
+}
+
+// postBatch submits items and reads the whole NDJSON stream.
+func postBatch(t *testing.T, ts *httptest.Server, items []Spec) []batchItemView {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json",
+		strings.NewReader(mustJSON(t, batchRequest{Items: items})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	var out []batchItemView
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var v batchItemView
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBatchMixedItemsCoalesce is the headline batch pin: 64 mixed
+// DIMACS/CEC items with heavy duplication stream back one correct line
+// per index, and the duplicates are served by coalescing and the cache
+// — far fewer fresh solves than items.
+func TestBatchMixedItemsCoalesce(t *testing.T) {
+	ts, sched := newBatchServer(t, Config{CPUBudget: 4, MaxRunning: 4, QueueDepth: 128, DefaultTimeout: time.Minute})
+
+	// 10 distinct payloads cycled to 64 items: 4 SAT, 2 UNSAT, 2 CEC
+	// equivalent, 2 CEC inequivalent.
+	distinct := []struct {
+		spec Spec
+		want string
+	}{
+		{satSpec(10, 1), "SAT"},
+		{satSpec(10, 2), "SAT"},
+		{satSpec(12, 3), "SAT"},
+		{satSpec(12, 4), "SAT"},
+		{unsatSpec(10, 5), "UNSAT"},
+		{unsatSpec(12, 6), "UNSAT"},
+		{cecSpec(t, true), "EQUIVALENT"},
+		{cecSpec(t, true), "EQUIVALENT"},
+		{cecSpec(t, false), "NOT_EQUIVALENT"},
+		{cecSpec(t, false), "NOT_EQUIVALENT"},
+	}
+	const n = 64
+	items := make([]Spec, n)
+	want := make([]string, n)
+	for i := range items {
+		items[i] = distinct[i%len(distinct)].spec
+		want[i] = distinct[i%len(distinct)].want
+	}
+
+	lines := postBatch(t, ts, items)
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, v := range lines {
+		if seen[v.Index] {
+			t.Fatalf("index %d streamed twice", v.Index)
+		}
+		seen[v.Index] = true
+		if v.Index < 0 || v.Index >= n {
+			t.Fatalf("index %d out of range", v.Index)
+		}
+		if v.Status != StatusDone || v.Result == nil {
+			t.Fatalf("item %d: %+v, want done with result", v.Index, v)
+		}
+		if v.Result.Verdict != want[v.Index] {
+			t.Fatalf("item %d verdict %q, want %q", v.Index, v.Result.Verdict, want[v.Index])
+		}
+	}
+
+	st := sched.Stats()
+	if st.Solves > int64(len(distinct)) {
+		t.Fatalf("solves = %d for %d distinct payloads: duplicates did not coalesce", st.Solves, len(distinct))
+	}
+	if served := st.CacheHits + st.Coalesced; served < int64(n-len(distinct)) {
+		t.Fatalf("cache hits + coalesced = %d, want >= %d", served, n-len(distinct))
+	}
+}
+
+// TestBatchPerItemDeadline: one item with a tiny budget answers
+// UNKNOWN; its siblings decide normally — a deadline is per item,
+// never per batch.
+func TestBatchPerItemDeadline(t *testing.T) {
+	ts, _ := newBatchServer(t, Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 16, DefaultTimeout: time.Minute})
+
+	hard := dimacsSpec(gen.Pigeonhole(10))
+	hard.TimeoutMS = 60
+	items := []Spec{satSpec(10, 1), hard, satSpec(12, 2)}
+
+	lines := postBatch(t, ts, items)
+	if len(lines) != len(items) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(items))
+	}
+	for _, v := range lines {
+		switch v.Index {
+		case 1:
+			if v.Status != StatusDone || v.Result == nil || v.Result.Verdict != "UNKNOWN" || v.Result.Decided {
+				t.Fatalf("deadline item: %+v, want done UNKNOWN", v)
+			}
+		default:
+			if v.Status != StatusDone || v.Result == nil || v.Result.Verdict != "SAT" {
+				t.Fatalf("sibling %d poisoned by the deadline item: %+v", v.Index, v)
+			}
+		}
+	}
+}
+
+// TestBatchBadItemDoesNotPoisonSiblings: an unparseable item fails in
+// place; the rest of the batch is unaffected.
+func TestBatchBadItemDoesNotPoisonSiblings(t *testing.T) {
+	ts, _ := newBatchServer(t, Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 16})
+
+	items := []Spec{satSpec(10, 1), {Kind: KindDIMACS, DIMACS: "p cnf nonsense"}, unsatSpec(10, 2)}
+	lines := postBatch(t, ts, items)
+	if len(lines) != len(items) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(items))
+	}
+	for _, v := range lines {
+		switch v.Index {
+		case 1:
+			if v.Status != StatusFailed || v.Error == "" {
+				t.Fatalf("bad item: %+v, want failed with error", v)
+			}
+		case 0:
+			if v.Result == nil || v.Result.Verdict != "SAT" {
+				t.Fatalf("sibling 0: %+v, want SAT", v)
+			}
+		case 2:
+			if v.Result == nil || v.Result.Verdict != "UNSAT" {
+				t.Fatalf("sibling 2: %+v, want UNSAT", v)
+			}
+		}
+	}
+}
+
+// TestBatchValidation: empty and oversized batches are rejected before
+// any work starts.
+func TestBatchValidation(t *testing.T) {
+	ts, sched := newBatchServer(t, Config{CPUBudget: 1, MaxRunning: 1})
+
+	resp, err := http.Post(ts.URL+"/v1/jobs/batch", "application/json", strings.NewReader(`{"items":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+
+	items := make([]Spec, maxBatchItems+1)
+	for i := range items {
+		items[i] = satSpec(10, 1)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs/batch", "application/json",
+		strings.NewReader(mustJSON(t, batchRequest{Items: items})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+	if got := sched.Stats().Submitted; got != 0 {
+		t.Fatalf("rejected batches still submitted %d jobs", got)
+	}
+}
+
+// TestBatchDisconnectCancelsOnlyUnfinished: a client that goes away
+// mid-batch cancels the still-running items and nothing else — the
+// finished ones stay completed (and cached).
+func TestBatchDisconnectCancelsOnlyUnfinished(t *testing.T) {
+	ts, sched := newBatchServer(t, Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 16, DefaultTimeout: time.Minute})
+
+	blocker := dimacsSpec(gen.Pigeonhole(10))
+	blocker.TimeoutMS = 60_000
+	items := []Spec{satSpec(10, 1), blocker}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs/batch",
+		strings.NewReader(mustJSON(t, batchRequest{Items: items})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// The fast item streams first; the blocker is still solving.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line before disconnect: %v", sc.Err())
+	}
+	var first batchItemView
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Index != 0 || first.Result == nil || first.Result.Verdict != "SAT" {
+		t.Fatalf("first line %+v, want item 0 SAT", first)
+	}
+
+	cancel() // drop the connection mid-batch
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := sched.Stats()
+		if st.Cancelled >= 1 && st.Running == 0 {
+			if st.Completed < 1 {
+				t.Fatalf("finished sibling lost: %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocker not cancelled after disconnect: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatchShutdownNoGoroutineLeaks closes the whole stack with a
+// batch still in flight and checks every goroutine drains.
+func TestBatchShutdownNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	sched := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 16, DefaultTimeout: time.Minute})
+	srv := NewServer(sched)
+	srv.batchFlushWait = 10 * time.Millisecond
+	ts := httptest.NewServer(srv)
+
+	blocker := dimacsSpec(gen.Pigeonhole(10))
+	blocker.TimeoutMS = 60_000
+	b2 := dimacsSpec(gen.Pigeonhole(9))
+	b2.TimeoutMS = 60_000
+	items := []Spec{blocker, b2, satSpec(10, 1)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/jobs/batch",
+		strings.NewReader(mustJSON(t, batchRequest{Items: items})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the blockers are actually running, then tear down.
+	deadline := time.Now().Add(5 * time.Second)
+	for sched.Stats().Running < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("blockers never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	resp.Body.Close()
+	ts.Close()
+	sched.Close()
+
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after shutdown", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatchFleetRoutesItems: with fleet routing on, batch items are
+// routed per item — each distinct formula is solved exactly once, on
+// its owner, no matter which replica received the batch.
+func TestBatchFleetRoutesItems(t *testing.T) {
+	reps := newTestFleet(t, 2, Config{CPUBudget: 2, MaxRunning: 2, QueueDepth: 32, DefaultTimeout: time.Minute})
+
+	const n = 8
+	items := make([]Spec, n)
+	remote := 0
+	for i := range items {
+		items[i] = satSpec(10, int64(100+i))
+		if ownerIndex(t, reps, items[i]) == 1 {
+			remote++
+		}
+	}
+	lines := postBatch(t, reps[0].ts, items)
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	for _, v := range lines {
+		if v.Status != StatusDone || v.Result == nil || v.Result.Verdict != "SAT" {
+			t.Fatalf("item %d: %+v, want done SAT", v.Index, v)
+		}
+	}
+	if got := fleetSolves([]*fleetReplica{reps[0], reps[1]}); got != n {
+		t.Fatalf("fleet-wide solves = %d, want %d distinct", got, n)
+	}
+	if got := reps[1].sched.Stats().Solves; got != int64(remote) {
+		t.Fatalf("replica 1 solves = %d, want its %d owned items", got, remote)
+	}
+	if got := reps[0].fleet.Stats().Forwards; got != int64(remote) {
+		t.Fatalf("replica 0 forwards = %d, want %d", got, remote)
+	}
+}

@@ -184,4 +184,3 @@ func BenchmarkE35_Session(b *testing.B) {
 		b.ReportMetric(float64(time.Since(start).Microseconds())/float64(b.N), "µs/query")
 	})
 }
-

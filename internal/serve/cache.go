@@ -47,25 +47,32 @@ func (c *resultCache) get(key jobKey) (Result, bool) {
 }
 
 // put stores a copy of res under key, evicting the least-recently-used
-// entry at capacity. Storing an existing key refreshes it.
-func (c *resultCache) put(key jobKey, res Result) {
+// entry at capacity. Storing an existing key refreshes it. It returns
+// the evicted key (and true) when an entry was dropped, so a durable
+// store behind the cache can tombstone it and stay bounded by the same
+// LRU policy.
+func (c *resultCache) put(key jobKey, res Result) (jobKey, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if n, ok := c.entries[key]; ok {
 		n.res = res.clone()
 		c.unlink(n)
 		c.pushFront(n)
-		return
+		return jobKey{}, false
 	}
+	var evictedKey jobKey
+	evicted := false
 	if len(c.entries) >= c.cap {
 		victim := c.tail
 		c.unlink(victim)
 		delete(c.entries, victim.key)
 		c.evictions++
+		evictedKey, evicted = victim.key, true
 	}
 	n := &cacheNode{key: key, res: res.clone()}
 	c.entries[key] = n
 	c.pushFront(n)
+	return evictedKey, evicted
 }
 
 // len reports the current entry count.

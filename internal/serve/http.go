@@ -12,6 +12,8 @@ import (
 //
 //	POST   /v1/jobs            submit (sync by default; "async": true
 //	                           returns immediately with the job ID)
+//	POST   /v1/jobs/batch      submit many small jobs; streams one
+//	                           NDJSON result line per item
 //	GET    /v1/jobs/{id}       status + result + live progress
 //	DELETE /v1/jobs/{id}       cooperative cancel
 //	GET    /v1/jobs/{id}/watch server-sent events: progress samples
@@ -24,14 +26,21 @@ import (
 type Server struct {
 	sched *Scheduler
 	mux   *http.ServeMux
+	// fleet, when non-nil, routes submissions across replicas (see
+	// fleet.go). Set with SetFleet before serving.
+	fleet *Fleet
 	// watchPeriod is the SSE sampling period (test hook; 0 = 250ms).
 	watchPeriod time.Duration
+	// batchFlushWait is the batch streaming flush interval (test hook;
+	// 0 = 200ms). See batch.go.
+	batchFlushWait time.Duration
 }
 
 // NewServer wraps sched in the HTTP API.
 func NewServer(sched *Scheduler) *Server {
 	s := &Server{sched: sched, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/jobs/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
@@ -46,6 +55,11 @@ func NewServer(sched *Scheduler) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetFleet attaches the sharded-fleet routing layer (fleet.go). Call
+// before the server starts accepting requests; a nil fleet (the
+// default) serves every job locally.
+func (s *Server) SetFleet(f *Fleet) { s.fleet = f }
 
 // submitRequest is the POST /v1/jobs body: a Spec plus delivery mode.
 type submitRequest struct {
@@ -82,6 +96,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
 		return
+	}
+	if s.routeSubmit(w, r, &req) {
+		return // answered by the owning peer (see fleet.go)
 	}
 	job, err := s.sched.Submit(req.Spec)
 	switch {
@@ -261,4 +278,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "satserved_sessions_checkpointed %d\n", st.Sessions.Checkpointed)
 	fmt.Fprintf(w, "satserved_session_checkpoint_bytes %d\n", st.Sessions.CheckpointBytes)
 	fmt.Fprintf(w, "satserved_session_busy %d\n", st.SessionBusy)
+	if st.Store.Enabled {
+		fmt.Fprintf(w, "satserved_store_replayed_results %d\n", st.Store.ReplayedResults)
+		fmt.Fprintf(w, "satserved_store_replayed_classes %d\n", st.Store.ReplayedClasses)
+		fmt.Fprintf(w, "satserved_store_replayed_warm %d\n", st.Store.ReplayedWarm)
+		fmt.Fprintf(w, "satserved_store_replay_skipped_total %d\n", st.Store.ReplaySkipped)
+		fmt.Fprintf(w, "satserved_store_replay_seconds %g\n", st.Store.Replay.Seconds())
+		fmt.Fprintf(w, "satserved_store_writes_total %d\n", st.Store.Writes)
+		fmt.Fprintf(w, "satserved_store_dropped_total %d\n", st.Store.Dropped)
+		fmt.Fprintf(w, "satserved_store_errors_total %d\n", st.Store.Errors)
+		fmt.Fprintf(w, "satserved_store_keys %d\n", st.Store.Backend.Keys)
+		fmt.Fprintf(w, "satserved_store_wal_records %d\n", st.Store.Backend.WALRecords)
+		fmt.Fprintf(w, "satserved_store_wal_bytes %d\n", st.Store.Backend.WALBytes)
+		fmt.Fprintf(w, "satserved_store_snapshot_records %d\n", st.Store.Backend.SnapshotRecords)
+		fmt.Fprintf(w, "satserved_store_compactions_total %d\n", st.Store.Backend.Compactions)
+		fmt.Fprintf(w, "satserved_store_tail_truncations_total %d\n", st.Store.Backend.TailTruncations)
+		fmt.Fprintf(w, "satserved_store_backend_replay_seconds %g\n", st.Store.Backend.Replay.Seconds())
+	}
+	if s.fleet != nil {
+		fst := s.fleet.Stats()
+		fmt.Fprintf(w, "satserved_fleet_members %d\n", fst.Members)
+		fmt.Fprintf(w, "satserved_fleet_forwards_total %d\n", fst.Forwards)
+		fmt.Fprintf(w, "satserved_fleet_forward_errors_total %d\n", fst.ForwardErrors)
+		fmt.Fprintf(w, "satserved_fleet_local_fallbacks_total %d\n", fst.LocalFallbacks)
+	}
 }

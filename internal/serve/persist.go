@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/solver"
+	"repro/internal/store"
+)
+
+// Store record kinds used by the serving layer. These are part of the
+// on-disk format — never renumber a live one.
+const (
+	// recResult stores a decided Result under its 32-byte job key.
+	recResult store.Kind = 1
+	// recRecipe stores a class's full recipe-family win counts under
+	// the class label (whole-class last-write-wins records).
+	recRecipe store.Kind = 2
+	// recWarm stores a class's branching warm-start profile under the
+	// class label.
+	recWarm store.Kind = 3
+)
+
+// --- entry codecs ---------------------------------------------------------
+//
+// All three codecs are strict on decode: the store is an input boundary
+// (an operator can point -store-dir at anything), so malformed or
+// semantically invalid values are skipped with an error, never
+// installed.
+
+// encodeResult serializes a decided result for the store. The
+// delivery-path flags are cleared: Cached/Coalesced describe HOW one
+// particular submission was served, not the verdict being persisted.
+func encodeResult(res Result) ([]byte, error) {
+	if !res.Decided {
+		return nil, fmt.Errorf("serve: refusing to persist undecided result")
+	}
+	c := res.clone()
+	c.Cached = false
+	c.Coalesced = false
+	return json.Marshal(c)
+}
+
+// decodeResult parses a persisted result and re-validates the
+// invariant the cache depends on (only decided verdicts are stored).
+func decodeResult(data []byte) (Result, error) {
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return Result{}, fmt.Errorf("serve: bad result record: %w", err)
+	}
+	if !res.Decided || res.Verdict == "" || res.Verdict == "UNKNOWN" {
+		return Result{}, fmt.Errorf("serve: persisted result is not a decided verdict (%q)", res.Verdict)
+	}
+	switch res.Kind {
+	case KindDIMACS, KindCEC, KindBMC:
+	default:
+		return Result{}, fmt.Errorf("serve: persisted result has unknown kind %q", res.Kind)
+	}
+	return res, nil
+}
+
+// recipeRecord is the JSON shape of a recRecipe value.
+type recipeRecord struct {
+	Fams map[string]int `json:"fams"`
+}
+
+func encodeFamilies(fams map[string]int) ([]byte, error) {
+	return json.Marshal(recipeRecord{Fams: fams})
+}
+
+func decodeFamilies(data []byte) (map[string]int, error) {
+	var rec recipeRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("serve: bad recipe record: %w", err)
+	}
+	if len(rec.Fams) == 0 {
+		return nil, fmt.Errorf("serve: empty recipe record")
+	}
+	return rec.Fams, nil
+}
+
+func encodeWarm(prof []solver.WarmVar) ([]byte, error) {
+	return json.Marshal(prof)
+}
+
+func decodeWarm(data []byte) ([]solver.WarmVar, error) {
+	var prof []solver.WarmVar
+	if err := json.Unmarshal(data, &prof); err != nil {
+		return nil, fmt.Errorf("serve: bad warm record: %w", err)
+	}
+	if len(prof) == 0 {
+		return nil, fmt.Errorf("serve: empty warm record")
+	}
+	for _, wv := range prof {
+		if wv.Var <= 0 {
+			return nil, fmt.Errorf("serve: warm record names variable %d", wv.Var)
+		}
+	}
+	return prof, nil
+}
+
+// --- write-behind persister ----------------------------------------------
+
+// persister is the asynchronous write-behind path from the scheduler's
+// hot loop to the Store: decided verdicts, recipe wins and warm
+// profiles are enqueued without blocking an executor and written by
+// one background goroutine. The queue is bounded; under a write burst
+// that outruns the disk, new records are DROPPED (counted in
+// Stats.StoreDropped) rather than stalling solves — durability of
+// heuristic state is best-effort by design, correctness never depends
+// on it (see the write-behind caveats in ARCHITECTURE.md).
+type persister struct {
+	st      store.Store
+	ch      chan store.Record
+	done    chan struct{}
+	writes  atomic.Int64
+	dropped atomic.Int64
+	errs    atomic.Int64
+	once    sync.Once
+}
+
+// persistQueueDepth bounds in-flight write-behind records. 1024 ≈
+// several seconds of decided-verdict throughput at service rates.
+const persistQueueDepth = 1024
+
+func newPersister(st store.Store) *persister {
+	p := &persister{
+		st:   st,
+		ch:   make(chan store.Record, persistQueueDepth),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *persister) run() {
+	defer close(p.done)
+	for rec := range p.ch {
+		if err := p.st.Put(rec); err != nil {
+			p.errs.Add(1)
+			continue
+		}
+		p.writes.Add(1)
+	}
+}
+
+// enqueue hands a record to the writer without blocking; a full queue
+// drops the record and counts it.
+func (p *persister) enqueue(rec store.Record) {
+	select {
+	case p.ch <- rec:
+	default:
+		p.dropped.Add(1)
+	}
+}
+
+// close drains every queued record and waits for the writer to exit.
+func (p *persister) close() {
+	p.once.Do(func() { close(p.ch) })
+	<-p.done
+}
+
+// --- scheduler integration ------------------------------------------------
+
+// StoreStats snapshots the persistence layer for Stats / metrics.
+type StoreStats struct {
+	// Enabled is false when the scheduler runs store-less.
+	Enabled bool
+	// ReplayedResults / ReplayedClasses / ReplayedWarm count the state
+	// loaded at boot; ReplaySkipped counts records rejected by the
+	// strict decoders; Replay is the serve-side load time (decode +
+	// populate), on top of the store's own file replay.
+	ReplayedResults, ReplayedClasses, ReplayedWarm, ReplaySkipped int64
+	Replay                                                        time.Duration
+	// Writes / Dropped / Errors count the write-behind path since boot.
+	Writes, Dropped, Errors int64
+	// Backend mirrors the store's own durability counters.
+	Backend store.Metrics
+}
+
+// loadStore replays the configured store into the cache and recipe
+// memory before the scheduler starts serving. Unknown kinds are
+// ignored (forward compatibility); undecodable values are counted and
+// skipped.
+func (s *Scheduler) loadStore() {
+	start := time.Now()
+	_ = s.cfg.Store.Replay(func(rec store.Record) error {
+		switch rec.Kind {
+		case recResult:
+			if len(rec.Key) != len(jobKey{}) {
+				s.storeReplaySkipped++
+				return nil
+			}
+			res, err := decodeResult(rec.Val)
+			if err != nil {
+				s.storeReplaySkipped++
+				return nil
+			}
+			var key jobKey
+			copy(key[:], rec.Key)
+			s.cache.put(key, res)
+			s.storeReplayedResults++
+		case recRecipe:
+			fams, err := decodeFamilies(rec.Val)
+			if err != nil {
+				s.storeReplaySkipped++
+				return nil
+			}
+			s.mem.load(string(rec.Key), fams)
+			s.storeReplayedClasses++
+		case recWarm:
+			prof, err := decodeWarm(rec.Val)
+			if err != nil {
+				s.storeReplaySkipped++
+				return nil
+			}
+			s.mem.loadWarm(string(rec.Key), prof)
+			s.storeReplayedWarm++
+		}
+		return nil
+	})
+	s.storeReplayDur = time.Since(start)
+}
+
+// persistResult enqueues a decided result under its job key, plus a
+// tombstone for whatever entry the LRU evicted to make room — the
+// store tracks the cache's live set, not an unbounded history.
+func (s *Scheduler) persistResult(key jobKey, res Result, evictedKey jobKey, evicted bool) {
+	if s.persist == nil {
+		return
+	}
+	val, err := encodeResult(res)
+	if err != nil {
+		s.persist.errs.Add(1)
+		return
+	}
+	s.persist.enqueue(store.Record{Kind: recResult, Key: append([]byte{}, key[:]...), Val: val})
+	if evicted {
+		s.persist.enqueue(store.Record{Kind: recResult, Key: append([]byte{}, evictedKey[:]...)})
+	}
+}
+
+// persistRecipe enqueues a class's updated family counts.
+func (s *Scheduler) persistRecipe(class string, fams map[string]int) {
+	if s.persist == nil || class == "" || len(fams) == 0 {
+		return
+	}
+	val, err := encodeFamilies(fams)
+	if err != nil {
+		s.persist.errs.Add(1)
+		return
+	}
+	s.persist.enqueue(store.Record{Kind: recRecipe, Key: []byte(class), Val: val})
+}
+
+// persistWarm enqueues a class's latest warm-start profile.
+func (s *Scheduler) persistWarm(class string, prof []solver.WarmVar) {
+	if s.persist == nil || class == "" || len(prof) == 0 {
+		return
+	}
+	val, err := encodeWarm(prof)
+	if err != nil {
+		s.persist.errs.Add(1)
+		return
+	}
+	s.persist.enqueue(store.Record{Kind: recWarm, Key: []byte(class), Val: val})
+}
+
+// storeStats assembles the persistence snapshot for Stats.
+func (s *Scheduler) storeStats() StoreStats {
+	if s.cfg.Store == nil {
+		return StoreStats{}
+	}
+	return StoreStats{
+		Enabled:         true,
+		ReplayedResults: s.storeReplayedResults,
+		ReplayedClasses: s.storeReplayedClasses,
+		ReplayedWarm:    s.storeReplayedWarm,
+		ReplaySkipped:   s.storeReplaySkipped,
+		Replay:          s.storeReplayDur,
+		Writes:          s.persist.writes.Load(),
+		Dropped:         s.persist.dropped.Load(),
+		Errors:          s.persist.errs.Load(),
+		Backend:         s.cfg.Store.Metrics(),
+	}
+}

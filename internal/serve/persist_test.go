@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/solver"
+	"repro/internal/store"
+)
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	in := Result{
+		Kind: KindDIMACS, Verdict: "SAT", Decided: true,
+		Model: []int{1, -2, 3}, Recipe: "geom/lbd", Conflicts: 42,
+		Workers: 2, WallMS: 7,
+		// Delivery-path flags must NOT survive encoding.
+		Cached: true, Coalesced: true,
+	}
+	data, err := encodeResult(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := decodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached || out.Coalesced {
+		t.Fatalf("delivery flags persisted: %+v", out)
+	}
+	in.Cached, in.Coalesced = false, false
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+
+	if _, err := encodeResult(Result{Kind: KindDIMACS, Verdict: "UNKNOWN"}); err == nil {
+		t.Fatal("undecided result encoded")
+	}
+	for _, bad := range []string{
+		`{`, // malformed
+		`{"kind":"dimacs","verdict":"UNKNOWN","decided":false}`,
+		`{"kind":"dimacs","verdict":"","decided":true}`,
+		`{"kind":"alien","verdict":"SAT","decided":true}`,
+	} {
+		if _, err := decodeResult([]byte(bad)); err == nil {
+			t.Fatalf("decoded invalid result %q", bad)
+		}
+	}
+}
+
+func TestFamilyAndWarmCodecs(t *testing.T) {
+	fams := map[string]int{"geom": 3, "luby": 1}
+	data, err := encodeFamilies(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeFamilies(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fams, got) {
+		t.Fatalf("families %v, want %v", got, fams)
+	}
+	if _, err := decodeFamilies([]byte(`{"fams":{}}`)); err == nil {
+		t.Fatal("empty families decoded")
+	}
+
+	prof := []solver.WarmVar{{Var: 3, Phase: true}, {Var: 1, Phase: false}}
+	data, err = encodeWarm(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotP, err := decodeWarm(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prof, gotP) {
+		t.Fatalf("warm %v, want %v", gotP, prof)
+	}
+	if _, err := decodeWarm([]byte(`[]`)); err == nil {
+		t.Fatal("empty warm profile decoded")
+	}
+	if _, err := decodeWarm([]byte(`[{"v":0,"phase":true}]`)); err == nil {
+		t.Fatal("warm profile with Var 0 decoded")
+	}
+}
+
+// TestRestartIsCacheHitWithWarmProfile is the PR's acceptance pin: a
+// scheduler solves a formula, shuts down, and a NEW scheduler over the
+// SAME store directory serves the resubmission from the replayed cache
+// — with the recorded warm-start profile available for its instance
+// class.
+func TestRestartIsCacheHitWithWarmProfile(t *testing.T) {
+	dir := t.TempDir()
+	open := func() store.Store {
+		st, err := store.OpenFile(dir, store.FileOptions{SyncEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// UNSAT so the proof takes real conflicts: the warm profile is
+	// harvested from VSIDS activity, which a propagation-only solve
+	// never accumulates.
+	f := gen.XorChain(14, true, 5)
+	sp := dimacsSpec(f)
+
+	st1 := open()
+	s1 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, Store: st1})
+	j, err := s1.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustResult(t, j)
+	if res.Verdict != "UNSAT" {
+		t.Fatalf("verdict %q, want UNSAT", res.Verdict)
+	}
+	warm1 := s1.WarmHint(f)
+	if len(warm1) == 0 {
+		t.Fatal("decided solve recorded no warm profile")
+	}
+	s1.Close() // flushes the write-behind queue
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh scheduler over the same directory.
+	st2 := open()
+	defer st2.Close()
+	s2 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, Store: st2})
+	defer s2.Close()
+
+	stats := s2.Stats().Store
+	if !stats.Enabled || stats.ReplayedResults != 1 || stats.ReplayedWarm < 1 {
+		t.Fatalf("replay stats %+v, want 1 result and the warm profile", stats)
+	}
+	if warm2 := s2.WarmHint(f); !reflect.DeepEqual(warm1, warm2) {
+		t.Fatalf("warm profile after restart %v, want %v", warm2, warm1)
+	}
+
+	j2, err := s2.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := mustResult(t, j2)
+	if !res2.Cached || res2.Verdict != "UNSAT" {
+		t.Fatalf("resubmission after restart: %+v, want cached UNSAT", res2)
+	}
+	st := s2.Stats()
+	if st.CacheHits != 1 || st.Solves != 0 {
+		t.Fatalf("stats after restart resubmit: hits=%d solves=%d, want 1/0", st.CacheHits, st.Solves)
+	}
+}
+
+// TestEvictionTombstoneKeepsStoreBounded: the store tracks the LRU's
+// live set — an evicted result is tombstoned and does not resurface on
+// restart.
+func TestEvictionTombstoneKeepsStoreBounded(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.OpenFile(dir, store.FileOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, CacheCap: 1, Store: st1})
+	for seed := int64(1); seed <= 3; seed++ {
+		j, err := s1.Submit(satSpec(10, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustResult(t, j)
+	}
+	s1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.OpenFile(dir, store.FileOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	s2 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, CacheCap: 1, Store: st2})
+	defer s2.Close()
+	if got := s2.Stats().Store.ReplayedResults; got != 1 {
+		t.Fatalf("replayed %d results with CacheCap 1, want 1 (evictions tombstoned)", got)
+	}
+	// The survivor is the LAST solved formula.
+	j, err := s2.Submit(satSpec(10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := mustResult(t, j); !res.Cached {
+		t.Fatalf("last-solved formula not replayed: %+v", res)
+	}
+}
+
+// TestReplaySkipsGarbageRecords: a store seeded with malformed and
+// semantically invalid records boots a working scheduler; every bad
+// record is counted, none installed.
+func TestReplaySkipsGarbageRecords(t *testing.T) {
+	mem := store.NewMem()
+	class := "dimacs/v4/r10"
+	musts := []store.Record{
+		{Kind: recResult, Key: []byte("short-key"), Val: []byte(`{}`)},                                                       // bad key length
+		{Kind: recResult, Key: make([]byte, 32), Val: []byte(`not json`)},                                                    // bad value
+		{Kind: recResult, Key: append([]byte{1}, make([]byte, 31)...), Val: []byte(`{"kind":"dimacs","verdict":"UNKNOWN"}`)}, // undecided
+		{Kind: recRecipe, Key: []byte(class), Val: []byte(`{"fams":{}}`)},                                                    // empty
+		{Kind: recWarm, Key: []byte(class), Val: []byte(`[{"v":-1}]`)},                                                       // invalid var
+		{Kind: store.Kind(200), Key: []byte("future"), Val: []byte("ignored")},                                               // unknown kind: silently skipped
+	}
+	for _, rec := range musts {
+		if err := mem.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewScheduler(Config{CPUBudget: 1, MaxRunning: 1, Store: mem})
+	defer s.Close()
+	st := s.Stats().Store
+	if st.ReplayedResults != 0 || st.ReplayedClasses != 0 || st.ReplayedWarm != 0 {
+		t.Fatalf("garbage installed: %+v", st)
+	}
+	if st.ReplaySkipped != 5 {
+		t.Fatalf("skipped = %d, want 5 (unknown kinds are not errors)", st.ReplaySkipped)
+	}
+	j, err := s.Submit(satSpec(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := mustResult(t, j); res.Verdict != "SAT" {
+		t.Fatalf("scheduler unusable after garbage replay: %+v", res)
+	}
+}
+
+// TestRecipeReplayRestoresPreference: a persisted whole-class family
+// record seeds the recipe memory on boot.
+func TestRecipeReplayRestoresPreference(t *testing.T) {
+	mem := store.NewMem()
+	class := "dimacs/v4/r10"
+	val, err := encodeFamilies(map[string]int{"geom": 3, "luby": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Put(store.Record{Kind: recRecipe, Key: []byte(class), Val: val}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(Config{CPUBudget: 1, MaxRunning: 1, Store: mem})
+	defer s.Close()
+	if got := s.Stats().Store.ReplayedClasses; got != 1 {
+		t.Fatalf("replayed classes = %d, want 1", got)
+	}
+	if got := s.mem.best(class); got != "geom" {
+		t.Fatalf("best(%q) = %q after replay, want geom", class, got)
+	}
+}
+
+// TestStoreStatsDisabled: a store-less scheduler reports a zero
+// StoreStats and never touches the persistence path.
+func TestStoreStatsDisabled(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 1, MaxRunning: 1})
+	defer s.Close()
+	j, err := s.Submit(satSpec(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustResult(t, j)
+	if st := s.Stats().Store; st.Enabled || st.Writes != 0 {
+		t.Fatalf("store-less scheduler reported store activity: %+v", st)
+	}
+}
+
+// TestPersistWritesLandBeforeCloseReturns: Close drains the
+// write-behind queue, so every verdict decided before Close is in the
+// store when Close returns.
+func TestPersistWritesLandBeforeCloseReturns(t *testing.T) {
+	mem := store.NewMem()
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, Store: mem})
+	j, err := s.Submit(satSpec(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustResult(t, j)
+	s.Close()
+	if got := mem.Metrics().Keys; got < 1 {
+		t.Fatal("decided verdict not in the store after Close")
+	}
+	// And the stats saw the writes (result + warm at minimum).
+	// Note: Stats still works on a closed scheduler.
+	if st := s.Stats().Store; st.Writes < 1 || st.Dropped != 0 || st.Errors != 0 {
+		t.Fatalf("persister counters %+v, want clean writes", st)
+	}
+}

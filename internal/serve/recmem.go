@@ -64,14 +64,54 @@ func (m *recipeMemory) ensureClass(class string) map[string]int {
 	return fams
 }
 
-// record credits family with a win on class.
-func (m *recipeMemory) record(class, family string) {
+// record credits family with a win on class and returns a copy of the
+// class's full family-count map — the write-behind persistence unit
+// (whole-class last-write-wins records make replay trivially
+// idempotent).
+func (m *recipeMemory) record(class, family string) map[string]int {
 	if class == "" || family == "" {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fams := m.ensureClass(class)
+	fams[family]++
+	out := make(map[string]int, len(fams))
+	for f, n := range fams {
+		out[f] = n
+	}
+	return out
+}
+
+// load installs a replayed family-count map for class, replacing any
+// previous counts (records are whole-class snapshots). Counts ≤ 0 and
+// empty family names are dropped defensively — the store is an input
+// boundary.
+func (m *recipeMemory) load(class string, fams map[string]int) {
+	if class == "" || len(fams) == 0 {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.ensureClass(class)[family]++
+	m.ensureClass(class)
+	clean := make(map[string]int, len(fams))
+	for f, n := range fams {
+		if f != "" && n > 0 {
+			clean[f] = n
+		}
+	}
+	m.classes[class] = clean
+}
+
+// loadWarm installs a replayed warm-start profile for class.
+func (m *recipeMemory) loadWarm(class string, prof []solver.WarmVar) {
+	if class == "" || len(prof) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensureClass(class)
+	m.warm[class] = append([]solver.WarmVar(nil), prof...)
 }
 
 // recordWarm stores the deciding solver's branching warm-start profile

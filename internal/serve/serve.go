@@ -39,6 +39,7 @@ import (
 	"repro/internal/portfolio"
 	"repro/internal/session"
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 // maxSheddablePayload is the payload size above which a submission may
@@ -91,6 +92,14 @@ type Config struct {
 	SessionMaxResident int
 	SessionIdleTTL     time.Duration
 	SessionQueueDepth  int
+	// Store, when non-nil, persists the result cache, recipe memory
+	// and warm-start profiles: replayed into memory before the
+	// scheduler serves, written behind asynchronously on decided
+	// verdicts. The scheduler flushes pending writes on Close but does
+	// NOT close the store — its lifecycle belongs to the caller (who
+	// may reopen it into a fresh scheduler, which is exactly what a
+	// restart does).
+	Store store.Store
 }
 
 func (c Config) cpuBudget() int {
@@ -162,6 +171,8 @@ type Stats struct {
 	Followers, WorkersInUse, SessionBusy int
 	// Sessions snapshots the session manager's gauges and counters.
 	Sessions session.Stats
+	// Store snapshots the persistence layer (zero when store-less).
+	Store StoreStats
 }
 
 // Scheduler multiplexes solve jobs over a bounded CPU budget. Create
@@ -176,6 +187,13 @@ type Scheduler struct {
 
 	cache *resultCache
 	mem   *recipeMemory
+	// persist is the async write-behind path into cfg.Store (nil when
+	// store-less); the storeReplay* counters are written once before
+	// the executors start and read-only afterwards.
+	persist                                    *persister
+	storeReplayedResults, storeReplayedClasses int64
+	storeReplayedWarm, storeReplaySkipped      int64
+	storeReplayDur                             time.Duration
 	// sessions is the resident-formula session manager; its query
 	// execution is gated against this scheduler's CPU ledger.
 	sessions *session.Manager
@@ -222,6 +240,12 @@ func NewScheduler(cfg Config) *Scheduler {
 		mem:      newRecipeMemory(0),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[jobKey]*Job),
+	}
+	if cfg.Store != nil {
+		// Replay BEFORE the executors start: the first submission must
+		// already see yesterday's cache hits and warm profiles.
+		s.loadStore()
+		s.persist = newPersister(cfg.Store)
 	}
 	s.sessions = session.NewManager(session.Config{
 		MaxResident: cfg.SessionMaxResident,
@@ -442,9 +466,10 @@ func (s *Scheduler) Cancel(id string) bool {
 
 // Stats snapshots the scheduler counters.
 func (s *Scheduler) Stats() Stats {
-	// Sample the session manager outside s.mu: its Stats walks sessions
-	// under their own locks and must not stall executors behind ours.
+	// Sample the session manager and the store outside s.mu: both walk
+	// their own locks and must not stall executors behind ours.
 	sess := s.sessions.Stats()
+	st := s.storeStats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
@@ -458,6 +483,7 @@ func (s *Scheduler) Stats() Stats {
 		Followers:    s.followers, WorkersInUse: s.workersInUse,
 		SessionBusy: s.sessionBusy,
 		Sessions:    sess,
+		Store:       st,
 	}
 }
 
@@ -477,6 +503,13 @@ func (s *Scheduler) Close() {
 		case j := <-s.queue:
 			s.finalize(j, StatusCancelled, nil, ErrCancelled)
 		default:
+			// Executors are gone: no new persistence work can arrive.
+			// Drain the write-behind queue so every verdict decided
+			// before Close is in the store when Close returns (the
+			// store itself stays open — the caller owns it).
+			if s.persist != nil {
+				s.persist.close()
+			}
 			return
 		}
 	}
@@ -576,7 +609,10 @@ func (s *Scheduler) runJob(j *Job) {
 		res.WallMS = time.Since(start).Milliseconds()
 		if res.Decided {
 			if !j.spec.NoCache {
-				s.cache.put(j.key, *res)
+				evictedKey, evicted := s.cache.put(j.key, *res)
+				// Write-behind: the verdict is durable soon after — not
+				// before — the client sees it. See persist.go.
+				s.persistResult(j.key, *res, evictedKey, evicted)
 			}
 			// Only genuinely diversified wins are signal: a 1-worker
 			// portfolio always answers with the base recipe, and base
@@ -585,11 +621,12 @@ func (s *Scheduler) runJob(j *Job) {
 			// recording them would only shadow the diversified families
 			// the memory exists to surface.
 			if fam := portfolio.RecipeFamily(res.Recipe); res.Recipe != "" && workers > 1 && fam != "base" {
-				s.mem.record(j.class, fam)
+				s.persistRecipe(j.class, s.mem.record(j.class, fam))
 			}
 			// The warm profile is useful signal even from a sequential
 			// win: it describes the instance class, not the recipe.
 			s.mem.recordWarm(j.class, res.warm)
+			s.persistWarm(j.class, res.warm)
 		}
 		s.finalize(j, StatusDone, res, nil)
 	}

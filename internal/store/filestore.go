@@ -1,0 +1,402 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// File names inside a store directory.
+const (
+	snapshotName = "snapshot"
+	snapshotTemp = "snapshot.tmp"
+	walName      = "wal"
+)
+
+// Magic headers: 8 bytes at offset 0 of each file. Versioned — bump
+// the trailing digit on any incompatible format change.
+var (
+	snapshotMagic = []byte("SATSNAP1")
+	walMagic      = []byte("SATWAL01")
+)
+
+// FileOptions tunes a FileStore.
+type FileOptions struct {
+	// SyncEvery fsyncs the WAL after every n Puts: 1 (the default when
+	// 0) makes every record durable before Put returns; larger values
+	// trade the tail of a crash for throughput; negative disables
+	// explicit fsync entirely (the OS flushes on its own schedule).
+	SyncEvery int
+	// CompactBytes is the WAL size that triggers compaction into a
+	// fresh snapshot (0 = 4 MiB; negative disables auto-compaction —
+	// Snapshot still compacts on demand).
+	CompactBytes int64
+}
+
+func (o FileOptions) syncEvery() int {
+	if o.SyncEvery == 0 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+func (o FileOptions) compactBytes() int64 {
+	if o.CompactBytes == 0 {
+		return 4 << 20
+	}
+	return o.CompactBytes
+}
+
+// FileStore is the crash-safe Store: live state in memory, durability
+// from a snapshot file plus an append-only WAL in one directory. See
+// the package comment for the recovery model.
+type FileStore struct {
+	dir  string
+	opts FileOptions
+
+	mu     sync.Mutex
+	closed bool
+	live   liveMap
+	wal    *os.File
+	// unsynced counts Puts since the last fsync (SyncEvery cadence).
+	unsynced int
+	// encBuf is the reusable record-encoding scratch buffer.
+	encBuf []byte
+
+	walRecords      int64
+	walBytes        int64
+	snapRecords     int64
+	compactions     int64
+	tailTruncations int64
+	replayDur       time.Duration
+}
+
+// OpenFile opens (creating if needed) the store directory dir: loads
+// the snapshot, replays the WAL over it — truncating a torn or corrupt
+// tail at the last whole record — and leaves the WAL open for appends.
+func OpenFile(dir string, opts FileOptions) (*FileStore, error) {
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// A leftover snapshot.tmp is a compaction that never reached its
+	// atomic rename: the previous snapshot + WAL are still the truth.
+	if err := os.Remove(filepath.Join(dir, snapshotTemp)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	s := &FileStore{dir: dir, opts: opts, live: make(liveMap)}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, err
+	}
+	s.replayDur = time.Since(start)
+	return s, nil
+}
+
+// loadSnapshot reads dir/snapshot into the live map. A missing
+// snapshot is an empty store; a malformed one is a hard error — the
+// snapshot is written via fsync+rename, so corruption there is bit
+// rot, not a torn write, and silently dropping it would lose an
+// unbounded amount of compacted state.
+func (s *FileStore) loadSnapshot() error {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || !bytes.Equal(magic[:], snapshotMagic) {
+		return fmt.Errorf("%w: snapshot header", ErrCorrupt)
+	}
+	r := bufio.NewReader(f)
+	for {
+		rec, _, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		s.live.apply(rec)
+		s.snapRecords++
+	}
+	return nil
+}
+
+// openWAL opens dir/wal (creating it with a fresh header when absent
+// or shorter than one), replays its records over the snapshot state,
+// and truncates any torn tail so the file ends on a whole record.
+func (s *FileStore) openWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if info.Size() < int64(len(walMagic)) {
+		// Brand new, or a crash before even the header landed: rewrite
+		// the header and start clean. (A crash this early cannot have
+		// fsynced any record, so nothing durable is lost.)
+		if info.Size() > 0 {
+			s.tailTruncations++
+		}
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		if _, err := f.WriteAt(walMagic, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		s.wal = f
+		s.walBytes = int64(len(walMagic))
+		if _, err := f.Seek(s.walBytes, io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if !bytes.Equal(magic[:], walMagic) {
+		f.Close()
+		return fmt.Errorf("%w: wal header", ErrCorrupt)
+	}
+	// Replay to the last whole, checksum-valid record; everything past
+	// that offset is a torn write and is cut off.
+	good := int64(len(walMagic))
+	r := bufio.NewReader(f)
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.tailTruncations++
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return fmt.Errorf("store: truncating torn tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("store: %w", err)
+			}
+			break
+		}
+		s.live.apply(rec)
+		s.walRecords++
+		good += int64(n)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = f
+	s.walBytes = good
+	return nil
+}
+
+// Put implements Store: append to the WAL (fsync per the SyncEvery
+// cadence), apply to the live state, and compact when the WAL has
+// outgrown its threshold.
+func (s *FileStore) Put(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	buf, err := appendRecord(s.encBuf[:0], rec)
+	if err != nil {
+		return err
+	}
+	s.encBuf = buf[:0]
+	if _, err := s.wal.Write(buf); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	s.walBytes += int64(len(buf))
+	s.walRecords++
+	s.unsynced++
+	if se := s.opts.syncEvery(); se > 0 && s.unsynced >= se {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+		s.unsynced = 0
+	}
+	s.live.apply(rec)
+	if cb := s.opts.compactBytes(); cb > 0 && s.walBytes >= cb {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(kind Kind, key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.live[compositeKey(kind, key)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte{}, v...), true
+}
+
+// Replay implements Store.
+func (s *FileStore) Replay(fn func(rec Record) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.live.replay(fn)
+}
+
+// Snapshot implements Store: compact the log on demand.
+func (s *FileStore) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+// compactLocked rewrites the live state as dir/snapshot (write temp,
+// fsync, rename, fsync dir) and resets the WAL to an empty header.
+// Crash-ordering: until the rename lands, the old snapshot + full WAL
+// remain the recovery source; after it, replaying the not-yet-reset
+// WAL over the new snapshot is idempotent (last-write-wins).
+func (s *FileStore) compactLocked() error {
+	tmpPath := filepath.Join(s.dir, snapshotTemp)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	if _, err := w.Write(snapshotMagic); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	var count int64
+	var encErr error
+	s.live.replay(func(rec Record) error {
+		buf, err := appendRecord(s.encBuf[:0], rec)
+		if err != nil {
+			encErr = err
+			return err
+		}
+		s.encBuf = buf[:0]
+		if _, err := w.Write(buf); err != nil {
+			encErr = err
+			return err
+		}
+		count++
+		return nil
+	})
+	if encErr != nil {
+		tmp.Close()
+		return fmt.Errorf("store: snapshot write: %w", encErr)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable; the WAL restarts empty.
+	if err := s.wal.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := s.wal.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walBytes = int64(len(walMagic))
+	s.walRecords = 0
+	s.unsynced = 0
+	s.snapRecords = count
+	s.compactions++
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Metrics implements Store.
+func (s *FileStore) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Keys:            len(s.live),
+		WALRecords:      s.walRecords,
+		WALBytes:        s.walBytes,
+		SnapshotRecords: s.snapRecords,
+		Compactions:     s.compactions,
+		TailTruncations: s.tailTruncations,
+		Replay:          s.replayDur,
+	}
+}
+
+// Close implements Store: fsync and close the WAL.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

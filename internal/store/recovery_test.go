@@ -1,0 +1,297 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// recoveryScript is a deterministic mixed workload: fresh keys,
+// overwrites and tombstones across three kinds, so a replayed prefix
+// exercises every record shape.
+func recoveryScript() []Record {
+	var script []Record
+	for i := 0; i < 18; i++ {
+		script = append(script, Record{
+			Kind: Kind(i % 3),
+			Key:  []byte(fmt.Sprintf("key%02d", i%6)), // 6 keys per kind → overwrites
+			Val:  []byte(fmt.Sprintf("value-%02d-%d", i, i*i)),
+		})
+	}
+	// Two tombstones over live keys, then one resurrection.
+	script = append(script,
+		Record{Kind: 0, Key: []byte("key00")},
+		Record{Kind: 1, Key: []byte("key01")},
+		Record{Kind: 0, Key: []byte("key00"), Val: []byte("back")},
+	)
+	return script
+}
+
+// applyScript folds the first n records into the expected live state,
+// keyed like collect().
+func applyScript(script []Record, n int) map[string]string {
+	want := make(map[string]string)
+	for _, rec := range script[:n] {
+		ck := fmt.Sprintf("%d/%s", rec.Kind, rec.Key)
+		if rec.Val == nil {
+			delete(want, ck)
+		} else {
+			want[ck] = string(rec.Val)
+		}
+	}
+	return want
+}
+
+// writeWAL writes the full script through a real store (SyncEvery=1:
+// every record fsynced, so every boundary is a legal crash point) and
+// returns the WAL bytes plus the byte offset of every record boundary
+// (boundaries[i] = WAL size after i records; boundaries[0] is the
+// header).
+func writeWAL(t *testing.T, script []Record) (wal []byte, boundaries []int64) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{CompactBytes: -1, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries = append(boundaries, int64(len(walMagic)))
+	for _, rec := range script {
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, s.Metrics().WALBytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err = os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(wal)) != boundaries[len(boundaries)-1] {
+		t.Fatalf("WAL is %d bytes, metrics said %d", len(wal), boundaries[len(boundaries)-1])
+	}
+	return wal, boundaries
+}
+
+// prefixLen returns how many whole records fit within cut bytes, and
+// the byte offset of the last whole record's end.
+func prefixLen(boundaries []int64, cut int64) (records int, end int64) {
+	records, end = 0, boundaries[0]
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= cut {
+			records, end = i, boundaries[i]
+		}
+	}
+	return records, end
+}
+
+// TestCrashRecoveryAtEveryTruncationPoint is the kill-mid-write
+// harness: the WAL is cut at EVERY byte offset — every record boundary
+// and every intra-record position — and reopened. The recovered state
+// must equal exactly the last fully-written (fsynced) prefix of
+// records: no partial record is ever replayed, and the torn tail is
+// physically truncated so the store is immediately appendable again.
+func TestCrashRecoveryAtEveryTruncationPoint(t *testing.T) {
+	script := recoveryScript()
+	wal, boundaries := writeWAL(t, script)
+
+	base := t.TempDir()
+	for cut := int64(0); cut <= int64(len(wal)); cut++ {
+		dir := filepath.Join(base, fmt.Sprintf("cut%04d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walName), wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenFile(dir, FileOptions{CompactBytes: -1, SyncEvery: 1})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		nRec, end := prefixLen(boundaries, cut)
+		if cut < int64(len(walMagic)) {
+			end = int64(len(walMagic)) // header rewritten from scratch
+		}
+		want := applyScript(script, nRec)
+		got := collect(t, s)
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: %d live keys, want %d (prefix of %d records)", cut, len(got), len(want), nRec)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("cut %d: key %s = %q, want %q", cut, k, got[k], v)
+			}
+		}
+		m := s.Metrics()
+		if m.WALBytes != end {
+			t.Fatalf("cut %d: WALBytes = %d, want truncation to %d", cut, m.WALBytes, end)
+		}
+		wantTrunc := int64(0)
+		if cut != end || (cut > 0 && cut < int64(len(walMagic))) {
+			wantTrunc = 1
+		}
+		if cut < int64(len(walMagic)) && cut == 0 {
+			wantTrunc = 0
+		}
+		if m.TailTruncations != wantTrunc {
+			t.Fatalf("cut %d: TailTruncations = %d, want %d", cut, m.TailTruncations, wantTrunc)
+		}
+		// The file itself must have been cut back: a later crash must
+		// not resurrect the torn bytes.
+		info, err := os.Stat(filepath.Join(dir, walName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() != end {
+			t.Fatalf("cut %d: WAL file is %d bytes on disk, want %d", cut, info.Size(), end)
+		}
+		// The recovered store accepts and persists new writes.
+		if err := s.Put(Record{Kind: 9, Key: []byte("post"), Val: []byte("recovery")}); err != nil {
+			t.Fatalf("cut %d: put after recovery: %v", cut, err)
+		}
+		s = reopen(t, s, FileOptions{CompactBytes: -1, SyncEvery: 1})
+		if v, ok := s.Get(9, []byte("post")); !ok || string(v) != "recovery" {
+			t.Fatalf("cut %d: post-recovery write lost (%q, %v)", cut, v, ok)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryOverSnapshot cuts the WAL tail with a snapshot
+// underneath: recovery must land on snapshot + whole-WAL-prefix.
+func TestCrashRecoveryOverSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{CompactBytes: -1, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot half the script, then a WAL tail over it.
+	script := recoveryScript()
+	half := len(script) / 2
+	for _, rec := range script[:half] {
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	var boundaries []int64
+	boundaries = append(boundaries, s.Metrics().WALBytes)
+	for _, rec := range script[half:] {
+		if err := s.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, s.Metrics().WALBytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName)
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-record: halfway into the record after boundary 2.
+	cut := boundaries[2] + (boundaries[3]-boundaries[2])/2
+	if err := os.WriteFile(walPath, wal[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = OpenFile(dir, FileOptions{CompactBytes: -1, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := applyScript(script, half+2)
+	got := collect(t, s)
+	if len(got) != len(want) {
+		t.Fatalf("%d live keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %s = %q, want %q", k, got[k], v)
+		}
+	}
+	if m := s.Metrics(); m.TailTruncations != 1 || m.WALRecords != 2 {
+		t.Fatalf("metrics after snapshot+tail recovery: %+v", m)
+	}
+}
+
+// TestCrashRecoveryCorruptMiddleTruncatesFromThere pins the scan-order
+// contract: a checksum-corrupt record in the MIDDLE of the WAL ends
+// the trusted prefix right there — later records (which may depend on
+// the corrupt one) are dropped with it, never replayed over a hole.
+func TestCrashRecoveryCorruptMiddleTruncatesFromThere(t *testing.T) {
+	script := recoveryScript()
+	wal, boundaries := writeWAL(t, script)
+
+	corruptAfter := 5 // flip a byte inside record 6
+	off := boundaries[corruptAfter] + recHeaderLen + 2
+	mutated := append([]byte{}, wal...)
+	mutated[off] ^= 0x40
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walName), mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(dir, FileOptions{CompactBytes: -1, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := applyScript(script, corruptAfter)
+	got := collect(t, s)
+	if len(got) != len(want) {
+		t.Fatalf("%d live keys, want %d (records before the corruption)", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %s = %q, want %q", k, got[k], v)
+		}
+	}
+	m := s.Metrics()
+	if m.WALBytes != boundaries[corruptAfter] {
+		t.Fatalf("WALBytes = %d, want %d", m.WALBytes, boundaries[corruptAfter])
+	}
+	if m.TailTruncations != 1 {
+		t.Fatalf("TailTruncations = %d, want 1", m.TailTruncations)
+	}
+}
+
+// TestRecoveredWALBytesMatchPrefix double-checks the physical file
+// after a torn-tail recovery equals the byte-exact good prefix (no
+// rewriting, no reordering — just the truncation).
+func TestRecoveredWALBytesMatchPrefix(t *testing.T) {
+	script := recoveryScript()
+	wal, boundaries := writeWAL(t, script)
+	cut := boundaries[len(boundaries)-1] - 3 // tear the final record
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, walName)
+	if err := os.WriteFile(path, wal[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(dir, FileOptions{CompactBytes: -1, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnd := boundaries[len(boundaries)-2]
+	if !bytes.Equal(after, wal[:wantEnd]) {
+		t.Fatalf("recovered WAL diverged from the good prefix (%d vs %d bytes)", len(after), wantEnd)
+	}
+}

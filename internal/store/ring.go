@@ -1,0 +1,99 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// Ring is a consistent-hash ring assigning keys — canonically the
+// serve layer's job keys derived from cnf.FormulaFingerprint — to
+// fleet members. Every replica builds its ring from the same member
+// list and MUST agree on ownership: construction is fully
+// deterministic (members are deduplicated and sorted; vnode points are
+// SHA-256 positions), so identical member sets yield identical
+// assignments on every replica with no coordination. Adding or
+// removing one member remaps only the keys whose nearest point
+// belonged to it — about 1/N of the keyspace.
+//
+// A Ring is immutable after construction and safe for concurrent use.
+type Ring struct {
+	members []string
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner int32 // index into members
+}
+
+// DefaultVnodes is the per-member virtual-node count used when
+// NewRing is given 0: enough points that single-member changes remap
+// close to the ideal 1/N of keys without making lookup tables large.
+const DefaultVnodes = 128
+
+// NewRing builds a ring over members with vnodes virtual nodes each
+// (0 = DefaultVnodes). Duplicate and empty member names are dropped;
+// an empty member list yields a ring whose Owner is always "".
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq, points: make([]ringPoint, 0, len(uniq)*vnodes)}
+	var buf [8]byte
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			h := sha256.New()
+			h.Write([]byte(m))
+			h.Write([]byte{'#'})
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+			sum := h.Sum(nil)
+			r.points = append(r.points, ringPoint{
+				hash:  binary.BigEndian.Uint64(sum[:8]),
+				owner: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Equal hash points (astronomically unlikely) tie-break on the
+		// sorted member index so every replica still agrees.
+		return r.points[a].owner < r.points[b].owner
+	})
+	return r
+}
+
+// Members returns the ring's deduplicated, sorted member list (a
+// copy).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Owner returns the member owning key: the member of the first vnode
+// point clockwise of the key's hash position. An empty ring owns
+// nothing and returns "".
+func (r *Ring) Owner(key []byte) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	sum := sha256.Sum256(key)
+	h := binary.BigEndian.Uint64(sum[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the lowest point owns the top arc
+	}
+	return r.members[r.points[i].owner]
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+// sampleKeys returns n distinct 32-byte keys shaped like
+// cnf.FormulaFingerprint values (SHA-256 digests).
+func sampleKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		var seed [8]byte
+		binary.LittleEndian.PutUint64(seed[:], uint64(i))
+		sum := sha256.Sum256(seed[:])
+		keys[i] = sum[:]
+	}
+	return keys
+}
+
+func fleet(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("10.0.0.%d:8723", i+1)
+	}
+	return members
+}
+
+// TestRingDeterministicAcrossReplicas is the fleet-agreement property:
+// every replica builds its ring independently from the (possibly
+// reordered, duplicated) member list and MUST compute the same owner
+// for every fingerprint.
+func TestRingDeterministicAcrossReplicas(t *testing.T) {
+	members := fleet(5)
+	a := NewRing(members, 0)
+	// Same set, scrambled order, with duplicates and an empty entry.
+	scrambled := []string{members[3], members[0], "", members[4], members[1], members[3], members[2]}
+	b := NewRing(scrambled, 0)
+
+	if got, want := fmt.Sprint(a.Members()), fmt.Sprint(b.Members()); got != want {
+		t.Fatalf("member normalization diverged: %s vs %s", got, want)
+	}
+	for i, key := range sampleKeys(10000) {
+		if oa, ob := a.Owner(key), b.Owner(key); oa != ob {
+			t.Fatalf("key %d: replica A says %s, replica B says %s", i, oa, ob)
+		}
+	}
+}
+
+// TestRingRebalanceBounds: adding or removing one member must remap
+// only ~1/N of a 10k-fingerprint sample (≤ 2/N allowed for vnode
+// variance), and removal must never move a key between two SURVIVING
+// members.
+func TestRingRebalanceBounds(t *testing.T) {
+	keys := sampleKeys(10000)
+	for _, n := range []int{3, 5, 8} {
+		members := fleet(n)
+		base := NewRing(members, 0)
+
+		// Add one member.
+		grown := NewRing(append(append([]string{}, members...), "10.0.1.99:8723"), 0)
+		moved := 0
+		for _, key := range keys {
+			if base.Owner(key) != grown.Owner(key) {
+				moved++
+			}
+		}
+		if limit := 2 * len(keys) / (n + 1); moved > limit {
+			t.Errorf("n=%d: adding one member moved %d/%d keys, limit %d", n, moved, len(keys), limit)
+		}
+		if moved == 0 {
+			t.Errorf("n=%d: adding a member moved nothing — it owns no keyspace", n)
+		}
+
+		// Remove one member: only its keys may move.
+		removed := members[n/2]
+		shrunk := NewRing(append(append([]string{}, members[:n/2]...), members[n/2+1:]...), 0)
+		movedAway, fromRemoved := 0, 0
+		for _, key := range keys {
+			before, after := base.Owner(key), shrunk.Owner(key)
+			if before == removed {
+				fromRemoved++
+				continue
+			}
+			if before != after {
+				movedAway++
+			}
+		}
+		if movedAway != 0 {
+			t.Errorf("n=%d: removing %s moved %d keys between surviving members", n, removed, movedAway)
+		}
+		if limit := 2 * len(keys) / n; fromRemoved > limit {
+			t.Errorf("n=%d: removed member owned %d/%d keys, limit %d", n, fromRemoved, len(keys), limit)
+		}
+	}
+}
+
+// TestRingDistribution sanity-checks load spread: with default vnodes
+// every member owns a non-degenerate share of a 10k sample.
+func TestRingDistribution(t *testing.T) {
+	members := fleet(5)
+	r := NewRing(members, 0)
+	counts := make(map[string]int)
+	keys := sampleKeys(10000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.08 || share > 0.40 {
+			t.Errorf("member %s owns %.1f%% of keys — degenerate spread", m, 100*share)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner([]byte("x")); owner != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", owner)
+	}
+	solo := NewRing([]string{"only:1"}, 0)
+	for _, key := range sampleKeys(100) {
+		if owner := solo.Owner(key); owner != "only:1" {
+			t.Fatalf("single-member ring routed to %q", owner)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package store is the durability layer under the serving fleet: a
+// pluggable key-value record store that persists the serve-layer's
+// result cache, recipe memory and branching warm-start profiles across
+// restarts, plus the consistent-hash ring that shards those keys
+// across satserved replicas.
+//
+// The contract is deliberately small — a Store is a last-write-wins
+// map of (Kind, Key) → Val with append (Put), point lookup (Get), full
+// replay (Replay) and on-demand compaction (Snapshot) — so backends
+// can range from the in-memory MemStore to the crash-safe
+// snapshot+WAL FileStore in this package, to an external database
+// later without touching the serving layer.
+//
+// Durability model (FileStore): every Put appends one length-prefixed,
+// CRC-checksummed record to an append-only WAL and fsyncs on a
+// configurable cadence; on open, a snapshot (the compacted live state)
+// is loaded first and the WAL replayed over it. A torn or corrupt WAL
+// tail — the signature of a crash mid-write — is detected by the
+// checksum, cleanly truncated at the last whole record, and never
+// replayed partially. When the WAL outgrows a threshold the live state
+// is rewritten into a new snapshot (write-to-temp, fsync, rename) and
+// the WAL reset.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind namespaces record keys: the serving layer uses distinct kinds
+// for result-cache entries, recipe-memory classes and warm-start
+// profiles. Kinds are part of the on-disk format; never renumber a
+// live one.
+type Kind uint8
+
+// Record is one durable fact: the latest Val stored under (Kind, Key).
+// A nil Val is a tombstone — the key is deleted. (An empty-but-non-nil
+// Val is a legal stored value, distinct from a tombstone.)
+type Record struct {
+	Kind Kind
+	Key  []byte
+	Val  []byte
+}
+
+// Store is the pluggable persistence contract. Implementations are
+// safe for concurrent use. Put applies last-write-wins; Get reads the
+// current value; Replay streams every live (non-deleted) record in a
+// deterministic order; Snapshot compacts the backing log (a no-op for
+// purely in-memory backends).
+type Store interface {
+	// Put records rec durably (rec.Val == nil deletes the key). The
+	// record's slices are copied; the caller keeps ownership.
+	Put(rec Record) error
+	// Get returns a copy of the current value under (kind, key) and
+	// whether the key is live.
+	Get(kind Kind, key []byte) ([]byte, bool)
+	// Replay calls fn for every live record, sorted by (Kind, Key); a
+	// non-nil fn error aborts the walk and is returned. The Record
+	// passed to fn aliases store-internal memory only for the duration
+	// of the call.
+	Replay(fn func(rec Record) error) error
+	// Snapshot compacts the backing log into a snapshot of the live
+	// state.
+	Snapshot() error
+	// Metrics reports the backend's durability counters.
+	Metrics() Metrics
+	// Close flushes and releases the backing resources. The store is
+	// unusable afterwards.
+	Close() error
+}
+
+// Metrics are a Store's durability counters, surfaced through the
+// serving layer's /metrics endpoint.
+type Metrics struct {
+	// Keys is the live key count.
+	Keys int
+	// WALRecords / WALBytes describe the current (post-snapshot) WAL.
+	WALRecords int64
+	WALBytes   int64
+	// SnapshotRecords is the record count of the snapshot on disk.
+	SnapshotRecords int64
+	// Compactions counts snapshot rewrites since open.
+	Compactions int64
+	// TailTruncations counts corrupt/torn WAL tails dropped at open.
+	TailTruncations int64
+	// Replay is the time spent loading state at open.
+	Replay time.Duration
+}
+
+// ErrCorrupt marks a record that failed its structural or checksum
+// validation. FileStore recovery treats a corrupt WAL *tail* as a torn
+// write and truncates it; a corrupt snapshot is a hard open error.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// --- record codec --------------------------------------------------------
+//
+// On-disk record framing (all integers little-endian):
+//
+//	u32  body length
+//	u32  CRC-32C (Castagnoli) of body
+//	body:
+//	  u8   kind
+//	  u8   flags (bit0 = tombstone)
+//	  u32  key length
+//	  ...  key bytes
+//	  ...  value bytes (rest of body; absent for tombstones)
+
+const (
+	recHeaderLen  = 8        // length + checksum
+	bodyFixedLen  = 6        // kind + flags + key length
+	maxBodyLen    = 64 << 20 // structural sanity bound; rejects garbage lengths
+	flagTombstone = 0x01
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends rec's framed encoding to buf and returns the
+// extended slice.
+func appendRecord(buf []byte, rec Record) ([]byte, error) {
+	bodyLen := bodyFixedLen + len(rec.Key)
+	if rec.Val != nil {
+		bodyLen += len(rec.Val)
+	}
+	if bodyLen > maxBodyLen {
+		return buf, fmt.Errorf("%w: record body %d bytes exceeds %d", ErrCorrupt, bodyLen, maxBodyLen)
+	}
+	var flags byte
+	if rec.Val == nil {
+		flags |= flagTombstone
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header backfilled below
+	buf = append(buf, byte(rec.Kind), flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Key)))
+	buf = append(buf, rec.Key...)
+	if rec.Val != nil {
+		buf = append(buf, rec.Val...)
+	}
+	body := buf[start+recHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(body, crcTable))
+	return buf, nil
+}
+
+// decodeBody parses a framed record body (past the length/CRC header).
+// The returned Record's slices are copies.
+func decodeBody(body []byte) (Record, error) {
+	var rec Record
+	if len(body) < bodyFixedLen {
+		return rec, fmt.Errorf("%w: body %d bytes, need at least %d", ErrCorrupt, len(body), bodyFixedLen)
+	}
+	rec.Kind = Kind(body[0])
+	flags := body[1]
+	if flags&^flagTombstone != 0 {
+		return rec, fmt.Errorf("%w: unknown flag bits %#x", ErrCorrupt, flags)
+	}
+	keyLen := binary.LittleEndian.Uint32(body[2:6])
+	if uint64(keyLen) > uint64(len(body)-bodyFixedLen) {
+		return rec, fmt.Errorf("%w: key length %d overruns body", ErrCorrupt, keyLen)
+	}
+	rec.Key = append([]byte{}, body[bodyFixedLen:bodyFixedLen+int(keyLen)]...)
+	val := body[bodyFixedLen+int(keyLen):]
+	if flags&flagTombstone != 0 {
+		if len(val) != 0 {
+			return rec, fmt.Errorf("%w: tombstone carries %d value bytes", ErrCorrupt, len(val))
+		}
+		rec.Val = nil
+	} else {
+		rec.Val = append([]byte{}, val...)
+	}
+	return rec, nil
+}
+
+// readRecord reads one framed record from r. It returns the record and
+// the number of bytes consumed. io.EOF (with consumed == 0) is the
+// clean end of the log; any partial read or checksum mismatch returns
+// an error wrapping ErrCorrupt — the torn-tail signal recovery keys on.
+func readRecord(r io.Reader) (Record, int, error) {
+	var hdr [recHeaderLen]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err == io.EOF {
+		return Record{}, 0, io.EOF
+	}
+	if err != nil {
+		return Record{}, n, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, n)
+	}
+	bodyLen := binary.LittleEndian.Uint32(hdr[:4])
+	if bodyLen < bodyFixedLen || bodyLen > maxBodyLen {
+		return Record{}, n, fmt.Errorf("%w: implausible body length %d", ErrCorrupt, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	m, err := io.ReadFull(r, body)
+	if err != nil {
+		return Record{}, n + m, fmt.Errorf("%w: short body (%d of %d bytes)", ErrCorrupt, m, bodyLen)
+	}
+	if sum := crc32.Checksum(body, crcTable); sum != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return Record{}, n + m, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	rec, err := decodeBody(body)
+	if err != nil {
+		return Record{}, n + m, err
+	}
+	return rec, n + m, nil
+}
+
+// --- shared in-memory state ----------------------------------------------
+
+// compositeKey is the map key of the live state: kind byte + raw key.
+func compositeKey(kind Kind, key []byte) string {
+	b := make([]byte, 1+len(key))
+	b[0] = byte(kind)
+	copy(b[1:], key)
+	return string(b)
+}
+
+// liveMap is the last-write-wins state both backends share.
+type liveMap map[string][]byte
+
+func (m liveMap) apply(rec Record) {
+	ck := compositeKey(rec.Kind, rec.Key)
+	if rec.Val == nil {
+		delete(m, ck)
+		return
+	}
+	m[ck] = append([]byte{}, rec.Val...)
+}
+
+// replay walks the live state sorted by composite key (Kind, then Key
+// bytewise) so every replica and every reopen observes one order.
+func (m liveMap) replay(fn func(rec Record) error) error {
+	keys := make([]string, 0, len(m))
+	for ck := range m {
+		keys = append(keys, ck)
+	}
+	sort.Strings(keys)
+	for _, ck := range keys {
+		rec := Record{Kind: Kind(ck[0]), Key: []byte(ck[1:]), Val: m[ck]}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- MemStore -------------------------------------------------------------
+
+// MemStore is the in-memory Store: full interface semantics, no
+// durability. It backs tests and store-less deployments that still
+// want the Store plumbing exercised.
+type MemStore struct {
+	mu     sync.Mutex
+	live   liveMap
+	closed bool
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{live: make(liveMap)} }
+
+// Put implements Store.
+func (s *MemStore) Put(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.live.apply(rec)
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(kind Kind, key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.live[compositeKey(kind, key)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte{}, v...), true
+}
+
+// Replay implements Store.
+func (s *MemStore) Replay(fn func(rec Record) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.live.replay(fn)
+}
+
+// Snapshot implements Store (a no-op: memory has no log to compact).
+func (s *MemStore) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Metrics implements Store.
+func (s *MemStore) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{Keys: len(s.live)}
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reopen closes s and opens the same directory again.
+func reopen(t *testing.T, s *FileStore, opts FileOptions) *FileStore {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	n, err := OpenFile(s.dir, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return n
+}
+
+// collect replays s into a map "kind/key" → value for comparisons.
+func collect(t *testing.T, s Store) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	err := s.Replay(func(rec Record) error {
+		out[fmt.Sprintf("%d/%s", rec.Kind, rec.Key)] = string(rec.Val)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMem()
+	if err := s.Put(Record{Kind: 1, Key: []byte("a"), Val: []byte("v1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Kind: 1, Key: []byte("a"), Val: []byte("v2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Kind: 2, Key: []byte("a"), Val: []byte("other-kind")}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get(1, []byte("a"))
+	if !ok || string(v) != "v2" {
+		t.Fatalf("get = %q, %v; want v2 (last write wins)", v, ok)
+	}
+	// Tombstone deletes only its own kind's key.
+	if err := s.Put(Record{Kind: 1, Key: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(1, []byte("a")); ok {
+		t.Fatal("tombstoned key still live")
+	}
+	if _, ok := s.Get(2, []byte("a")); !ok {
+		t.Fatal("tombstone leaked across kinds")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Kind: 1, Key: []byte("x"), Val: []byte("y")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("put after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key%02d", i)
+		v := fmt.Sprintf("val%02d", i*i)
+		if err := s.Put(Record{Kind: Kind(i % 3), Key: []byte(k), Val: []byte(v)}); err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprintf("%d/%s", i%3, k)] = v
+	}
+	// Overwrites and a tombstone.
+	if err := s.Put(Record{Kind: 0, Key: []byte("key00"), Val: []byte("rewritten")}); err != nil {
+		t.Fatal(err)
+	}
+	want["0/key00"] = "rewritten"
+	if err := s.Put(Record{Kind: 1, Key: []byte("key01")}); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, "1/key01")
+
+	s = reopen(t, s, FileOptions{})
+	defer s.Close()
+	got := collect(t, s)
+	if len(got) != len(want) {
+		t.Fatalf("reopened with %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %s = %q, want %q", k, got[k], v)
+		}
+	}
+	m := s.Metrics()
+	if m.Keys != len(want) {
+		t.Errorf("Metrics.Keys = %d, want %d", m.Keys, len(want))
+	}
+	if m.WALRecords != 52 {
+		t.Errorf("WALRecords = %d, want 52", m.WALRecords)
+	}
+	if m.Replay <= 0 {
+		t.Error("Replay duration not recorded")
+	}
+}
+
+func TestFileStoreEmptyValueVsTombstone(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Kind: 7, Key: []byte("empty"), Val: []byte{}}); err != nil {
+		t.Fatal(err)
+	}
+	s = reopen(t, s, FileOptions{})
+	defer s.Close()
+	v, ok := s.Get(7, []byte("empty"))
+	if !ok {
+		t.Fatal("empty (non-nil) value was treated as a tombstone")
+	}
+	if len(v) != 0 {
+		t.Fatalf("value = %q, want empty", v)
+	}
+}
+
+func TestFileStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every few records trigger a compaction.
+	opts := FileOptions{CompactBytes: 256}
+	s, err := OpenFile(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		// 10 distinct keys rewritten 20 times each: live state stays
+		// small while the log churns.
+		k := fmt.Sprintf("k%d", i%10)
+		if err := s.Put(Record{Kind: 1, Key: []byte(k), Val: []byte(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.Compactions == 0 {
+		t.Fatal("no compaction despite tiny threshold")
+	}
+	if m.Keys != 10 {
+		t.Fatalf("live keys = %d, want 10", m.Keys)
+	}
+	if m.WALBytes > 512 {
+		t.Fatalf("WAL grew to %d bytes despite compaction", m.WALBytes)
+	}
+	// The snapshot alone (reopen after wiping nothing) restores state.
+	s = reopen(t, s, opts)
+	defer s.Close()
+	got := collect(t, s)
+	if len(got) != 10 {
+		t.Fatalf("reopened with %d keys, want 10", len(got))
+	}
+	for i := 190; i < 200; i++ {
+		k := fmt.Sprintf("1/k%d", i%10)
+		if got[k] != fmt.Sprintf("v%d", i) {
+			t.Errorf("%s = %q, want v%d", k, got[k], i)
+		}
+	}
+}
+
+func TestFileStoreOnDemandSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.Put(Record{Kind: 1, Key: []byte(fmt.Sprintf("k%d", i)), Val: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := s.Metrics(); m.Compactions != 0 {
+		t.Fatalf("auto-compaction ran with CompactBytes<0 (%d)", m.Compactions)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Compactions != 1 || m.SnapshotRecords != 20 || m.WALRecords != 0 {
+		t.Fatalf("after Snapshot: %+v", m)
+	}
+}
+
+func TestFileStoreLeftoverTempSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Kind: 1, Key: []byte("k"), Val: []byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-compaction: a garbage temp snapshot on disk.
+	if err := os.WriteFile(filepath.Join(dir, snapshotTemp), []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatalf("open with leftover temp snapshot: %v", err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get(1, []byte("k")); !ok || string(v) != "good" {
+		t.Fatalf("state lost: %q, %v", v, ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotTemp)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp snapshot not cleaned up")
+	}
+}
+
+func TestFileStoreCorruptSnapshotIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Kind: 1, Key: []byte("k"), Val: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the snapshot body: bit rot, not a torn tail.
+	path := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(dir, FileOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over corrupt snapshot: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Kind: 0, Key: nil, Val: []byte{}},
+		{Kind: 1, Key: []byte("k"), Val: []byte("v")},
+		{Kind: 255, Key: bytes.Repeat([]byte{0xab}, 300), Val: bytes.Repeat([]byte{0}, 1000)},
+		{Kind: 3, Key: []byte("tomb"), Val: nil},
+		{Kind: 9, Key: []byte{}, Val: []byte("empty key")},
+	}
+	var buf []byte
+	var err error
+	for _, rec := range cases {
+		buf, err = appendRecord(buf, rec)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", rec, err)
+		}
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range cases {
+		got, _, err := readRecord(r)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || !bytes.Equal(got.Key, want.Key) || !bytes.Equal(got.Val, want.Val) {
+			t.Fatalf("record %d round-tripped to %+v, want %+v", i, got, want)
+		}
+		if (got.Val == nil) != (want.Val == nil) {
+			t.Fatalf("record %d lost its tombstone-ness", i)
+		}
+	}
+}
+
+func TestReadRecordRejectsFlippedChecksum(t *testing.T) {
+	buf, err := appendRecord(nil, Record{Kind: 1, Key: []byte("key"), Val: []byte("value")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		bad := append([]byte{}, buf...)
+		bad[i] ^= 0x01
+		_, _, err := readRecord(bytes.NewReader(bad))
+		if err == nil {
+			// A flip in the length header can only "succeed" by reading
+			// a different region that still checksums — impossible for
+			// a single bit flip over CRC-32C within one record.
+			t.Fatalf("bit flip at offset %d went undetected", i)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at offset %d: %v, want ErrCorrupt", i, err)
+		}
+	}
+}
