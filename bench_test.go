@@ -795,7 +795,7 @@ func BenchmarkE28_ProofLogging(b *testing.B) {
 			if s.Solve() != solver.Unsat {
 				b.Fatal("UNSAT expected")
 			}
-			lemmas = len(s.Proof().Lemmas)
+			lemmas = s.Proof().NumLemmas()
 		}
 		b.ReportMetric(float64(lemmas), "lemmas")
 	})

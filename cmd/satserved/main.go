@@ -19,15 +19,19 @@
 // Endpoints: POST /v1/jobs (sync by default, "async": true for a job
 // handle), POST /v1/jobs/batch (NDJSON result stream), GET
 // /v1/jobs/{id}, DELETE /v1/jobs/{id}, SSE progress on GET
-// /v1/jobs/{id}/watch; POST /v1/sessions, GET/DELETE
+// /v1/jobs/{id}/watch; certified results on GET /v1/jobs/{id}/proof
+// for DIMACS jobs submitted with "proof": true (server-verified DRAT
+// refutation or model check), with the hash-chained audit trail on GET
+// /v1/audit/head and /v1/audit/{seq}; POST /v1/sessions, GET/DELETE
 // /v1/sessions/{id}, POST /v1/sessions/{id}/query ("stream": true for
 // SSE progress); plus /healthz and /metrics. See the README quickstart
 // for curl examples.
 //
-// With -store-dir the result cache, recipe memory and warm-start
-// profiles survive restarts (snapshot+WAL, internal/store); with
-// -peers and -advertise the replica joins a consistent-hash fleet that
-// routes each formula to one owner (internal/serve fleet routing).
+// With -store-dir the result cache, recipe memory, warm-start profiles
+// AND the certified-result audit chain survive restarts (snapshot+WAL,
+// internal/store); with -peers and -advertise the replica joins a
+// consistent-hash fleet that routes each formula to one owner
+// (internal/serve fleet routing).
 package main
 
 import (

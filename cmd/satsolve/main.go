@@ -11,6 +11,11 @@
 // Output follows the SAT-competition convention: a solution line
 // "s SATISFIABLE" / "s UNSATISFIABLE" and, when satisfiable, "v" lines
 // with the model.
+//
+// Proof logging: -drat FILE streams a DRAT refutation (deletion lines
+// included) to FILE while solving; -drat-check FILE verifies such a
+// file against the formula with the independent RUP checker instead of
+// solving ("s VERIFIED" and exit 0 on success).
 package main
 
 import (
@@ -48,6 +53,8 @@ func main() {
 		adaptive  = flag.Bool("adaptive", false, "adaptive portfolio scheduling: kill clearly-losing recipes and respawn with fresh seeds (needs -workers > 1)")
 		grace     = flag.Duration("grace", 0, "adaptive scheduling: minimum worker age before it may be killed (0 = 2s)")
 		poolQuant = flag.Float64("pool-quantile", 0, "shared-pool dynamic admission quantile in (0,1]: lower admits only the best-LBD clauses (0 = 0.5)")
+		dratPath  = flag.String("drat", "", "stream a DRAT proof (deletion lines included) to this file while solving; an UNSAT answer is certified when no incompleteness warning is printed")
+		dratCheck = flag.String("drat-check", "", "verify a DRAT proof file against the formula instead of solving: prints s VERIFIED and exits 0 when the refutation is accepted, exits 1 otherwise")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget, e.g. 10s (0 = none); exhaustion exits 40 with s UNKNOWN")
 		stats     = flag.Bool("stats", false, "print search statistics")
 		quiet     = flag.Bool("q", false, "suppress model output")
@@ -68,6 +75,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "satsolve:", err)
 		os.Exit(1)
+	}
+
+	if *dratCheck != "" {
+		// Checker mode: no solving, just the independent incremental RUP
+		// verification of an existing proof file.
+		pf, err := os.Open(*dratCheck)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "satsolve:", err)
+			os.Exit(1)
+		}
+		verr := solver.VerifyDRAT(formula, pf)
+		pf.Close()
+		if verr != nil {
+			fmt.Fprintln(os.Stderr, "satsolve: proof rejected:", verr)
+			os.Exit(1)
+		}
+		fmt.Println("s VERIFIED")
+		os.Exit(0)
 	}
 
 	opts := core.Options{
@@ -137,6 +162,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "satsolve: -adaptive needs -workers > 1; ignored")
 	}
 
+	var dratFile *os.File
+	var dratW *solver.DRATWriter
+	if *dratPath != "" {
+		if *pre || *equiv || *reclearn > 0 || *local {
+			// The proof must refute the INPUT formula; any transforming
+			// stage (or an incomplete engine) voids it.
+			fmt.Fprintln(os.Stderr, "satsolve: -drat requires the plain CDCL engine (no -preprocess, -equiv, -reclearn or -local-search)")
+			os.Exit(1)
+		}
+		f, err := os.Create(*dratPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "satsolve:", err)
+			os.Exit(1)
+		}
+		dratFile = f
+		dratW = solver.NewDRATWriter(f)
+		opts.Proof = dratW
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -152,6 +196,9 @@ func main() {
 		probeOpts := opts
 		probeOpts.PortfolioWorkers = 0
 		probeOpts.Solver.MaxConflicts = *warmStart
+		// The probe must not write into the proof stream: interleaving
+		// its lemmas with the main solve's would corrupt the refutation.
+		probeOpts.Proof = nil
 		probe := core.SolveContext(ctx, formula, probeOpts)
 		if probe.Status != solver.Unknown {
 			ans = probe
@@ -165,6 +212,22 @@ func main() {
 	}
 	if ans == nil {
 		ans = core.SolveContext(ctx, formula, opts)
+	}
+	if dratW != nil {
+		if err := dratW.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "satsolve: drat:", err)
+			os.Exit(1)
+		}
+		if err := dratFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "satsolve: drat:", err)
+			os.Exit(1)
+		}
+		if ans.Status == solver.Unsat && !ans.Proved {
+			// The verdict came from a worker other than the proof logger
+			// (or from a proof-suppressed stage): the file is not a
+			// complete refutation and must not be treated as one.
+			fmt.Fprintln(os.Stderr, "satsolve: warning: DRAT stream incomplete — the UNSAT verdict was not derived by the proof-logging solver")
+		}
 	}
 	if *stats {
 		if ans.Pre != nil {

@@ -44,6 +44,14 @@ type Options struct {
 	RecursiveLearning int
 	// Solver carries backtrack-search options.
 	Solver solver.Options
+	// Proof, when non-nil, streams a DRAT refutation of f from the
+	// search stage (the designated proof worker under a portfolio, the
+	// solver itself sequentially). The stream certifies the verdict
+	// only when Answer.Proved is set: it is withheld whenever a
+	// formula-transforming stage runs (Preprocess, EquivalencyReasoning,
+	// RecursiveLearning) or a non-CDCL engine is selected, because the
+	// proof would refute the transformed formula, not f.
+	Proof solver.ProofWriter
 	// LocalSearch carries WalkSAT options.
 	LocalSearch localsearch.Options
 	// PortfolioWorkers, when greater than 1 (or 0 with PortfolioAuto
@@ -81,6 +89,12 @@ type Options struct {
 // Answer is a pipeline verdict.
 type Answer struct {
 	Status solver.Status
+	// Proved reports that Options.Proof received a complete DRAT
+	// refutation of the input formula for this Unsat answer (under a
+	// portfolio: the designated proof worker's verdict was the one
+	// adopted). When false for an Unsat answer, the caller may replay
+	// the solve with a fresh sink to obtain a proof.
+	Proved bool
 	// Model is a satisfying assignment over the ORIGINAL variables
 	// (preprocessing substitutions undone).
 	Model cnf.Assignment
@@ -116,6 +130,15 @@ func Solve(f *cnf.Formula, opts Options) *Answer {
 func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 	ans := &Answer{}
 	work := f
+
+	// A proof must refute the ORIGINAL formula: any stage that rewrites
+	// it (or an incomplete engine) voids the stream for certification.
+	solverOpts := opts.Solver
+	proofOK := opts.Proof != nil && opts.Engine == EngineCDCL &&
+		!opts.Preprocess && !opts.EquivalencyReasoning && opts.RecursiveLearning == 0
+	if proofOK {
+		solverOpts.Proof = opts.Proof
+	}
 
 	var pre *preprocess.Result
 	if opts.Preprocess || opts.EquivalencyReasoning {
@@ -181,10 +204,11 @@ func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 				PoolQuantile: opts.PortfolioPoolQuantile,
 				PreferRecipe: opts.PortfolioPrefer,
 				Monitor:      opts.PortfolioMonitor,
-				Base:         opts.Solver,
+				Base:         solverOpts,
 			})
 			ans.Portfolio = res
 			ans.Status = res.Status
+			ans.Proved = proofOK && res.Proved
 			ans.Warm = res.Warm
 			if res.Winner >= 0 {
 				stats := res.Workers[res.Winner].Stats
@@ -195,13 +219,14 @@ func SolveContext(ctx context.Context, f *cnf.Formula, opts Options) *Answer {
 			}
 			return ans
 		}
-		s := solver.FromFormula(work, opts.Solver)
+		s := solver.FromFormula(work, solverOpts)
 		stopWatch := context.AfterFunc(ctx, s.Interrupt)
 		st := s.Solve()
 		stopWatch()
 		stats := s.Stats
 		ans.SolverStats = &stats
 		ans.Status = st
+		ans.Proved = proofOK && st == solver.Unsat
 		// Captured even on Unknown: a budget-bounded probe solve's whole
 		// point is harvesting the profile it accumulated before the
 		// budget ran out.

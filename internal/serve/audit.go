@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// auditRecord is one link of the hash-chained audit log: the digests of
+// a certified verdict, bound to every earlier record through Hash =
+// SHA-256(prev record's raw hash ‖ canonical encoding of this record's
+// fields). Tampering with any stored record — or reordering records —
+// breaks every later hash, so the chain head commits to the entire
+// history of certified results.
+type auditRecord struct {
+	// Seq is the record's 1-based position in the chain.
+	Seq uint64 `json:"seq"`
+	// JobID / Kind / Verdict identify the certified result.
+	JobID   string `json:"job_id"`
+	Kind    Kind   `json:"kind"`
+	Verdict string `json:"verdict"`
+	// ResultDigest / ProofDigest / Checker mirror the ProofInfo fields
+	// committed for the verdict.
+	ResultDigest string `json:"result_digest"`
+	ProofDigest  string `json:"proof_digest,omitempty"`
+	Checker      string `json:"checker"`
+	// UnixMS is the commit wall time.
+	UnixMS int64 `json:"unix_ms"`
+	// PrevHash / Hash are hex SHA-256 chain links; the genesis record's
+	// PrevHash is all zeros.
+	PrevHash string `json:"prev_hash"`
+	Hash     string `json:"hash"`
+}
+
+// chainHash computes a record's chain hash over the previous raw hash
+// and a canonical byte encoding of the record's own fields (fixed-width
+// integers, NUL-terminated strings) — deliberately NOT the JSON bytes,
+// so re-encoding cosmetics can never change the chain.
+func chainHash(prev [sha256.Size]byte, rec *auditRecord) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], rec.Seq)
+	h.Write(b[:])
+	for _, s := range []string{rec.JobID, string(rec.Kind), rec.Verdict, rec.ResultDigest, rec.ProofDigest, rec.Checker} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	binary.BigEndian.PutUint64(b[:], uint64(rec.UnixMS))
+	h.Write(b[:])
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// auditKey encodes a sequence number as the record's store key: 8-byte
+// big-endian, so the store's (Kind, Key)-sorted replay walks the chain
+// in order.
+func auditKey(seq uint64) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], seq)
+	return k[:]
+}
+
+// auditLog is the scheduler's hash-chained audit trail of certified
+// verdicts, persisted one record per store key. Unlike the write-behind
+// heuristic state, audit appends are SYNCHRONOUS: a certified verdict
+// is in the chain before any client can observe it, so the chain never
+// under-reports what was served.
+type auditLog struct {
+	mu sync.Mutex
+	st store.Store
+	// owned marks a private in-memory store (the scheduler ran
+	// store-less), closed with the log.
+	owned bool
+	// seq is the last assigned sequence number (0 = empty chain); head
+	// the raw hash of record seq.
+	seq  uint64
+	head [sha256.Size]byte
+	// bootOK reports whether the persisted chain verified intact at
+	// open. Appends continue onto the stored head either way — the flag
+	// is the tamper evidence, surfaced through /metrics and /v1/audit.
+	bootOK  bool
+	appends atomic.Int64
+	errs    atomic.Int64
+}
+
+// openAudit loads (and verifies) the persisted chain. Verification
+// failures do not block serving: the stored head is adopted so new
+// appends keep extending what is actually on disk, and bootOK records
+// the evidence.
+func openAudit(st store.Store, owned bool) *auditLog {
+	a := &auditLog{st: st, owned: owned, bootOK: true}
+	var prev [sha256.Size]byte
+	_ = st.Replay(func(rec store.Record) error {
+		if rec.Kind != recAudit {
+			return nil
+		}
+		var ar auditRecord
+		if len(rec.Key) != 8 || json.Unmarshal(rec.Val, &ar) != nil {
+			a.bootOK = false
+			return nil
+		}
+		seq := binary.BigEndian.Uint64(rec.Key)
+		want := chainHash(prev, &ar)
+		if seq != a.seq+1 || ar.Seq != seq ||
+			ar.PrevHash != hex.EncodeToString(prev[:]) ||
+			ar.Hash != hex.EncodeToString(want[:]) {
+			a.bootOK = false
+		}
+		if hb, err := hex.DecodeString(ar.Hash); err == nil && len(hb) == sha256.Size {
+			copy(prev[:], hb)
+		} else {
+			prev = want
+		}
+		a.seq = seq
+		return nil
+	})
+	a.head = prev
+	return a
+}
+
+// append commits one certified verdict to the chain and returns its
+// sequence number and hex hash. The store write happens under the log
+// mutex and before the caller proceeds — the chain is durable (to the
+// store's fsync cadence) by the time the verdict is visible.
+func (a *auditLog) append(jobID string, kind Kind, verdict string, info *ProofInfo) (uint64, string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rec := &auditRecord{
+		Seq:          a.seq + 1,
+		JobID:        jobID,
+		Kind:         kind,
+		Verdict:      verdict,
+		ResultDigest: info.ResultDigest,
+		ProofDigest:  info.ProofDigest,
+		Checker:      info.Checker,
+		UnixMS:       time.Now().UnixMilli(),
+		PrevHash:     hex.EncodeToString(a.head[:]),
+	}
+	h := chainHash(a.head, rec)
+	rec.Hash = hex.EncodeToString(h[:])
+	val, err := json.Marshal(rec)
+	if err != nil {
+		a.errs.Add(1)
+		return 0, "", err
+	}
+	if err := a.st.Put(store.Record{Kind: recAudit, Key: auditKey(rec.Seq), Val: val}); err != nil {
+		a.errs.Add(1)
+		return 0, "", err
+	}
+	a.seq = rec.Seq
+	a.head = h
+	a.appends.Add(1)
+	return rec.Seq, rec.Hash, nil
+}
+
+// get loads the record at seq from the store.
+func (a *auditLog) get(seq uint64) (*auditRecord, error) {
+	val, ok := a.st.Get(recAudit, auditKey(seq))
+	if !ok {
+		return nil, fmt.Errorf("serve: no audit record %d", seq)
+	}
+	var rec auditRecord
+	if err := json.Unmarshal(val, &rec); err != nil {
+		return nil, fmt.Errorf("serve: bad audit record %d: %w", seq, err)
+	}
+	return &rec, nil
+}
+
+// verify returns the record at seq together with an inclusion check:
+// the chain is recomputed hash by hash from the genesis record up to
+// seq, so a verified record is provably part of the prefix every later
+// record — and the current head — commits to.
+func (a *auditLog) verify(seq uint64) (*auditRecord, bool, error) {
+	a.mu.Lock()
+	last := a.seq
+	a.mu.Unlock()
+	if seq == 0 || seq > last {
+		return nil, false, fmt.Errorf("serve: no audit record %d (chain has %d)", seq, last)
+	}
+	ok := true
+	var prev [sha256.Size]byte
+	var target *auditRecord
+	for i := uint64(1); i <= seq; i++ {
+		rec, err := a.get(i)
+		if err != nil {
+			return nil, false, err
+		}
+		want := chainHash(prev, rec)
+		if rec.Seq != i || rec.PrevHash != hex.EncodeToString(prev[:]) ||
+			rec.Hash != hex.EncodeToString(want[:]) {
+			ok = false
+		}
+		prev = want
+		if i == seq {
+			target = rec
+		}
+	}
+	return target, ok, nil
+}
+
+// headInfo snapshots the chain: record count, hex head hash, and the
+// boot-time verification flag.
+func (a *auditLog) headInfo() (uint64, string, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq, hex.EncodeToString(a.head[:]), a.bootOK
+}
+
+// close releases a privately-owned backing store; a caller-provided
+// store is left open (its lifecycle belongs to the caller).
+func (a *auditLog) close() {
+	if a.owned {
+		_ = a.st.Close()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -18,6 +19,12 @@ import (
 //	DELETE /v1/jobs/{id}       cooperative cancel
 //	GET    /v1/jobs/{id}/watch server-sent events: progress samples
 //	                           while running, final view on completion
+//	GET    /v1/jobs/{id}/proof certification block of a "proof": true
+//	                           job (verdict, DRAT, checker outcome,
+//	                           audit-chain position)
+//	GET    /v1/audit/head      audit chain length + head hash
+//	GET    /v1/audit/{seq}     one audit record + inclusion check
+//	                           (chain recomputed from genesis)
 //	GET    /healthz            liveness + occupancy
 //	GET    /metrics            Prometheus-style text counters
 //
@@ -44,6 +51,9 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleProof)
+	s.mux.HandleFunc("GET /v1/audit/head", s.handleAuditHead)
+	s.mux.HandleFunc("GET /v1/audit/{seq}", s.handleAuditGet)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
@@ -242,6 +252,73 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleProof serves a finished job's certification block. Still-active
+// jobs answer 202 (come back later), terminal jobs without a result
+// 409, and finished jobs that never asked for a proof 404 — the proof
+// flag changes the cache keyspace, so it cannot be granted after the
+// fact.
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	job := s.sched.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	switch job.Status() {
+	case StatusQueued, StatusRunning:
+		writeJSON(w, http.StatusAccepted, job.View())
+		return
+	}
+	res, ok := job.Result()
+	if !ok {
+		writeJSON(w, http.StatusConflict, job.View())
+		return
+	}
+	if res.Proof == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New(`job carries no certificate (submit with "proof": true)`))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      job.ID,
+		"kind":    res.Kind,
+		"verdict": res.Verdict,
+		"decided": res.Decided,
+		"proof":   res.Proof,
+	})
+}
+
+// handleAuditHead reports the audit chain's length, head hash and
+// boot-time verification flag.
+func (s *Server) handleAuditHead(w http.ResponseWriter, _ *http.Request) {
+	seq, head, bootOK := s.sched.audit.headInfo()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":             seq,
+		"head":                head,
+		"chain_valid_at_boot": bootOK,
+	})
+}
+
+// handleAuditGet serves one audit record together with its inclusion
+// check: the chain is recomputed from the genesis record up to the
+// requested sequence number, so "chain_verified": true means the record
+// is provably part of the prefix the current head commits to.
+func (s *Server) handleAuditGet(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.ParseUint(r.PathValue("seq"), 10, 64)
+	if err != nil || seq == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("bad audit sequence number"))
+		return
+	}
+	rec, ok, err := s.sched.audit.verify(seq)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"record":         rec,
+		"chain_verified": ok,
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := s.sched.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -268,6 +345,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "satserved_followers %d\n", st.Followers)
 	fmt.Fprintf(w, "satserved_workers_in_use %d\n", st.WorkersInUse)
 	fmt.Fprintf(w, "satserved_cache_entries %d\n", st.CacheEntries)
+	fmt.Fprintf(w, "satserved_proof_jobs_total %d\n", st.ProofJobs)
+	fmt.Fprintf(w, "satserved_proof_replays_total %d\n", st.ProofReplays)
+	fmt.Fprintf(w, "satserved_proof_check_failures_total %d\n", st.ProofFailures)
+	fmt.Fprintf(w, "satserved_audit_records %d\n", st.AuditRecords)
+	fmt.Fprintf(w, "satserved_audit_append_errors_total %d\n", st.AuditAppendErrors)
+	chainValid := 0
+	if st.AuditChainValid {
+		chainValid = 1
+	}
+	fmt.Fprintf(w, "satserved_audit_chain_valid %d\n", chainValid)
 	fmt.Fprintf(w, "satserved_sessions_opened_total %d\n", st.Sessions.Opened)
 	fmt.Fprintf(w, "satserved_sessions_deleted_total %d\n", st.Sessions.Deleted)
 	fmt.Fprintf(w, "satserved_session_queries_total %d\n", st.Sessions.Queries)

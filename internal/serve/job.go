@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -76,6 +78,13 @@ type Spec struct {
 	// NoCache bypasses both the result cache and in-flight coalescing:
 	// the job is always solved fresh and its result is not stored.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Proof requests a certified result (KindDIMACS only): UNSAT
+	// verdicts carry a DRAT refutation checked server-side by the
+	// independent RUP checker, SAT verdicts a server-verified model, and
+	// the verdict's digests are committed to the hash-chained audit log.
+	// Proof jobs live in their own cache keyspace: they are never
+	// satisfied from a proofless cached or persisted entry.
+	Proof bool `json:"proof,omitempty"`
 }
 
 // parsedPayload is the decoded, validated form of a Spec's payload.
@@ -95,6 +104,12 @@ type jobKey [sha256.Size]byte
 // need one.
 func (sp *Spec) parse() (parsedPayload, string, error) {
 	var p parsedPayload
+	if sp.Proof && sp.Kind != KindDIMACS {
+		// CEC and BMC verdicts are derived from transformed formulas
+		// (miters, unrollings); a DRAT stream would refute the encoding,
+		// not the submitted artifact, so certification stops at DIMACS.
+		return p, "", fmt.Errorf("%w: proof is only supported for %q jobs", ErrBadJob, KindDIMACS)
+	}
 	switch sp.Kind {
 	case KindDIMACS:
 		f, err := cnf.ParseDIMACSString(sp.DIMACS)
@@ -152,6 +167,13 @@ func (sp *Spec) cacheKey(p parsedPayload) jobKey {
 		// (clause order, literal order, comments) the same cache line.
 		fp := cnf.FormulaFingerprint(p.formula)
 		h.Write([]byte("dimacs\x00"))
+		if sp.Proof {
+			// Proof jobs get a disjoint keyspace: a certified submission
+			// must never hit — or coalesce onto — a proofless entry for
+			// the same formula, and vice versa a plain submission must
+			// not pay for (or pin) the certificate payload.
+			h.Write([]byte("proof\x00"))
+		}
 		h.Write(fp[:])
 	case KindCEC:
 		// Length-prefix the components: an in-band separator byte could
@@ -245,6 +267,9 @@ type Result struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 	// WallMS is the solve wall time in milliseconds (0 for cache hits).
 	WallMS int64 `json:"wall_ms"`
+	// Proof is the certification block of a Spec.Proof job (nil
+	// otherwise, and for undecided proof jobs' UNKNOWN results).
+	Proof *ProofInfo `json:"proof,omitempty"`
 
 	// warm is the deciding solver's branching warm-start profile,
 	// harvested for the scheduler's cross-run recipe memory (which
@@ -261,7 +286,46 @@ func (r Result) clone() Result {
 	out.Model = append([]int(nil), r.Model...)
 	out.Counterexample = append([]bool(nil), r.Counterexample...)
 	out.warm = append([]solver.WarmVar(nil), r.warm...)
+	if r.Proof != nil {
+		// ProofInfo holds only value fields (strings are immutable), so
+		// a shallow copy of the struct severs all sharing.
+		p := *r.Proof
+		out.Proof = &p
+	}
 	return out
+}
+
+// ProofInfo is the certification block attached to a Result when the
+// job requested a proof (Spec.Proof).
+type ProofInfo struct {
+	// Checker is the server-side verification outcome: "verified" (an
+	// UNSAT job's DRAT stream passed the independent incremental RUP
+	// checker, resp. a SAT job's model satisfied every clause),
+	// "truncated" (the stream outgrew the capture bound and was
+	// discarded), "unavailable" (no certificate could be derived within
+	// the job's budget), or "failed: ..." (a certificate was produced
+	// but rejected — do not treat the verdict as certified).
+	Checker string `json:"checker"`
+	// DRAT is the refutation in textual DRAT format, deletion lines
+	// included. Present only for UNSAT verdicts whose stream verified.
+	DRAT string `json:"drat,omitempty"`
+	// Deletions counts the "d" lines in DRAT.
+	Deletions int `json:"deletions,omitempty"`
+	// Replayed marks a certificate re-derived by the bounded replay
+	// solve: the racing portfolio's winner was not the proof worker, so
+	// a sequential proof-logging solve ran after the verdict.
+	Replayed bool `json:"replayed,omitempty"`
+	// Truncated marks a stream that outgrew the capture bound.
+	Truncated bool `json:"truncated,omitempty"`
+	// ResultDigest is the hex SHA-256 over the canonical verdict (kind,
+	// verdict, model); ProofDigest the same over the DRAT text. Both are
+	// committed to the hash-chained audit log.
+	ResultDigest string `json:"result_digest,omitempty"`
+	ProofDigest  string `json:"proof_digest,omitempty"`
+	// AuditSeq / AuditHash locate the verdict's record in the audit
+	// chain (sequence numbers start at 1; 0 = not recorded).
+	AuditSeq  uint64 `json:"audit_seq,omitempty"`
+	AuditHash string `json:"audit_hash,omitempty"`
 }
 
 // Job is one submitted work item. All exported access is through
@@ -477,13 +541,19 @@ func execute(rctx context.Context, j *Job, workers int, prefer string, warm []so
 	res := &Result{Kind: j.spec.Kind, Workers: workers, Preferred: prefer}
 	switch j.spec.Kind {
 	case KindDIMACS:
-		ans := core.SolveContext(rctx, j.parsed.formula, core.Options{
+		copts := core.Options{
 			Solver:            solver.Options{MaxConflicts: j.spec.MaxConflicts, WarmStart: warm},
 			PortfolioWorkers:  workers,
 			PortfolioAdaptive: j.spec.Adaptive && workers > 1,
 			PortfolioPrefer:   prefer,
 			PortfolioMonitor:  j.mon,
-		})
+		}
+		var capture *proofCapture
+		if j.spec.Proof {
+			capture = newProofCapture()
+			copts.Proof = capture.w
+		}
+		ans := core.SolveContext(rctx, j.parsed.formula, copts)
 		res.warm = ans.Warm
 		switch ans.Status {
 		case solver.Sat:
@@ -501,6 +571,9 @@ func execute(rctx context.Context, j *Job, workers int, prefer string, warm []so
 			}
 		} else if ans.SolverStats != nil {
 			res.Conflicts = ans.SolverStats.Conflicts
+		}
+		if j.spec.Proof && res.Decided {
+			res.Proof = certifyDIMACS(rctx, j, res, ans, capture)
 		}
 		return res, nil
 
@@ -546,6 +619,157 @@ func execute(rctx context.Context, j *Job, workers int, prefer string, warm []so
 		return res, nil
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadJob, j.spec.Kind)
+}
+
+// proofMaxBytes bounds the DRAT text captured per job (32 MiB). A
+// stream past the bound is discarded and the certificate reported
+// truncated; the verdict itself is unaffected.
+const proofMaxBytes = 32 << 20
+
+// minReplayConflicts is the floor of the replay solve's conflict
+// budget: tiny instances decided in a handful of conflicts still
+// deserve a real re-derivation attempt.
+const minReplayConflicts = 100_000
+
+// proofCapture collects a solve's DRAT stream into a bounded in-memory
+// buffer. Writes past proofMaxBytes are discarded (never surfaced to
+// the solver as an error) and the capture marked truncated.
+type proofCapture struct {
+	buf       bytes.Buffer
+	truncated bool
+	w         *solver.DRATWriter
+}
+
+func newProofCapture() *proofCapture {
+	c := &proofCapture{}
+	c.w = solver.NewDRATWriter(c)
+	return c
+}
+
+// Write implements io.Writer for the DRATWriter underneath.
+func (c *proofCapture) Write(p []byte) (int, error) {
+	if !c.truncated {
+		if c.buf.Len()+len(p) > proofMaxBytes {
+			c.truncated = true
+		} else {
+			c.buf.Write(p)
+		}
+	}
+	return len(p), nil
+}
+
+// text flushes and returns the captured DRAT stream.
+func (c *proofCapture) text() string {
+	_ = c.w.Flush() // the sink never errors
+	return c.buf.String()
+}
+
+// certifyDIMACS builds a decided DIMACS result's certification block.
+// SAT verdicts are certified by checking the model clause by clause;
+// UNSAT verdicts by verifying a DRAT refutation with the independent
+// incremental RUP checker — the main solve's stream when the designated
+// proof worker's verdict was the one adopted (ans.Proved), otherwise a
+// stream re-derived by a bounded sequential replay solve.
+func certifyDIMACS(rctx context.Context, j *Job, res *Result, ans *core.Answer, capture *proofCapture) *ProofInfo {
+	info := &ProofInfo{}
+	if res.Verdict == "SAT" {
+		if err := solver.VerifyModel(j.parsed.formula, ans.Model); err != nil {
+			info.Checker = "failed: " + err.Error()
+		} else {
+			info.Checker = "verified"
+		}
+		info.ResultDigest = resultDigest(res)
+		return info
+	}
+	drat, ok, disagreed := unsatCertificate(rctx, j, res, ans, capture, info)
+	switch {
+	case disagreed:
+		info.Checker = "failed: replay solve contradicted the UNSAT verdict"
+	case info.Truncated:
+		info.Checker = "truncated"
+	case !ok:
+		info.Checker = "unavailable"
+	default:
+		// drat may legitimately be empty: a formula refuted by root-level
+		// propagation alone needs no lemmas, and the checker's final
+		// database-conflicts check certifies exactly that.
+		if err := solver.VerifyDRAT(j.parsed.formula, strings.NewReader(drat)); err != nil {
+			info.Checker = "failed: " + err.Error()
+		} else {
+			info.Checker = "verified"
+			info.DRAT = drat
+			info.Deletions = countDeletions(drat)
+			sum := sha256.Sum256([]byte(drat))
+			info.ProofDigest = hex.EncodeToString(sum[:])
+		}
+	}
+	info.ResultDigest = resultDigest(res)
+	return info
+}
+
+// unsatCertificate produces the DRAT text certifying an UNSAT verdict,
+// filling info's Replayed/Truncated provenance flags. The replay path
+// runs when the racing portfolio was decided by a non-proof worker: a
+// bounded sequential proof-logging solve, off the race's hot path — the
+// client-visible verdict latency was already paid; the replay only
+// delays this one job's certificate.
+func unsatCertificate(rctx context.Context, j *Job, res *Result, ans *core.Answer, capture *proofCapture, info *ProofInfo) (drat string, ok, disagreed bool) {
+	if ans.Proved {
+		if capture.truncated {
+			info.Truncated = true
+			return "", false, false
+		}
+		return capture.text(), true, false
+	}
+	info.Replayed = true
+	budget := res.Conflicts * 4
+	if budget < minReplayConflicts {
+		budget = minReplayConflicts
+	}
+	if j.spec.MaxConflicts > 0 && j.spec.MaxConflicts < budget {
+		budget = j.spec.MaxConflicts // the client's per-query bound still binds
+	}
+	replay := newProofCapture()
+	rans := core.SolveContext(rctx, j.parsed.formula, core.Options{
+		Solver: solver.Options{MaxConflicts: budget, WarmStart: res.warm},
+		Proof:  replay.w,
+	})
+	switch {
+	case rans.Status == solver.Sat:
+		return "", false, true
+	case rans.Status != solver.Unsat || !rans.Proved:
+		return "", false, false // budget or deadline expired: no certificate
+	case replay.truncated:
+		info.Truncated = true
+		return "", false, false
+	}
+	return replay.text(), true, false
+}
+
+// resultDigest canonically fingerprints the certified verdict — kind,
+// verdict, model — independent of delivery metadata (timing, recipe,
+// cache flags), so identical verdicts digest identically.
+func resultDigest(res *Result) string {
+	h := sha256.New()
+	h.Write([]byte(res.Kind))
+	h.Write([]byte{0})
+	h.Write([]byte(res.Verdict))
+	h.Write([]byte{0})
+	var b [8]byte
+	for _, l := range res.Model {
+		binary.LittleEndian.PutUint64(b[:], uint64(int64(l)))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// countDeletions counts the deletion lines of a DRAT stream.
+func countDeletions(drat string) int {
+	n := strings.Count(drat, "\nd ")
+	if strings.HasPrefix(drat, "d ") {
+		n++
+	}
+	return n
 }
 
 // modelLits renders a model as DIMACS literals over the formula's

@@ -22,6 +22,10 @@ const (
 	// recWarm stores a class's branching warm-start profile under the
 	// class label.
 	recWarm store.Kind = 3
+	// recAudit stores one hash-chained audit record under its 8-byte
+	// big-endian sequence number (see audit.go). Unlike the other kinds,
+	// audit records are written synchronously and never tombstoned.
+	recAudit store.Kind = 4
 )
 
 // --- entry codecs ---------------------------------------------------------

@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/solver"
+	"repro/internal/store"
+)
+
+func proofSpec(sp Spec) Spec {
+	sp.Proof = true
+	return sp
+}
+
+func submitResult(t *testing.T, s *Scheduler, sp Spec) Result {
+	t.Helper()
+	j, err := s.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mustResult(t, j)
+}
+
+// TestProofJobCertifiedUnsat is the tentpole acceptance path: an UNSAT
+// DIMACS job with "proof": true answers with a DRAT stream that the
+// independent checker accepts against the submitted formula, digests
+// that match the stream, and an audit record whose inclusion proof
+// verifies.
+func TestProofJobCertifiedUnsat(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2})
+	defer s.Close()
+
+	res := submitResult(t, s, proofSpec(unsatSpec(8, 1)))
+	if res.Verdict != "UNSAT" || !res.Decided {
+		t.Fatalf("verdict %q decided=%v, want UNSAT", res.Verdict, res.Decided)
+	}
+	p := res.Proof
+	if p == nil {
+		t.Fatal("proof job returned no certification block")
+	}
+	if p.Checker != "verified" {
+		t.Fatalf("checker %q, want verified", p.Checker)
+	}
+	if p.DRAT == "" {
+		t.Fatal("verified UNSAT certificate carries no DRAT stream")
+	}
+	// Independent re-verification of the served stream, exactly what an
+	// external client would do.
+	f := gen.XorChain(8, true, 1)
+	if err := solver.VerifyDRAT(f, strings.NewReader(p.DRAT)); err != nil {
+		t.Fatalf("served DRAT rejected by independent checker: %v", err)
+	}
+	sum := sha256.Sum256([]byte(p.DRAT))
+	if p.ProofDigest != hex.EncodeToString(sum[:]) {
+		t.Fatal("proof digest does not match the served stream")
+	}
+	if p.ResultDigest == "" {
+		t.Fatal("no result digest")
+	}
+	if p.AuditSeq == 0 || p.AuditHash == "" {
+		t.Fatalf("certificate not committed to the audit chain: %+v", p)
+	}
+	rec, ok, err := s.audit.verify(p.AuditSeq)
+	if err != nil || !ok {
+		t.Fatalf("audit inclusion check failed: ok=%v err=%v", ok, err)
+	}
+	if rec.Hash != p.AuditHash || rec.ProofDigest != p.ProofDigest || rec.Verdict != "UNSAT" {
+		t.Fatalf("audit record %+v does not match certificate %+v", rec, p)
+	}
+	st := s.Stats()
+	if st.ProofJobs != 1 || st.AuditRecords != 1 || !st.AuditChainValid {
+		t.Fatalf("stats %+v, want 1 proof job, 1 audit record, valid chain", st)
+	}
+	if st.ProofFailures != 0 {
+		t.Fatalf("unexpected proof check failures: %d", st.ProofFailures)
+	}
+}
+
+// TestProofJobTrivialUnsat: a formula refuted by root-level propagation
+// alone has an EMPTY refutation — no lemmas are needed, the checker's
+// final database-conflicts pass certifies the formula against itself.
+// The certificate must come back "verified", not "unavailable".
+func TestProofJobTrivialUnsat(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2})
+	defer s.Close()
+
+	res := submitResult(t, s, proofSpec(Spec{
+		Kind:   KindDIMACS,
+		DIMACS: "p cnf 1 2\n1 0\n-1 0\n",
+	}))
+	if res.Verdict != "UNSAT" || !res.Decided {
+		t.Fatalf("verdict %q decided=%v, want UNSAT", res.Verdict, res.Decided)
+	}
+	p := res.Proof
+	if p == nil {
+		t.Fatal("proof job returned no certification block")
+	}
+	if p.Checker != "verified" {
+		t.Fatalf("checker %q, want verified (empty refutation)", p.Checker)
+	}
+	if p.DRAT != "" || p.Deletions != 0 {
+		t.Fatalf("trivial refutation should be empty, got %d bytes, %d deletions", len(p.DRAT), p.Deletions)
+	}
+	if p.AuditSeq == 0 {
+		t.Fatal("trivial certificate not audited")
+	}
+	if _, ok, err := s.audit.verify(p.AuditSeq); err != nil || !ok {
+		t.Fatalf("audit inclusion proof: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestProofJobCertifiedSat: SAT verdicts are certified by the
+// server-side model check and audited, with no DRAT payload.
+func TestProofJobCertifiedSat(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2})
+	defer s.Close()
+
+	res := submitResult(t, s, proofSpec(satSpec(8, 2)))
+	if res.Verdict != "SAT" {
+		t.Fatalf("verdict %q, want SAT", res.Verdict)
+	}
+	p := res.Proof
+	if p == nil || p.Checker != "verified" {
+		t.Fatalf("proof block %+v, want verified", p)
+	}
+	if p.DRAT != "" {
+		t.Fatal("SAT certificate must not carry a DRAT stream")
+	}
+	if p.AuditSeq == 0 {
+		t.Fatal("SAT certificate not audited")
+	}
+}
+
+// TestProofCacheSeparation pins the satellite bugfix: proof jobs live
+// in a disjoint cache keyspace, so a certified submission is never
+// satisfied from a proofless entry (and vice versa), while repeat
+// certified submissions do hit — certificate intact.
+func TestProofCacheSeparation(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2})
+	defer s.Close()
+
+	plain := unsatSpec(7, 3)
+	r1 := submitResult(t, s, plain)
+	if r1.Cached || r1.Proof != nil {
+		t.Fatalf("fresh plain solve: %+v", r1)
+	}
+	// Same formula with proof: the proofless entry must not serve it.
+	r2 := submitResult(t, s, proofSpec(plain))
+	if r2.Cached {
+		t.Fatal("proof job satisfied from a proofless cache entry")
+	}
+	if r2.Proof == nil || r2.Proof.Checker != "verified" {
+		t.Fatalf("proof job not certified: %+v", r2.Proof)
+	}
+	// Repeat proof submission: a hit, with the certificate intact.
+	r3 := submitResult(t, s, proofSpec(plain))
+	if !r3.Cached {
+		t.Fatal("second proof submission should hit the proof-keyed entry")
+	}
+	if r3.Proof == nil || r3.Proof.DRAT != r2.Proof.DRAT || r3.Proof.AuditSeq != r2.Proof.AuditSeq {
+		t.Fatalf("cached certificate mangled: %+v vs %+v", r3.Proof, r2.Proof)
+	}
+	// The plain entry still serves plain submissions, without paying for
+	// the certificate payload.
+	r4 := submitResult(t, s, plain)
+	if !r4.Cached || r4.Proof != nil {
+		t.Fatalf("plain resubmission: %+v", r4)
+	}
+}
+
+// TestProofIgnoresSmuggledProoflessEntry: even a proofless result
+// planted directly under the proof-namespace key (a corrupted or
+// hand-edited store) cannot satisfy a certified submission.
+func TestProofIgnoresSmuggledProoflessEntry(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2})
+	defer s.Close()
+
+	sp := proofSpec(unsatSpec(6, 4))
+	parsed, _, err := sp.parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cache.put(sp.cacheKey(parsed), Result{Kind: KindDIMACS, Verdict: "UNSAT", Decided: true})
+	res := submitResult(t, s, sp)
+	if res.Cached || res.Proof == nil {
+		t.Fatalf("smuggled proofless entry satisfied a proof job: %+v", res)
+	}
+}
+
+// TestProofRejectedForNonDIMACS: certification is a DIMACS-only
+// contract; other kinds answer ErrBadJob at submission.
+func TestProofRejectedForNonDIMACS(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 1, MaxRunning: 1})
+	defer s.Close()
+
+	cec := cecSpec(t, true)
+	cec.Proof = true
+	if _, err := s.Submit(cec); !errors.Is(err, ErrBadJob) {
+		t.Fatalf("CEC proof submission: %v, want ErrBadJob", err)
+	}
+	bmc := bmcSpec(3)
+	bmc.Proof = true
+	if _, err := s.Submit(bmc); !errors.Is(err, ErrBadJob) {
+		t.Fatalf("BMC proof submission: %v, want ErrBadJob", err)
+	}
+}
+
+// TestAuditChainSurvivesRestart: the chain head, the inclusion proof of
+// an earlier record, and the cached certificate itself all survive a
+// scheduler restart over the same store, and new appends extend the
+// recovered chain.
+func TestAuditChainSurvivesRestart(t *testing.T) {
+	st := store.NewMem()
+	s1 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, Store: st})
+	sp := proofSpec(unsatSpec(8, 5))
+	r1 := submitResult(t, s1, sp)
+	if r1.Proof == nil || r1.Proof.AuditSeq == 0 {
+		t.Fatalf("no audited certificate: %+v", r1.Proof)
+	}
+	seq, hash := r1.Proof.AuditSeq, r1.Proof.AuditHash
+	len1, head1, _ := s1.audit.headInfo()
+	s1.Close()
+
+	s2 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, Store: st})
+	defer s2.Close()
+	len2, head2, ok := s2.audit.headInfo()
+	if !ok {
+		t.Fatal("recovered chain failed boot verification")
+	}
+	if len2 != len1 || head2 != head1 {
+		t.Fatalf("chain head changed across restart: (%d,%s) vs (%d,%s)", len2, head2, len1, head1)
+	}
+	rec, vok, err := s2.audit.verify(seq)
+	if err != nil || !vok {
+		t.Fatalf("inclusion proof failed after restart: ok=%v err=%v", vok, err)
+	}
+	if rec.Hash != hash {
+		t.Fatal("audit record hash changed across restart")
+	}
+	// The persisted result replays as a cache hit WITH its certificate.
+	r2 := submitResult(t, s2, sp)
+	if !r2.Cached || r2.Proof == nil || r2.Proof.AuditSeq != seq {
+		t.Fatalf("restart lost the certified cache entry: %+v", r2)
+	}
+	// New appends continue the recovered chain.
+	r3 := submitResult(t, s2, proofSpec(unsatSpec(8, 6)))
+	if r3.Proof == nil || r3.Proof.AuditSeq != seq+1 {
+		t.Fatalf("append after restart got seq %d, want %d", r3.Proof.AuditSeq, seq+1)
+	}
+}
+
+// TestAuditDetectsTamper: flipping one byte of a stored record breaks
+// its inclusion proof, and a restart over the tampered store reports
+// the chain invalid.
+func TestAuditDetectsTamper(t *testing.T) {
+	st := store.NewMem()
+	s1 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, Store: st})
+	r := submitResult(t, s1, proofSpec(unsatSpec(7, 7)))
+	seq := r.Proof.AuditSeq
+	s1.Close()
+
+	val, okGet := st.Get(recAudit, auditKey(seq))
+	if !okGet {
+		t.Fatal("audit record missing from store")
+	}
+	tampered := bytes.Replace(val, []byte(`"UNSAT"`), []byte(`"SAT__"`), 1)
+	if bytes.Equal(tampered, val) {
+		t.Fatal("tamper substitution did not apply")
+	}
+	if err := st.Put(store.Record{Kind: recAudit, Key: auditKey(seq), Val: tampered}); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2, Store: st})
+	defer s2.Close()
+	if _, _, ok := s2.audit.headInfo(); ok {
+		t.Fatal("tampered chain passed boot verification")
+	}
+	if _, vok, err := s2.audit.verify(seq); err == nil && vok {
+		t.Fatal("tampered record passed its inclusion check")
+	}
+}
+
+// TestHTTPProofAndAuditEndpoints drives the certification surface the
+// way a client does: submit with "proof": true, fetch the certificate
+// from /v1/jobs/{id}/proof, check its audit record and the chain head,
+// and confirm the proof metrics are exported.
+func TestHTTPProofAndAuditEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 2})
+
+	resp, v := postJob(t, ts, submitRequest{Spec: proofSpec(unsatSpec(8, 9))})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d, want 200", resp.StatusCode)
+	}
+	if v.Result == nil || v.Result.Proof == nil {
+		t.Fatalf("view %+v, want an inline certificate", v)
+	}
+
+	pr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/proof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("proof status %d, want 200", pr.StatusCode)
+	}
+	var proofResp struct {
+		Verdict string     `json:"verdict"`
+		Decided bool       `json:"decided"`
+		Proof   *ProofInfo `json:"proof"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&proofResp); err != nil {
+		t.Fatal(err)
+	}
+	if proofResp.Verdict != "UNSAT" || !proofResp.Decided {
+		t.Fatalf("proof endpoint verdict %+v", proofResp)
+	}
+	p := proofResp.Proof
+	if p == nil || p.Checker != "verified" || p.DRAT == "" || p.AuditSeq == 0 {
+		t.Fatalf("proof block %+v", p)
+	}
+	if err := solver.VerifyDRAT(gen.XorChain(8, true, 9), strings.NewReader(p.DRAT)); err != nil {
+		t.Fatalf("endpoint DRAT rejected: %v", err)
+	}
+
+	ar, err := http.Get(fmt.Sprintf("%s/v1/audit/%d", ts.URL, p.AuditSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar.Body.Close()
+	var auditResp struct {
+		Record        *auditRecord `json:"record"`
+		ChainVerified bool         `json:"chain_verified"`
+	}
+	if err := json.NewDecoder(ar.Body).Decode(&auditResp); err != nil {
+		t.Fatal(err)
+	}
+	if ar.StatusCode != http.StatusOK || !auditResp.ChainVerified {
+		t.Fatalf("audit record status %d verified=%v", ar.StatusCode, auditResp.ChainVerified)
+	}
+	if auditResp.Record.Hash != p.AuditHash {
+		t.Fatal("audit endpoint hash does not match the certificate")
+	}
+
+	hr, err := http.Get(ts.URL + "/v1/audit/head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var headResp struct {
+		Records uint64 `json:"records"`
+		Head    string `json:"head"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&headResp); err != nil {
+		t.Fatal(err)
+	}
+	if headResp.Records == 0 || headResp.Head == "" {
+		t.Fatalf("audit head %+v", headResp)
+	}
+
+	// A proofless job's /proof is a 404, not an empty certificate.
+	_, v2 := postJob(t, ts, submitRequest{Spec: satSpec(6, 1)})
+	nr, err := http.Get(ts.URL + "/v1/jobs/" + v2.ID + "/proof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr.Body.Close()
+	if nr.StatusCode != http.StatusNotFound {
+		t.Fatalf("proofless job /proof status %d, want 404", nr.StatusCode)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	raw, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		"satserved_proof_jobs_total 1",
+		"satserved_audit_records 1",
+		"satserved_audit_chain_valid 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

@@ -24,7 +24,13 @@
 //   - cross-run recipe memory: decided portfolio wins are recorded per
 //     instance class, and later jobs of the same class have their
 //     respawn schedule's explore arm seeded toward the remembered
-//     recipe family (portfolio.Options.PreferRecipe).
+//     recipe family (portfolio.Options.PreferRecipe);
+//   - certified results: a Spec.Proof DIMACS job answers UNSAT with a
+//     streamed DRAT refutation (deletion lines included) re-checked
+//     server-side by the independent RUP checker, answers SAT with a
+//     server-verified model, and commits the verdict's digests to a
+//     hash-chained audit log (audit.go) whose inclusion proofs survive
+//     restarts when a store is configured.
 package serve
 
 import (
@@ -32,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -173,6 +180,15 @@ type Stats struct {
 	Sessions session.Stats
 	// Store snapshots the persistence layer (zero when store-less).
 	Store StoreStats
+	// ProofJobs / ProofReplays / ProofFailures count decided certified
+	// jobs, replay-derived certificates and rejected certificates.
+	ProofJobs, ProofReplays, ProofFailures int64
+	// AuditRecords is the audit chain length; AuditAppendErrors counts
+	// failed synchronous appends; AuditChainValid reports the boot-time
+	// chain verification.
+	AuditRecords      uint64
+	AuditAppendErrors int64
+	AuditChainValid   bool
 }
 
 // Scheduler multiplexes solve jobs over a bounded CPU budget. Create
@@ -194,6 +210,9 @@ type Scheduler struct {
 	storeReplayedResults, storeReplayedClasses int64
 	storeReplayedWarm, storeReplaySkipped      int64
 	storeReplayDur                             time.Duration
+	// audit is the hash-chained log of certified verdicts, backed by
+	// cfg.Store (or a private MemStore when store-less); see audit.go.
+	audit *auditLog
 	// sessions is the resident-formula session manager; its query
 	// execution is gated against this scheduler's CPU ledger.
 	sessions *session.Manager
@@ -226,6 +245,11 @@ type Scheduler struct {
 
 	submitted, completed, failed, cancelled int64
 	shed, solves, cacheHits, coalesced      int64
+	// proofJobs counts decided Spec.Proof jobs; proofReplays the ones
+	// whose certificate came from the bounded replay solve; and
+	// proofFailures the server-side certificate rejections (a "failed:"
+	// checker outcome — solver-bug territory, worth alerting on).
+	proofJobs, proofReplays, proofFailures int64
 }
 
 // NewScheduler starts a scheduler with cfg's executors running.
@@ -246,6 +270,12 @@ func NewScheduler(cfg Config) *Scheduler {
 		// already see yesterday's cache hits and warm profiles.
 		s.loadStore()
 		s.persist = newPersister(cfg.Store)
+		s.audit = openAudit(cfg.Store, false)
+	} else {
+		// Store-less schedulers still get a working audit chain for the
+		// process lifetime: certification must not depend on deployment
+		// configuration.
+		s.audit = openAudit(store.NewMem(), true)
 	}
 	s.sessions = session.NewManager(session.Config{
 		MaxResident: cfg.SessionMaxResident,
@@ -335,6 +365,13 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	if !spec.NoCache {
 		key = spec.cacheKey(parsed)
 		cached, cacheHit = s.cache.get(key)
+		// Defense in depth behind the keyspace separation: a proof job
+		// must never be satisfied from an entry without a certificate
+		// (a hand-edited or corrupted store could smuggle a proofless
+		// result in under a proof-namespace key).
+		if cacheHit && spec.Proof && cached.Proof == nil {
+			cacheHit = false
+		}
 	}
 
 	s.mu.Lock()
@@ -470,9 +507,15 @@ func (s *Scheduler) Stats() Stats {
 	// their own locks and must not stall executors behind ours.
 	sess := s.sessions.Stats()
 	st := s.storeStats()
+	auditSeq, _, auditOK := s.audit.headInfo()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
+		ProofJobs: s.proofJobs, ProofReplays: s.proofReplays,
+		ProofFailures:     s.proofFailures,
+		AuditRecords:      auditSeq,
+		AuditAppendErrors: s.audit.errs.Load(),
+		AuditChainValid:   auditOK,
 		Submitted: s.submitted, Completed: s.completed,
 		Failed: s.failed, Cancelled: s.cancelled,
 		Shed: s.shed, Solves: s.solves,
@@ -510,6 +553,7 @@ func (s *Scheduler) Close() {
 			if s.persist != nil {
 				s.persist.close()
 			}
+			s.audit.close()
 			return
 		}
 	}
@@ -608,6 +652,27 @@ func (s *Scheduler) runJob(j *Job) {
 	default:
 		res.WallMS = time.Since(start).Milliseconds()
 		if res.Decided {
+			if res.Proof != nil {
+				// Commit the verdict's digests to the hash-chained audit
+				// log BEFORE the result becomes visible (cache, waiters):
+				// a certified verdict a client can see is always already
+				// in the chain. Synchronous by design — this is the one
+				// persistence path correctness depends on, so it never
+				// goes through the dropping write-behind queue.
+				if seq, hash, err := s.audit.append(j.ID, res.Kind, res.Verdict, res.Proof); err == nil {
+					res.Proof.AuditSeq = seq
+					res.Proof.AuditHash = hash
+				}
+				s.mu.Lock()
+				s.proofJobs++
+				if res.Proof.Replayed {
+					s.proofReplays++
+				}
+				if strings.HasPrefix(res.Proof.Checker, "failed") {
+					s.proofFailures++
+				}
+				s.mu.Unlock()
+			}
 			if !j.spec.NoCache {
 				evictedKey, evicted := s.cache.put(j.key, *res)
 				// Write-behind: the verdict is durable soon after — not

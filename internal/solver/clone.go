@@ -91,7 +91,7 @@ func (s *Solver) Checkpoint() (*Checkpoint, error) {
 	if s.theory != nil {
 		return nil, ErrCheckpointTheory
 	}
-	if s.proofLog != nil {
+	if s.proof != nil {
 		return nil, ErrCheckpointProof
 	}
 	s.cancelUntil(0)

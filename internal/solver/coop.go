@@ -164,11 +164,12 @@ func (s *Solver) lbd(lits []cnf.Lit) int {
 // clause at decision level 0. It must be called with an empty trail
 // queue at level 0. It returns false if an imported clause (all of which
 // are consequences of the problem clauses) closes the formula — i.e. the
-// database became unsatisfiable. Import is suppressed under LogProof:
-// foreign clauses are not RUP steps of this solver's lemma sequence, so
-// they would poison an otherwise verifiable refutation.
+// database became unsatisfiable. Import is suppressed while a proof is
+// being streamed (Options.Proof / LogProof): foreign clauses are not
+// RUP steps of this solver's lemma sequence, so they would poison an
+// otherwise verifiable refutation.
 func (s *Solver) importShared() bool {
-	if s.opts.ImportClauses == nil || s.proofLog != nil {
+	if s.opts.ImportClauses == nil || s.proof != nil {
 		return true
 	}
 	for _, c := range s.opts.ImportClauses() {

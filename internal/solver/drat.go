@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnf"
+)
+
+// dratFlushSize is the internal buffer high-water mark at which a
+// DRATWriter pushes bytes to the underlying writer.
+const dratFlushSize = 1 << 15
+
+// DRATWriter is a ProofWriter that encodes the proof stream in the
+// standard textual DRAT format: one clause per line in DIMACS literal
+// notation terminated by 0, deletions prefixed with "d ". Writes are
+// buffered; call Flush when the solve finishes and check Err — the
+// Learn/Delete hot path swallows I/O errors (the solver must not fail
+// mid-search over a sink hiccup) and latches the first one instead.
+type DRATWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewDRATWriter returns a DRAT encoder over w.
+func NewDRATWriter(w io.Writer) *DRATWriter {
+	return &DRATWriter{w: w, buf: make([]byte, 0, dratFlushSize+256)}
+}
+
+// Learn encodes a lemma-addition line.
+func (d *DRATWriter) Learn(lits []cnf.Lit) { d.line(false, lits) }
+
+// Delete encodes a "d" deletion line.
+func (d *DRATWriter) Delete(lits []cnf.Lit) { d.line(true, lits) }
+
+func (d *DRATWriter) line(del bool, lits []cnf.Lit) {
+	if d.err != nil {
+		return
+	}
+	if del {
+		d.buf = append(d.buf, 'd', ' ')
+	}
+	for _, l := range lits {
+		d.buf = strconv.AppendInt(d.buf, int64(l.DIMACS()), 10)
+		d.buf = append(d.buf, ' ')
+	}
+	d.buf = append(d.buf, '0', '\n')
+	if len(d.buf) >= dratFlushSize {
+		d.flush()
+	}
+}
+
+func (d *DRATWriter) flush() {
+	if d.err == nil && len(d.buf) > 0 {
+		_, d.err = d.w.Write(d.buf)
+	}
+	d.buf = d.buf[:0]
+}
+
+// Flush pushes any buffered bytes and returns the latched error.
+func (d *DRATWriter) Flush() error {
+	d.flush()
+	return d.err
+}
+
+// Err returns the first error the underlying writer reported.
+func (d *DRATWriter) Err() error { return d.err }
+
+// ParseDRAT reads a textual DRAT stream and invokes fn for each step in
+// order (del marks "d" deletion lines). Comment lines starting with "c"
+// and blank lines are skipped. The clause slice is freshly allocated
+// per step and may be retained. Parsing stops at the first malformed
+// line or the first non-nil error from fn.
+func ParseDRAT(r io.Reader, fn func(del bool, cl cnf.Clause) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || fields[0] == "c" {
+			continue
+		}
+		del := false
+		if fields[0] == "d" {
+			del = true
+			fields = fields[1:]
+		}
+		var cl cnf.Clause
+		closed := false
+		for _, f := range fields {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return fmt.Errorf("solver: drat line %d: bad literal %q", lineNo, f)
+			}
+			if n == 0 {
+				closed = true
+				break
+			}
+			cl = append(cl, cnf.FromDIMACS(n))
+		}
+		if !closed {
+			return fmt.Errorf("solver: drat line %d: missing terminating 0", lineNo)
+		}
+		if err := fn(del, cl); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// VerifyDRAT checks a textual DRAT stream as a refutation of f using
+// the incremental Checker: every addition must be RUP against the live
+// database, deletions detach clauses, and the final database must
+// propagate to a conflict. This is the entry point for externally
+// stored proofs (satsolve -drat-check, the serve layer's /proof
+// verification); in-process verification can use VerifyUnsat on the
+// in-memory log instead.
+func VerifyDRAT(f *cnf.Formula, r io.Reader) error {
+	chk := NewChecker(f)
+	if err := ParseDRAT(r, func(del bool, cl cnf.Clause) error {
+		if del {
+			chk.Delete(cl)
+			return nil
+		}
+		return chk.Learn(cl)
+	}); err != nil {
+		return err
+	}
+	return chk.Done()
+}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/cnf"
@@ -34,6 +35,12 @@ var fuzzConfigs = []Options{
 	{Inprocess: true, InprocessNoVivify: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
 	{Inprocess: true, InprocessVarElim: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
 	{Inprocess: true, InprocessVarElim: true, InprocessNoVivify: true, InprocessNoSubsume: true, InprocessEvery: 1, Restart: RestartFixed, RestartBase: 2},
+	// Proof logging under deletion pressure: the tiny learnt cap plus a
+	// fast restart cadence forces reduceDB, so the stream carries "d"
+	// lines and the checker's deletion handling is exercised. Appended
+	// after the older entries — seed corpus bytes index this slice.
+	{LogProof: true, MaxLearnts: 1, Restart: RestartFixed, RestartBase: 2},
+	{LogProof: true, NoLearning: true, Chronological: true},
 }
 
 // decodeFuzzFormula interprets fuzz bytes as a bounded CNF instance
@@ -86,6 +93,110 @@ func decodeFuzzFormula(data []byte) (*cnf.Formula, Options) {
 // This is the ground-truth harness every scheduling or heuristic change
 // must keep green: heuristics may change how the search walks, never
 // what it answers.
+// proofFuzzConfigs is the palette FuzzProofVerify draws from: all log
+// proofs, spanning no deletions, heavy reduceDB deletion pressure, and
+// NoLearning temp clauses.
+var proofFuzzConfigs = []Options{
+	{LogProof: true},
+	{LogProof: true, MaxLearnts: 1, Restart: RestartFixed, RestartBase: 2},
+	{LogProof: true, Deletion: DeleteByRelevance, RelevanceBound: 2, MaxLearnts: 4},
+	{LogProof: true, NoLearning: true},
+}
+
+// FuzzProofVerify is the proof-pipeline fuzzer: on every generated
+// UNSAT instance the emitted DRAT stream (including deletion lines)
+// must pass the incremental checker both in memory and through the
+// textual encode/parse round trip; a fresh-variable lemma spliced in at
+// any position before the conflict must be rejected, as must truncating
+// the stream before the conflict; and no stream may ever pass against a
+// brute-force-satisfiable formula (checker soundness: an accepted
+// refutation implies UNSAT).
+func FuzzProofVerify(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 0, 0x81, 0})                   // x ∧ ¬x
+	f.Add([]byte{3, 1, 1, 2, 0, 0x81, 3, 0, 0x82, 0x83, 0})
+	f.Add([]byte{2, 1, 1, 2, 0, 0x81, 2, 0, 1, 0x82, 0, 0x81, 0x82, 0}) // unsat 2-var square
+	f.Add([]byte{4, 2, 1, 2, 0, 0x81, 0x82, 0, 3, 4, 0, 0x83, 0x84, 0, 1, 3, 0, 0x81, 0x83, 0})
+	f.Add([]byte{5, 3, 0}) // single empty clause
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		formula, _ := decodeFuzzFormula(data)
+		if formula == nil {
+			t.Skip("undecodable")
+		}
+		opts := proofFuzzConfigs[int(data[1])%len(proofFuzzConfigs)]
+		s := FromFormula(formula, opts)
+		st := s.Solve()
+		p := s.Proof()
+		if st == Sat {
+			// Soundness: no step stream may refute a satisfiable formula.
+			if err := VerifyUnsat(formula, p); err == nil {
+				t.Fatalf("checker accepted a refutation of a satisfiable formula %v", formula)
+			}
+			return
+		}
+		if st != Unsat {
+			t.Fatalf("complete configuration returned Unknown on %v", formula)
+		}
+		if err := VerifyUnsat(formula, p); err != nil {
+			t.Fatalf("emitted proof rejected: %v on %v (opts %+v)", err, formula, opts)
+		}
+		// Textual round trip: encode the same steps as DRAT, re-parse,
+		// re-verify.
+		var buf bytes.Buffer
+		w := NewDRATWriter(&buf)
+		for _, step := range p.Steps {
+			if step.Del {
+				w.Delete(step.Clause)
+			} else {
+				w.Learn(step.Clause)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyDRAT(formula, bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("DRAT round trip rejected: %v on %v", err, formula)
+		}
+		// Mutation and truncation: replay the stream on one incremental
+		// checker. Before the database first conflicts, a unit over a
+		// fresh variable can never be RUP — splicing one in at any such
+		// position must be rejected — and the prefix so far must not
+		// verify as a complete proof.
+		chk := NewChecker(formula)
+		firstConflict := -1
+		for i, step := range p.Steps {
+			if chk.Conflict() {
+				firstConflict = i
+				break
+			}
+			fresh := cnf.NewClause(formula.NumVars() + 2 + i)
+			if err := chk.Learn(fresh); err == nil {
+				t.Fatalf("fresh-variable lemma accepted at step %d on %v", i, formula)
+			}
+			if step.Del {
+				chk.Delete(step.Clause)
+				continue
+			}
+			if err := chk.Learn(step.Clause); err != nil {
+				t.Fatalf("replay diverged at step %d: %v", i, err)
+			}
+		}
+		if firstConflict < 0 {
+			// The conflict arrived only with the very last step.
+			firstConflict = len(p.Steps)
+		}
+		if firstConflict > 0 {
+			trunc := &Proof{Steps: p.Steps[:firstConflict-1]}
+			if err := VerifyUnsat(formula, trunc); err == nil {
+				t.Fatalf("truncated proof (%d of %d steps) accepted on %v",
+					firstConflict-1, len(p.Steps), formula)
+			}
+		}
+	})
+}
+
 func FuzzSolverVsBrute(f *testing.F) {
 	f.Add([]byte{3, 0, 1, 2, 0, 0x81, 3, 0, 0x82, 0x83, 0})
 	f.Add([]byte{1, 1, 1, 0, 0x81, 0})          // x ∧ ¬x: unsat

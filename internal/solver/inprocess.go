@@ -91,7 +91,7 @@ func (s *Solver) isEliminated(v cnf.Var) bool {
 func (s *Solver) inprocess(restart int) bool {
 	o := &s.opts
 	if !o.Inprocess || o.NoLearning || o.LegacyWatcherStore ||
-		s.theory != nil || s.proofLog != nil || !s.ok {
+		s.theory != nil || s.proof != nil || !s.ok {
 		return s.ok
 	}
 	if restart%o.InprocessEvery != 0 || s.stop.Load() {

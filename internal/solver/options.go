@@ -156,9 +156,10 @@ type Options struct {
 	// promoting it in place) and subsumes/strengthens learnt clauses
 	// against the core tier through an occurrence index rebuilt lazily
 	// from the arena headers. Inprocessing is skipped under NoLearning,
-	// LogProof (in-place strengthening is not part of the lemma
-	// sequence), LegacyWatcherStore (the baseline store has no eager
-	// detach path), and while a structural theory is attached.
+	// proof streaming (LogProof/Proof: in-place strengthening rewrites
+	// clauses instead of extending the lemma sequence),
+	// LegacyWatcherStore (the baseline store has no eager detach path),
+	// and while a structural theory is attached.
 	Inprocess bool
 
 	// InprocessNoVivify and InprocessNoSubsume veto the individual
@@ -199,12 +200,22 @@ type Options struct {
 	MaxConflicts int64
 	MaxDecisions int64
 
-	// LogProof records every conflict clause into a DRUP-style proof
-	// log retrievable via Proof(); VerifyUnsat can then independently
-	// validate an (assumption-free) Unsat answer. LogProof disables
-	// ImportClauses (see there): a verifiable proof must be derived
-	// entirely by this solver.
+	// LogProof records the DRAT proof stream — every conflict clause
+	// plus a deletion step for every learnt clause the deletion policy
+	// drops — into an in-memory log retrievable via Proof(); VerifyUnsat
+	// can then independently validate an (assumption-free) Unsat answer.
+	// LogProof disables ImportClauses (see there): a verifiable proof
+	// must be derived entirely by this solver. Ignored when Proof is
+	// also set (the external sink wins and no in-memory log is kept).
 	LogProof bool
+
+	// Proof, when non-nil, streams the same DRAT step sequence to an
+	// external sink as the search runs (e.g. a DRATWriter over a file),
+	// so UNSAT proofs need not grow resident memory. The literal slices
+	// passed to the sink are borrowed and valid only during the call.
+	// Like LogProof it suppresses ImportClauses and inprocessing, and a
+	// solver with a proof sink cannot be checkpointed.
+	Proof ProofWriter
 
 	// ExportClause, when non-nil, is invoked from the solving goroutine
 	// for every recorded conflict clause of length at most ShareMaxLen

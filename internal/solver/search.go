@@ -248,8 +248,8 @@ func (s *Solver) search(maxConfl int64) Status {
 // (the conflict-induced necessary assignment). lbd is the clause's
 // literal-block distance computed at learn time by analyze.
 func (s *Solver) record(learnt []cnf.Lit, lbd int) {
-	if s.proofLog != nil {
-		s.proofLog.Lemmas = append(s.proofLog.Lemmas, append(cnf.Clause(nil), learnt...))
+	if s.proof != nil {
+		s.proof.Learn(learnt)
 	}
 	if len(learnt) == 1 {
 		// Unit implicates always go to the top level.
@@ -305,6 +305,7 @@ func (s *Solver) reduceDB() {
 					w++
 					continue
 				}
+				s.proofDelete(c)
 				s.db.markDeleted(c)
 				s.Stats.Deleted++
 			}
@@ -346,6 +347,7 @@ func (s *Solver) reduceDB() {
 		target := len(local) / 2
 		for _, c := range local {
 			if removed < target && !locked(c) && s.db.size(c) > 2 && s.db.act(c) < mean {
+				s.proofDelete(c)
 				s.db.markDeleted(c)
 				s.Stats.Deleted++
 				removed++

@@ -101,7 +101,8 @@ type Solver struct {
 
 	warmDone bool // Options.WarmStart has been applied (first Solve)
 
-	proofLog *Proof // recorded conflict clauses (Options.LogProof)
+	proof    ProofWriter // streaming DRAT sink (Options.Proof / LogProof)
+	proofLog *Proof      // in-memory log behind s.Proof() (Options.LogProof)
 
 	// prog mirrors the scheduling-relevant subset of Stats in atomics so
 	// Snapshot can sample a RUNNING search from another goroutine (the
@@ -129,8 +130,11 @@ func New(n int, opts Options) *Solver {
 	}
 	s.rng = rand.New(rand.NewSource(s.opts.Seed))
 	s.order = newVarHeap(&s.activity)
-	if s.opts.LogProof {
+	if s.opts.Proof != nil {
+		s.proof = s.opts.Proof
+	} else if s.opts.LogProof {
 		s.proofLog = &Proof{}
+		s.proof = s.proofLog
 	}
 	s.watches.init(s.opts.WatchPageSize)
 	s.binWatches.init(s.opts.WatchPageSize)
