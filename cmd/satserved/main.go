@@ -24,8 +24,10 @@
 // refutation or model check), with the hash-chained audit trail on GET
 // /v1/audit/head and /v1/audit/{seq}; POST /v1/sessions, GET/DELETE
 // /v1/sessions/{id}, POST /v1/sessions/{id}/query ("stream": true for
-// SSE progress); plus /healthz and /metrics. See the README quickstart
-// for curl examples.
+// SSE progress); plus /healthz, Prometheus-style /metrics, per-job
+// latency-attribution traces on GET /v1/jobs/{id}/trace, and — only
+// with -pprof — the net/http/pprof profiling endpoints under
+// /debug/pprof/. See the README quickstart for curl examples.
 //
 // With -store-dir the result cache, recipe memory, warm-start profiles
 // AND the certified-result audit chain survive restarts (snapshot+WAL,
@@ -69,6 +71,8 @@ func main() {
 
 		peers     = flag.String("peers", "", "comma-separated base URLs of the OTHER fleet replicas (enables consistent-hash job routing)")
 		advertise = flag.String("advertise", "", "this replica's base URL exactly as it appears in peers' -peers lists (required with -peers)")
+
+		pprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default: profiling endpoints are unauthenticated)")
 	)
 	flag.Parse()
 
@@ -96,6 +100,9 @@ func main() {
 		SessionQueueDepth:  *sessQueue,
 	})
 	api := serve.NewServer(sched)
+	if *pprof {
+		api.EnablePprof()
+	}
 	if *peers != "" {
 		if *advertise == "" {
 			fmt.Fprintln(os.Stderr, "satserved: -peers requires -advertise (this replica's base URL as the fleet knows it)")

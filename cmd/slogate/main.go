@@ -1,0 +1,67 @@
+// Command slogate is the CI release gate: it evaluates a satload
+// report (BENCH_serve.json) against the committed SLO definition
+// (SLO.json) and prints every violation. With -enforce it exits
+// non-zero on any violation — report-only on pull requests, enforcing
+// on the main branch.
+//
+// Usage:
+//
+//	slogate -report BENCH_serve.json -slo SLO.json [-enforce]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/slogate"
+)
+
+func readJSON(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		reportPath = flag.String("report", "BENCH_serve.json", "satload report to evaluate")
+		sloPath    = flag.String("slo", "SLO.json", "committed SLO definition")
+		enforce    = flag.Bool("enforce", false, "exit non-zero on violation (CI main-branch mode)")
+	)
+	flag.Parse()
+
+	var report slogate.Report
+	var slo slogate.SLO
+	if err := readJSON(*reportPath, &report); err != nil {
+		fmt.Fprintln(os.Stderr, "slogate:", err)
+		os.Exit(2)
+	}
+	if err := readJSON(*sloPath, &slo); err != nil {
+		fmt.Fprintln(os.Stderr, "slogate:", err)
+		os.Exit(2)
+	}
+
+	violations := slogate.Evaluate(&report, &slo)
+	fmt.Printf("slogate: scenario=%s duration=%.1fs completed=%d shed=%d errors=%d\n",
+		report.Scenario, report.DurationS, report.Ops.Completed, report.Ops.Shed,
+		report.Ops.Failed+report.Ops.Errors)
+	if len(violations) == 0 {
+		fmt.Println("slogate: PASS — all SLOs met")
+		return
+	}
+	for _, v := range violations {
+		fmt.Printf("slogate: VIOLATION %s\n", v)
+	}
+	if *enforce {
+		fmt.Printf("slogate: FAIL — %d violation(s), enforcing\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Printf("slogate: %d violation(s), report-only mode (pass -enforce to gate)\n", len(violations))
+}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair qualifying a metric within its family.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default latency histogram bounds in seconds:
+// sub-millisecond cache hits through multi-second portfolio solves.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry is a unified metric namespace: every family (one metric
+// name) carries HELP/TYPE metadata and any number of label-qualified
+// children. WritePrometheus renders the whole registry as parse-clean
+// Prometheus text in deterministic sorted order. A Registry is safe
+// for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func()
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name string
+	help string
+	kind metricKind
+	mu   sync.Mutex
+	// children maps the rendered label string ("" for the bare metric)
+	// to its instrument; funcs are read-at-scrape gauges.
+	children map[string]any
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// AddCollector registers a hook run at the start of every scrape
+// (WritePrometheus), before values are read. Components whose counters
+// live behind their own locks register one collector that copies a
+// consistent snapshot into their registered gauges/counters.
+func (r *Registry) AddCollector(fn func()) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, children: make(map[string]any)}
+		r.families[name] = f
+	}
+	return f
+}
+
+// renderLabels produces the canonical sorted {k="v",…} suffix.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing int64 metric. Set exists for
+// collector-fed counters whose source of truth is elsewhere (a
+// scheduler's locked counter snapshot).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the counter contract to hold).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Set overwrites the value; for collector-fed counters only.
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution with an optional exemplar:
+// the most recent (value, trace ID) pair, surfaced as a comment line
+// in the exposition so scrapes stay parse-clean while humans (and the
+// trace endpoint) can jump from a tail bucket to a concrete job.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1
+	sum    float64
+	total  uint64
+	exVal  float64
+	exID   string
+}
+
+// Observe records v (in the family's unit, typically seconds).
+func (h *Histogram) Observe(v float64) { h.ObserveEx(v, "") }
+
+// ObserveEx records v and, when exemplar is non-empty, remembers it as
+// the histogram's exemplar trace ID.
+func (h *Histogram) ObserveEx(v float64, exemplar string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += v
+	if exemplar != "" {
+		h.exVal, h.exID = v, exemplar
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Counter returns (registering on first use) the counter name{labels}.
+// help and type metadata are taken from the first registration of the
+// family.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, kindCounter)
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key].(*Counter); ok {
+		return c
+	}
+	c := &Counter{}
+	f.children[key] = c
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, kindGauge)
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.children[key].(*Gauge); ok {
+		return g
+	}
+	g := &Gauge{}
+	f.children[key] = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time.
+// Re-registering the same name+labels replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, kindGauge)
+	key := renderLabels(labels)
+	f.mu.Lock()
+	f.children[key] = fn
+	f.mu.Unlock()
+}
+
+// Histogram returns (registering on first use) the histogram
+// name{labels} with the given bucket upper bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	f := r.family(name, help, kindHistogram)
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.children[key].(*Histogram); ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	f.children[key] = h
+	return h
+}
+
+// WritePrometheus renders every family in sorted order with # HELP and
+// # TYPE metadata, children sorted by label string. Exemplars are
+// emitted as comment lines ("# exemplar …") so Prometheus text-format
+// parsers — which reject inline exemplar syntax outside OpenMetrics —
+// stay happy.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, fn := range collectors {
+		fn()
+	}
+
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, k := range keys {
+			switch m := f.children[k].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, k, m.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, k, fmtFloat(m.Value()))
+			case func() float64:
+				fmt.Fprintf(w, "%s%s %s\n", f.name, k, fmtFloat(m()))
+			case *Histogram:
+				writeHistogram(w, f.name, k, m)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+// writeHistogram renders one histogram child: cumulative _bucket
+// series, _sum and _count, plus the exemplar comment.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	exVal, exID := h.exVal, h.exID
+	h.mu.Unlock()
+
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLE(labels, fmtFloat(b)), cum)
+	}
+	cum += counts[len(bounds)]
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLE(labels, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, fmtFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, total)
+	if exID != "" {
+		fmt.Fprintf(w, "# exemplar %s%s trace_id=%s value=%s\n", name, labels, exID, fmtFloat(exVal))
+	}
+}
+
+// mergeLE splices the le label into an existing (possibly empty)
+// rendered label string.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// fmtFloat renders floats the way Prometheus likes them: integers
+// without a decimal point, everything else in minimal form.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bufio"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second family").Add(7)
+	r.Counter("a_jobs_total", "jobs by kind", L("kind", "dimacs")).Add(3)
+	r.Counter("a_jobs_total", "jobs by kind", L("kind", "cec")).Inc()
+	r.Gauge("c_depth", "queue depth").Set(4)
+	r.GaugeFunc("d_dynamic", "read at scrape", func() float64 { return 2.5 })
+	h := r.Histogram("e_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveEx(0.5, "j42")
+	h.Observe(5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+
+	// Families in sorted order.
+	for _, pair := range [][2]string{
+		{"# TYPE a_jobs_total counter", "# TYPE b_total counter"},
+		{"# TYPE b_total counter", "# TYPE c_depth gauge"},
+		{"# TYPE c_depth gauge", "# TYPE e_latency_seconds histogram"},
+	} {
+		if strings.Index(out, pair[0]) >= strings.Index(out, pair[1]) {
+			t.Fatalf("family order wrong: %q not before %q in\n%s", pair[0], pair[1], out)
+		}
+	}
+	for _, want := range []string{
+		"# HELP a_jobs_total jobs by kind",
+		`a_jobs_total{kind="cec"} 1`,
+		`a_jobs_total{kind="dimacs"} 3`,
+		"b_total 7",
+		"c_depth 4",
+		"d_dynamic 2.5",
+		`e_latency_seconds_bucket{le="0.1"} 1`,
+		`e_latency_seconds_bucket{le="1"} 2`,
+		`e_latency_seconds_bucket{le="+Inf"} 3`,
+		"e_latency_seconds_count 3",
+		"# exemplar e_latency_seconds trace_id=j42 value=0.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in\n%s", want, out)
+		}
+	}
+	// Children inside a family sorted by label string (cec before dimacs).
+	if strings.Index(out, `kind="cec"`) >= strings.Index(out, `kind="dimacs"`) {
+		t.Fatalf("child order wrong:\n%s", out)
+	}
+	// Parse-clean: every non-comment line is exactly "name value".
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+func TestRegistryIdentityAndCollector(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x")
+	c2 := r.Counter("x_total", "x")
+	if c1 != c2 {
+		t.Fatal("same name must return the same counter")
+	}
+	collected := false
+	r.AddCollector(func() { collected = true; c1.Set(9) })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !collected || !strings.Contains(sb.String(), "x_total 9") {
+		t.Fatalf("collector not run before read:\n%s", sb.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("conc_total", "c", L("g", string(rune('a'+g)))).Inc()
+				r.Histogram("conc_seconds", "h", nil).Observe(float64(i) / 100)
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Histogram("conc_seconds", "h", nil).Count() != 8*200 {
+		t.Fatal("lost observations")
+	}
+}
+
+func TestHistogramLabelMergeLE(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "l", []float64{1}, L("kind", "bmc")).Observe(0.5)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `lat_seconds_bucket{kind="bmc",le="1"} 1`) {
+		t.Fatalf("labelled bucket wrong:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,23 @@
+// Package obs is the serving stack's zero-dependency observability
+// layer: lightweight span tracing (Trace) and a unified metrics
+// registry (Registry) with Prometheus text exposition.
+//
+// The paper's EDA workloads — ATPG, BMC, CEC — are long streams of
+// related SAT queries where tail latency, not single-solve throughput,
+// is the product metric. Improving a tail requires knowing where each
+// millisecond goes: queue wait vs coalescing vs parse vs portfolio
+// solve vs proof certification vs persistence. This package provides
+// the two primitives the whole vertical threads through:
+//
+//   - Trace: a bounded, per-job ring of spans (name, start, duration,
+//     parent, attrs). The scheduler records one span per lifecycle
+//     phase; the solver's sampled phase timers become synthetic child
+//     spans of the solve. Exported as JSON on GET /v1/jobs/{id}/trace.
+//   - Registry: named counters, gauges and histograms (with exemplar
+//     trace IDs) that serve, session, store, fleet and audit register
+//     into, rendered as parse-clean Prometheus text — # HELP/# TYPE
+//     lines, deterministic sorted order.
+//
+// Both are self-contained (standard library only) and safe for
+// concurrent use.
+package obs

@@ -1,0 +1,197 @@
+// Package slogate is the release gate of the SLO load harness: it
+// defines the latency-attribution report cmd/satload emits
+// (BENCH_serve.json), the committed SLO definition (SLO.json), and the
+// evaluation that compares one against the other. CI runs the harness
+// against a freshly built fleet, then gates the result: report-only on
+// pull requests, enforcing (non-zero exit via cmd/slogate) on the main
+// branch, so a latency regression — a 5× queue wait, a solve-phase
+// blow-up, an error-ratio spike — fails the release instead of
+// shipping silently.
+package slogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist summarizes one latency distribution in milliseconds.
+type Dist struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Ops counts the harness's operation outcomes.
+type Ops struct {
+	// Submitted counts attempted operations; Completed the ones that
+	// returned a decided verdict, Failed the ones answered with a
+	// non-retryable error, Shed the 429 rejections, Errors the
+	// transport-level failures.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+}
+
+// Report is the harness output: end-to-end client latency per job kind
+// plus the per-phase attribution harvested from job traces
+// (/v1/jobs/{id}/trace), so a latency regression is localized to the
+// lifecycle phase that caused it — queue wait vs coalesce vs solve.
+type Report struct {
+	Scenario   string  `json:"scenario"`
+	DurationS  float64 `json:"duration_s"`
+	TargetRate float64 `json:"target_rate"`
+	Ops        Ops     `json:"ops"`
+	// Kinds maps job kind (dimacs, cec, bmc, session, batch) to its
+	// end-to-end client-observed latency distribution.
+	Kinds map[string]Dist `json:"kinds"`
+	// Phases maps trace span name (parse, queue, admit, solve, persist,
+	// respond, coalesce_wait) to the attributed latency distribution.
+	Phases map[string]Dist `json:"phases"`
+}
+
+// Limit bounds one distribution's percentiles; 0 leaves a percentile
+// unchecked.
+type Limit struct {
+	P50MS float64 `json:"p50_ms,omitempty"`
+	P95MS float64 `json:"p95_ms,omitempty"`
+	P99MS float64 `json:"p99_ms,omitempty"`
+}
+
+// SLO is the committed service-level objective the gate enforces.
+type SLO struct {
+	// MaxErrorRatio bounds (Failed+Errors)/Submitted; MaxShedRatio
+	// bounds Shed/Submitted (shedding is load defense, but a smoke
+	// scenario sized under capacity should barely shed).
+	MaxErrorRatio float64 `json:"max_error_ratio"`
+	MaxShedRatio  float64 `json:"max_shed_ratio"`
+	// MinCompleted guards against a vacuously green run: a harness that
+	// completed almost nothing must not pass its latency checks.
+	MinCompleted int64 `json:"min_completed"`
+	// Kinds / Phases bound the matching report distributions. A limit
+	// over a distribution the report lacks (or has no samples for) is
+	// itself a violation — silence must not pass the gate.
+	Kinds  map[string]Limit `json:"kinds,omitempty"`
+	Phases map[string]Limit `json:"phases,omitempty"`
+}
+
+// Violation is one failed SLO check.
+type Violation struct {
+	// Metric names the failed check, e.g. "phases.queue.p95_ms".
+	Metric string  `json:"metric"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	// Factor is Actual/Limit — the regression magnitude.
+	Factor float64 `json:"factor"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %.3g > limit %.3g (%.2fx)", v.Metric, v.Actual, v.Limit, v.Factor)
+}
+
+// Summarize computes the distribution summary of latency samples in
+// milliseconds. Percentiles use the nearest-rank method on the sorted
+// samples; an empty sample set yields a zero Dist.
+func Summarize(samplesMS []float64) Dist {
+	if len(samplesMS) == 0 {
+		return Dist{}
+	}
+	s := append([]float64(nil), samplesMS...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Dist{
+		Count:  int64(len(s)),
+		MeanMS: sum / float64(len(s)),
+		P50MS:  rank(0.50),
+		P95MS:  rank(0.95),
+		P99MS:  rank(0.99),
+		MaxMS:  s[len(s)-1],
+	}
+}
+
+// Evaluate compares a report against an SLO and returns every
+// violation (empty = the gate passes). Checks are independent: one
+// blown limit does not mask the others.
+func Evaluate(r *Report, s *SLO) []Violation {
+	var out []Violation
+	add := func(metric string, limit, actual float64) {
+		if limit <= 0 || actual <= limit {
+			return
+		}
+		factor := math.Inf(1)
+		if limit > 0 {
+			factor = actual / limit
+		}
+		out = append(out, Violation{Metric: metric, Limit: limit, Actual: actual, Factor: factor})
+	}
+	if r.Ops.Submitted > 0 {
+		add("ops.error_ratio", s.MaxErrorRatio,
+			float64(r.Ops.Failed+r.Ops.Errors)/float64(r.Ops.Submitted))
+		add("ops.shed_ratio", s.MaxShedRatio,
+			float64(r.Ops.Shed)/float64(r.Ops.Submitted))
+	}
+	if s.MinCompleted > 0 && r.Ops.Completed < s.MinCompleted {
+		out = append(out, Violation{
+			Metric: "ops.completed", Limit: float64(s.MinCompleted),
+			Actual: float64(r.Ops.Completed),
+			Factor: float64(s.MinCompleted) / math.Max(1, float64(r.Ops.Completed)),
+		})
+	}
+	out = append(out, evalDists("kinds", r.Kinds, s.Kinds)...)
+	out = append(out, evalDists("phases", r.Phases, s.Phases)...)
+	return out
+}
+
+// evalDists checks every limited distribution in deterministic name
+// order.
+func evalDists(group string, dists map[string]Dist, limits map[string]Limit) []Violation {
+	names := make([]string, 0, len(limits))
+	for name := range limits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Violation
+	for _, name := range names {
+		lim := limits[name]
+		d, ok := dists[name]
+		if !ok || d.Count == 0 {
+			// A bound over a distribution with no samples: the scenario
+			// regressed to the point of not exercising it, which must not
+			// read as green.
+			out = append(out, Violation{
+				Metric: group + "." + name + ".count",
+				Limit:  1, Actual: 0, Factor: math.Inf(1),
+			})
+			continue
+		}
+		prefix := group + "." + name
+		check := func(suffix string, limit, actual float64) []Violation {
+			if limit > 0 && actual > limit {
+				return []Violation{{Metric: prefix + "." + suffix, Limit: limit, Actual: actual, Factor: actual / limit}}
+			}
+			return nil
+		}
+		out = append(out, check("p50_ms", lim.P50MS, d.P50MS)...)
+		out = append(out, check("p95_ms", lim.P95MS, d.P95MS)...)
+		out = append(out, check("p99_ms", lim.P99MS, d.P99MS)...)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package slogate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// baselineReport builds a healthy mixed-scenario report whose queue
+// phase sits comfortably under the SLO used in the tests.
+func baselineReport() *Report {
+	queue := make([]float64, 0, 200)
+	solve := make([]float64, 0, 200)
+	e2e := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		q := 1.0 + float64(i%20)*0.1 // 1.0 .. 2.9 ms queue wait
+		s := 5.0 + float64(i%50)*0.2 // 5.0 .. 14.8 ms solve
+		queue = append(queue, q)
+		solve = append(solve, s)
+		e2e = append(e2e, q+s+1.0)
+	}
+	return &Report{
+		Scenario:   "mixed",
+		DurationS:  30,
+		TargetRate: 20,
+		Ops:        Ops{Submitted: 200, Completed: 198, Failed: 0, Shed: 2, Errors: 0},
+		Kinds:      map[string]Dist{"dimacs": Summarize(e2e)},
+		Phases: map[string]Dist{
+			"queue": Summarize(queue),
+			"solve": Summarize(solve),
+		},
+	}
+}
+
+func testSLO() *SLO {
+	return &SLO{
+		MaxErrorRatio: 0.02,
+		MaxShedRatio:  0.05,
+		MinCompleted:  50,
+		Kinds: map[string]Limit{
+			"dimacs": {P50MS: 50, P95MS: 100, P99MS: 200},
+		},
+		Phases: map[string]Limit{
+			"queue": {P95MS: 10},
+			"solve": {P95MS: 60},
+		},
+	}
+}
+
+func TestBaselinePassesGate(t *testing.T) {
+	if vs := Evaluate(baselineReport(), testSLO()); len(vs) != 0 {
+		t.Fatalf("baseline report must pass, got violations %v", vs)
+	}
+}
+
+// TestQueueRegressionFailsGate is the release-gate acceptance
+// criterion: the same workload with its queue-wait latencies inflated
+// 5x must fail the gate, and the violation must name the queue phase
+// so the regression is attributed, not just detected.
+func TestQueueRegressionFailsGate(t *testing.T) {
+	r := baselineReport()
+	q := r.Phases["queue"]
+	q.P50MS *= 5
+	q.P95MS *= 5
+	q.P99MS *= 5
+	q.MaxMS *= 5
+	q.MeanMS *= 5
+	r.Phases["queue"] = q
+
+	vs := Evaluate(r, testSLO())
+	if len(vs) == 0 {
+		t.Fatal("5x queue-wait regression passed the gate")
+	}
+	found := false
+	for _, v := range vs {
+		if strings.HasPrefix(v.Metric, "phases.queue.") {
+			found = true
+			if v.Factor < 1.2 {
+				t.Fatalf("violation factor %v understates the regression", v.Factor)
+			}
+		}
+		if strings.HasPrefix(v.Metric, "phases.solve.") || strings.HasPrefix(v.Metric, "kinds.") {
+			t.Fatalf("regression misattributed to %s", v.Metric)
+		}
+	}
+	if !found {
+		t.Fatalf("no violation names the queue phase: %v", vs)
+	}
+}
+
+func TestOpsChecks(t *testing.T) {
+	slo := testSLO()
+
+	r := baselineReport()
+	r.Ops.Errors = 50
+	if vs := Evaluate(r, slo); len(vs) == 0 || vs[0].Metric != "ops.error_ratio" {
+		t.Fatalf("error-ratio breach not caught: %v", vs)
+	}
+
+	r = baselineReport()
+	r.Ops.Shed = 100
+	if vs := Evaluate(r, slo); len(vs) == 0 || vs[0].Metric != "ops.shed_ratio" {
+		t.Fatalf("shed-ratio breach not caught: %v", vs)
+	}
+
+	r = baselineReport()
+	r.Ops.Completed = 3
+	vs := Evaluate(r, slo)
+	found := false
+	for _, v := range vs {
+		if v.Metric == "ops.completed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("min-completed breach not caught: %v", vs)
+	}
+}
+
+// TestMissingDistributionViolates: a limit over a phase the report
+// never sampled is a violation — an instrumentation regression must
+// not read as a pass.
+func TestMissingDistributionViolates(t *testing.T) {
+	r := baselineReport()
+	delete(r.Phases, "queue")
+	vs := Evaluate(r, testSLO())
+	if len(vs) != 1 || vs[0].Metric != "phases.queue.count" {
+		t.Fatalf("missing distribution not flagged: %v", vs)
+	}
+	if !math.IsInf(vs[0].Factor, 1) {
+		t.Fatalf("missing distribution factor should be +Inf, got %v", vs[0].Factor)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if d := Summarize(nil); d.Count != 0 {
+		t.Fatalf("empty summarize: %+v", d)
+	}
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(100 - i) // 1..100, reversed to exercise sorting
+	}
+	d := Summarize(samples)
+	if d.Count != 100 || d.P50MS != 50 || d.P95MS != 95 || d.P99MS != 99 || d.MaxMS != 100 {
+		t.Fatalf("summarize percentiles wrong: %+v", d)
+	}
+	if math.Abs(d.MeanMS-50.5) > 1e-9 {
+		t.Fatalf("mean %v, want 50.5", d.MeanMS)
+	}
+}

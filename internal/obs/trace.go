@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultSpanCap bounds the spans a Trace retains when NewTrace is
+// given 0. Beyond it the oldest finished non-root span is dropped and
+// counted, so a pathological job (thousands of certify retries, say)
+// degrades its own trace instead of growing without bound.
+const DefaultSpanCap = 256
+
+// RootSpan is the ID of the root span every Trace starts with; pass it
+// as the parent of top-level phase spans.
+const RootSpan = 1
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// A is shorthand for constructing an Attr.
+func A(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed operation inside a Trace. Times are offsets from
+// the trace start in microseconds: self-describing in JSON, compact,
+// and immune to clock skew between replicas (a trace never crosses a
+// process).
+type Span struct {
+	// ID is unique within the trace; Parent is the enclosing span's ID
+	// (0 only for the root).
+	ID     int    `json:"id"`
+	Parent int    `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// StartUS is the offset from the trace start; DurUS the span's
+	// duration (-1 while still open).
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Trace is a bounded collection of spans describing one job (or one
+// session query). It is safe for concurrent use; recording a span is
+// one short mutex hold, no allocation beyond the span itself.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	seq     int
+	spans   []Span // spans[0] is the root, never dropped
+	cap     int
+	dropped int
+}
+
+// NewTrace creates a trace whose root span is named name and open as
+// of now. capacity bounds retained spans (0 = DefaultSpanCap).
+func NewTrace(name string, capacity int) *Trace {
+	return NewTraceAt(name, capacity, time.Now())
+}
+
+// NewTraceAt is NewTrace with an explicit start instant, for callers
+// that must anchor the trace before any parsing work they also want to
+// attribute (the scheduler stamps the submit entry time).
+func NewTraceAt(name string, capacity int, start time.Time) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	t := &Trace{start: start, cap: capacity, seq: RootSpan}
+	t.spans = append(t.spans, Span{ID: RootSpan, Name: name, StartUS: 0, DurUS: -1})
+	return t
+}
+
+// Start returns the trace's start instant (the root span's zero
+// offset).
+func (t *Trace) Start() time.Time { return t.start }
+
+// Add records a completed span under parent covering [start, start+d)
+// and returns its ID.
+func (t *Trace) Add(parent int, name string, start time.Time, d time.Duration, attrs ...Attr) int {
+	return t.AddOffset(parent, name, start.Sub(t.start).Microseconds(), d.Microseconds(), attrs...)
+}
+
+// AddOffset records a completed span from explicit microsecond
+// offsets. It is the hook for synthetic attribution spans — e.g. the
+// solver's sampled phase totals, which have durations but no real
+// timeline positions.
+func (t *Trace) AddOffset(parent int, name string, startUS, durUS int64, attrs ...Attr) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := t.seq
+	if len(t.spans) >= t.cap {
+		t.evictLocked()
+	}
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Name: name,
+		StartUS: startUS, DurUS: durUS, Attrs: attrs,
+	})
+	return id
+}
+
+// Begin opens a span under parent as of now; close it with End. For
+// strictly sequential phases Add (record-after-the-fact) is simpler;
+// Begin exists for spans whose end is observed elsewhere.
+func (t *Trace) Begin(parent int, name string, attrs ...Attr) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	id := t.seq
+	if len(t.spans) >= t.cap {
+		t.evictLocked()
+	}
+	t.spans = append(t.spans, Span{
+		ID: id, Parent: parent, Name: name,
+		StartUS: time.Since(t.start).Microseconds(), DurUS: -1, Attrs: attrs,
+	})
+	return id
+}
+
+// End closes an open span, appending any attrs. Unknown IDs (a span
+// evicted while open) are ignored; End is idempotent per span.
+func (t *Trace) End(id int, attrs ...Attr) {
+	now := time.Since(t.start).Microseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		if t.spans[i].ID == id {
+			if t.spans[i].DurUS < 0 {
+				t.spans[i].DurUS = now - t.spans[i].StartUS
+				t.spans[i].Attrs = append(t.spans[i].Attrs, attrs...)
+			}
+			return
+		}
+	}
+}
+
+// Annotate appends attrs to an existing span (no-op on evicted IDs).
+func (t *Trace) Annotate(id int, attrs ...Attr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		if t.spans[i].ID == id {
+			t.spans[i].Attrs = append(t.spans[i].Attrs, attrs...)
+			return
+		}
+	}
+}
+
+// Finish closes the root span; the trace is complete. Further Adds are
+// permitted (late async spans keep their data) but the root duration
+// no longer moves.
+func (t *Trace) Finish(attrs ...Attr) { t.End(RootSpan, attrs...) }
+
+// evictLocked drops the oldest finished non-root span. If every
+// retained span is open (pathological), the oldest non-root span goes
+// regardless — boundedness beats completeness.
+func (t *Trace) evictLocked() {
+	victim := -1
+	for i := 1; i < len(t.spans); i++ {
+		if t.spans[i].DurUS >= 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 && len(t.spans) > 1 {
+		victim = 1
+	}
+	if victim < 0 {
+		return
+	}
+	t.spans = append(t.spans[:victim], t.spans[victim+1:]...)
+	t.dropped++
+}
+
+// View is a trace's serializable snapshot.
+type View struct {
+	// Name is the root span's name; StartUnixUS the trace start as a
+	// Unix-epoch microsecond timestamp.
+	Name        string `json:"name"`
+	StartUnixUS int64  `json:"start_unix_us"`
+	// DurUS is the root span's duration (-1 while the trace is open).
+	DurUS int64 `json:"dur_us"`
+	// Dropped counts spans evicted by the ring bound.
+	Dropped int    `json:"dropped,omitempty"`
+	Spans   []Span `json:"spans"`
+}
+
+// Snapshot copies the trace for serialization. Safe at any time; an
+// unfinished trace reports DurUS -1 on its open spans.
+func (t *Trace) Snapshot() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := View{
+		Name:        t.spans[0].Name,
+		StartUnixUS: t.start.UnixMicro(),
+		DurUS:       t.spans[0].DurUS,
+		Dropped:     t.dropped,
+		Spans:       make([]Span, len(t.spans)),
+	}
+	copy(v.Spans, t.spans)
+	for i := range v.Spans {
+		v.Spans[i].Attrs = append([]Attr(nil), t.spans[i].Attrs...)
+	}
+	return v
+}
+
+// PhaseTotals sums the durations of the root's direct children by
+// name, in microseconds — the per-phase attribution a latency report
+// aggregates. Open spans contribute nothing.
+func (v *View) PhaseTotals() map[string]int64 {
+	out := make(map[string]int64)
+	for _, s := range v.Spans {
+		if s.Parent == RootSpan && s.DurUS >= 0 {
+			out[s.Name] += s.DurUS
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndPhaseTotals(t *testing.T) {
+	start := time.Now()
+	tr := NewTraceAt("job", 0, start)
+	tr.Add(RootSpan, "parse", start, 2*time.Millisecond, A("kind", "dimacs"))
+	tr.Add(RootSpan, "queue", start.Add(2*time.Millisecond), 3*time.Millisecond)
+	solve := tr.Add(RootSpan, "solve", start.Add(5*time.Millisecond), 10*time.Millisecond)
+	tr.AddOffset(solve, "propagate", 5000, 7000, A("attribution", "sampled"))
+	tr.Finish()
+
+	v := tr.Snapshot()
+	if v.DurUS < 0 {
+		t.Fatalf("root still open after Finish: %+v", v)
+	}
+	if len(v.Spans) != 5 {
+		t.Fatalf("want 5 spans, got %d", len(v.Spans))
+	}
+	ph := v.PhaseTotals()
+	if ph["parse"] != 2000 || ph["queue"] != 3000 || ph["solve"] != 10000 {
+		t.Fatalf("phase totals wrong: %v", ph)
+	}
+	if _, ok := ph["propagate"]; ok {
+		t.Fatalf("nested span leaked into top-level phase totals: %v", ph)
+	}
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatalf("view not serializable: %v", err)
+	}
+}
+
+func TestTraceRingBound(t *testing.T) {
+	tr := NewTrace("job", 8)
+	for i := 0; i < 50; i++ {
+		tr.Add(RootSpan, "s", tr.Start(), time.Millisecond)
+	}
+	v := tr.Snapshot()
+	if len(v.Spans) > 8 {
+		t.Fatalf("ring bound violated: %d spans retained", len(v.Spans))
+	}
+	if v.Spans[0].ID != RootSpan {
+		t.Fatalf("root evicted: %+v", v.Spans[0])
+	}
+	if v.Dropped != 50-(8-1) {
+		t.Fatalf("dropped count wrong: %d", v.Dropped)
+	}
+}
+
+func TestTraceBeginEndIdempotent(t *testing.T) {
+	tr := NewTrace("job", 0)
+	id := tr.Begin(RootSpan, "work")
+	if v := tr.Snapshot(); v.Spans[1].DurUS != -1 {
+		t.Fatalf("span should be open: %+v", v.Spans[1])
+	}
+	tr.End(id, A("outcome", "ok"))
+	first := tr.Snapshot().Spans[1].DurUS
+	if first < 0 {
+		t.Fatal("span still open after End")
+	}
+	time.Sleep(2 * time.Millisecond)
+	tr.End(id) // second End must not move the duration
+	if got := tr.Snapshot().Spans[1].DurUS; got != first {
+		t.Fatalf("End not idempotent: %d != %d", got, first)
+	}
+	tr.End(99999) // unknown ID: no panic
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("job", 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Begin(RootSpan, "w")
+				tr.End(id)
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := tr.Snapshot(); len(v.Spans) > 64 {
+		t.Fatalf("bound violated under concurrency: %d", len(v.Spans))
+	}
+}

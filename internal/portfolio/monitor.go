@@ -37,6 +37,10 @@ type Monitor struct {
 	// detached workers, so a run's total conflict view stays monotonic
 	// across kills and respawns.
 	retiredConflicts int64
+	// retiredPhaseNS likewise accumulates detached workers' attributed
+	// phase time, so the latency-attribution view covers the whole run,
+	// killed recipes included.
+	retiredPhaseNS [solver.PhaseCount]int64
 }
 
 type monitorEntry struct {
@@ -68,10 +72,13 @@ func (m *Monitor) Attach(slot, gen int, label string, s *solver.Solver) func(rea
 	var once sync.Once
 	return func(reason string) {
 		once.Do(func() {
-			final := s.Snapshot().Conflicts // race-free at any time
+			final := s.Snapshot() // race-free at any time
 			m.mu.Lock()
 			delete(m.live, id)
-			m.retiredConflicts += final
+			m.retiredConflicts += final.Conflicts
+			for i, ns := range final.PhaseNS {
+				m.retiredPhaseNS[i] += ns
+			}
 			if reason != "" {
 				m.noteLocked(fmt.Sprintf("%s: %s", label, reason))
 			}
@@ -129,6 +136,9 @@ type LiveWorker struct {
 	Learned   int64
 	// GlueShare is the fraction of learnt clauses with LBD ≤ 3.
 	GlueShare float64
+	// PhaseNS is the worker's attributed search time per solver phase
+	// (indexed by solver.Phase).
+	PhaseNS [solver.PhaseCount]int64
 }
 
 // MonitorSnapshot is a point-in-time view of a monitored solve.
@@ -139,6 +149,9 @@ type MonitorSnapshot struct {
 	// that have already detached (killed, retired or finished), so
 	// Conflicts() stays monotonic across kills and respawns.
 	RetiredConflicts int64
+	// RetiredPhaseNS is the summed per-phase attributed time of
+	// already-detached workers (indexed by solver.Phase).
+	RetiredPhaseNS [solver.PhaseCount]int64
 	// Kills / Respawns mirror the supervisor counters so far.
 	Kills, Respawns int
 	// Events is the bounded history of kills, respawns and detach
@@ -154,6 +167,22 @@ func (s *MonitorSnapshot) Conflicts() int64 {
 		n += w.Conflicts
 	}
 	return n
+}
+
+// PhaseTotals sums the run's attributed search time per phase — every
+// live worker's accumulation plus the detached workers' finals — keyed
+// by the stable solver.PhaseNames labels. CPU time, not wall-clock:
+// with N parallel workers the totals may exceed elapsed time N-fold.
+func (s *MonitorSnapshot) PhaseTotals() map[string]int64 {
+	out := make(map[string]int64, solver.PhaseCount)
+	for i, name := range solver.PhaseNames {
+		n := s.RetiredPhaseNS[i]
+		for _, w := range s.Live {
+			n += w.PhaseNS[i]
+		}
+		out[name] = n
+	}
+	return out
 }
 
 // Snapshot samples every attached solver. Safe to call from any
@@ -175,6 +204,7 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 	}
 	out := MonitorSnapshot{
 		RetiredConflicts: m.retiredConflicts,
+		RetiredPhaseNS:   m.retiredPhaseNS,
 		Kills:            m.kills,
 		Respawns:         m.respawns,
 		Events:           append([]string(nil), m.events...),
@@ -193,6 +223,7 @@ func (m *Monitor) Snapshot() MonitorSnapshot {
 			Restarts:  snap.Restarts,
 			Learned:   snap.Learned,
 			GlueShare: snap.GlueShare(),
+			PhaseNS:   snap.PhaseNS,
 		})
 	}
 	return out

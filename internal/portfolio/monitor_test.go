@@ -1,0 +1,114 @@
+package portfolio
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMonitorEventOrdering: events come back oldest first, exactly as
+// recorded, while under the ring cap.
+func TestMonitorEventOrdering(t *testing.T) {
+	m := NewMonitor()
+	m.Note("first")
+	m.NoteKill("w0")
+	m.NoteRespawn("w0")
+	m.Note("last")
+
+	snap := m.Snapshot()
+	want := []string{"first", "kill w0", "respawn w0", "last"}
+	if len(snap.Events) != len(want) {
+		t.Fatalf("got %d events %v, want %v", len(snap.Events), snap.Events, want)
+	}
+	for i, w := range want {
+		if snap.Events[i] != w {
+			t.Fatalf("event[%d] = %q, want %q (all: %v)", i, snap.Events[i], w, snap.Events)
+		}
+	}
+	if snap.Kills != 1 || snap.Respawns != 1 {
+		t.Fatalf("kills/respawns = %d/%d, want 1/1", snap.Kills, snap.Respawns)
+	}
+}
+
+// TestMonitorEventRingWraparound: pushing past the cap keeps exactly
+// the newest monitorEventCap events, still oldest first.
+func TestMonitorEventRingWraparound(t *testing.T) {
+	m := NewMonitor()
+	total := monitorEventCap*3 + 7
+	for i := 0; i < total; i++ {
+		m.Note(fmt.Sprintf("e%d", i))
+	}
+	snap := m.Snapshot()
+	if len(snap.Events) != monitorEventCap {
+		t.Fatalf("ring holds %d events, want cap %d", len(snap.Events), monitorEventCap)
+	}
+	// The survivors are the last monitorEventCap notes, in order.
+	for i, ev := range snap.Events {
+		want := fmt.Sprintf("e%d", total-monitorEventCap+i)
+		if ev != want {
+			t.Fatalf("event[%d] = %q, want %q", i, ev, want)
+		}
+	}
+}
+
+// TestMonitorEventConcurrent hammers the ring from concurrent writers
+// while a reader snapshots — the race detector is the real assertion;
+// the invariants checked are that a snapshot never exceeds the cap and
+// each snapshot's events are internally ordered (a later note from one
+// writer never precedes an earlier one).
+func TestMonitorEventConcurrent(t *testing.T) {
+	m := NewMonitor()
+	const writers, perWriter = 8, 200
+	var readerWG, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := m.Snapshot()
+			if len(snap.Events) > monitorEventCap {
+				t.Errorf("snapshot holds %d events, cap %d", len(snap.Events), monitorEventCap)
+				return
+			}
+			// Per-writer sequence numbers must be increasing within one
+			// snapshot.
+			last := map[byte]int{}
+			for _, ev := range snap.Events {
+				var w byte
+				var seq int
+				if _, err := fmt.Sscanf(ev, "w%c-%d", &w, &seq); err != nil {
+					continue
+				}
+				if prev, ok := last[w]; ok && seq <= prev {
+					t.Errorf("writer %c out of order: %d after %d (%v)", w, seq, prev, snap.Events)
+					return
+				}
+				last[w] = seq
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				m.Note(fmt.Sprintf("w%c-%d", 'a'+byte(w), i))
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	snap := m.Snapshot()
+	if len(snap.Events) != monitorEventCap {
+		t.Fatalf("after %d notes ring holds %d, want %d", writers*perWriter, len(snap.Events), monitorEventCap)
+	}
+}

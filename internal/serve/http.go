@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 )
@@ -19,6 +20,8 @@ import (
 //	DELETE /v1/jobs/{id}       cooperative cancel
 //	GET    /v1/jobs/{id}/watch server-sent events: progress samples
 //	                           while running, final view on completion
+//	GET    /v1/jobs/{id}/trace span trace: lifecycle phases tiling the
+//	                           job's wall time, solver CPU attribution
 //	GET    /v1/jobs/{id}/proof certification block of a "proof": true
 //	                           job (verdict, DRAT, checker outcome,
 //	                           audit-chain position)
@@ -26,7 +29,9 @@ import (
 //	GET    /v1/audit/{seq}     one audit record + inclusion check
 //	                           (chain recomputed from genesis)
 //	GET    /healthz            liveness + occupancy
-//	GET    /metrics            Prometheus-style text counters
+//	GET    /metrics            Prometheus text exposition (obs.Registry)
+//
+// EnablePprof additionally mounts /debug/pprof/ (off by default).
 //
 // A full queue answers 429 with a Retry-After hint; malformed specs
 // answer 400.
@@ -51,6 +56,7 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/proof", s.handleProof)
 	s.mux.HandleFunc("GET /v1/audit/head", s.handleAuditHead)
 	s.mux.HandleFunc("GET /v1/audit/{seq}", s.handleAuditGet)
@@ -69,7 +75,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // SetFleet attaches the sharded-fleet routing layer (fleet.go). Call
 // before the server starts accepting requests; a nil fleet (the
 // default) serves every job locally.
-func (s *Server) SetFleet(f *Fleet) { s.fleet = f }
+func (s *Server) SetFleet(f *Fleet) {
+	s.fleet = f
+	if f != nil {
+		s.sched.registerFleet(f)
+	}
+}
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+// Off by default — profiling endpoints expose memory contents and cost
+// CPU, so satserved gates them behind its -pprof flag.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // submitRequest is the POST /v1/jobs body: a Spec plus delivery mode.
 type submitRequest struct {
@@ -252,6 +274,25 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves a job's span trace: top-level phases tiling the
+// lifecycle (parse, queue, admit, solve, persist, respond — or
+// coalesce_wait rounds), solver CPU-attribution children under the
+// solve span, and the certification sub-span. Available while the job
+// runs (open spans report dur_us -1) and after it finishes.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job := s.sched.Get(r.PathValue("id"))
+	if job == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	v, ok := job.TraceView()
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("job carries no trace"))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
 // handleProof serves a finished job's certification block. Still-active
 // jobs answer 202 (come back later), terminal jobs without a result
 // 409, and finished jobs that never asked for a proof 404 — the proof
@@ -328,65 +369,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleMetrics renders the scheduler's unified registry (obs.go):
+// # HELP/# TYPE metadata, deterministic sorted order, latency
+// histograms with trace-ID exemplars. Every family the hand-rolled
+// predecessor printed is preserved name-for-name.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.sched.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "satserved_jobs_submitted_total %d\n", st.Submitted)
-	fmt.Fprintf(w, "satserved_jobs_completed_total %d\n", st.Completed)
-	fmt.Fprintf(w, "satserved_jobs_failed_total %d\n", st.Failed)
-	fmt.Fprintf(w, "satserved_jobs_cancelled_total %d\n", st.Cancelled)
-	fmt.Fprintf(w, "satserved_jobs_shed_total %d\n", st.Shed)
-	fmt.Fprintf(w, "satserved_solves_total %d\n", st.Solves)
-	fmt.Fprintf(w, "satserved_cache_hits_total %d\n", st.CacheHits)
-	fmt.Fprintf(w, "satserved_coalesced_total %d\n", st.Coalesced)
-	fmt.Fprintf(w, "satserved_cache_evictions_total %d\n", st.CacheEvictions)
-	fmt.Fprintf(w, "satserved_queue_depth %d\n", st.QueueDepth)
-	fmt.Fprintf(w, "satserved_running %d\n", st.Running)
-	fmt.Fprintf(w, "satserved_followers %d\n", st.Followers)
-	fmt.Fprintf(w, "satserved_workers_in_use %d\n", st.WorkersInUse)
-	fmt.Fprintf(w, "satserved_cache_entries %d\n", st.CacheEntries)
-	fmt.Fprintf(w, "satserved_proof_jobs_total %d\n", st.ProofJobs)
-	fmt.Fprintf(w, "satserved_proof_replays_total %d\n", st.ProofReplays)
-	fmt.Fprintf(w, "satserved_proof_check_failures_total %d\n", st.ProofFailures)
-	fmt.Fprintf(w, "satserved_audit_records %d\n", st.AuditRecords)
-	fmt.Fprintf(w, "satserved_audit_append_errors_total %d\n", st.AuditAppendErrors)
-	chainValid := 0
-	if st.AuditChainValid {
-		chainValid = 1
-	}
-	fmt.Fprintf(w, "satserved_audit_chain_valid %d\n", chainValid)
-	fmt.Fprintf(w, "satserved_sessions_opened_total %d\n", st.Sessions.Opened)
-	fmt.Fprintf(w, "satserved_sessions_deleted_total %d\n", st.Sessions.Deleted)
-	fmt.Fprintf(w, "satserved_session_queries_total %d\n", st.Sessions.Queries)
-	fmt.Fprintf(w, "satserved_session_evictions_total %d\n", st.Sessions.Evictions)
-	fmt.Fprintf(w, "satserved_session_revivals_total %d\n", st.Sessions.Revivals)
-	fmt.Fprintf(w, "satserved_sessions %d\n", st.Sessions.Sessions)
-	fmt.Fprintf(w, "satserved_sessions_resident %d\n", st.Sessions.Resident)
-	fmt.Fprintf(w, "satserved_sessions_checkpointed %d\n", st.Sessions.Checkpointed)
-	fmt.Fprintf(w, "satserved_session_checkpoint_bytes %d\n", st.Sessions.CheckpointBytes)
-	fmt.Fprintf(w, "satserved_session_busy %d\n", st.SessionBusy)
-	if st.Store.Enabled {
-		fmt.Fprintf(w, "satserved_store_replayed_results %d\n", st.Store.ReplayedResults)
-		fmt.Fprintf(w, "satserved_store_replayed_classes %d\n", st.Store.ReplayedClasses)
-		fmt.Fprintf(w, "satserved_store_replayed_warm %d\n", st.Store.ReplayedWarm)
-		fmt.Fprintf(w, "satserved_store_replay_skipped_total %d\n", st.Store.ReplaySkipped)
-		fmt.Fprintf(w, "satserved_store_replay_seconds %g\n", st.Store.Replay.Seconds())
-		fmt.Fprintf(w, "satserved_store_writes_total %d\n", st.Store.Writes)
-		fmt.Fprintf(w, "satserved_store_dropped_total %d\n", st.Store.Dropped)
-		fmt.Fprintf(w, "satserved_store_errors_total %d\n", st.Store.Errors)
-		fmt.Fprintf(w, "satserved_store_keys %d\n", st.Store.Backend.Keys)
-		fmt.Fprintf(w, "satserved_store_wal_records %d\n", st.Store.Backend.WALRecords)
-		fmt.Fprintf(w, "satserved_store_wal_bytes %d\n", st.Store.Backend.WALBytes)
-		fmt.Fprintf(w, "satserved_store_snapshot_records %d\n", st.Store.Backend.SnapshotRecords)
-		fmt.Fprintf(w, "satserved_store_compactions_total %d\n", st.Store.Backend.Compactions)
-		fmt.Fprintf(w, "satserved_store_tail_truncations_total %d\n", st.Store.Backend.TailTruncations)
-		fmt.Fprintf(w, "satserved_store_backend_replay_seconds %g\n", st.Store.Backend.Replay.Seconds())
-	}
-	if s.fleet != nil {
-		fst := s.fleet.Stats()
-		fmt.Fprintf(w, "satserved_fleet_members %d\n", fst.Members)
-		fmt.Fprintf(w, "satserved_fleet_forwards_total %d\n", fst.Forwards)
-		fmt.Fprintf(w, "satserved_fleet_forward_errors_total %d\n", fst.ForwardErrors)
-		fmt.Fprintf(w, "satserved_fleet_local_fallbacks_total %d\n", fst.LocalFallbacks)
-	}
+	s.sched.Obs().WritePrometheus(w)
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/solver"
 )
@@ -344,6 +345,17 @@ type Job struct {
 	mon    *portfolio.Monitor
 	done   chan struct{}
 
+	// trace records the job's lifecycle spans, anchored at the Submit
+	// entry instant (before parsing) so every microsecond of the job's
+	// wall time is attributable. Top-level phases TILE the trace — each
+	// starts where the previous ended — so their durations sum to the
+	// root duration by construction. traceOnce guards the one-time
+	// closing sequence in finalize; certifyDur is written only by the
+	// executor goroutine inside execute.
+	trace      *obs.Trace
+	traceOnce  sync.Once
+	certifyDur time.Duration
+
 	mu        sync.Mutex
 	status    Status
 	result    *Result
@@ -352,6 +364,42 @@ type Job struct {
 	started   time.Time
 	workers   int
 	preferred string
+	// phaseUS is the trace offset where the last closed top-level phase
+	// ended — the start of the next tile.
+	phaseUS int64
+}
+
+// phase closes the current top-level phase at now: the recorded span
+// covers [previous boundary, now) under the root, and the boundary
+// advances. Returns the span ID (0 when the job carries no trace).
+func (j *Job) phase(name string, attrs ...obs.Attr) int {
+	if j.trace == nil {
+		return 0
+	}
+	now := time.Since(j.trace.Start()).Microseconds()
+	j.mu.Lock()
+	last := j.phaseUS
+	if now < last {
+		now = last
+	}
+	j.phaseUS = now
+	j.mu.Unlock()
+	return j.trace.AddOffset(obs.RootSpan, name, last, now-last, attrs...)
+}
+
+// phaseOffset reads the current tile boundary.
+func (j *Job) phaseOffset() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.phaseUS
+}
+
+// TraceView snapshots the job's span trace for serialization.
+func (j *Job) TraceView() (obs.View, bool) {
+	if j.trace == nil {
+		return obs.View{}, false
+	}
+	return j.trace.Snapshot(), true
 }
 
 // Status returns the job's current lifecycle state.
@@ -573,7 +621,9 @@ func execute(rctx context.Context, j *Job, workers int, prefer string, warm []so
 			res.Conflicts = ans.SolverStats.Conflicts
 		}
 		if j.spec.Proof && res.Decided {
+			certStart := time.Now()
 			res.Proof = certifyDIMACS(rctx, j, res, ans, capture)
+			j.certifyDur = time.Since(certStart)
 		}
 		return res, nil
 

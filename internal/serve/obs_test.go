@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/obs"
+)
+
+// TestTracePhaseSumMatchesWall is the attribution acceptance criterion:
+// for a solved DIMACS job, the top-level phase spans tile the trace, so
+// their durations sum to within 10% of the job's wall-clock latency.
+func TestTracePhaseSumMatchesWall(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2})
+	defer s.Close()
+
+	// A pigeonhole instance: UNSAT with a real search, so the solve
+	// phase dominates and the trace covers genuine work.
+	sp := dimacsSpec(gen.Pigeonhole(7))
+	j, err := s.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustResult(t, j)
+	if res.Verdict != "UNSAT" {
+		t.Fatalf("verdict %s, want UNSAT", res.Verdict)
+	}
+
+	v, ok := j.TraceView()
+	if !ok {
+		t.Fatal("job carries no trace")
+	}
+	if v.DurUS <= 0 {
+		t.Fatalf("trace not finished: root dur %d", v.DurUS)
+	}
+	var sum int64
+	for name, us := range v.PhaseTotals() {
+		if us < 0 {
+			t.Fatalf("phase %s has negative duration %d", name, us)
+		}
+		sum += us
+	}
+	lo, hi := v.DurUS*9/10, v.DurUS*11/10
+	if sum < lo || sum > hi {
+		t.Fatalf("phase sum %dus outside 10%% of wall %dus (phases %v)",
+			sum, v.DurUS, v.PhaseTotals())
+	}
+	// The expected tiles are present, and the solve span carries the
+	// solver's CPU-attribution children.
+	totals := v.PhaseTotals()
+	for _, want := range []string{"parse", "queue", "admit", "solve", "persist", "respond"} {
+		if _, ok := totals[want]; !ok {
+			t.Fatalf("missing top-level phase %q in %v", want, totals)
+		}
+	}
+	solveID := 0
+	for _, sp := range v.Spans {
+		if sp.Parent == obs.RootSpan && sp.Name == "solve" {
+			solveID = sp.ID
+		}
+	}
+	cpu := 0
+	for _, sp := range v.Spans {
+		if sp.Parent == solveID && strings.HasPrefix(sp.Name, "solver/") {
+			cpu++
+		}
+	}
+	if cpu == 0 {
+		t.Fatalf("no solver CPU-attribution spans under solve in %+v", v.Spans)
+	}
+}
+
+// TestTraceCacheHitAndFollower checks the trace shapes of the two
+// no-solve paths: a cache hit finishes with parse+respond only, and a
+// coalesced follower records its coalesce_wait round.
+func TestTraceCacheHitAndFollower(t *testing.T) {
+	s := NewScheduler(Config{CPUBudget: 2, MaxRunning: 2})
+	defer s.Close()
+
+	j1, err := s.Submit(satSpec(12, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustResult(t, j1)
+	j2, err := s.Submit(satSpec(12, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustResult(t, j2)
+	if !res.Cached {
+		t.Fatal("second identical submission should hit the cache")
+	}
+	v, _ := j2.TraceView()
+	totals := v.PhaseTotals()
+	if _, ok := totals["parse"]; !ok {
+		t.Fatalf("cache-hit trace missing parse: %v", totals)
+	}
+	if _, ok := totals["solve"]; ok {
+		t.Fatalf("cache-hit trace must not carry a solve phase: %v", totals)
+	}
+}
+
+// TestMetricsExposition checks the registry-backed /metrics endpoint:
+// the historical metric names render identically (bare "name value"
+// lines CI smoke tests grep for), HELP/TYPE metadata is present, and
+// the job latency histogram appears with an exemplar comment.
+func TestMetricsExposition(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 2})
+
+	resp, _ := postJob(t, ts, submitRequest{Spec: satSpec(10, 3)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"satserved_solves_total 1",
+		"satserved_jobs_submitted_total 1",
+		"satserved_jobs_completed_total 1",
+		"satserved_queue_depth 0",
+		"# TYPE satserved_solves_total counter",
+		"# HELP satserved_job_seconds",
+		"# TYPE satserved_job_seconds histogram",
+		`satserved_job_seconds_count{kind="dimacs"} 1`,
+		`satserved_job_phase_seconds_count{phase="solve"} 1`,
+		"# exemplar satserved_job_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in /metrics:\n%s", want, out)
+		}
+	}
+}
+
+// TestTraceEndpoint fetches a finished job's trace over HTTP.
+func TestTraceEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 2, MaxRunning: 2})
+
+	resp, v := postJob(t, ts, submitRequest{Spec: satSpec(10, 4)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", tresp.StatusCode)
+	}
+	var tv obs.View
+	if err := json.NewDecoder(tresp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.Name != "job" || tv.DurUS <= 0 || len(tv.Spans) < 4 {
+		t.Fatalf("unexpected trace view %+v", tv)
+	}
+
+	if r, err := http.Get(ts.URL + "/v1/jobs/nope/trace"); err != nil || r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace: %v %v", r.StatusCode, err)
+	}
+}
+
+// TestPprofDisabledByDefault ensures the profiling endpoints are only
+// reachable after EnablePprof.
+func TestPprofDisabledByDefault(t *testing.T) {
+	ts, _ := newTestServer(t, Config{CPUBudget: 1, MaxRunning: 1})
+	r, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode == http.StatusOK {
+		t.Fatal("pprof reachable without EnablePprof")
+	}
+}
+
+// TestPprofProfileSmoke enables pprof and takes a 1-second CPU profile
+// — the satserved -pprof flag's contract.
+func TestPprofProfileSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1s profile capture")
+	}
+	s := NewScheduler(Config{CPUBudget: 1, MaxRunning: 1})
+	t.Cleanup(s.Close)
+	srv := NewServer(s)
+	srv.EnablePprof()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	r, err := http.Get(ts.URL + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	body, _ := io.ReadAll(r.Body)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("profile status %d: %s", r.StatusCode, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty CPU profile")
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/session"
 	"repro/internal/solver"
@@ -216,6 +217,10 @@ type Scheduler struct {
 	// sessions is the resident-formula session manager; its query
 	// execution is gated against this scheduler's CPU ledger.
 	sessions *session.Manager
+	// obs is the unified metric registry every layer registers into
+	// (scheduler counters via a scrape-time collector, job/phase latency
+	// histograms, session query latencies, store and fleet families).
+	obs *obs.Registry
 
 	mu       sync.Mutex
 	closed   bool
@@ -264,6 +269,7 @@ func NewScheduler(cfg Config) *Scheduler {
 		mem:      newRecipeMemory(0),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[jobKey]*Job),
+		obs:      obs.NewRegistry(),
 	}
 	if cfg.Store != nil {
 		// Replay BEFORE the executors start: the first submission must
@@ -282,7 +288,9 @@ func NewScheduler(cfg Config) *Scheduler {
 		IdleTTL:     cfg.SessionIdleTTL,
 		QueueDepth:  cfg.SessionQueueDepth,
 		Gate:        ledgerGate{s},
+		Obs:         s.obs,
 	})
+	s.registerMetrics()
 	for i := 0; i < cfg.maxRunning(); i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -293,6 +301,11 @@ func NewScheduler(cfg Config) *Scheduler {
 // Sessions exposes the scheduler's session manager (the HTTP layer's
 // /v1/sessions routes and in-process consumers drive it directly).
 func (s *Scheduler) Sessions() *session.Manager { return s.sessions }
+
+// Obs exposes the scheduler's metric registry — the /metrics endpoint
+// renders it, and co-located components (fleet, pprof wrappers) may
+// register additional families into it.
+func (s *Scheduler) Obs() *obs.Registry { return s.obs }
 
 // WarmHint returns the recipe memory's branching warm-start profile for
 // f's instance class (nil = cold start). The session-create path feeds
@@ -329,6 +342,9 @@ func (g ledgerGate) Acquire() func() {
 // coalescing onto an identical in-flight job, then the bounded queue —
 // which sheds with ErrQueueFull rather than blocking the caller.
 func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	// The trace anchor: every microsecond from here to finalize is
+	// attributed to some top-level phase, parsing included.
+	entry := time.Now()
 	// Overload defense BEFORE the expensive parse+fingerprint: with the
 	// backlog already full, a large payload is almost certainly headed
 	// for the shed anyway, and parsing it first would let a burst of
@@ -399,8 +415,14 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	// shutdown → StatusCancelled).
 	j.ctx, j.cancel = context.WithTimeout(s.baseCtx, s.jobTimeout(&spec))
 	j.mon = portfolio.NewMonitor()
+	j.trace = obs.NewTraceAt("job", 0, entry)
+	j.trace.Annotate(obs.RootSpan, obs.A("id", j.ID), obs.A("kind", string(spec.Kind)))
+	// The parse tile also covers the fingerprint and cache probe above —
+	// all pre-admission CPU the submitter paid.
+	j.phase("parse")
 
 	if cacheHit {
+		j.trace.Annotate(obs.RootSpan, obs.A("cache", "hit"))
 		s.cacheHits++
 		s.submitted++
 		s.registerLocked(j)
@@ -575,6 +597,9 @@ func (s *Scheduler) executor() {
 
 // runJob executes one dequeued job end to end.
 func (s *Scheduler) runJob(j *Job) {
+	// The queue tile: from the end of parse (or the last coalesce round)
+	// to the moment an executor picked the job up.
+	j.phase("queue")
 	if j.ctx.Err() != nil {
 		if j.expired() {
 			// The lifetime deadline ran out while queued: an UNKNOWN
@@ -629,9 +654,15 @@ func (s *Scheduler) runJob(j *Job) {
 	s.mu.Unlock()
 
 	j.setRunning(workers, prefer)
+	// The admit tile: fair-share grant computation and the running
+	// transition (normally negligible — its growth signals s.mu
+	// contention).
+	j.phase("admit", obs.A("workers", fmt.Sprint(workers)))
+	solveStartUS := j.phaseOffset()
 	start := time.Now()
 	// j.ctx already carries the lifetime deadline set at Submit.
 	res, err := execute(j.ctx, j, workers, prefer, warm)
+	s.traceSolve(j, solveStartUS, res)
 
 	s.mu.Lock()
 	s.running--
@@ -693,7 +724,44 @@ func (s *Scheduler) runJob(j *Job) {
 			s.mem.recordWarm(j.class, res.warm)
 			s.persistWarm(j.class, res.warm)
 		}
+		// The persist tile: audit append, cache put and write-behind
+		// enqueue (near-zero for undecided results).
+		j.phase("persist")
 		s.finalize(j, StatusDone, res, nil)
+	}
+}
+
+// traceSolve closes the job's solve tile and attaches its children:
+// the certification sub-span (positioned at the tile's end, where
+// certifyDIMACS actually ran) and one synthetic CPU-attribution span
+// per solver phase, fed by the monitor's sampled live+retired phase
+// totals. The CPU spans carry durations, not timeline positions — with
+// N portfolio workers they may sum past the tile's wall time — so they
+// start at the tile start and are marked cpu="1".
+func (s *Scheduler) traceSolve(j *Job, solveStartUS int64, res *Result) {
+	if j.trace == nil {
+		return
+	}
+	attrs := []obs.Attr{}
+	if res != nil {
+		attrs = append(attrs, obs.A("verdict", res.Verdict),
+			obs.A("conflicts", fmt.Sprint(res.Conflicts)))
+	}
+	solveID := j.phase("solve", attrs...)
+	endUS := j.phaseOffset()
+	if d := j.certifyDur.Microseconds(); d > 0 {
+		startUS := endUS - d
+		if startUS < solveStartUS {
+			startUS = solveStartUS
+		}
+		j.trace.AddOffset(solveID, "certify", startUS, d)
+	}
+	snap := j.mon.Snapshot()
+	for name, ns := range snap.PhaseTotals() {
+		if ns <= 0 {
+			continue
+		}
+		j.trace.AddOffset(solveID, "solver/"+name, solveStartUS, ns/1000, obs.A("cpu", "1"))
 	}
 }
 
@@ -719,7 +787,10 @@ func (s *Scheduler) follow(j *Job, leader *Job) {
 	for {
 		select {
 		case <-leader.done:
+			// One coalesce round: waiting on this leader's outcome.
+			j.phase("coalesce_wait", obs.A("leader", leader.ID))
 		case <-j.ctx.Done():
+			j.phase("coalesce_wait", obs.A("leader", leader.ID))
 			if j.expired() {
 				// The follower's own lifetime deadline ran out while
 				// waiting on a slower leader: its budget, its UNKNOWN.
@@ -812,6 +883,17 @@ func (s *Scheduler) follow(j *Job, leader *Job) {
 // finalize moves a job to a terminal state, updates the counters, and
 // releases its singleflight slot.
 func (s *Scheduler) finalize(j *Job, st Status, res *Result, err error) {
+	// Close the trace BEFORE finish() unblocks waiters, so a client that
+	// fetches the trace right after Wait returns sees it complete. The
+	// respond tile sweeps up whatever wall time no earlier phase claimed.
+	j.traceOnce.Do(func() {
+		if j.trace == nil {
+			return
+		}
+		j.phase("respond", obs.A("status", string(st)))
+		j.trace.Finish()
+		s.observeJob(j)
+	})
 	j.finish(st, res, err)
 	s.mu.Lock()
 	switch st {

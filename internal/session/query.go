@@ -2,10 +2,12 @@ package session
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/solver"
 )
@@ -46,11 +48,19 @@ type Query struct {
 	// only their own search.
 	mon *portfolio.Monitor
 
+	// submitted anchors the query's trace: the wait span covers
+	// submission to execution start, the solve span the execution.
+	submitted time.Time
+	trace     *obs.Trace
+
 	mu   sync.Mutex
 	res  *Result
 	err  error
 	done chan struct{}
 }
+
+// Trace snapshots the query's span trace (queue wait, revive, solve).
+func (q *Query) Trace() obs.View { return q.trace.Snapshot() }
 
 // Done is closed when the query reaches a terminal state.
 func (q *Query) Done() <-chan struct{} { return q.done }
@@ -102,6 +112,7 @@ func (q *Query) finish(res *Result, err error) {
 // the session mutex is never held across the solve.
 func (ss *Session) execute(q *Query) {
 	if q.ctx != nil && q.ctx.Err() != nil {
+		q.trace.Finish(obs.A("outcome", "cancelled_before_start"))
 		q.finish(&Result{Status: solver.Unknown, Cancelled: true}, nil)
 		return
 	}
@@ -109,14 +120,17 @@ func (ss *Session) execute(q *Query) {
 	ss.mu.Lock()
 	if ss.state == StateEvicted {
 		ss.mu.Unlock()
+		q.trace.Finish(obs.A("outcome", "session_closed"))
 		q.finish(nil, ErrSessionClosed)
 		return
 	}
+	revived := false
 	if ss.ckpt != nil {
 		// Revive: the warm image becomes a live solver again.
 		ss.s = ss.ckpt.Restore()
 		ss.ckpt = nil
 		ss.m.noteRevival()
+		revived = true
 	}
 	ss.state = StateResident
 	ss.busy = true
@@ -148,6 +162,9 @@ func (ss *Session) execute(q *Query) {
 
 	detach := q.mon.Attach(0, 0, "session", s)
 	start := time.Now()
+	// The wait span covers submission through dequeue, revival included;
+	// the solve span covers execution on the resident solver.
+	q.trace.Add(obs.RootSpan, "wait", q.submitted, start.Sub(q.submitted))
 	preStats := s.Stats
 
 	res := &Result{Status: solver.Unsat}
@@ -173,6 +190,20 @@ func (ss *Session) execute(q *Query) {
 	res.Conflicts = s.Stats.Conflicts - preStats.Conflicts
 	res.Decisions = s.Stats.Decisions - preStats.Decisions
 	res.WallMS = time.Since(start).Milliseconds()
+
+	solveAttrs := []obs.Attr{
+		obs.A("status", res.Status.String()),
+		obs.A("conflicts", fmt.Sprint(res.Conflicts)),
+	}
+	if revived {
+		solveAttrs = append(solveAttrs, obs.A("revived", "1"))
+	}
+	q.trace.Add(obs.RootSpan, "solve", start, time.Since(start), solveAttrs...)
+	q.trace.Finish()
+	if ss.m.obsWait != nil {
+		ss.m.obsWait.ObserveEx(start.Sub(q.submitted).Seconds(), q.ID)
+		ss.m.obsExec.ObserveEx(time.Since(start).Seconds(), q.ID)
+	}
 
 	stopInterrupt()
 	qcancel()

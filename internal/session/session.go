@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/solver"
 )
@@ -95,6 +96,10 @@ type Config struct {
 	// Gate, when non-nil, meters query execution against an external
 	// CPU ledger (the serving layer's fair share).
 	Gate Gate
+	// Obs, when non-nil, receives the manager's query latency
+	// histograms (queue wait and execution, with query-ID exemplars).
+	// Each query additionally carries its own span trace regardless.
+	Obs *obs.Registry
 	// Solver carries base solver options for new sessions. The
 	// cooperation hooks and LogProof must be left unset (sessions
 	// checkpoint, which those configurations cannot).
@@ -162,6 +167,10 @@ type Manager struct {
 
 	opened, deleted, queries, evictions, revivals int64
 
+	// obsWait / obsExec are the registered latency histograms (nil when
+	// Config.Obs is nil).
+	obsWait, obsExec *obs.Histogram
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -172,6 +181,12 @@ func NewManager(cfg Config) *Manager {
 		cfg:      cfg,
 		sessions: make(map[string]*Session),
 		stop:     make(chan struct{}),
+	}
+	if cfg.Obs != nil {
+		m.obsWait = cfg.Obs.Histogram("session_query_wait_seconds",
+			"session query queue wait (submit to execution start)", nil)
+		m.obsExec = cfg.Obs.Histogram("session_query_solve_seconds",
+			"session query execution time on the resident solver", nil)
 	}
 	m.wg.Add(1)
 	go m.janitor()
@@ -545,6 +560,7 @@ func (ss *Session) Submit(ctx context.Context, req Request) (*Query, error) {
 		return nil, ErrSessionClosed
 	}
 	ss.qseq++
+	submitted := time.Now()
 	q := &Query{
 		ID:           fmt.Sprintf("%s.q%d", ss.ID, ss.qseq),
 		ctx:          ctx,
@@ -552,7 +568,10 @@ func (ss *Session) Submit(ctx context.Context, req Request) (*Query, error) {
 		maxConflicts: req.MaxConflicts,
 		mon:          portfolio.NewMonitor(),
 		done:         make(chan struct{}),
+		submitted:    submitted,
+		trace:        obs.NewTraceAt("query", 0, submitted),
 	}
+	q.trace.Annotate(obs.RootSpan, obs.A("id", q.ID), obs.A("session", ss.ID))
 	q.add = make([]cnf.Clause, 0, len(req.Add))
 	for _, c := range req.Add {
 		q.add = append(q.add, c.Clone())
@@ -583,6 +602,7 @@ func (ss *Session) run() {
 			for {
 				select {
 				case q := <-ss.queue:
+					q.trace.Finish(obs.A("outcome", "session_closed"))
 					q.finish(nil, ErrSessionClosed)
 				default:
 					return

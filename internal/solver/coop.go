@@ -12,6 +12,51 @@ import (
 // clauses learned elsewhere at decision level 0, and the Snapshot
 // progress probe an adaptive scheduler samples while Solve runs.
 
+// Phase labels the coarse time-attribution buckets a running search
+// accumulates nanoseconds into (Progress.PhaseNS). Propagation is
+// sampled (one timed call in propagateSamplePeriod, scaled back up);
+// the other phases are cheap enough to time exactly — they run per
+// conflict or per maintenance event, never per propagation.
+type Phase int
+
+// Search phases, in PhaseNS order.
+const (
+	// PhasePropagate is Boolean constraint propagation (sampled).
+	PhasePropagate Phase = iota
+	// PhaseAnalyze covers conflict diagnosis: analyze, backtracking and
+	// recording the learnt clause.
+	PhaseAnalyze
+	// PhaseReduce is learnt-database reduction (reduceDB).
+	PhaseReduce
+	// PhaseInprocess is the restart-boundary inprocessing round
+	// (vivification, subsumption, variable elimination).
+	PhaseInprocess
+	// PhaseGC is the relocating arena compaction.
+	PhaseGC
+	// PhaseCount sizes PhaseNS arrays.
+	PhaseCount
+)
+
+// PhaseNames are the stable exposition labels, indexed by Phase.
+var PhaseNames = [PhaseCount]string{
+	"propagate", "analyze", "reduce_db", "inprocess", "arena_gc",
+}
+
+// String returns the phase's exposition label.
+func (p Phase) String() string {
+	if p < 0 || p >= PhaseCount {
+		return "unknown"
+	}
+	return PhaseNames[p]
+}
+
+// propagateSamplePeriod is the propagation-timing sample rate: one in
+// this many propagate calls is timed and its duration scaled by the
+// period. A power of two keeps the gate a mask; at any realistic
+// propagation rate the clock cost disappears (< 1/64 of calls pay two
+// time.Now reads) while the estimate converges within milliseconds.
+const propagateSamplePeriod = 64
+
 // progressCounters is the atomic mirror of the scheduling-relevant
 // Stats, written by the solving goroutine and read by Snapshot.
 type progressCounters struct {
@@ -19,6 +64,14 @@ type progressCounters struct {
 	restarts  atomic.Int64
 	learned   atomic.Int64
 	lbdHist   [LBDHistBuckets]atomic.Int64
+	// phaseNS accumulates attributed search nanoseconds per Phase.
+	// Written only by the solving goroutine (plain adds would race with
+	// Snapshot readers, hence atomics); propagation entries are sampled
+	// estimates, the rest exact.
+	phaseNS [PhaseCount]atomic.Int64
+	// propTick gates the propagation sampling; owned by the solving
+	// goroutine, so it needs no atomicity.
+	propTick uint32
 }
 
 // noteConflict buckets the learn-time LBD of a just-derived conflict
@@ -56,6 +109,11 @@ type Progress struct {
 	// LBDHist buckets every conflict clause by learn-time LBD: bucket i
 	// holds LBD i+1, the last bucket LBD ≥ LBDHistBuckets.
 	LBDHist [LBDHistBuckets]int64
+	// PhaseNS attributes accumulated search time to coarse phases,
+	// indexed by Phase (labels in PhaseNames): propagation (sampled
+	// estimate), conflict analysis, reduceDB, inprocessing, arena GC.
+	// The remainder against wall-clock is decision/bookkeeping time.
+	PhaseNS [PhaseCount]int64
 }
 
 // GlueShare returns the fraction of conflict clauses with learn-time
@@ -87,6 +145,9 @@ func (s *Solver) Snapshot() Progress {
 	}
 	for i := range p.LBDHist {
 		p.LBDHist[i] = s.prog.lbdHist[i].Load()
+	}
+	for i := range p.PhaseNS {
+		p.PhaseNS[i] = s.prog.phaseNS[i].Load()
 	}
 	return p
 }

@@ -1,6 +1,10 @@
 package solver
 
-import "repro/internal/cnf"
+import (
+	"time"
+
+	"repro/internal/cnf"
+)
 
 // Glue tier bounds for the LBD-tiered reduction (reduceDB). Clauses with
 // LBD ≤ coreLBDMax are "core" and live forever; LBD ≤ midLBDMax is the
@@ -92,7 +96,10 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		if !s.importShared() {
 			return Unsat
 		}
-		if !s.inprocess(restart) {
+		inprocStart := time.Now()
+		inprocOK := s.inprocess(restart)
+		s.prog.phaseNS[PhaseInprocess].Add(int64(time.Since(inprocStart)))
+		if !inprocOK {
 			return Unsat
 		}
 	}
@@ -159,9 +166,23 @@ func (s *Solver) search(maxConfl int64) Status {
 		if s.stop.Load() {
 			return Unknown // asynchronous Interrupt
 		}
-		confl := s.propagate()
+		// Propagation time is sampled: one call in propagateSamplePeriod
+		// pays two clock reads and its duration is scaled by the period,
+		// so the attribution converges without taxing the hot path.
+		var confl CRef
+		if s.prog.propTick++; s.prog.propTick%propagateSamplePeriod == 0 {
+			propStart := time.Now()
+			confl = s.propagate()
+			s.prog.phaseNS[PhasePropagate].Add(propagateSamplePeriod * int64(time.Since(propStart)))
+		} else {
+			confl = s.propagate()
+		}
 		if confl != CRefUndef {
-			// Deduce() returned CONFLICT: run Diagnose().
+			// Deduce() returned CONFLICT: run Diagnose(). The whole
+			// diagnosis — analyze, backtrack, record, decay — is one
+			// attribution phase, timed per conflict (clock cost is two
+			// reads per conflict, orders of magnitude under the work).
+			analyzeStart := time.Now()
 			s.Stats.Conflicts++
 			s.prog.conflicts.Add(1)
 			conflictsHere++
@@ -187,6 +208,7 @@ func (s *Solver) search(maxConfl int64) Status {
 			s.record(learnt, lbd)
 			s.decayVar()
 			s.decayClause()
+			s.prog.phaseNS[PhaseAnalyze].Add(int64(time.Since(analyzeStart)))
 			continue
 		}
 
@@ -204,7 +226,9 @@ func (s *Solver) search(maxConfl int64) Status {
 			return Unknown // restart
 		}
 		if !s.opts.NoLearning && float64(s.db.learntCount()) >= s.maxLearn+float64(len(s.trail)) {
+			reduceStart := time.Now()
 			s.reduceDB()
+			s.prog.phaseNS[PhaseReduce].Add(int64(time.Since(reduceStart)))
 			s.maxLearn *= 1.1
 		}
 		// Compact the arena once deletions (reduceDB tombstones, dead

@@ -3,6 +3,7 @@ package solver
 import (
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cnf"
 )
@@ -504,6 +505,8 @@ func (s *Solver) maybeGC() {
 // headers), so they need no patching here. Safe at any point where no
 // caller holds an unpatched CRef.
 func (s *Solver) garbageCollect() {
+	gcStart := time.Now()
+	defer func() { s.prog.phaseNS[PhaseGC].Add(int64(time.Since(gcStart))) }()
 	newArena := s.db.compact()
 	for i, c := range s.clauses {
 		s.clauses[i] = s.db.forward(c)
